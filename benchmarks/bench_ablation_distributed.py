@@ -1,0 +1,130 @@
+"""Ablation — global vs. distributed (per-net) crosstalk bounds.
+
+The paper mentions the per-net extension without evaluating it.  This
+bench quantifies what it buys on the parallel-bus scenario (where the
+crosstalk constraint is active): with only the *global* bound, the
+optimizer may concentrate coupling on a few victim nets; the distributed
+bound protects every net individually at some area premium.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CircuitBuilder, NoiseAwareSizingFlow, Technology
+from repro.core import (
+    DistributedNoiseOGWS,
+    DistributedSizingProblem,
+    OGWSOptimizer,
+    SizingProblem,
+)
+from repro.utils.tables import format_table
+
+
+def build_bus_setting():
+    """Resistive parallel buses under delay pressure (noise binds)."""
+    tech = Technology.dac99().replace(wire_unit_resistance=0.8)
+    builder = CircuitBuilder(tech=tech, name="buses", default_wire_length=60.0)
+    signals = [builder.add_input(f"bus{k}") for k in range(8)]
+    for stage in range(3):
+        next_signals = []
+        for k in range(8):
+            tail = signals[k]
+            for seg in range(4):
+                tail = builder.add_branch(tail, 800.0,
+                                          name=f"s{stage}b{k}seg{seg}")
+            gate = builder.add_gate("nand", [tail, signals[(k + 1) % 8]],
+                                    name=f"s{stage}g{k}")
+            next_signals.append(gate)
+        signals = next_signals
+    for sig in signals:
+        builder.set_output(sig, load=80.0)
+    circuit = builder.build()
+
+    flow = NoiseAwareSizingFlow(circuit, n_patterns=256,
+                                bound_factors=(1.1, 0.12, 0.4),
+                                optimizer_options={"max_iterations": 5})
+    outcome = flow.run()
+    engine = outcome.engine
+    x_init = engine.compiled.default_sizes(np.inf)
+    # Tight delay: probe the frontier, then bound 25% above it.
+    probe_problem = SizingProblem(outcome.problem.delay_bound_ps * 1e-3,
+                                  outcome.problem.noise_bound_ff * 1e6,
+                                  outcome.problem.power_cap_bound_ff * 1e6)
+    probe = OGWSOptimizer(engine, probe_problem, x_init=x_init,
+                          max_iterations=120).run()
+    from repro.timing.metrics import evaluate_metrics
+
+    d_min = evaluate_metrics(engine, probe.x).delay_ps
+    return engine, x_init, 1.25 * d_min, outcome.problem.power_cap_bound_ff
+
+
+_STATE = {}
+
+
+def test_global_bound(benchmark):
+    def run():
+        engine, x_init, a0, p_bound = build_bus_setting()
+        distributed = DistributedSizingProblem.from_initial(
+            engine, x_init, noise_fraction=0.13)
+        global_problem = SizingProblem(a0, distributed.noise_bound_ff, p_bound)
+        result = OGWSOptimizer(engine, global_problem, x_init=x_init,
+                               max_iterations=300).run()
+        _STATE.update(engine=engine, x_init=x_init, a0=a0, p_bound=p_bound,
+                      distributed_problem=DistributedSizingProblem(
+                          a0, p_bound, distributed.noise_bounds_ff),
+                      global_result=result)
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.feasible
+
+
+def test_distributed_bound(benchmark):
+    def run():
+        engine = _STATE["engine"]
+        result = DistributedNoiseOGWS(
+            engine, _STATE["distributed_problem"], x_init=_STATE["x_init"],
+            max_iterations=300).run()
+        _STATE["distributed_result"] = result
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The per-net program at this tightness is borderline infeasible by
+    # design (delay needs widths that individual budgets forbid); the
+    # point of the ablation is how much protection the per-net
+    # multipliers buy, asserted in the report test below.
+    assert result.iterations > 0
+
+
+def test_distributed_ablation_report(benchmark, report_writer):
+    def analyze():
+        engine = _STATE["engine"]
+        problem = _STATE["distributed_problem"]
+        rows = []
+        for label, result in (("global bound", _STATE["global_result"]),
+                              ("per-net bounds", _STATE["distributed_result"])):
+            worst = float(np.max(problem.net_violations(engine, result.x)))
+            over = int(np.sum(problem.net_violations(engine, result.x) > 1e-6))
+            rows.append([label, result.metrics.area_um2,
+                         result.metrics.noise_pf, worst * 100.0, over,
+                         result.iterations])
+        return rows
+
+    rows = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    text = format_table(
+        ["constraint", "area(um2)", "total noise(pF)", "worst net over (%)",
+         "#nets over", "ite"],
+        rows, title="Global vs distributed crosstalk bounds (parallel buses, "
+                    "tight delay)")
+    text += ("\nthe global bound controls the sum only and silently "
+             "overdraws individual victim nets; the per-net multipliers "
+             "(paper Sec. 4.1's 'easily extended' case) concentrate "
+             "protection where it is needed, cutting the worst per-net "
+             "violation even when full per-net feasibility is out of "
+             "reach at this delay target.")
+    report_writer("ablation_distributed", text)
+    global_row, dist_row = rows
+    # Per-net multipliers must shrink the worst individual violation and
+    # the number of violated nets vs the global-bound solution.
+    assert dist_row[3] < global_row[3]
+    assert dist_row[4] <= global_row[4]

@@ -1,0 +1,92 @@
+"""Ablation — the value of modeling simultaneous switching (Sec. 1/3.2).
+
+Two axes, both on c499:
+
+1. **Miller weighting**: similarity-aware (paper) vs worst-case vs
+   physical-only coupling.  The worst-case model sees ~2× the weighted
+   noise and must satisfy a correspondingly pessimistic constraint —
+   quantifying the pessimism the paper's intro criticizes.
+2. **Stage 1 ordering**: WOSS vs both-ends greedy vs random vs identity
+   on the similarity-weighted noise at the initial sizing — the benefit
+   of putting similar switchers on adjacent tracks.
+"""
+
+import numpy as np
+import pytest
+
+from repro import NoiseAwareSizingFlow, iscas85_circuit
+from repro.noise import MillerMode
+from repro.utils.tables import format_table
+
+_MILLER_ROWS = {}
+_ORDER_ROWS = {}
+
+
+def run_mode(mode):
+    circuit = iscas85_circuit("c499")
+    flow = NoiseAwareSizingFlow(circuit, n_patterns=256, miller_mode=mode,
+                                optimizer_options={"max_iterations": 200})
+    return flow.run()
+
+
+@pytest.mark.parametrize("mode", [MillerMode.SIMILARITY, MillerMode.WORST,
+                                  MillerMode.PHYSICAL])
+def test_miller_mode(benchmark, mode):
+    outcome = benchmark.pedantic(run_mode, args=(mode,), rounds=1, iterations=1)
+    x_init = outcome.engine.compiled.default_sizes(np.inf)
+    _MILLER_ROWS[mode.value] = [
+        mode.value,
+        outcome.coupling.total(x_init) / 1e3,      # weighted init noise, pF
+        outcome.sizing.metrics.noise_pf,
+        outcome.sizing.metrics.area_um2,
+        "yes" if outcome.sizing.feasible else "NO",
+    ]
+
+
+def run_ordering(ordering):
+    circuit = iscas85_circuit("c499")
+    flow = NoiseAwareSizingFlow(circuit, n_patterns=256, ordering=ordering,
+                                optimizer_options={"max_iterations": 1})
+    outcome = flow.run()
+    x_init = outcome.engine.compiled.default_sizes(np.inf)
+    return ordering, outcome.coupling.total(x_init) / 1e3, \
+        outcome.ordering_cost_after
+
+
+@pytest.mark.parametrize("ordering", ["woss", "greedy2", "random", "none"])
+def test_stage1_ordering(benchmark, ordering):
+    name, noise_pf, loading = benchmark.pedantic(
+        run_ordering, args=(ordering,), rounds=1, iterations=1)
+    _ORDER_ROWS[name] = [name, loading, noise_pf]
+
+
+def test_switching_ablation_report(benchmark, report_writer):
+    def render():
+        miller = [_MILLER_ROWS[k] for k in ("similarity", "worst", "physical")
+                  if k in _MILLER_ROWS]
+        orders = [_ORDER_ROWS[k] for k in ("woss", "greedy2", "random", "none")
+                  if k in _ORDER_ROWS]
+        return miller, orders
+
+    miller, orders = benchmark.pedantic(render, rounds=1, iterations=1)
+    text = format_table(
+        ["weighting", "init noise(pF)", "final noise(pF)", "final area", "feas"],
+        miller, title="Miller weighting ablation (c499)")
+    text += "\n\n" + format_table(
+        ["ordering", "effective loading", "weighted init noise(pF)"],
+        orders, title="Stage 1 ordering ablation (c499, WOSS weights)",
+        floatfmt="{:.3f}")
+    text += ("\nworst-case weighting doubles the perceived noise (the "
+             "pessimism the paper removes); WOSS cuts the similarity-"
+             "weighted loading vs arbitrary track orders.")
+    report_writer("ablation_switching", text)
+
+    sim_init = _MILLER_ROWS["similarity"][1]
+    worst_init = _MILLER_ROWS["worst"][1]
+    phys_init = _MILLER_ROWS["physical"][1]
+    # Worst-case is exactly 2x physical; similarity-aware (after WOSS) is
+    # far below both.
+    assert worst_init == pytest.approx(2 * phys_init, rel=1e-9)
+    assert sim_init < phys_init
+    assert _ORDER_ROWS["woss"][1] <= _ORDER_ROWS["random"][1] + 1e-9
+    assert _ORDER_ROWS["woss"][1] <= _ORDER_ROWS["none"][1] + 1e-9

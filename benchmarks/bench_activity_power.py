@@ -1,0 +1,63 @@
+"""Analysis — activity-aware vs uniform power across workload classes.
+
+The paper charges all capacitance at the clock rate.  Using the
+switching data stage 1 already produces, this bench quantifies the gap
+on three functionally verified structures with characteristic switching
+behavior: an XOR parity tree (activity-preserving), a ripple-carry adder
+(mixed), and a mux tree (control-dominated, activity-killing).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit import mux_tree, parity_tree, ripple_carry_adder
+from repro.core import NoiseAwareSizingFlow
+from repro.timing import activity_power, toggle_rates
+from repro.utils.tables import format_table
+
+_ROWS = {}
+
+_BUILDERS = {
+    "parity16 (xor tree)": lambda: parity_tree(16),
+    "rca8 (adder)": lambda: ripple_carry_adder(8),
+    "mux16 (control)": lambda: mux_tree(4),
+}
+
+
+def run_structure(label):
+    circuit = _BUILDERS[label]()
+    outcome = NoiseAwareSizingFlow(
+        circuit, n_patterns=256,
+        optimizer_options={"max_iterations": 200}).run()
+    rates = toggle_rates(circuit, n_patterns=1024)
+    report = activity_power(outcome.engine, outcome.sizing.x, rates)
+    return report
+
+
+@pytest.mark.parametrize("label", list(_BUILDERS))
+def test_structure_power(benchmark, label):
+    report = benchmark.pedantic(run_structure, args=(label,), rounds=1,
+                                iterations=1)
+    _ROWS[label] = [label, report.uniform_mw, report.activity_mw,
+                    report.overestimate_factor, report.mean_activity]
+    assert 0.0 < report.activity_mw <= report.uniform_mw / 2 + 1e-12
+
+
+def test_activity_report(benchmark, report_writer):
+    def render():
+        return [_ROWS[k] for k in _BUILDERS if k in _ROWS]
+
+    rows = benchmark.pedantic(render, rounds=1, iterations=1)
+    text = format_table(
+        ["structure", "uniform (mW)", "activity (mW)", "pessimism x",
+         "mean toggles/cycle"],
+        rows, title="Uniform vs activity-aware dynamic power (sized circuits)",
+        floatfmt="{:.3f}")
+    text += ("\nXOR trees keep switching alive (smallest gap); control "
+             "logic kills it (largest gap).  The paper's uniform model "
+             "is a consistent upper proxy, which is all the constraint "
+             "needs — but the measured gap shows what per-node activity "
+             "weighting would buy.")
+    report_writer("activity_power", text)
+    pessimism = {row[0]: row[3] for row in rows}
+    assert pessimism["mux16 (control)"] > pessimism["parity16 (xor tree)"]

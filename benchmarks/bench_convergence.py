@@ -1,0 +1,71 @@
+"""Sec. 5 precision claim — convergence to within 1% error.
+
+Traces the duality gap per OGWS iteration on c432 for both multiplier
+update rules and reports iterations-to-1% (the paper reaches it in 7–14
+iterations with its update; our multiplicative default lands in the same
+order of magnitude, the paper-literal subgradient rule more slowly).
+"""
+
+import numpy as np
+import pytest
+
+from repro import NoiseAwareSizingFlow, iscas85_circuit
+from repro.utils.tables import format_table
+
+
+def run(update, max_iterations):
+    circuit = iscas85_circuit("c432")
+    flow = NoiseAwareSizingFlow(
+        circuit, n_patterns=128,
+        optimizer_options={"max_iterations": max_iterations, "update": update})
+    return flow.run().sizing
+
+
+@pytest.mark.parametrize("update,budget", [("multiplicative", 200),
+                                           ("subgradient", 600)])
+def test_convergence_rule(benchmark, update, budget):
+    sizing = benchmark.pedantic(run, args=(update, budget), rounds=1,
+                                iterations=1)
+    assert sizing.feasible
+    benchmark.extra_info["iterations"] = sizing.iterations
+    benchmark.extra_info["final_gap"] = round(sizing.duality_gap, 4)
+    if update == "multiplicative":
+        assert sizing.converged
+        assert sizing.duality_gap <= 0.011
+
+
+def test_convergence_trace_report(benchmark, report_writer):
+    def trace():
+        sizing = run("multiplicative", 200)
+        rows = []
+        for record in sizing.history:
+            if record.iteration <= 5 or record.iteration % 5 == 0 \
+                    or record.iteration == sizing.iterations:
+                rows.append([record.iteration, record.area_um2,
+                             record.dual_value, record.paper_gap,
+                             "yes" if record.feasible else "no"])
+        return sizing, rows
+
+    sizing, rows = benchmark.pedantic(trace, rounds=1, iterations=1)
+    text = format_table(
+        ["iter", "area(um2)", "dual L(x)", "gap (A7)", "feasible"], rows,
+        title="OGWS convergence on c432 (paper: 1% precision, 7 iterations)",
+        floatfmt="{:.4f}")
+    text += (f"\nreached {sizing.duality_gap:.2%} duality gap in "
+             f"{sizing.iterations} iterations")
+    report_writer("convergence", text)
+    assert sizing.history[-1].paper_gap <= 0.01
+
+
+def test_gap_is_monotone_envelope(benchmark):
+    """Best dual bound never decreases; gap trends to the target."""
+
+    def run_and_check():
+        sizing = run("multiplicative", 200)
+        duals = [r.dual_value for r in sizing.history]
+        best = np.maximum.accumulate(duals)
+        return sizing, best
+
+    sizing, best = benchmark.pedantic(run_and_check, rounds=1, iterations=1)
+    assert np.all(np.diff(best) >= -1e-9)
+    assert sizing.history[-1].paper_gap <= sizing.history[0].paper_gap

@@ -1,0 +1,76 @@
+"""Optimality claim (Theorems 6–7) — OGWS vs an independent NLP solver.
+
+On circuits small enough for SciPy SLSQP with explicit arrival-time
+variables, the OGWS solution's area must match the NLP optimum (the
+problem is convex in log variables, so the NLP's KKT point is global).
+Also compares against the baselines to position the LR result.
+"""
+
+import numpy as np
+import pytest
+
+from repro import NoiseAwareSizingFlow, random_circuit
+from repro.baselines import TilosLikeSizer, uniform_scaling_baseline
+from repro.opt.reference import compare_with_reference
+from repro.utils.tables import format_table
+
+_ROWS = []
+
+
+def build_flow(seed):
+    circuit = random_circuit(12, 4, 3, seed=seed, target_depth=6)
+    flow = NoiseAwareSizingFlow(
+        circuit, n_patterns=64,
+        optimizer_options={"max_iterations": 600, "tolerance": 0.003})
+    return flow.run()
+
+
+@pytest.mark.parametrize("seed", [5, 17, 29])
+def test_ogws_vs_scipy(benchmark, seed):
+    outcome = benchmark.pedantic(build_flow, args=(seed,), rounds=1,
+                                 iterations=1)
+    rel, ref = compare_with_reference(outcome.engine, outcome.problem,
+                                      outcome.sizing)
+    _ROWS.append([f"random12g/seed{seed}", outcome.sizing.metrics.area_um2,
+                  ref.area_um2, rel * 100.0])
+    benchmark.extra_info["rel_gap_vs_scipy_pct"] = round(rel * 100, 3)
+    assert abs(rel) < 0.02, f"area differs from NLP optimum by {rel:.2%}"
+
+
+def test_optimality_report(benchmark, report_writer):
+    def render():
+        return list(_ROWS)
+
+    rows = benchmark.pedantic(render, rounds=1, iterations=1)
+    text = format_table(
+        ["instance", "OGWS area", "SciPy NLP area", "gap %"], rows,
+        title="Optimality cross-check (Theorem 7)", floatfmt="{:.3f}")
+    report_writer("optimality", text)
+    assert rows, "parametrized benches must run before the report"
+
+
+def test_baseline_positioning(benchmark, report_writer):
+    """OGWS ≤ TILOS-like greedy ≤/vs uniform on one instance."""
+
+    def run():
+        outcome = build_flow(5)
+        tilos = TilosLikeSizer(outcome.engine, outcome.problem).run()
+        uniform = uniform_scaling_baseline(outcome.engine, outcome.problem)
+        return outcome, tilos, uniform
+
+    outcome, tilos, uniform = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["OGWS (this paper)", outcome.sizing.metrics.area_um2,
+         "yes" if outcome.sizing.feasible else "NO"],
+        ["TILOS-like greedy", tilos.metrics.area_um2,
+         "yes" if tilos.feasible else "NO"],
+        ["uniform scaling", uniform.metrics.area_um2,
+         "yes" if uniform.feasible else "NO"],
+    ]
+    text = format_table(["sizer", "area (um2)", "feasible"], rows,
+                        title="Baseline positioning (random12g/seed5)")
+    report_writer("baselines", text)
+    if tilos.feasible:
+        assert outcome.sizing.metrics.area_um2 <= tilos.metrics.area_um2 * (1 + 1e-6)
+    if uniform.feasible:
+        assert outcome.sizing.metrics.area_um2 <= uniform.metrics.area_um2 * (1 + 1e-6)

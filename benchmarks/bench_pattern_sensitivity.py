@@ -1,0 +1,72 @@
+"""Ablation — how many simulation patterns does stage 1 need?
+
+The paper takes switching waveforms "from the logic simulation stage"
+without saying how long the simulation must be.  This bench measures the
+stability of the similarity-driven flow against the pattern budget: the
+WOSS ordering cost and the final weighted noise, as functions of
+``n_patterns``, against a long-run reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro import NoiseAwareSizingFlow, iscas85_circuit
+from repro.utils.tables import format_table
+
+_ROWS = {}
+_REFERENCE_PATTERNS = 2048
+
+
+def run_with_patterns(n_patterns):
+    circuit = iscas85_circuit("c432")
+    flow = NoiseAwareSizingFlow(circuit, n_patterns=n_patterns, seed=0,
+                                optimizer_options={"max_iterations": 100})
+    outcome = flow.run()
+    x_init = outcome.engine.compiled.default_sizes(np.inf)
+    return {
+        "loading": outcome.ordering_cost_after,
+        "init_noise": outcome.coupling.total(x_init) / 1e3,
+        "final_noise": outcome.sizing.metrics.noise_pf,
+        "area": outcome.sizing.metrics.area_um2,
+    }
+
+
+@pytest.mark.parametrize("n_patterns", [16, 64, 256, 1024, _REFERENCE_PATTERNS])
+def test_pattern_budget(benchmark, n_patterns):
+    row = benchmark.pedantic(run_with_patterns, args=(n_patterns,),
+                             rounds=1, iterations=1)
+    _ROWS[n_patterns] = row
+
+
+def test_pattern_sensitivity_report(benchmark, report_writer):
+    def analyze():
+        reference = _ROWS[_REFERENCE_PATTERNS]
+        rows = []
+        for n in sorted(_ROWS):
+            row = _ROWS[n]
+            rows.append([
+                n, row["loading"], row["init_noise"],
+                abs(row["init_noise"] / reference["init_noise"] - 1.0) * 100,
+                row["area"],
+            ])
+        return rows, reference
+
+    rows, reference = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    text = format_table(
+        ["patterns", "effective loading", "weighted noise (pF)",
+         "vs 2048-pattern ref (%)", "final area (um2)"],
+        rows, title="Stage 1 pattern-budget sensitivity (c432)",
+        floatfmt="{:.3f}")
+    text += ("\nthe noise *weighting* converges ~1/sqrt(n) (percent level "
+             "needs ~1k vectors), while the sizing outcome itself (final "
+             "area) is insensitive to the pattern budget — the ordering "
+             "decision saturates with a few dozen vectors.")
+    report_writer("pattern_sensitivity", text)
+    # Deviation from the long-run reference shrinks ~1/sqrt(n).
+    deviations = {n: dev for n, _, _, dev, _ in rows}
+    assert deviations[256] < 12.0
+    assert deviations[1024] < 6.0
+    assert deviations[1024] <= deviations[16]
+    # The sizing outcome is robust to the pattern budget.
+    areas = [area for *_, area in rows]
+    assert max(areas) / min(areas) < 1.01

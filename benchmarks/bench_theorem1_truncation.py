@@ -1,0 +1,54 @@
+"""Theorem 1 — truncation error of the posynomial coupling form.
+
+Reproduces the paper's in-text table: at u = 0.25 the error ratio of the
+k-term truncation is below 6.3% / 1.6% / 0.4% / 0.1% for k = 2..5, and
+equals uᵏ exactly.  The benchmark times the vectorized Taylor evaluation
+over a million pairs (the operation the LRS inner loop performs).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.paper_data import PAPER_TRUNCATION_EXAMPLE
+from repro.noise import (
+    coupling_capacitance_exact,
+    coupling_capacitance_taylor,
+    truncation_error_ratio,
+)
+from repro.utils.tables import format_table
+
+
+def test_theorem1_table(benchmark, report_writer):
+    def compute():
+        rows = []
+        for k in (2, 3, 4, 5):
+            ratio = truncation_error_ratio(0.25, k)
+            exact = coupling_capacitance_exact(1.0, 1.0, 1.0, 4.0)
+            approx = coupling_capacitance_taylor(1.0, 1.0, 1.0, 4.0, order=k)
+            measured = (exact - approx) / exact
+            rows.append([k, float(ratio), float(measured),
+                         PAPER_TRUNCATION_EXAMPLE[k]])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    text = format_table(
+        ["k", "u^k (Thm 1)", "measured (f-f̂)/f", "paper bound"],
+        rows, title="Theorem 1 truncation error at u = 0.25",
+        floatfmt="{:.6f}")
+    report_writer("theorem1_truncation", text)
+    for k, ratio, measured, bound in rows:
+        assert measured == pytest.approx(ratio, rel=1e-9)
+        assert measured <= bound + 1e-12
+
+
+def test_taylor_evaluation_throughput(benchmark):
+    """Vectorized Eq. 3 evaluation over 1M pairs (LRS inner-loop op)."""
+    rng = np.random.default_rng(0)
+    n = 1_000_000
+    xi = rng.uniform(0.1, 2.0, n)
+    xj = rng.uniform(0.1, 2.0, n)
+    ctilde = rng.uniform(0.5, 5.0, n)
+
+    result = benchmark(coupling_capacitance_taylor, ctilde, xi, xj, 4.0, 2)
+    assert result.shape == (n,)
+    assert np.all(result > 0)

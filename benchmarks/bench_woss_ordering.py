@@ -1,0 +1,101 @@
+"""WOSS ordering quality and runtime (Fig. 7, Theorem 2 context).
+
+The SS problem admits no approximation guarantee (Theorem 2), so the
+paper's WOSS is a pure heuristic.  This bench measures:
+
+* empirical quality on random similarity ensembles vs the exact optimum
+  (Held–Karp), 2-opt, both-ends greedy, and random orderings;
+* the O(n²) runtime claim on a 512-wire channel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import linear_fit
+from repro.noise import (
+    exact_ordering,
+    ordering_cost,
+    random_ordering,
+    two_opt_improve,
+    woss_ordering,
+)
+from repro.noise.ordering import greedy_both_ends
+from repro.utils.tables import format_table
+
+
+def random_similarity_weights(n, seed):
+    """Weights 1−s from correlated random ±1 signal rows (realistic)."""
+    rng = np.random.default_rng(seed)
+    base = rng.random((max(2, n // 3), 64)) < 0.5
+    rows = base[rng.integers(0, len(base), n)]
+    flips = rng.random((n, 64)) < 0.15
+    signed = np.where(np.logical_xor(rows, flips), 1.0, -1.0)
+    sim = signed @ signed.T / 64.0
+    weights = 1.0 - sim
+    np.fill_diagonal(weights, 0.0)
+    return weights
+
+
+def quality_sweep(n=10, trials=25):
+    sums = {"woss": 0.0, "greedy2": 0.0, "two_opt": 0.0, "random": 0.0}
+    for trial in range(trials):
+        w = random_similarity_weights(n, seed=trial)
+        opt = ordering_cost(exact_ordering(w), w)
+        opt = max(opt, 1e-9)
+        sums["woss"] += ordering_cost(woss_ordering(w), w) / opt
+        sums["greedy2"] += ordering_cost(greedy_both_ends(w), w) / opt
+        sums["two_opt"] += ordering_cost(
+            two_opt_improve(woss_ordering(w), w), w) / opt
+        sums["random"] += ordering_cost(random_ordering(n, trial), w) / opt
+    return {k: v / trials for k, v in sums.items()}
+
+
+def test_woss_quality_vs_exact(benchmark, report_writer):
+    ratios = benchmark.pedantic(quality_sweep, rounds=1, iterations=1)
+    rows = [[name, ratio] for name, ratio in sorted(ratios.items(),
+                                                    key=lambda kv: kv[1])]
+    text = format_table(
+        ["ordering", "cost / optimal"], rows,
+        title="SS ordering quality (10-wire channels, 25 random trials)",
+        floatfmt="{:.3f}")
+    text += "\n(1.000 = Held-Karp optimum; Theorem 2: no guarantee exists)"
+    report_writer("woss_quality", text)
+    assert ratios["woss"] < ratios["random"], "WOSS must beat random ordering"
+    assert ratios["woss"] < 1.5, "WOSS should stay near-optimal empirically"
+    assert ratios["two_opt"] <= ratios["woss"] + 1e-9
+
+
+def test_woss_runtime_512_wires(benchmark):
+    """One WOSS call on a 512-track channel (the O(n²) workload)."""
+    w = random_similarity_weights(512, seed=0)
+    order = benchmark(woss_ordering, w)
+    assert sorted(order) == list(range(512))
+
+
+def test_woss_quadratic_scaling(benchmark, report_writer):
+    """Runtime grows ~quadratically: fit best-of-5 timings, n = 128..1024."""
+    import time
+
+    def measure():
+        rows = []
+        for n in (128, 256, 512, 1024):
+            w = random_similarity_weights(n, seed=1)
+            best = min(
+                _timed(time, woss_ordering, w) for _ in range(5)
+            )
+            rows.append((n * n, best))
+        return rows
+
+    def _timed(time_mod, fn, arg):
+        start = time_mod.perf_counter()
+        fn(arg)
+        return time_mod.perf_counter() - start
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    fit = linear_fit([r[0] for r in rows], [r[1] for r in rows])
+    text = format_table(["n^2", "seconds (best of 5)"],
+                        [[a, b] for a, b in rows],
+                        title="WOSS runtime vs n^2", floatfmt="{:.5f}")
+    text += f"\nlinear-in-n^2 fit R^2 = {fit.r_squared:.4f}"
+    report_writer("woss_scaling", text)
+    assert fit.r_squared > 0.9

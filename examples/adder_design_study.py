@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Design study: a 16-bit ripple-carry adder through the whole toolbox.
+
+Exercises the library end to end on a functionally verified datapath
+block: structural generation, noise-constrained sizing, shadow-price
+readout (what one more picosecond would cost), activity-aware power
+versus the paper's uniform model, the per-net crosstalk report, and a
+JSON artifact for reproducibility.
+
+Run:  python examples/adder_design_study.py
+"""
+
+import pathlib
+import tempfile
+
+import numpy as np
+
+from repro import NoiseAwareSizingFlow
+from repro.analysis import shadow_prices
+from repro.circuit import ripple_carry_adder
+from repro.io import load_sizing_summary, save_sizing_result
+from repro.noise import noise_report
+from repro.timing import activity_power, static_timing_analysis, toggle_rates
+
+
+def main():
+    adder = ripple_carry_adder(16)
+    print(f"{adder}: functionally verified 16-bit RCA "
+          f"({adder.num_gates} gates, {adder.num_wires} wires)")
+
+    flow = NoiseAwareSizingFlow(
+        adder, n_patterns=512,
+        bound_factors=(1.05, 0.15, 0.3),
+        optimizer_options={"max_iterations": 400, "tolerance": 0.005})
+    outcome = flow.run()
+    sizing = outcome.sizing
+    print("\nsizing: " + sizing.summary())
+
+    # Where did the delay go?  The carry chain, as the textbook says.
+    report = static_timing_analysis(outcome.engine, sizing.x,
+                                    delay_bound=outcome.problem.delay_bound_ps)
+    chain = [adder.node(i).name for i in report.critical_path]
+    carry_hops = sum(1 for name in chain if name.startswith(("c", "t", "g")))
+    print(f"critical path: {len(chain)} nodes, {carry_hops} on the "
+          f"carry/generate chain ({' -> '.join(chain[:6])} ...)")
+
+    # Shadow prices: the marginal exchange rates at this optimum.
+    prices = shadow_prices(sizing)
+    print(f"\nshadow prices: 1 ps of delay budget = {prices.delay:.3f} um^2; "
+          f"1 fF of noise budget = {prices.noise:.4f} um^2; "
+          f"1 fF of power budget = {prices.power:.4f} um^2")
+
+    # Activity-aware power: the adder's real switching vs the uniform model.
+    rates = toggle_rates(adder, n_patterns=1024)
+    power = activity_power(outcome.engine, sizing.x, rates)
+    print(f"\npower: uniform model {power.uniform_mw:.3f} mW vs "
+          f"activity-weighted {power.activity_mw:.3f} mW "
+          f"(x{power.overestimate_factor:.1f} pessimism; mean activity "
+          f"{power.mean_activity:.2f} toggles/cycle)")
+    top = ", ".join(f"{adder.node(i).name} ({mw * 1e3:.1f} uW)"
+                    for i, mw in power.top_consumers[:3])
+    print(f"hottest nodes: {top}")
+
+    # Victim-oriented crosstalk view at the solution.
+    print()
+    print(noise_report(adder, outcome.coupling, sizing.x, top=5,
+                       title="worst crosstalk victims after sizing"))
+
+    # Persist the artifact and prove it reloads.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "rca16_sizing.json"
+        save_sizing_result(sizing, path)
+        reloaded = load_sizing_summary(path)
+        same = np.allclose(reloaded["sizes"], sizing.x)
+        print(f"\nartifact: saved {path.name} "
+              f"({path.stat().st_size} bytes), reload bit-exact: {same}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for legacy editable installs (offline environments without `wheel`).
+
+All real metadata lives in pyproject.toml; install with:
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

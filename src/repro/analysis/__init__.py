@@ -1,0 +1,37 @@
+"""Paper data, comparisons, and report formatting.
+
+* :mod:`~repro.analysis.paper_data` — Table 1 and the in-text numbers as
+  published, for side-by-side comparison,
+* :mod:`~repro.analysis.compare` — improvement/shape comparisons and the
+  linearity fits behind Figure 10,
+* :mod:`~repro.analysis.report` — monospace tables in the paper's layout.
+"""
+
+from repro.analysis.compare import (
+    LinearFit,
+    linear_fit,
+    shape_check_table1,
+)
+from repro.analysis.paper_data import PAPER_IMPROVEMENTS, PAPER_TABLE1, PaperRow
+from repro.analysis.report import format_fig10_rows, format_table1
+from repro.analysis.sensitivity import (
+    ShadowPrices,
+    bound_sweep,
+    shadow_prices,
+    validate_shadow_prices,
+)
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PAPER_IMPROVEMENTS",
+    "PaperRow",
+    "linear_fit",
+    "LinearFit",
+    "shape_check_table1",
+    "format_table1",
+    "format_fig10_rows",
+    "ShadowPrices",
+    "shadow_prices",
+    "validate_shadow_prices",
+    "bound_sweep",
+]

@@ -1,0 +1,89 @@
+"""The paper's published numbers (Table 1 and in-text claims).
+
+Transcribed verbatim from the DAC 1999 paper so benches can print
+paper-vs-measured rows.  Units follow the paper: noise pF, delay ps,
+power mW, area µm², time seconds, memory KB.
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class PaperRow:
+    """One Table 1 row."""
+
+    name: str
+    gates: int
+    wires: int
+    noise_init: float
+    noise_fin: float
+    delay_init: float
+    delay_fin: float
+    power_init: float
+    power_fin: float
+    area_init: float
+    area_fin: float
+    iterations: int
+    time_s: float
+    memory_kb: float
+
+    @property
+    def total(self):
+        return self.gates + self.wires
+
+    def improvement(self, metric):
+        init = getattr(self, f"{metric}_init")
+        fin = getattr(self, f"{metric}_fin")
+        return (init - fin) / init * 100.0
+
+
+#: Table 1 exactly as printed (row order preserved).
+PAPER_TABLE1 = {
+    row.name: row
+    for row in (
+        PaperRow("c1355", 546, 1064, 20.53, 2.14, 1005.57, 1098.90, 228.34, 28.45,
+                 48299, 5203, 9, 56, 1096),
+        PaperRow("c1908", 880, 1498, 24.55, 2.45, 1444.57, 1338.62, 357.09, 41.45,
+                 71338, 7369, 13, 155, 1184),
+        PaperRow("c2670", 1193, 2076, 33.46, 3.35, 1480.65, 1499.87, 486.38, 58.45,
+                 98067, 10319, 7, 444, 1320),
+        PaperRow("c3540", 1669, 2939, 50.24, 5.03, 1713.47, 1685.51, 682.19, 79.53,
+                 138242, 14292, 8, 553, 1472),
+        PaperRow("c432", 214, 426, 7.89, 0.95, 1442.28, 958.20, 89.95, 18.35,
+                 19200, 2984, 7, 21, 976),
+        PaperRow("c499", 514, 928, 16.37, 1.72, 875.81, 799.31, 211.25, 27.88,
+                 43259, 4834, 10, 97, 1072),
+        PaperRow("c5315", 2307, 4386, 82.06, 8.23, 1649.38, 1548.37, 959.28, 113.92,
+                 200803, 20768, 7, 1321, 1752),
+        PaperRow("c6288", 2416, 4800, 95.36, 9.53, 4888.33, 4494.26, 1015.03, 129.94,
+                 216495, 23341, 14, 2705, 1808),
+        PaperRow("c7552", 3512, 6144, 103.30, 10.33, 1615.32, 1619.37, 1433.49, 168.91,
+                 289707, 30120, 7, 2823, 2120),
+        PaperRow("c880", 383, 729, 13.12, 1.35, 931.49, 794.43, 159.30, 22.14,
+                 33359, 3827, 12, 94, 1032),
+    )
+}
+
+#: Table 1's bottom "Impr(%)" row.
+PAPER_IMPROVEMENTS = {
+    "noise": 89.67,
+    "delay": 5.3,
+    "power": 86.82,
+    "area": 87.90,
+}
+
+#: In-text Theorem 1 example: truncation error ratios at u = 0.25.
+PAPER_TRUNCATION_EXAMPLE = {
+    2: 0.063,   # "less than 6.3%"
+    3: 0.016,
+    4: 0.004,
+    5: 0.001,
+}
+
+#: Sec. 5 headline: c7552 solved within 1% error, 2.1 MB, 47 minutes.
+PAPER_HEADLINE = {
+    "circuit": "c7552",
+    "precision": 0.01,
+    "memory_mb": 2.1,
+    "time_min": 47.0,
+}

@@ -1,0 +1,72 @@
+"""Monospace report tables in the paper's Table 1 / Figure 10 layout."""
+
+from repro.analysis.paper_data import PAPER_TABLE1
+from repro.utils.tables import format_table
+
+
+def format_table1(results, title="Table 1 (reproduced)"):
+    """Render Table 1 rows for ``results`` (name → SizingResult).
+
+    Columns mirror the paper: circuit sizes, Init/Fin for each metric,
+    iterations, runtime, memory; an Impr(%) row closes the table.
+    """
+    headers = ["Ckt", "#G", "#W", "tot",
+               "NoiseI(pF)", "NoiseF", "DelayI(ps)", "DelayF",
+               "PowerI(mW)", "PowerF", "AreaI(um2)", "AreaF",
+               "ite", "time(s)", "mem(KB)"]
+    rows = []
+    sums = {"noise": 0.0, "delay": 0.0, "power": 0.0, "area": 0.0}
+    for name, result in results.items():
+        paper = PAPER_TABLE1.get(name)
+        init, fin = result.initial_metrics, result.metrics
+        gates = paper.gates if paper else "-"
+        wires = paper.wires if paper else "-"
+        total = paper.total if paper else "-"
+        rows.append([
+            name, gates, wires, total,
+            init.noise_pf, fin.noise_pf,
+            init.delay_ps, fin.delay_ps,
+            init.power_mw, fin.power_mw,
+            init.area_um2, fin.area_um2,
+            result.iterations, result.runtime_s,
+            result.memory_bytes / 1024.0,
+        ])
+        for metric, value in result.improvements.items():
+            sums[metric] += value
+    n = max(1, len(results))
+    rows.append([
+        "Impr(%)", "-", "-", "-",
+        sums["noise"] / n, "-", sums["delay"] / n, "-",
+        sums["power"] / n, "-", sums["area"] / n, "-", "-", "-", "-",
+    ])
+    return format_table(headers, rows, title=title)
+
+
+def format_paper_table1(title="Table 1 (paper, as published)"):
+    """Render the embedded paper data in the same layout."""
+    headers = ["Ckt", "#G", "#W", "tot",
+               "NoiseI(pF)", "NoiseF", "DelayI(ps)", "DelayF",
+               "PowerI(mW)", "PowerF", "AreaI(um2)", "AreaF",
+               "ite", "time(s)", "mem(KB)"]
+    rows = [
+        [r.name, r.gates, r.wires, r.total,
+         r.noise_init, r.noise_fin, r.delay_init, r.delay_fin,
+         r.power_init, r.power_fin, r.area_init, r.area_fin,
+         r.iterations, r.time_s, r.memory_kb]
+        for r in PAPER_TABLE1.values()
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def format_fig10_rows(sizes, values, value_label, fit=None,
+                      title="Figure 10 (reproduced)"):
+    """Render size-vs-value rows plus the linear fit summary."""
+    headers = ["#gates+#wires", value_label]
+    rows = [[int(s), float(v)] for s, v in zip(sizes, values)]
+    table = format_table(headers, rows, title=title, floatfmt="{:.4f}")
+    if fit is not None:
+        table += (
+            f"\nlinear fit: {value_label} = {fit.slope:.3e}*size + "
+            f"{fit.intercept:.3e}   (R^2 = {fit.r_squared:.4f})"
+        )
+    return table

@@ -1,0 +1,25 @@
+"""Comparison baselines for the sizing experiments.
+
+The paper's claims are comparative ("optimal", "efficient"); these
+baselines make the comparisons concrete:
+
+* :func:`~repro.baselines.uniform.uniform_scaling_baseline` — one global
+  size for every component (what you get with no per-component sizing),
+* :class:`~repro.baselines.tilos.TilosLikeSizer` — the classic greedy
+  sensitivity-based sizer (TILOS-style), the standard pre-LR heuristic,
+* :func:`~repro.baselines.noise_blind.noise_blind_sizing` — the same LR
+  machinery with the crosstalk constraint dropped (what "currently
+  existing literature" did, per the paper's introduction).
+"""
+
+from repro.baselines.noise_blind import noise_blind_sizing
+from repro.baselines.tilos import TilosLikeSizer, TilosResult
+from repro.baselines.uniform import UniformResult, uniform_scaling_baseline
+
+__all__ = [
+    "uniform_scaling_baseline",
+    "UniformResult",
+    "TilosLikeSizer",
+    "TilosResult",
+    "noise_blind_sizing",
+]

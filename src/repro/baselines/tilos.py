@@ -1,0 +1,117 @@
+"""TILOS-style greedy sensitivity sizing.
+
+The classic pre-Lagrangian heuristic (Fishburn/Dunlop's TILOS lineage):
+start from minimum sizes and repeatedly bump the component whose upsizing
+buys the most critical-path delay per unit area, until the delay bound is
+met or progress stalls.  Crosstalk and power are checked *afterwards* —
+the heuristic has no mechanism to honor them, which is exactly the
+comparison point: LR handles all constraints simultaneously and
+optimally, greedy sizing does not.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.timing.metrics import evaluate_metrics
+from repro.utils.errors import ValidationError
+
+
+@dataclasses.dataclass(frozen=True)
+class TilosResult:
+    """Outcome of the greedy sizer."""
+
+    x: np.ndarray
+    metrics: object
+    met_delay: bool
+    feasible: bool          # all constraints (delay, noise, power)
+    steps: int
+    evaluations: int
+
+
+class TilosLikeSizer:
+    """Greedy critical-path sizer.
+
+    Parameters
+    ----------
+    engine, problem:
+        Same objects OGWS consumes.
+    step_factor:
+        Multiplicative size bump per move (classic choice ~1.1–1.5).
+    max_steps:
+        Move budget (each move resizes one component).
+    candidate_limit:
+        Evaluate sensitivities only for the ``candidate_limit`` nodes on
+        the current critical path (all of them if fewer).
+    """
+
+    def __init__(self, engine, problem, step_factor=1.3, max_steps=5000,
+                 candidate_limit=24):
+        if step_factor <= 1.0:
+            raise ValidationError("step_factor must exceed 1")
+        self.engine = engine
+        self.problem = problem
+        self.step_factor = float(step_factor)
+        self.max_steps = int(max_steps)
+        self.candidate_limit = int(candidate_limit)
+
+    def run(self, x0=None):
+        engine = self.engine
+        cc = engine.compiled
+        bound = self.problem.delay_bound_ps
+        x = cc.lower.copy() if x0 is None else np.asarray(x0, dtype=float).copy()
+        x = cc.clip_sizes(x)
+        evaluations = 0
+        steps = 0
+
+        delay = engine.circuit_delay(x)
+        evaluations += 1
+        while delay > bound and steps < self.max_steps:
+            candidates = self._critical_candidates(x)
+            best_gain, best_node, best_delay = 0.0, None, delay
+            for node in candidates:
+                if x[node] >= cc.upper[node] - 1e-12:
+                    continue
+                trial = x.copy()
+                trial[node] = min(cc.upper[node], x[node] * self.step_factor)
+                d = engine.circuit_delay(trial)
+                evaluations += 1
+                d_area = cc.alpha[node] * (trial[node] - x[node])
+                gain = (delay - d) / max(d_area, 1e-12)
+                if gain > best_gain:
+                    best_gain, best_node, best_delay = gain, node, d
+            if best_node is None:
+                break  # no upsizing move reduces delay: stalled
+            x[best_node] = min(cc.upper[best_node], x[best_node] * self.step_factor)
+            delay = best_delay
+            steps += 1
+
+        metrics = evaluate_metrics(engine, x)
+        return TilosResult(
+            x=x,
+            metrics=metrics,
+            met_delay=delay <= bound + 1e-9,
+            feasible=self.problem.is_feasible(metrics, 1e-6),
+            steps=steps,
+            evaluations=evaluations,
+        )
+
+    def _critical_candidates(self, x):
+        """Sizable nodes on the current critical path (most critical first)."""
+        engine = self.engine
+        cc = engine.compiled
+        delays = engine.delays(x)
+        arrival = engine.arrival_times(delays)
+        path = []
+        node = cc.sink
+        while node != cc.source:
+            lo, hi = cc.in_ptr[node], cc.in_ptr[node + 1]
+            preds = cc.edge_src[cc.in_edges[lo:hi]]
+            if len(preds) == 0:
+                break
+            node = int(preds[np.argmax(arrival[preds])])
+            if cc.is_sizable[node]:
+                path.append(node)
+        # Prefer the upstream end (drivers of the slow stages) first.
+        path = list(reversed(path))
+        return path[: self.candidate_limit]

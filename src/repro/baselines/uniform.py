@@ -1,0 +1,77 @@
+"""Uniform-scaling baseline.
+
+Every component gets the same size ``s`` (clipped to its own bounds).
+The best feasible ``s`` is found by golden-section-style refinement over
+a log grid; the result is the natural "no per-component optimization"
+reference point for the Table 1 comparisons.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.timing.metrics import evaluate_metrics
+from repro.utils.errors import ValidationError
+
+
+@dataclasses.dataclass(frozen=True)
+class UniformResult:
+    """Best uniform sizing found."""
+
+    scale: float
+    x: np.ndarray
+    metrics: object
+    feasible: bool
+    evaluations: int
+
+
+def uniform_scaling_baseline(engine, problem, n_grid=48, refine=3):
+    """Minimize area over the single scale ``s`` subject to the bounds.
+
+    Area is monotone in ``s``, so the optimum is the smallest feasible
+    scale; the search scans a log grid between the global bounds and
+    refines around the feasibility threshold.  Returns the best feasible
+    point, or the least-infeasible one (``feasible=False``) when none is.
+    """
+    if n_grid < 4:
+        raise ValidationError("n_grid must be at least 4")
+    cc = engine.compiled
+    lo = float(np.min(cc.lower[cc.is_sizable]))
+    hi = float(np.max(cc.upper[cc.is_sizable]))
+    evaluations = 0
+
+    def check(scale):
+        nonlocal evaluations
+        evaluations += 1
+        x = cc.default_sizes(scale)
+        metrics = evaluate_metrics(engine, x)
+        return x, metrics, problem.is_feasible(metrics, 1e-9)
+
+    best = None
+    least_bad = None
+    grid = np.geomspace(lo, hi, n_grid)
+    for _ in range(refine + 1):
+        feas_scales = []
+        for scale in grid:
+            x, metrics, ok = check(float(scale))
+            record = UniformResult(float(scale), x, metrics, ok, evaluations)
+            if ok:
+                feas_scales.append(float(scale))
+                if best is None or metrics.area_um2 < best.metrics.area_um2:
+                    best = record
+            else:
+                worst = max(problem.violations(metrics).values())
+                if least_bad is None or worst < least_bad[0]:
+                    least_bad = (worst, record)
+        if best is None:
+            break
+        # Refine between the largest infeasible scale below the best and
+        # the best itself.
+        smaller = grid[grid < best.scale]
+        lo_ref = float(smaller.max()) if len(smaller) else lo
+        if lo_ref >= best.scale:
+            break
+        grid = np.geomspace(lo_ref, best.scale, max(6, n_grid // 4))
+    if best is not None:
+        return dataclasses.replace(best, evaluations=evaluations)
+    return dataclasses.replace(least_bad[1], evaluations=evaluations)

@@ -1,0 +1,196 @@
+"""Incremental circuit construction.
+
+:class:`CircuitBuilder` lets callers describe a circuit at the logic level
+(inputs, gates, outputs) and inserts the wire components the paper's graph
+requires: every connection from a driver or gate output to a gate input or
+an output load passes through a sized wire.  Explicit multi-segment routing
+trees can be built with :meth:`CircuitBuilder.add_branch`.
+
+Creation order is construction order, which is automatically topological
+because an element's parents must exist before it is referenced; ``build``
+re-indexes so that drivers occupy 1..s and appends source and sink.
+"""
+
+import dataclasses
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.components import Node, NodeKind
+from repro.tech import Technology
+from repro.utils.errors import CircuitError
+
+
+@dataclasses.dataclass(frozen=True)
+class Ref:
+    """Opaque handle to an element added to a builder."""
+
+    builder_id: int
+    kind: NodeKind
+    name: str
+
+
+class CircuitBuilder:
+    """Builds a validated :class:`~repro.circuit.circuit.Circuit`.
+
+    Parameters
+    ----------
+    tech:
+        Technology supplying default RC parameters and size bounds;
+        defaults to :meth:`Technology.dac99`.
+    name:
+        Circuit name carried through to reports.
+    default_wire_length:
+        Length (µm) used for wires that are inserted automatically when a
+        gate input or output connection does not specify one.
+    """
+
+    def __init__(self, tech=None, name="", default_wire_length=100.0):
+        self.tech = tech or Technology.dac99()
+        self.name = name
+        if default_wire_length <= 0:
+            raise CircuitError("default_wire_length must be positive")
+        self.default_wire_length = default_wire_length
+        self._records = []  # (kind, name, params dict, parent builder_ids)
+        self._names = set()
+        self._outputs = []  # (builder_id of PO wire, load_cap)
+        self._built = False
+
+    # -- element creation ---------------------------------------------------------
+
+    def add_input(self, name=None, resistance=None):
+        """Add a primary input with its driver resistor ``R_D`` (paper Sec. 2.1)."""
+        r = self.tech.driver_resistance if resistance is None else resistance
+        if r <= 0:
+            raise CircuitError("driver resistance must be positive")
+        name = self._unique_name(name, "in")
+        return self._record(NodeKind.DRIVER, name, {"r_hat": r}, [])
+
+    def add_gate(self, function, inputs, name=None, wire_lengths=None, bounds=None,
+                 unit_resistance=None, unit_capacitance=None, alpha=None):
+        """Add a gate fed by ``inputs`` (driver, gate, or wire refs).
+
+        Driver and gate inputs are connected through automatically created
+        wires (one per connection); wire refs are connected directly, which
+        is how multi-segment routing trees attach to gates.
+        ``wire_lengths`` optionally gives the length of each auto-created
+        wire (entries matching wire refs are ignored but must align).
+        """
+        if not inputs:
+            raise CircuitError("a gate needs at least one input")
+        if wire_lengths is not None and len(wire_lengths) != len(inputs):
+            raise CircuitError("wire_lengths must align with inputs")
+        tech = self.tech
+        lower, upper = bounds if bounds is not None else (tech.min_size, tech.max_size)
+        name = self._unique_name(name, "g")
+        parent_ids = []
+        for pos, ref in enumerate(inputs):
+            ref = self._check_ref(ref)
+            if ref.kind is NodeKind.WIRE:
+                parent_ids.append(ref.builder_id)
+                continue
+            length = wire_lengths[pos] if wire_lengths is not None else self.default_wire_length
+            wire = self.add_branch(ref, length, name=f"{name}.in{pos}")
+            parent_ids.append(wire.builder_id)
+        params = {
+            "function": str(function).lower(),
+            "r_hat": tech.gate_unit_resistance if unit_resistance is None else unit_resistance,
+            "c_hat": tech.gate_unit_capacitance if unit_capacitance is None else unit_capacitance,
+            "alpha": tech.gate_area_per_size if alpha is None else alpha,
+            "lower": lower,
+            "upper": upper,
+        }
+        return self._record(NodeKind.GATE, name, params, parent_ids)
+
+    def add_branch(self, parent, length=None, name=None, bounds=None):
+        """Add a wire segment hanging off ``parent`` (driver, gate, or wire).
+
+        Returns the wire's ref; connect it to a gate via :meth:`add_gate`,
+        extend it with further branches, or terminate it with
+        :meth:`set_output`.
+        """
+        parent = self._check_ref(parent)
+        tech = self.tech
+        length = self.default_wire_length if length is None else length
+        if length <= 0:
+            raise CircuitError("wire length must be positive")
+        lower, upper = bounds if bounds is not None else (tech.min_size, tech.max_size)
+        name = self._unique_name(name, "w")
+        params = {
+            "r_hat": tech.wire_unit_resistance * length,
+            "c_hat": tech.wire_unit_capacitance * length,
+            "fringe": tech.wire_fringe_capacitance * length,
+            "alpha": length,
+            "length": length,
+            "lower": lower,
+            "upper": upper,
+        }
+        return self._record(NodeKind.WIRE, name, params, [parent.builder_id])
+
+    def set_output(self, ref, load=None, wire_length=None, name=None):
+        """Declare ``ref`` as a primary output with load ``C_L`` (fF).
+
+        Driver/gate refs get an automatically created output wire; a wire
+        ref is used directly (it must not already be an output).  Returns
+        the ref of the primary-output wire.
+        """
+        ref = self._check_ref(ref)
+        load = self.tech.load_capacitance if load is None else load
+        if load <= 0:
+            raise CircuitError("output load must be positive")
+        if ref.kind is not NodeKind.WIRE:
+            ref = self.add_branch(ref, wire_length, name=name or f"{ref.name}.out")
+        if any(bid == ref.builder_id for bid, _ in self._outputs):
+            raise CircuitError(f"wire {ref.name!r} is already a primary output")
+        self._outputs.append((ref.builder_id, load))
+        return ref
+
+    # -- finalization -------------------------------------------------------------
+
+    def build(self):
+        """Assemble and validate the :class:`Circuit`.  One-shot."""
+        if self._built:
+            raise CircuitError("builder already produced a circuit")
+        drivers = [i for i, rec in enumerate(self._records) if rec[0] is NodeKind.DRIVER]
+        others = [i for i, rec in enumerate(self._records) if rec[0] is not NodeKind.DRIVER]
+        order = drivers + others  # construction order is already topological
+        final_index = {bid: pos + 1 for pos, bid in enumerate(order)}
+        sink = len(self._records) + 1
+        load_by_bid = dict(self._outputs)
+
+        nodes = [Node(index=0, kind=NodeKind.SOURCE, name="@source")]
+        edges = []
+        for bid in order:
+            kind, name, params, parents = self._records[bid]
+            load_cap = load_by_bid.get(bid, 0.0)
+            nodes.append(Node(index=final_index[bid], kind=kind, name=name,
+                              load_cap=load_cap, **params))
+            if kind is NodeKind.DRIVER:
+                edges.append((0, final_index[bid]))
+            for pid in parents:
+                edges.append((final_index[pid], final_index[bid]))
+        nodes.append(Node(index=sink, kind=NodeKind.SINK, name="@sink"))
+        for bid, _ in self._outputs:
+            edges.append((final_index[bid], sink))
+        edges.sort()
+        self._built = True
+        return Circuit(nodes, edges, self.tech, name=self.name)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _record(self, kind, name, params, parent_ids):
+        self._records.append((kind, name, params, parent_ids))
+        return Ref(builder_id=len(self._records) - 1, kind=kind, name=name)
+
+    def _check_ref(self, ref):
+        if not isinstance(ref, Ref) or not (0 <= ref.builder_id < len(self._records)):
+            raise CircuitError(f"not a ref from this builder: {ref!r}")
+        if self._records[ref.builder_id][1] != ref.name:
+            raise CircuitError(f"stale ref {ref!r}")
+        return ref
+
+    def _unique_name(self, name, prefix):
+        if name is None:
+            name = f"{prefix}{len(self._records)}"
+        if name in self._names or name in ("@source", "@sink"):
+            raise CircuitError(f"duplicate element name {name!r}")
+        self._names.add(name)
+        return name

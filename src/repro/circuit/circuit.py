@@ -1,0 +1,262 @@
+"""The finished, validated circuit graph.
+
+:class:`Circuit` is the immutable product of
+:class:`~repro.circuit.builder.CircuitBuilder` (or of the generators and
+the ``.bench`` parser, which use the builder internally).  It owns:
+
+* the topologically indexed node list (source, drivers, components, sink),
+* the edge list (every edge goes from a lower to a higher index),
+* adjacency lookups (``inputs(i)`` / ``outputs(i)``), and
+* the paper's stage-limited ``upstream(i)`` / ``downstream(i)`` traversals.
+
+Heavy numerical work does not happen here — call :meth:`Circuit.compile`
+to obtain the NumPy form used by the timing and sizing engines.
+"""
+
+import numpy as np
+
+from repro.circuit.components import Node, NodeKind
+from repro.utils.errors import ValidationError
+
+
+class Circuit:
+    """An immutable combinational circuit graph (paper Sec. 2.1).
+
+    Instances should be obtained from :class:`CircuitBuilder`, the
+    generators, or the parser; the constructor validates the invariants
+    documented in :meth:`validate` and raises
+    :class:`~repro.utils.errors.ValidationError` on violation.
+    """
+
+    def __init__(self, nodes, edges, tech, name=""):
+        self.name = name
+        self.tech = tech
+        self._nodes = tuple(nodes)
+        self._edges = tuple(tuple(edge) for edge in edges)
+        self._in_adj = [[] for _ in self._nodes]
+        self._out_adj = [[] for _ in self._nodes]
+        for u, v in self._edges:
+            self._out_adj[u].append(v)
+            self._in_adj[v].append(u)
+        self._by_name = {}
+        for node in self._nodes:
+            if node.name in self._by_name:
+                raise ValidationError(f"duplicate node name {node.name!r}")
+            self._by_name[node.name] = node
+        self.validate()
+
+    # -- basic structure ----------------------------------------------------------
+
+    @property
+    def nodes(self):
+        """All nodes in index order (element ``i`` has ``index == i``)."""
+        return self._nodes
+
+    @property
+    def edges(self):
+        """All edges as ``(u, v)`` index pairs with ``u < v``."""
+        return self._edges
+
+    @property
+    def num_nodes(self):
+        return len(self._nodes)
+
+    @property
+    def source_index(self):
+        return 0
+
+    @property
+    def sink_index(self):
+        return len(self._nodes) - 1
+
+    @property
+    def num_drivers(self):
+        """The paper's ``s`` — the number of primary inputs."""
+        return sum(1 for n in self._nodes if n.kind is NodeKind.DRIVER)
+
+    @property
+    def num_components(self):
+        """The paper's ``n`` — the number of sized gates and wires."""
+        return sum(1 for n in self._nodes if n.kind.is_sizable)
+
+    @property
+    def num_gates(self):
+        return sum(1 for n in self._nodes if n.is_gate)
+
+    @property
+    def num_wires(self):
+        return sum(1 for n in self._nodes if n.is_wire)
+
+    def node(self, index):
+        return self._nodes[index]
+
+    def node_by_name(self, name):
+        """Look up a node by its stable name (raises ``KeyError`` if absent)."""
+        return self._by_name[name]
+
+    def inputs(self, index):
+        """The paper's ``input(i)``: indices with an edge into ``i``."""
+        return tuple(self._in_adj[index])
+
+    def outputs(self, index):
+        """The paper's ``output(i)``: indices ``i`` has an edge to."""
+        return tuple(self._out_adj[index])
+
+    def drivers(self):
+        return tuple(n for n in self._nodes if n.is_driver)
+
+    def gates(self):
+        return tuple(n for n in self._nodes if n.is_gate)
+
+    def wires(self):
+        return tuple(n for n in self._nodes if n.is_wire)
+
+    def components(self):
+        """Sized components (gates and wires) in index order."""
+        return tuple(n for n in self._nodes if n.kind.is_sizable)
+
+    def primary_output_wires(self):
+        """Wires that connect to the sink (each carries an output load)."""
+        sink = self.sink_index
+        return tuple(self._nodes[u] for u in self._in_adj[sink])
+
+    # -- paper traversals ---------------------------------------------------------
+
+    def downstream(self, index):
+        """Stage-limited downstream set (paper Sec. 2.1).
+
+        Nodes on paths from ``index`` toward the loads, *including*
+        ``index`` itself, where traversal does not expand past a gate
+        (a gate's input capacitance terminates an RC stage) and stops at
+        the sink.  Matches the paper's example ``downstream(2) = {2,5,7}``.
+        """
+        seen = {index}
+        frontier = [index]
+        while frontier:
+            i = frontier.pop()
+            expand = i == index or self._nodes[i].is_wire
+            if not expand:
+                continue
+            for k in self._out_adj[i]:
+                if k == self.sink_index or k in seen:
+                    continue
+                seen.add(k)
+                frontier.append(k)
+        return seen
+
+    def upstream(self, index):
+        """Stage-limited upstream set (paper Sec. 2.1).
+
+        Nodes on paths from ``index`` back toward the drivers, *excluding*
+        ``index``, stopping at (and including) the first gate or driver —
+        the driver of the RC stage.  Matches ``upstream(10) = {6}``.
+
+        For a gate, each input wire belongs to a different stage, so the
+        union over all input stages is returned.
+        """
+        seen = set()
+        frontier = list(self._in_adj[index])
+        while frontier:
+            j = frontier.pop()
+            if j == self.source_index or j in seen:
+                continue
+            seen.add(j)
+            if self._nodes[j].is_wire:
+                frontier.extend(self._in_adj[j])
+        return seen
+
+    # -- bulk helpers -------------------------------------------------------------
+
+    def default_sizes(self, value=1.0):
+        """Initial size vector (length ``num_nodes``), clipped to bounds.
+
+        Non-sizable nodes get 0 (the paper sets ``x_i = 0`` for drivers).
+        """
+        x = np.zeros(self.num_nodes)
+        for node in self._nodes:
+            if node.kind.is_sizable:
+                x[node.index] = min(node.upper, max(node.lower, value))
+        return x
+
+    def compile(self):
+        """Return the :class:`~repro.circuit.compiled.CompiledCircuit` form."""
+        from repro.circuit.compiled import CompiledCircuit
+
+        return CompiledCircuit.from_circuit(self)
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self):
+        """Check every structural invariant; raise ``ValidationError`` if broken.
+
+        Invariants (paper Sec. 2.1 plus routing-tree assumptions):
+
+        1. node ``i`` of the list has ``index == i``; node 0 is the source
+           and the last node is the sink;
+        2. drivers occupy indices ``1..s`` contiguously;
+        3. every edge ``(u, v)`` has ``u < v`` (topological indexing);
+        4. the source feeds exactly the drivers; the sink is fed only by
+           wires (primary-output wires, which carry ``load_cap > 0``);
+        5. wires have in-degree exactly 1 (routing trees) and their parent
+           is a driver, gate, or wire;
+        6. gates have in-degree ≥ 1 and every gate input is a wire;
+        7. every component has out-degree ≥ 1 (no dangling logic) and is
+           reachable from the source.
+        """
+        nodes, sink = self._nodes, self.sink_index
+        if not nodes or nodes[0].kind is not NodeKind.SOURCE:
+            raise ValidationError("node 0 must be the source")
+        if nodes[-1].kind is not NodeKind.SINK:
+            raise ValidationError("last node must be the sink")
+        for i, node in enumerate(nodes):
+            if node.index != i:
+                raise ValidationError(f"node {node.name!r} has index {node.index}, expected {i}")
+        s = self.num_drivers
+        for i in range(1, s + 1):
+            if not nodes[i].is_driver:
+                raise ValidationError(f"indices 1..{s} must be drivers; index {i} is not")
+        for u, v in self._edges:
+            if not 0 <= u < v <= sink:
+                raise ValidationError(f"edge ({u},{v}) violates topological indexing")
+        if sorted(self._out_adj[0]) != list(range(1, s + 1)):
+            raise ValidationError("source must feed exactly the drivers")
+        for u in self._in_adj[sink]:
+            if not nodes[u].is_wire:
+                raise ValidationError(f"sink is fed by non-wire node {nodes[u].name!r}")
+            if nodes[u].load_cap <= 0:
+                raise ValidationError(f"primary-output wire {nodes[u].name!r} has no load")
+        for node in nodes:
+            ins, outs = self._in_adj[node.index], self._out_adj[node.index]
+            if node.is_wire:
+                if len(ins) != 1:
+                    raise ValidationError(f"wire {node.name!r} must have exactly one input")
+                parent = nodes[ins[0]]
+                if not (parent.is_driver or parent.is_gate or parent.is_wire):
+                    raise ValidationError(f"wire {node.name!r} has invalid parent kind")
+            if node.is_gate:
+                if not ins:
+                    raise ValidationError(f"gate {node.name!r} has no inputs")
+                for j in ins:
+                    if not nodes[j].is_wire:
+                        raise ValidationError(f"gate {node.name!r} input {nodes[j].name!r} is not a wire")
+            if node.is_driver and (len(ins) != 1 or ins[0] != 0):
+                raise ValidationError(f"driver {node.name!r} must be fed by the source only")
+            if node.kind.is_component and not outs:
+                raise ValidationError(f"component {node.name!r} has no fanout")
+        self._check_reachability()
+
+    def _check_reachability(self):
+        reached = np.zeros(self.num_nodes, dtype=bool)
+        reached[0] = True
+        for u, v in self._edges:  # edges are topologically ordered by u < v
+            if reached[u]:
+                reached[v] = True
+        unreachable = [n.name for n in self._nodes if not reached[n.index]]
+        if unreachable:
+            raise ValidationError(f"nodes unreachable from source: {unreachable[:5]}")
+
+    def __repr__(self):
+        return (
+            f"Circuit({self.name!r}, gates={self.num_gates}, wires={self.num_wires}, "
+            f"drivers={self.num_drivers})"
+        )

@@ -1,0 +1,224 @@
+"""Seeded random circuit generation.
+
+Real ISCAS85 netlists are not redistributed with this library, so the
+Table 1 experiments run on synthetic circuits whose *statistics* match the
+paper's: exact gate and wire counts, real PI/PO counts, average fan-in
+around two, and tens of logic levels.  The construction below is fully
+deterministic for a given seed.
+
+Construction invariants (all checked by ``Circuit.validate``):
+
+* wire count is *exact*: ``#wires = Σ gate fan-ins + #primary outputs``
+  (every connection is one wire component, as in the paper's Fig. 1/2);
+* every driver and every gate output is used at least once;
+* exactly ``n_outputs`` gates feed primary outputs, and every gate with no
+  internal fanout is among them.
+"""
+
+import numpy as np
+
+from repro.circuit.builder import CircuitBuilder
+from repro.tech import Technology
+from repro.utils.errors import CircuitError
+from repro.utils.rng import derive_rng, make_rng
+
+#: Gate functions by fan-in; 1-input gates alternate NOT/BUF, the rest mix
+#: the standard cell set (XOR kept to 2 inputs as in typical libraries).
+_FUNCTIONS_1 = ("not", "buf")
+_FUNCTIONS_2 = ("nand", "nor", "and", "or", "xor")
+_FUNCTIONS_N = ("nand", "nor", "and", "or")
+
+_MAX_FANIN = 4
+
+
+def random_circuit(n_gates, n_inputs, n_outputs, seed=0, tech=None,
+                   n_wires=None, avg_fanin=2.0, depth_tau=None,
+                   target_depth=None, wire_length_range=(50.0, 300.0),
+                   name=None):
+    """Generate a random combinational circuit.
+
+    Parameters
+    ----------
+    n_gates, n_inputs, n_outputs:
+        Gate / primary-input / primary-output counts.
+    n_wires:
+        Exact wire count to hit (``Σ fan-ins + n_outputs``); defaults to
+        ``round(avg_fanin · n_gates) + n_outputs``.
+    depth_tau:
+        Locality scale of input selection; gate ``k`` draws its gate-type
+        inputs at geometric distance ~``tau`` behind it, so logic depth
+        grows like ``n_gates / tau``.  Defaults to ``max(3, n_gates/40)``.
+    target_depth:
+        Approximate gate depth to aim for; sets ``depth_tau ≈
+        n_gates/target_depth`` (ignored when ``depth_tau`` is given).
+        Used by the ISCAS85 suite to match real benchmark depths.
+    wire_length_range:
+        Uniform range (µm) for wire lengths.
+
+    Returns a validated :class:`~repro.circuit.circuit.Circuit`.
+    """
+    if depth_tau is None and target_depth is not None:
+        if target_depth < 1:
+            raise CircuitError("target_depth must be >= 1")
+        # The longest chain runs ≈ 2× the mean geometric step count, so
+        # aim the locality scale twice as wide as the naive ratio.
+        depth_tau = max(2.0, 2.0 * n_gates / float(target_depth))
+    if n_gates < 1 or n_inputs < 1 or n_outputs < 1:
+        raise CircuitError("n_gates, n_inputs, n_outputs must all be >= 1")
+    if n_outputs > n_gates:
+        raise CircuitError("cannot have more primary outputs than gates")
+    # The coverage fix-up can fail for unlucky draws with tight wire
+    # budgets; retry deterministically on derived seeds before giving up.
+    last_error = None
+    for attempt in range(8):
+        rng = make_rng(seed if attempt == 0 else (seed, attempt))
+        try:
+            fanins = _draw_fanins(n_gates, n_inputs, n_outputs, n_wires, avg_fanin,
+                                  derive_rng(rng, "fanin"))
+            sources = _draw_sources(fanins, n_inputs, depth_tau,
+                                    derive_rng(rng, "topology"))
+            po_gates = _fix_coverage(sources, fanins, n_gates, n_inputs, n_outputs,
+                                     derive_rng(rng, "coverage"))
+        except CircuitError as error:
+            last_error = error
+            continue
+        return _emit(sources, po_gates, n_inputs, tech, wire_length_range,
+                     derive_rng(rng, "geometry"),
+                     derive_rng(rng, "functions"),
+                     name or f"random{n_gates}g", seed)
+    raise CircuitError(f"random_circuit failed for seed {seed!r}: {last_error}")
+
+
+def _draw_fanins(n_gates, n_inputs, n_outputs, n_wires, avg_fanin, rng):
+    """Per-gate fan-in counts summing to the exact wire budget."""
+    if n_wires is None:
+        total = int(round(avg_fanin * n_gates))
+    else:
+        total = n_wires - n_outputs
+    if not n_gates <= total <= _MAX_FANIN * n_gates:
+        raise CircuitError(
+            f"wire budget needs total fan-in in [{n_gates}, {_MAX_FANIN * n_gates}], got {total}"
+        )
+    fanins = np.ones(n_gates, dtype=np.int64)
+    extra = total - n_gates
+    while extra > 0:
+        room = np.flatnonzero(fanins < _MAX_FANIN)
+        picks = rng.choice(room, size=min(extra, len(room)), replace=False)
+        fanins[picks] += 1
+        extra -= len(picks)
+    return fanins
+
+
+def _draw_sources(fanins, n_inputs, depth_tau, rng):
+    """Choose each gate's input sources.
+
+    Source ids: ``0..n_inputs-1`` are drivers, ``n_inputs + k`` is gate
+    ``k``.  Gate ``k`` draws each input either from a uniform driver (with
+    probability shrinking as the netlist grows around it) or from a
+    geometrically recent earlier gate — the locality that gives realistic
+    logic depth.  Duplicate sources within one gate are avoided when
+    enough candidates exist.
+    """
+    n_gates = len(fanins)
+    tau = depth_tau if depth_tau is not None else max(3.0, n_gates / 40.0)
+    sources = []
+    for k, fanin in enumerate(fanins):
+        chosen = []
+        candidates = n_inputs + k
+        for _ in range(int(fanin)):
+            for _attempt in range(8):
+                take_driver = k == 0 or rng.random() < n_inputs / (n_inputs + k)
+                if take_driver:
+                    src = int(rng.integers(0, n_inputs))
+                else:
+                    back = int(min(rng.geometric(min(1.0, 1.0 / tau)), k))
+                    src = n_inputs + k - back
+                if src not in chosen or candidates <= len(chosen):
+                    break
+            chosen.append(src)
+        sources.append(chosen)
+    return sources
+
+
+def _fix_coverage(sources, fanins, n_gates, n_inputs, n_outputs, rng):
+    """Ensure every source is used and exactly ``n_outputs`` gates are POs.
+
+    The last ``n_outputs`` gates become the primary outputs (outputs
+    cluster at the end of real netlists), so a PO gate is allowed to have
+    no internal fanout.  Every other unused source is rewired into an
+    input slot of a strictly later gate via a worklist: slots whose
+    current source is used more than once are preferred (no new orphan);
+    when none exists, the displaced source joins the worklist.  A budget
+    bounds pathological displacement chains (the caller retries on a
+    derived seed).
+    """
+    n_sources = n_inputs + n_gates
+    use_count = np.zeros(n_sources, dtype=np.int64)
+    for chosen in sources:
+        for src in chosen:
+            use_count[src] += 1
+
+    po_gates = list(range(n_gates - n_outputs, n_gates))
+    po_sources = {n_inputs + g for g in po_gates}
+
+    def needs_fanout(s):
+        return use_count[s] == 0 and s not in po_sources
+
+    work = [s for s in range(n_sources) if needs_fanout(s)]
+    budget = 20 * (n_sources + 1)
+    while work:
+        budget -= 1
+        if budget < 0:
+            raise CircuitError(
+                "cannot rewire unused sources within budget "
+                "(wire topology too tight for this seed)"
+            )
+        s = work.pop()
+        if not needs_fanout(s):
+            continue
+        first_gate = 0 if s < n_inputs else s - n_inputs + 1
+        slots = [
+            (k, pos)
+            for k in range(first_gate, n_gates)
+            for pos, cur in enumerate(sources[k])
+            if cur != s
+        ]
+        if not slots:
+            raise CircuitError(
+                "cannot rewire unused sources: no input slots after them"
+            )
+        redundant = [sl for sl in slots if use_count[sources[sl[0]][sl[1]]] > 1]
+        pool = redundant if redundant else slots
+        k, pos = pool[int(rng.integers(0, len(pool)))]
+        displaced = sources[k][pos]
+        use_count[displaced] -= 1
+        sources[k][pos] = s
+        use_count[s] += 1
+        if needs_fanout(displaced):
+            work.append(displaced)
+    return po_gates
+
+
+def _emit(sources, po_gates, n_inputs, tech, wire_length_range, geo_rng, fn_rng,
+          name, seed):
+    lo, hi = wire_length_range
+    if not 0 < lo <= hi:
+        raise CircuitError("wire_length_range must satisfy 0 < lo <= hi")
+    builder = CircuitBuilder(tech=tech or Technology.dac99(), name=name)
+    driver_refs = [builder.add_input(name=f"pi{d}") for d in range(n_inputs)]
+    gate_refs = []
+    for k, chosen in enumerate(sources):
+        fanin = len(chosen)
+        if fanin == 1:
+            fn = _FUNCTIONS_1[int(fn_rng.integers(0, len(_FUNCTIONS_1)))]
+        elif fanin == 2:
+            fn = _FUNCTIONS_2[int(fn_rng.integers(0, len(_FUNCTIONS_2)))]
+        else:
+            fn = _FUNCTIONS_N[int(fn_rng.integers(0, len(_FUNCTIONS_N)))]
+        refs = [driver_refs[s] if s < n_inputs else gate_refs[s - n_inputs]
+                for s in chosen]
+        lengths = geo_rng.uniform(lo, hi, size=fanin).tolist()
+        gate_refs.append(builder.add_gate(fn, refs, name=f"g{k}", wire_lengths=lengths))
+    for g in po_gates:
+        builder.set_output(gate_refs[g], wire_length=float(geo_rng.uniform(lo, hi)))
+    return builder.build()

@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``info <circuit>``      — structure, depth, channels, initial metrics
+* ``size <circuit>``      — run the two-stage flow, print the result
+* ``table1 [names...]``   — reproduce Table 1 rows next to the paper's
+* ``suite``               — list the embedded ISCAS85-like suite
+
+``<circuit>`` is either a Table 1 name (``c432``) or a path to an
+ISCAS85-format ``.bench`` file.  All stochastic stages are seeded, so
+repeated invocations print identical numbers (timing aside).
+"""
+
+import argparse
+import pathlib
+import sys
+
+import numpy as np
+
+from repro.analysis.report import format_paper_table1, format_table1
+from repro.circuit import ISCAS85_SPECS, iscas85_circuit, load_bench
+from repro.core import NoiseAwareSizingFlow, check_kkt
+from repro.geometry import ChannelLayout
+from repro.timing import ElmoreEngine, evaluate_metrics
+from repro.utils.errors import ReproError
+from repro.utils.tables import format_table
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Noise-constrained gate/wire sizing by Lagrangian "
+                    "relaxation (DAC 1999 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="describe a circuit")
+    info.add_argument("circuit", help="Table 1 name (c432) or .bench path")
+
+    size = sub.add_parser("size", help="run the two-stage sizing flow")
+    size.add_argument("circuit", help="Table 1 name (c432) or .bench path")
+    size.add_argument("--patterns", type=int, default=256,
+                      help="logic-simulation patterns for similarity")
+    size.add_argument("--delay-slack", type=float, default=1.1,
+                      help="A0 as a multiple of the initial delay")
+    size.add_argument("--noise-fraction", type=float, default=0.1,
+                      help="X_B as a fraction of the initial noise")
+    size.add_argument("--power-fraction", type=float, default=0.2,
+                      help="P' as a fraction of the initial capacitance")
+    size.add_argument("--max-iterations", type=int, default=200)
+    size.add_argument("--tolerance", type=float, default=0.01,
+                      help="duality-gap stop (paper: 1%%)")
+    size.add_argument("--ordering", default="woss",
+                      choices=["woss", "greedy2", "random", "none"])
+    size.add_argument("--update", default="multiplicative",
+                      choices=["multiplicative", "subgradient"])
+    size.add_argument("--kkt", action="store_true",
+                      help="print the Theorem 6 KKT certificate")
+    size.add_argument("--sizes", action="store_true",
+                      help="print the final size of every component")
+
+    table1 = sub.add_parser("table1", help="reproduce Table 1 rows")
+    table1.add_argument("names", nargs="*",
+                        help="circuit names (default: the four smallest)")
+    table1.add_argument("--patterns", type=int, default=256)
+    table1.add_argument("--max-iterations", type=int, default=200)
+
+    sub.add_parser("suite", help="list the embedded benchmark suite")
+    return parser
+
+
+def _load_circuit(spec):
+    if spec in ISCAS85_SPECS:
+        return iscas85_circuit(spec)
+    path = pathlib.Path(spec)
+    if path.exists():
+        return load_bench(path)
+    raise ReproError(
+        f"unknown circuit {spec!r}: not a Table 1 name "
+        f"({', '.join(sorted(ISCAS85_SPECS))}) and no such file")
+
+
+def cmd_info(args, out):
+    circuit = _load_circuit(args.circuit)
+    compiled = circuit.compile()
+    layout = ChannelLayout.from_levels(circuit)
+    engine = ElmoreEngine(compiled)
+    metrics = evaluate_metrics(engine, compiled.default_sizes(np.inf))
+    lengths = [w.length for w in circuit.wires()]
+    rows = [
+        ["gates", circuit.num_gates],
+        ["wires", circuit.num_wires],
+        ["primary inputs", circuit.num_drivers],
+        ["primary outputs", len(circuit.primary_output_wires())],
+        ["edges", len(circuit.edges)],
+        ["topological levels", compiled.num_levels],
+        ["routing channels", len(layout.channels)],
+        ["largest channel", max((len(c) for c in layout.channels), default=0)],
+        ["wire length (um, mean)", float(np.mean(lengths)) if lengths else 0.0],
+        ["delay at x=U (ps, no coupling)", metrics.delay_ps],
+        ["area at x=U (um2)", metrics.area_um2],
+    ]
+    out.write(format_table(["property", "value"], rows,
+                           title=f"circuit {circuit.name!r}") + "\n")
+    return 0
+
+
+def cmd_size(args, out):
+    circuit = _load_circuit(args.circuit)
+    flow = NoiseAwareSizingFlow(
+        circuit,
+        ordering=args.ordering,
+        n_patterns=args.patterns,
+        bound_factors=(args.delay_slack, args.noise_fraction,
+                       args.power_fraction),
+        optimizer_options={
+            "max_iterations": args.max_iterations,
+            "tolerance": args.tolerance,
+            "update": args.update,
+        },
+    )
+    outcome = flow.run()
+    sizing = outcome.sizing
+    out.write(f"problem: {outcome.problem}\n")
+    out.write(f"stage 1: effective loading {outcome.ordering_cost_before:.3f} "
+              f"-> {outcome.ordering_cost_after:.3f} "
+              f"({outcome.ordering_improvement:.1%} lower)\n")
+    out.write("stage 2: " + sizing.summary() + "\n")
+    if args.kkt:
+        report = check_kkt(outcome.engine, outcome.problem, sizing.x,
+                           sizing.multipliers)
+        out.write(
+            f"KKT (Thm 6): flow={report.flow_conservation:.2e} "
+            f"slack={report.complementary_slackness:.2e} "
+            f"feas={report.primal_feasibility:.2e} "
+            f"fixpoint={report.sizing_fixed_point:.2e}\n")
+    if args.sizes:
+        rows = [[n.name, n.kind.name.lower(), sizing.x[n.index]]
+                for n in circuit.components()]
+        out.write(format_table(["component", "kind", "size (um)"], rows,
+                               floatfmt="{:.3f}") + "\n")
+    return 0 if sizing.feasible else 1
+
+
+def cmd_table1(args, out):
+    names = args.names or ["c432", "c880", "c499", "c1355"]
+    unknown = [n for n in names if n not in ISCAS85_SPECS]
+    if unknown:
+        raise ReproError(f"unknown Table 1 circuits: {unknown}")
+    results = {}
+    for name in names:
+        flow = NoiseAwareSizingFlow(
+            iscas85_circuit(name), n_patterns=args.patterns,
+            optimizer_options={"max_iterations": args.max_iterations})
+        results[name] = flow.run().sizing
+        out.write(f"{name}: {results[name].iterations} iterations, "
+                  f"gap {results[name].duality_gap:.2%}\n")
+    out.write(format_table1(results) + "\n\n")
+    out.write(format_paper_table1() + "\n")
+    return 0
+
+
+def cmd_suite(args, out):
+    rows = [[s.name, s.gates, s.wires, s.total, s.inputs, s.outputs, s.depth]
+            for s in sorted(ISCAS85_SPECS.values(), key=lambda s: s.total)]
+    out.write(format_table(
+        ["name", "#G", "#W", "tot", "PI", "PO", "depth"], rows,
+        title="embedded ISCAS85-like suite (Table 1 statistics)") + "\n")
+    return 0
+
+
+_COMMANDS = {
+    "info": cmd_info,
+    "size": cmd_size,
+    "table1": cmd_table1,
+    "suite": cmd_suite,
+}
+
+
+def main(argv=None, out=None):
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as error:
+        out.write(f"error: {error}\n")
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,177 @@
+"""The paper's complete two-stage flow (Sec. 1).
+
+Stage 1 — **switching-aware wire ordering**: simulate the circuit, build
+per-channel similarity matrices, order each channel's tracks with WOSS
+(or a baseline) minimizing the total effective loading ``Σ (1 − s_ij)``.
+
+Stage 2 — **simultaneous gate and wire sizing**: extract Miller-weighted
+coupling for the ordered layout and run OGWS to minimize area under the
+delay, crosstalk, and power bounds.
+
+:class:`NoiseAwareSizingFlow` wires the stages together; it is the
+top-level entry point the examples and the Table 1 bench use.
+"""
+
+import dataclasses
+import zlib
+
+import numpy as np
+
+from repro.core.ogws import OGWSOptimizer
+from repro.core.problem import SizingProblem
+from repro.geometry.layout import ChannelLayout
+from repro.noise.crosstalk import CouplingSet
+from repro.noise.miller import MillerMode
+from repro.noise.ordering import (
+    greedy_both_ends,
+    ordering_cost,
+    random_ordering,
+    woss_ordering,
+)
+from repro.noise.similarity import SimilarityAnalyzer
+from repro.timing.elmore import CouplingDelayMode, ElmoreEngine
+from repro.utils.errors import ValidationError
+
+_ORDERINGS = {
+    "woss": lambda weights, label: woss_ordering(weights),
+    "greedy2": lambda weights, label: greedy_both_ends(weights),
+    "random": lambda weights, label: random_ordering(
+        len(weights), seed=zlib.crc32(str(label).encode())),
+    "none": lambda weights, label: list(range(len(weights))),
+}
+
+
+@dataclasses.dataclass
+class FlowResult:
+    """Everything the two-stage flow produced."""
+
+    circuit: object
+    layout: object              # ordered ChannelLayout
+    coupling: object            # CouplingSet (Miller-weighted)
+    engine: object              # ElmoreEngine used by stage 2
+    problem: object             # SizingProblem
+    sizing: object              # SizingResult from OGWS
+    ordering_cost_before: float  # Σ (1 − s) over adjacent pairs, initial order
+    ordering_cost_after: float   # same after stage 1
+
+    @property
+    def ordering_improvement(self):
+        """Relative reduction of total effective loading by stage 1."""
+        if self.ordering_cost_before <= 0:
+            return 0.0
+        return 1.0 - self.ordering_cost_after / self.ordering_cost_before
+
+
+class NoiseAwareSizingFlow:
+    """End-to-end noise-constrained sizing.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to optimize.
+    ordering:
+        Stage 1 algorithm: ``"woss"`` (paper), ``"greedy2"``, ``"random"``,
+        ``"none"``, or a callable ``(weights, label) → permutation``.
+    miller_mode:
+        Crosstalk weighting (paper default: similarity).
+    coupling_order:
+        Taylor order k of Eq. 3 (paper default 2).
+    delay_mode:
+        Where coupling enters delay (paper default ``OWN``).
+    n_patterns, seed:
+        Logic-simulation workload for similarity analysis.
+    problem:
+        Explicit :class:`SizingProblem`; default derives Table 1-style
+        bounds from the initial sizing via ``bound_factors``.
+    bound_factors:
+        ``(delay_slack, noise_fraction, power_fraction)`` for
+        :meth:`SizingProblem.from_initial`.
+    x_init:
+        Initial sizes (default: every component at its upper bound, the
+        Table 1 "Init" point — see DESIGN.md §3).
+    optimizer_options:
+        Extra keyword arguments forwarded to :class:`OGWSOptimizer`.
+    """
+
+    def __init__(self, circuit, ordering="woss", miller_mode=MillerMode.SIMILARITY,
+                 coupling_order=2, delay_mode=CouplingDelayMode.OWN,
+                 n_patterns=256, seed=0, pitch=None, problem=None,
+                 bound_factors=(1.1, 0.1, 0.2), x_init=None,
+                 optimizer_options=None):
+        self.circuit = circuit
+        self.ordering = ordering if callable(ordering) else self._named_ordering(ordering)
+        self.miller_mode = MillerMode(miller_mode)
+        self.coupling_order = int(coupling_order)
+        self.delay_mode = CouplingDelayMode(delay_mode)
+        self.n_patterns = int(n_patterns)
+        self.seed = seed
+        self.pitch = pitch
+        self.problem = problem
+        self.bound_factors = tuple(bound_factors)
+        self.x_init = x_init
+        self.optimizer_options = dict(optimizer_options or {})
+
+    @staticmethod
+    def _named_ordering(name):
+        try:
+            return _ORDERINGS[name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown ordering {name!r}; choose from {sorted(_ORDERINGS)}"
+            ) from None
+
+    # -- stages ---------------------------------------------------------------------
+
+    def order_wires(self, analyzer, layout):
+        """Stage 1: per-channel track ordering from switching similarity.
+
+        Returns ``(ordered_layout, cost_before, cost_after)`` where the
+        costs are the summed ``1 − similarity`` over adjacent pairs.
+        """
+        orders = {}
+        cost_before = 0.0
+        cost_after = 0.0
+        for channel in layout.channels:
+            if len(channel) < 2:
+                continue
+            sim = analyzer.matrix(list(channel.wires))
+            weights = 1.0 - sim
+            np.fill_diagonal(weights, 0.0)
+            order = self.ordering(weights, channel.label)
+            orders[channel.label] = order
+            cost_before += ordering_cost(list(range(len(channel))), weights)
+            cost_after += ordering_cost(order, weights)
+        return layout.apply_ordering(orders), cost_before, cost_after
+
+    def run(self):
+        """Execute both stages; returns a :class:`FlowResult`."""
+        circuit = self.circuit
+        compiled = circuit.compile()
+        analyzer = SimilarityAnalyzer(circuit, n_patterns=self.n_patterns,
+                                      seed=self.seed)
+        layout = ChannelLayout.from_levels(circuit, pitch=self.pitch)
+        ordered, cost_before, cost_after = self.order_wires(analyzer, layout)
+
+        coupling = CouplingSet.from_layout(ordered, analyzer, self.miller_mode,
+                                           order=self.coupling_order)
+        engine = ElmoreEngine(compiled, coupling, self.delay_mode)
+        x_init = compiled.default_sizes(np.inf) if self.x_init is None else self.x_init
+        problem = self.problem
+        if problem is None:
+            slack, noise_frac, power_frac = self.bound_factors
+            problem = SizingProblem.from_initial(
+                engine, x_init, delay_slack=slack, noise_fraction=noise_frac,
+                power_fraction=power_frac)
+        optimizer = OGWSOptimizer(engine, problem, x_init=x_init,
+                                  **self.optimizer_options)
+        sizing = optimizer.run()
+        return FlowResult(
+            circuit=circuit,
+            layout=ordered,
+            coupling=coupling,
+            engine=engine,
+            problem=problem,
+            sizing=sizing,
+            ordering_cost_before=cost_before,
+            ordering_cost_after=cost_after,
+        )

@@ -1,0 +1,153 @@
+"""The Lagrangian relaxation subproblem solver (paper Fig. 8, Theorem 5).
+
+With multipliers fixed (and satisfying Theorem 3), minimizing the
+Lagrangian over the box ``L ≤ x ≤ U`` decouples into the closed-form
+per-component update
+
+    opt_i = sqrt( λ_i·r̂_i·(C'_i + Σ_{j∈N(i)} ĉ_ij·x_j)
+                  ───────────────────────────────────────────
+                  α_i + (β + R_i)·ĉ_i + γ·Σ_{j∈N(i)} ĉ_ij )
+
+    x*_i  = min(U_i, max(L_i, opt_i))
+
+where ``C'_i`` is node i's downstream capacitance with its own
+x_i-proportional terms removed and ``R_i`` the λ-weighted upstream
+resistance.  :class:`LagrangianSubproblemSolver` iterates this update to
+its fixed point (paper step S5 "repeat until no improvement"), evaluating
+each pass with three vectorized sweeps (S2: capacitances, S3: upstream
+resistances, S4: the update) — linear work per pass.
+
+Generalizations beyond the paper, both documented in DESIGN.md §2:
+
+* coupling Taylor order k > 2: the coupling sums are evaluated at the
+  current iterate via :meth:`CouplingSet.node_sums` (exactly the paper's
+  constants when k = 2);
+* ``CouplingDelayMode.PROPAGATED``: the denominator gains the
+  ``R_i·Σ ∂c_ij/∂x_i`` term that full propagation induces.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.timing.elmore import CouplingDelayMode
+from repro.timing.metrics import total_area, total_capacitance
+from repro.utils.errors import ConvergenceError
+from repro.utils.units import OHM_FF_TO_PS
+
+
+@dataclasses.dataclass(frozen=True)
+class LRSResult:
+    """Fixed point of the LRS iteration."""
+
+    x: np.ndarray
+    passes: int
+    max_rel_change: float
+    converged: bool
+
+
+class LagrangianSubproblemSolver:
+    """Greedy optimal solver for ``LRS₂`` (Fig. 8).
+
+    Parameters
+    ----------
+    engine:
+        :class:`~repro.timing.elmore.ElmoreEngine` (supplies circuit,
+        coupling set, and delay mode).
+    tolerance:
+        Fixed-point stop: max relative size change per pass.
+    max_passes:
+        Pass budget; exceeding it returns ``converged=False`` (or raises
+        when ``strict``).
+    """
+
+    def __init__(self, engine, tolerance=1e-7, max_passes=200, strict=False):
+        self.engine = engine
+        self.tolerance = float(tolerance)
+        self.max_passes = int(max_passes)
+        self.strict = bool(strict)
+
+    def solve(self, multipliers, x0=None):
+        """Minimize ``L_{λ,β,γ}(x)`` over the size box.
+
+        ``x0`` seeds the fixed point (paper S1 starts from ``L``; any
+        start converges to the same unique optimum — warm starts from the
+        previous outer iteration just get there in fewer passes).
+        """
+        engine = self.engine
+        cc = engine.compiled
+        coupling = engine.coupling
+        lam_node = multipliers.node_multipliers()
+        beta, gamma = multipliers.beta, multipliers.gamma
+
+        x = cc.lower.copy() if x0 is None else np.asarray(x0, dtype=float).copy()
+        x = cc.clip_sizes(np.where(cc.is_sizable, np.maximum(x, cc.lower), 0.0))
+
+        sizable = cc.is_sizable
+        wires = cc.is_wire
+        r_hat_eff = cc.r_hat * OHM_FF_TO_PS
+        numer_lam_r = lam_node * r_hat_eff
+
+        max_rel = np.inf
+        passes = 0
+        while passes < self.max_passes and max_rel > self.tolerance:
+            passes += 1
+            caps = engine.capacitances(x)                       # S2
+            upstream = engine.weighted_upstream_resistance(x, lam_node)  # S3
+            cap_sum, dx_sum = coupling.node_sums(x)
+            # γ may be the paper's scalar or, in the distributed-bound
+            # extension, a per-net array (read at each pair's owner).
+            gamma_slopes = coupling.slope_sums(x, gamma)
+            if engine.mode is CouplingDelayMode.NONE:
+                k_cap = caps["child_sum"] + np.where(wires, 0.5 * cc.fringe, 0.0)
+                cpl_np = np.zeros_like(dx_sum)
+            else:
+                k_cap = caps["child_sum"] + np.where(
+                    wires, 0.5 * cc.fringe + cap_sum, 0.0)
+                cpl_np = dx_sum
+            denom = cc.alpha + (beta + upstream) * cc.c_hat + gamma_slopes
+            if engine.mode is CouplingDelayMode.PROPAGATED:
+                denom = denom + upstream * cpl_np
+            opt = np.zeros_like(x)
+            np.divide(numer_lam_r * k_cap, denom, out=opt, where=sizable)
+            np.sqrt(opt, out=opt)                               # S4
+            x_new = cc.clip_sizes(np.where(sizable, opt, 0.0))
+            with np.errstate(invalid="ignore"):
+                rel = np.abs(x_new - x) / np.where(sizable, x, 1.0)
+            max_rel = float(np.max(rel[sizable], initial=0.0))
+            x = x_new
+        converged = max_rel <= self.tolerance
+        if not converged and self.strict:
+            raise ConvergenceError(
+                f"LRS did not reach tolerance {self.tolerance} in "
+                f"{self.max_passes} passes (last change {max_rel:.2e})"
+            )
+        return LRSResult(x=x, passes=passes, max_rel_change=max_rel,
+                         converged=converged)
+
+    # -- Lagrangian evaluation ----------------------------------------------------
+
+    def lagrangian_value(self, x, multipliers, problem):
+        """``L_{λ,β,γ}(x)`` of Theorem 4, including the eliminated-arrival
+        constant ``−A0·Σ λ_sink`` (so that ``min_x L`` is the dual value).
+        """
+        engine = self.engine
+        cc = engine.compiled
+        lam_node = multipliers.node_multipliers()
+        delays = engine.delays(x)
+        area = total_area(cc, x)
+        value = area
+        value += float(np.dot(lam_node, delays))
+        if np.isfinite(problem.power_cap_bound_ff):
+            value += multipliers.beta * (total_capacitance(cc, x)
+                                         - problem.power_cap_bound_ff)
+        gamma = np.asarray(multipliers.gamma, dtype=float)
+        if gamma.ndim:  # distributed per-net bounds (extension)
+            slack = engine.coupling.net_caps(x) - problem.noise_bounds_ff
+            active = np.isfinite(problem.noise_bounds_ff)
+            value += float(np.dot(gamma[active], slack[active]))
+        elif np.isfinite(problem.noise_bound_ff):
+            value += multipliers.gamma * (engine.coupling.total(x)
+                                          - problem.noise_bound_ff)
+        value -= problem.delay_bound_ps * multipliers.sink_flow()
+        return value

@@ -1,0 +1,264 @@
+"""The OGWS optimizer — Optimal Gate and Wire Sizing (paper Fig. 9).
+
+Outer loop solving the Lagrangian dual ``LDP``:
+
+    A1  initialize λ (flow-conserving), β, γ > 0
+    A2  aggregate λ_i = Σ in-edge multipliers
+    A3  solve the subproblem (LRS) and compute arrival times
+    A4  step the multipliers along the constraint residuals
+    A5  project λ back onto the Theorem 3 flow-conservation set
+    A7  stop when the area–Lagrangian gap is inside the error bound
+
+Because problem ``PP`` is convex (posynomial under log transform), the
+dual optimum equals the primal optimum (Theorem 7: "OGWS converges to
+the global optimal"); the duality gap measured each iteration is
+therefore a true optimality certificate.  The paper runs to "precision
+of within 1% error"; ``tolerance=0.01`` is the default here too.
+
+Feasibility: intermediate LRS iterates generally violate constraints
+(the dual approaches from below).  The optimizer tracks the best
+*feasible* iterate (within ``feasibility_tolerance``) and reports it;
+the final iterate is reported (flagged infeasible) if none was found.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.lrs import LagrangianSubproblemSolver
+from repro.core.multipliers import MultiplierState
+from repro.core.result import IterationRecord, SizingResult
+from repro.core.subgradient import MultiplicativeUpdate, SubgradientUpdate
+from repro.timing.metrics import evaluate_metrics, total_area
+from repro.utils.errors import ValidationError
+from repro.utils.memory import MemoryLedger
+from repro.utils.units import FF_PER_PF
+
+
+class OGWSOptimizer:
+    """Lagrangian-dual gate/wire sizing (paper Fig. 9).
+
+    Parameters
+    ----------
+    engine:
+        :class:`~repro.timing.elmore.ElmoreEngine` over the target
+        circuit (with its coupling set and delay mode).
+    problem:
+        :class:`~repro.core.problem.SizingProblem` bounds.
+    update:
+        ``"multiplicative"`` (default) or ``"subgradient"`` — see
+        :mod:`repro.core.subgradient` — or a ready update object.
+    tolerance:
+        Relative stop threshold for step A7 (paper: 1%).
+    feasibility_tolerance:
+        Relative constraint slack accepted as "feasible" (default 1e-3).
+    max_iterations:
+        Outer iteration budget.
+    x_init:
+        Sizes whose metrics define the "Init" row.  Default: every
+        component at its *upper* bound — the unsized starting point that
+        reproduces Table 1's Init column (DESIGN.md §3).
+    warm_start_lrs:
+        Seed each LRS call with the previous iterate (same unique
+        optimum as the paper's cold start, fewer passes).
+    """
+
+    def __init__(self, engine, problem, update="multiplicative", tolerance=0.01,
+                 feasibility_tolerance=1e-3, max_iterations=200, x_init=None,
+                 lrs=None, warm_start_lrs=True, record_history=True):
+        self.engine = engine
+        self.problem = problem
+        self.update = self._make_update(update)
+        if tolerance <= 0:
+            raise ValidationError("tolerance must be positive")
+        self.tolerance = float(tolerance)
+        self.feasibility_tolerance = float(feasibility_tolerance)
+        self.max_iterations = int(max_iterations)
+        self.lrs = lrs or LagrangianSubproblemSolver(engine)
+        self.warm_start_lrs = bool(warm_start_lrs)
+        self.record_history = bool(record_history)
+        compiled = engine.compiled
+        self.x_init = compiled.default_sizes(np.inf) if x_init is None else np.asarray(
+            x_init, dtype=float)
+
+    @staticmethod
+    def _make_update(update):
+        if isinstance(update, str):
+            if update == "multiplicative":
+                return MultiplicativeUpdate()
+            if update == "subgradient":
+                return SubgradientUpdate()
+            raise ValidationError(f"unknown update rule {update!r}")
+        if not hasattr(update, "apply"):
+            raise ValidationError("update must provide .apply(...)")
+        return update
+
+    # -- main loop ------------------------------------------------------------------
+
+    def run(self, multipliers=None):
+        """Execute Fig. 9 and return a :class:`SizingResult`."""
+        engine = self.engine
+        cc = engine.compiled
+        problem = self.problem
+        start = time.perf_counter()
+
+        initial_metrics = evaluate_metrics(engine, self.x_init)
+        mult = multipliers.copy() if multipliers is not None else \
+            MultiplierState.initial(cc)
+
+        history = []
+        best_dual = -np.inf
+        best_feasible_x = None
+        best_feasible_area = np.inf
+        x = None
+        converged = False
+        paper_gap = np.inf
+        iteration = 0
+
+        for iteration in range(1, self.max_iterations + 1):
+            x0 = x if (self.warm_start_lrs and x is not None) else None
+            lrs_result = self.lrs.solve(mult, x0=x0)           # A2 + A3
+            x = lrs_result.x
+            delays = engine.delays(x)
+            arrival = engine.arrival_times(delays)
+
+            metrics = evaluate_metrics(engine, x)
+            dual = self.lrs.lagrangian_value(x, mult, problem)
+            best_dual = max(best_dual, dual)
+            area = metrics.area_um2
+            paper_gap = abs(area - dual) / max(area, 1e-30)    # A7 quantity
+
+            feasible = self._is_feasible(metrics, x)
+            if feasible and area < best_feasible_area:
+                best_feasible_area = area
+                best_feasible_x = x.copy()
+            elif not feasible and best_feasible_x is not None:
+                # Primal repair: the dual iterate usually rides the tight
+                # constraint from the violating side.  PP's feasible set
+                # is convex in log-sizes (posynomial constraints), so a
+                # log-space blend toward the feasible anchor crosses the
+                # boundary exactly once — bisect to the closest feasible
+                # blend and keep it if it improves the primal.
+                repaired, repaired_metrics = self._repair(x, best_feasible_x)
+                if repaired is not None and \
+                        repaired_metrics.area_um2 < best_feasible_area:
+                    best_feasible_area = repaired_metrics.area_um2
+                    best_feasible_x = repaired
+
+            gap = self._duality_gap(best_feasible_area, best_dual)
+            step = self.update.apply(                          # A4
+                mult, iteration, arrival, delays, problem,
+                power_cap=metrics.total_cap_ff,
+                noise=metrics.noise_pf * FF_PER_PF,
+                engine=engine, x=x,
+            )
+            mult.project()                                     # A5
+
+            if self.record_history:
+                history.append(IterationRecord(
+                    iteration=iteration, area_um2=area, delay_ps=metrics.delay_ps,
+                    noise_pf=metrics.noise_pf, power_mw=metrics.power_mw,
+                    dual_value=dual, paper_gap=paper_gap, duality_gap=gap,
+                    feasible=feasible, lrs_passes=lrs_result.passes, step=step,
+                    beta=mult.beta, gamma=mult.gamma,
+                ))
+            # A7: stop once the certified duality gap (best feasible area
+            # vs best dual bound) is inside the error bound.
+            if gap <= self.tolerance:
+                converged = True
+                break
+
+        feasible_found = best_feasible_x is not None
+        final_x = best_feasible_x if feasible_found else x
+        final_metrics = evaluate_metrics(engine, final_x)
+        runtime = time.perf_counter() - start
+        # With no feasible iterate the dual bound certifies nothing about
+        # the reported point; flag that with an infinite gap.
+        final_gap = self._duality_gap(final_metrics.area_um2, best_dual) \
+            if feasible_found else np.inf
+        return SizingResult(
+            x=final_x,
+            metrics=final_metrics,
+            initial_metrics=initial_metrics,
+            problem=problem,
+            converged=converged,
+            iterations=iteration,
+            dual_value=best_dual,
+            duality_gap=final_gap,
+            feasible=feasible_found,
+            history=history,
+            runtime_s=runtime,
+            memory_bytes=self.memory_estimate(mult),
+            multipliers=mult,
+        )
+
+    @staticmethod
+    def _duality_gap(primal_area, dual):
+        if not np.isfinite(primal_area) or primal_area <= 0:
+            return np.inf
+        return max(0.0, (primal_area - dual) / primal_area)
+
+    def _is_feasible(self, metrics, x):
+        """Feasibility under the problem's own notion.
+
+        Distributed-bound problems expose ``is_feasible_at`` (they need
+        per-net crosstalk, not just the total); the paper's scalar
+        problem checks the three aggregate metrics.
+        """
+        check_at = getattr(self.problem, "is_feasible_at", None)
+        if check_at is not None:
+            return check_at(self.engine, x, metrics,
+                            tolerance=self.feasibility_tolerance)
+        return self.problem.is_feasible(metrics, self.feasibility_tolerance)
+
+    def _repair(self, x, x_feasible, bisections=7):
+        """Largest-t feasible log-blend between ``x_feasible`` and ``x``.
+
+        Returns ``(sizes, metrics)`` of the closest feasible point toward
+        the (infeasible) dual iterate, or ``(None, None)`` if even tiny
+        steps leave feasibility (anchor sits on the boundary).
+        """
+        engine = self.engine
+        cc = engine.compiled
+        mask = cc.is_sizable
+        log_feas = np.log(x_feasible[mask])
+        log_x = np.log(np.maximum(x[mask], 1e-300))
+
+        def candidate(t):
+            out = np.zeros(cc.num_nodes)
+            out[mask] = np.exp((1.0 - t) * log_feas + t * log_x)
+            return cc.clip_sizes(out)
+
+        best = None
+        best_metrics = None
+        lo, hi = 0.0, 1.0
+        for _ in range(bisections):
+            mid = 0.5 * (lo + hi)
+            cand = candidate(mid)
+            metrics = evaluate_metrics(engine, cand)
+            if self._is_feasible(metrics, cand):
+                best, best_metrics = cand, metrics
+                lo = mid
+            else:
+                hi = mid
+        return best, best_metrics
+
+    # -- memory accounting (Figure 10a) ----------------------------------------------
+
+    def memory_estimate(self, multipliers=None):
+        """Bytes of algorithm-owned storage (compiled circuit, coupling,
+        multipliers, and the solver's per-node work arrays).
+
+        This is the quantity plotted in the Figure 10(a) reproduction —
+        deliberately an *accounting* of required arrays (like the paper's
+        C implementation report), not the Python interpreter footprint.
+        """
+        ledger = MemoryLedger()
+        ledger.register("compiled", self.engine.compiled.nbytes)
+        ledger.register("coupling", self.engine.coupling.nbytes)
+        n = self.engine.compiled.num_nodes
+        # LRS + sweeps keep ~12 double arrays of node length alive.
+        ledger.register("work_arrays", 12 * n * 8)
+        if multipliers is not None:
+            ledger.register("multipliers", multipliers.nbytes)
+        return ledger.total_bytes

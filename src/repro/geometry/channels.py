@@ -1,0 +1,55 @@
+"""Grouping wires into routing channels.
+
+The paper orders "the wires" of a circuit on parallel tracks; for a
+many-thousand-wire netlist the physically meaningful unit is a routing
+channel.  We use the standard-cell row picture: all wires at the same
+topological level run through the same channel, so they are candidates
+for mutual adjacency (and therefore coupling).  Any other partition can
+be supplied to :class:`~repro.geometry.layout.ChannelLayout` directly.
+"""
+
+import dataclasses
+
+from repro.utils.errors import GeometryError
+
+
+@dataclasses.dataclass(frozen=True)
+class Channel:
+    """A set of wires routed through the same region.
+
+    ``wires`` is the tuple of wire node indices, in track order once an
+    ordering stage has run (construction order before that).
+    """
+
+    label: str
+    wires: tuple
+
+    def __post_init__(self):
+        if len(set(self.wires)) != len(self.wires):
+            raise GeometryError(f"channel {self.label!r} lists a wire twice")
+
+    def __len__(self):
+        return len(self.wires)
+
+    def reordered(self, order):
+        """Return a copy with tracks permuted by ``order`` (a permutation
+        of positions into ``wires``)."""
+        if sorted(order) != list(range(len(self.wires))):
+            raise GeometryError(f"invalid track permutation for channel {self.label!r}")
+        return Channel(self.label, tuple(self.wires[k] for k in order))
+
+
+def wires_by_level(circuit):
+    """Partition all wires of ``circuit`` into per-level channels.
+
+    Returns a list of :class:`Channel` (ascending level).  Levels with a
+    single wire still form a channel (it simply has no neighbors).
+    """
+    compiled = circuit.compile()
+    groups = {}
+    for idx in compiled.wire_indices:
+        groups.setdefault(int(compiled.level[idx]), []).append(int(idx))
+    return [
+        Channel(label=f"level{lvl}", wires=tuple(sorted(groups[lvl])))
+        for lvl in sorted(groups)
+    ]

@@ -1,0 +1,131 @@
+"""Track assignment and coupling-pair extraction.
+
+After the ordering stage decides which wires sit on adjacent tracks,
+:class:`ChannelLayout` produces one :class:`CouplingPair` per adjacent
+track pair, carrying the geometry of the paper's Eq. 2:
+
+    c_ij = (f̂_ij · l_ij / d_ij) · 1 / (1 − (x_i + x_j) / (2·d_ij))
+
+with ``l_ij`` the overlap length (the shorter of the two wire lengths in
+this channel model), ``d_ij`` the middle-to-middle track distance, and
+``f̂_ij`` the unit-length fringing capacitance between the wires.
+"""
+
+import dataclasses
+
+from repro.geometry.channels import Channel
+from repro.utils.errors import GeometryError
+
+
+@dataclasses.dataclass(frozen=True)
+class CouplingPair:
+    """Geometry of one adjacent wire pair (``i < j`` as node indices)."""
+
+    i: int
+    j: int
+    overlap: float       # l_ij, µm
+    distance: float      # d_ij, µm (middle-to-middle)
+    unit_fringe: float   # f̂_ij, fF/µm
+
+    def __post_init__(self):
+        if self.i == self.j:
+            raise GeometryError("a wire cannot couple to itself")
+        if self.i > self.j:
+            raise GeometryError("CouplingPair requires i < j (dominating-index order)")
+        if self.overlap <= 0 or self.distance <= 0 or self.unit_fringe <= 0:
+            raise GeometryError("overlap, distance, unit_fringe must be positive")
+
+    @property
+    def ctilde(self):
+        """The constant ``~c_ij = f̂_ij · l_ij / d_ij`` (fF) of Eq. 3."""
+        return self.unit_fringe * self.overlap / self.distance
+
+    @property
+    def chat(self):
+        """The paper's ``ĉ_ij = ~c_ij / (2·d_ij)`` (fF/µm)."""
+        return self.ctilde / (2.0 * self.distance)
+
+
+class ChannelLayout:
+    """Track order of every channel plus pair extraction.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit the wires belong to (supplies lengths and the tech).
+    channels:
+        Iterable of :class:`Channel`; the tuple order of each channel's
+        ``wires`` is the track order.
+    pitch:
+        Middle-to-middle distance of adjacent tracks (µm); defaults to
+        ``tech.track_pitch``.
+    """
+
+    def __init__(self, circuit, channels, pitch=None):
+        self.circuit = circuit
+        self.channels = tuple(channels)
+        self.pitch = circuit.tech.track_pitch if pitch is None else float(pitch)
+        if self.pitch <= 0:
+            raise GeometryError("track pitch must be positive")
+        seen = set()
+        for channel in self.channels:
+            for idx in channel.wires:
+                if idx in seen:
+                    raise GeometryError(f"wire {idx} appears in two channels")
+                seen.add(idx)
+                if not self.circuit.node(idx).is_wire:
+                    raise GeometryError(f"channel member {idx} is not a wire")
+
+    @classmethod
+    def from_levels(cls, circuit, pitch=None):
+        """Layout with one channel per topological level (default model)."""
+        from repro.geometry.channels import wires_by_level
+
+        return cls(circuit, wires_by_level(circuit), pitch=pitch)
+
+    def apply_ordering(self, orders):
+        """Return a new layout with channels permuted by ``orders``.
+
+        ``orders`` maps channel label → position permutation (as returned
+        by the ordering algorithms in :mod:`repro.noise.ordering`).
+        Channels not mentioned keep their current track order.
+        """
+        new_channels = []
+        for channel in self.channels:
+            order = orders.get(channel.label)
+            new_channels.append(channel if order is None else channel.reordered(order))
+        return ChannelLayout(self.circuit, new_channels, pitch=self.pitch)
+
+    def coupling_pairs(self):
+        """One :class:`CouplingPair` per adjacent track pair, all channels.
+
+        Overlap length is the shorter wire's length (parallel-run model);
+        the unit fringing capacitance comes from the technology.
+        """
+        tech = self.circuit.tech
+        pairs = []
+        for channel in self.channels:
+            for a, b in zip(channel.wires, channel.wires[1:]):
+                i, j = (a, b) if a < b else (b, a)
+                overlap = min(self.circuit.node(i).length, self.circuit.node(j).length)
+                pairs.append(CouplingPair(
+                    i=i, j=j, overlap=overlap, distance=self.pitch,
+                    unit_fringe=tech.coupling_unit_capacitance,
+                ))
+        return pairs
+
+    def max_size_utilization(self, x):
+        """Largest ``(x_i + x_j) / (2·d_ij)`` over all adjacent pairs.
+
+        The Taylor form of Eq. 3 (and the exact hyperbolic form) require
+        this ratio to stay below 1; values near 1 mean the two wires
+        physically touch.  Callers use this to sanity-check bounds.
+        """
+        worst = 0.0
+        for pair in self.coupling_pairs():
+            worst = max(worst, (x[pair.i] + x[pair.j]) / (2.0 * pair.distance))
+        return worst
+
+    def __repr__(self):
+        total = sum(len(c) for c in self.channels)
+        return f"ChannelLayout(channels={len(self.channels)}, wires={total}, pitch={self.pitch})"

@@ -1,0 +1,230 @@
+"""The weighted coupling structure consumed by the sizing engine.
+
+:class:`CouplingSet` flattens the adjacent-pair geometry (from
+:class:`~repro.geometry.layout.ChannelLayout`) and the per-pair Miller
+weights (from switching similarity) into NumPy arrays, and evaluates:
+
+* the crosstalk metric/constraint ``X(x) = Σ w_ij · c_ij(x)`` (Eq. 1),
+* the per-node sums needed by Theorem 5's ``opt_i``:
+  ``Σ_{j∈N(i)} c_ij(x) − x_i·∂c_ij/∂x_i`` (numerator) and
+  ``Σ_{j∈N(i)} ∂c_ij/∂x_i`` (denominator).
+
+For the paper's Taylor order k = 2 the derivative ``∂c_ij/∂x_i`` is the
+constant ``ĉ_ij`` and the two sums reduce literally to the paper's
+``Σ ĉ_ij·x_j`` (plus the constant ``~c_ij`` absorbed in C'_i) and
+``Σ ĉ_ij``.  Higher orders evaluate the same quantities at the current
+iterate (see DESIGN.md §2 and ``noise/coupling.py``).
+
+All constants here are already Miller-weighted: ``ctilde`` stores
+``w_ij · ~c_ij`` and ``chat`` stores ``w_ij · ĉ_ij``, which preserves the
+posynomial form because weights are non-negative constants (pairs with
+weight 0 — perfect anti-Miller — are dropped).
+"""
+
+import numpy as np
+
+from repro.noise.coupling import taylor_derivative_factor
+from repro.noise.miller import MillerMode, miller_weight
+from repro.utils.errors import GeometryError
+
+
+class CouplingSet:
+    """Miller-weighted adjacent-pair coupling arrays.
+
+    Parameters
+    ----------
+    num_nodes:
+        Size of the node index space (pair endpoints must be below this).
+    pairs:
+        Iterable of :class:`~repro.geometry.layout.CouplingPair`.
+    weights:
+        Per-pair Miller weights (same length as ``pairs``); defaults to
+        all ones (physical coupling only).
+    order:
+        Taylor truncation order ``k ≥ 2`` of Eq. 3 (paper default 2).
+    """
+
+    def __init__(self, num_nodes, pairs, weights=None, order=2):
+        pairs = list(pairs)
+        if order < 2:
+            raise GeometryError("coupling Taylor order must be >= 2")
+        if weights is None:
+            weights = np.ones(len(pairs))
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (len(pairs),):
+            raise GeometryError("weights must align one-to-one with pairs")
+        if np.any(weights < 0):
+            raise GeometryError("Miller weights must be non-negative")
+
+        keep = weights > 0.0
+        pairs = [p for p, k in zip(pairs, keep) if k]
+        weights = weights[keep]
+
+        self.num_nodes = int(num_nodes)
+        self.order = int(order)
+        self.pair_i = np.array([p.i for p in pairs], dtype=np.int64)
+        self.pair_j = np.array([p.j for p in pairs], dtype=np.int64)
+        if len(pairs) and (self.pair_i.max(initial=0) >= num_nodes
+                           or self.pair_j.max(initial=0) >= num_nodes):
+            raise GeometryError("pair endpoint outside the node index space")
+        self.distance = np.array([p.distance for p in pairs])
+        self.weight = weights
+        self.ctilde = weights * np.array([p.ctilde for p in pairs])
+        self.chat = weights * np.array([p.chat for p in pairs])
+        self._endpoints = np.concatenate([self.pair_i, self.pair_j])
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def empty(cls, num_nodes, order=2):
+        """A coupling-free set (baselines and tests)."""
+        return cls(num_nodes, [], order=order)
+
+    @classmethod
+    def from_layout(cls, layout, analyzer=None, mode=MillerMode.SIMILARITY, order=2):
+        """Extract pairs from ``layout`` and weight them by similarity.
+
+        ``analyzer`` (a :class:`~repro.noise.similarity.SimilarityAnalyzer`)
+        is required for the similarity-dependent modes and ignored by
+        ``WORST``/``PHYSICAL``.
+        """
+        pairs = layout.coupling_pairs()
+        num_nodes = layout.circuit.num_nodes
+        mode = MillerMode(mode)
+        if mode in (MillerMode.WORST, MillerMode.PHYSICAL):
+            similarity = np.zeros(len(pairs))  # unused by these modes
+        else:
+            if analyzer is None:
+                raise GeometryError(f"MillerMode.{mode.name} needs a SimilarityAnalyzer")
+            signed = np.where(analyzer.values, 1.0, -1.0)
+            i_idx = np.array([p.i for p in pairs], dtype=np.int64)
+            j_idx = np.array([p.j for p in pairs], dtype=np.int64)
+            if len(pairs):
+                similarity = np.mean(signed[i_idx] * signed[j_idx], axis=1)
+            else:
+                similarity = np.zeros(0)
+        weights = miller_weight(similarity, mode) if len(pairs) else np.zeros(0)
+        return cls(num_nodes, pairs, weights=np.atleast_1d(weights), order=order)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    @property
+    def num_pairs(self):
+        return len(self.pair_i)
+
+    def size_ratio(self, x):
+        """Per-pair ``u = (x_i + x_j) / (2·d_ij)``."""
+        return (x[self.pair_i] + x[self.pair_j]) / (2.0 * self.distance)
+
+    def pair_caps(self, x):
+        """Weighted coupling capacitance per pair, Taylor order ``k`` (fF)."""
+        u = self.size_ratio(x)
+        total = np.zeros_like(u)
+        term = np.ones_like(u)
+        for _ in range(self.order):
+            total += term
+            term = term * u
+        return self.ctilde * total
+
+    def pair_caps_exact(self, x):
+        """Weighted *hyperbolic* coupling per pair (model-error studies)."""
+        u = self.size_ratio(x)
+        if np.any(u >= 1.0):
+            raise GeometryError("adjacent wires touch at these sizes")
+        return self.ctilde / (1.0 - u)
+
+    def total(self, x, exact=False):
+        """The crosstalk metric ``X(x)`` in fF (paper reports pF)."""
+        if self.num_pairs == 0:
+            return 0.0
+        caps = self.pair_caps_exact(x) if exact else self.pair_caps(x)
+        return float(np.sum(caps))
+
+    def node_sums(self, x):
+        """Per-node coupling sums for Theorem 5.
+
+        Returns ``(cap_sum, dx_sum)``, each of length ``num_nodes``:
+
+        * ``cap_sum[i] = Σ_{j∈N(i)} (c_ij(x) − x_i·∂c_ij/∂x_i)`` — the
+          coupling contribution to the ``opt_i`` numerator (for k = 2:
+          ``Σ (~c_ij + ĉ_ij·x_j)``),
+        * ``dx_sum[i] = Σ_{j∈N(i)} ∂c_ij/∂x_i`` — the coupling slope in
+          the denominator (for k = 2: ``Σ ĉ_ij``).
+        """
+        cap_sum = np.zeros(self.num_nodes)
+        dx_sum = np.zeros(self.num_nodes)
+        if self.num_pairs == 0:
+            return cap_sum, dx_sum
+        u = self.size_ratio(x)
+        caps = self.pair_caps(x)
+        slopes = self.chat * taylor_derivative_factor(u, self.order)
+        both_caps = np.concatenate([caps, caps])
+        both_slopes = np.concatenate([slopes, slopes])
+        cap_sum = np.bincount(self._endpoints, weights=both_caps,
+                              minlength=self.num_nodes).astype(float)
+        dx_sum = np.bincount(self._endpoints, weights=both_slopes,
+                             minlength=self.num_nodes).astype(float)
+        cap_sum -= x * dx_sum
+        return cap_sum, dx_sum
+
+    def node_coupling_caps(self, x):
+        """Per-node total coupling cap ``Σ_{j∈N(i)} c_ij(x)`` (delay model)."""
+        if self.num_pairs == 0:
+            return np.zeros(self.num_nodes)
+        caps = self.pair_caps(x)
+        return np.bincount(self._endpoints, weights=np.concatenate([caps, caps]),
+                           minlength=self.num_nodes).astype(float)
+
+    # -- per-net (distributed-bound) views ----------------------------------------
+
+    @property
+    def owner(self):
+        """Constraint owner of each pair: the dominating-index convention.
+
+        The paper sums pair ``(i, j)`` into wire ``i``'s term via
+        ``j ∈ I(i)`` (neighbors with larger index), so the lower-index
+        wire owns the pair.  Used by the distributed-bound extension.
+        """
+        return self.pair_i
+
+    def net_caps(self, x):
+        """Per-node owned crosstalk ``X_i(x) = Σ_{j∈I(i)} c_ij(x)`` (fF).
+
+        Summing over owners: ``net_caps(x).sum() == total(x)``.
+        """
+        out = np.zeros(self.num_nodes)
+        if self.num_pairs:
+            out = np.bincount(self.owner, weights=self.pair_caps(x),
+                              minlength=self.num_nodes).astype(float)
+        return out
+
+    def slope_sums(self, x, gamma):
+        """Per-node γ-weighted coupling slopes for Theorem 5's denominator.
+
+        ``Σ_{j∈N(i)} γ_owner(i,j) · ∂c_ij/∂x_i``, where ``gamma`` is the
+        scalar crosstalk multiplier (paper) or a per-node array (the
+        distributed-bound extension; entry read at each pair's owner).
+        With a scalar this equals ``gamma · node_sums(x)[1]`` exactly.
+        """
+        if self.num_pairs == 0:
+            return np.zeros(self.num_nodes)
+        u = self.size_ratio(x)
+        slopes = self.chat * taylor_derivative_factor(u, self.order)
+        gamma = np.asarray(gamma, dtype=float)
+        pair_gamma = gamma[self.owner] if gamma.ndim else np.full(
+            self.num_pairs, float(gamma))
+        weighted = pair_gamma * slopes
+        return np.bincount(self._endpoints,
+                           weights=np.concatenate([weighted, weighted]),
+                           minlength=self.num_nodes).astype(float)
+
+    @property
+    def nbytes(self):
+        total = 0
+        for value in vars(self).values():
+            if isinstance(value, np.ndarray):
+                total += value.nbytes
+        return total
+
+    def __repr__(self):
+        return f"CouplingSet(pairs={self.num_pairs}, order={self.order})"

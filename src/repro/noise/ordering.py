@@ -1,0 +1,194 @@
+"""Wire ordering for the Switching Similarity (``SS``) problem.
+
+Given ``n`` wires and the pairwise weight ``1 − similarity(i,j)``, find a
+track ordering minimizing the total effective loading between neighbors
+``Σ weight(w_k, w_{k+1})`` — an open-path TSP.  The problem is NP-hard
+and admits no constant-factor approximation (paper Theorems 2); the paper
+proposes the greedy WOSS heuristic (Fig. 7).
+
+This module implements WOSS exactly as printed, plus baselines used by
+the ordering-quality ablation: exact Held–Karp for small channels, 2-opt
+improvement, a both-ends greedy extension, and random orderings.
+
+All functions take a symmetric weight matrix over channel *positions* and
+return a permutation of positions (apply it to the channel via
+:meth:`Channel.reordered`).
+"""
+
+import itertools
+
+import numpy as np
+
+from repro.utils.errors import GeometryError
+from repro.utils.rng import make_rng
+
+
+def _check_weights(weights):
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 2 or weights.shape[0] != weights.shape[1]:
+        raise GeometryError("weights must be a square matrix")
+    if weights.shape[0] == 0:
+        raise GeometryError("weights must be non-empty")
+    if not np.allclose(weights, weights.T):
+        raise GeometryError("weights must be symmetric")
+    return weights
+
+
+def ordering_cost(order, weights):
+    """Total effective loading of ``order``: Σ weight of adjacent pairs."""
+    weights = _check_weights(weights)
+    order = list(order)
+    if sorted(order) != list(range(weights.shape[0])):
+        raise GeometryError("order must be a permutation of 0..n-1")
+    return float(sum(weights[a, b] for a, b in zip(order, order[1:])))
+
+
+def woss_ordering(weights):
+    """The paper's WOSS heuristic (Fig. 7), verbatim.
+
+    A1: start with the minimum-weight edge ``(w1, w2)``.
+    A2: repeatedly extend from the current *tail* ``w_{k-1}`` along its
+    minimum-weight edge to an unvisited node.
+
+    O(n²) overall.  Returns a position permutation.
+    """
+    weights = _check_weights(weights)
+    n = weights.shape[0]
+    if n == 1:
+        return [0]
+    masked = weights.astype(float).copy()
+    np.fill_diagonal(masked, np.inf)
+    start = int(np.argmin(masked))
+    w1, w2 = divmod(start, n)
+    order = [int(w1), int(w2)]
+    visited = np.zeros(n, dtype=bool)
+    visited[w1] = visited[w2] = True
+    while len(order) < n:
+        tail = order[-1]
+        row = np.where(visited, np.inf, masked[tail])
+        order.append(int(np.argmin(row)))
+        visited[order[-1]] = True
+    return order
+
+
+def greedy_both_ends(weights):
+    """Extension of WOSS that may grow the path from either end.
+
+    Same O(n²) cost; never worse than extending from one end only for
+    the *next* step, though neither heuristic dominates globally.
+    """
+    weights = _check_weights(weights)
+    n = weights.shape[0]
+    if n == 1:
+        return [0]
+    masked = weights.astype(float).copy()
+    np.fill_diagonal(masked, np.inf)
+    start = int(np.argmin(masked))
+    w1, w2 = divmod(start, n)
+    order = [int(w1), int(w2)]
+    visited = np.zeros(n, dtype=bool)
+    visited[w1] = visited[w2] = True
+    while len(order) < n:
+        head_row = np.where(visited, np.inf, masked[order[0]])
+        tail_row = np.where(visited, np.inf, masked[order[-1]])
+        h, t = int(np.argmin(head_row)), int(np.argmin(tail_row))
+        if head_row[h] < tail_row[t]:
+            order.insert(0, h)
+            visited[h] = True
+        else:
+            order.append(t)
+            visited[t] = True
+    return order
+
+
+def exact_ordering(weights, max_n=14):
+    """Optimal ordering by Held–Karp dynamic programming (open path).
+
+    O(n²·2ⁿ); refuses channels larger than ``max_n``.  Used to certify
+    heuristic quality in the ablation benches and tests.
+    """
+    weights = _check_weights(weights)
+    n = weights.shape[0]
+    if n > max_n:
+        raise GeometryError(f"exact ordering limited to {max_n} wires, got {n}")
+    if n == 1:
+        return [0]
+    full = (1 << n) - 1
+    # best[mask][last] = (cost, predecessor)
+    best = [dict() for _ in range(1 << n)]
+    for v in range(n):
+        best[1 << v][v] = (0.0, -1)
+    for mask in range(1 << n):
+        for last, (cost, _) in list(best[mask].items()):
+            for nxt in range(n):
+                bit = 1 << nxt
+                if mask & bit:
+                    continue
+                cand = cost + weights[last, nxt]
+                entry = best[mask | bit].get(nxt)
+                if entry is None or cand < entry[0]:
+                    best[mask | bit][nxt] = (cand, last)
+    last = min(best[full], key=lambda v: best[full][v][0])
+    order = [last]
+    mask = full
+    while best[mask][order[-1]][1] != -1:
+        prev = best[mask][order[-1]][1]
+        mask ^= 1 << order[-1]
+        order.append(prev)
+    return order[::-1]
+
+
+def brute_force_ordering(weights, max_n=9):
+    """Optimal ordering by enumeration — an independent oracle for tests."""
+    weights = _check_weights(weights)
+    n = weights.shape[0]
+    if n > max_n:
+        raise GeometryError(f"brute force limited to {max_n} wires, got {n}")
+    best_order, best_cost = None, np.inf
+    for perm in itertools.permutations(range(n)):
+        if perm[0] > perm[-1]:
+            continue  # a path and its reverse have equal cost
+        cost = ordering_cost(perm, weights)
+        if cost < best_cost:
+            best_order, best_cost = list(perm), cost
+    return best_order
+
+
+def random_ordering(n, seed=0):
+    """Uniformly random permutation (ablation baseline)."""
+    if n < 1:
+        raise GeometryError("need at least one wire")
+    rng = make_rng(seed)
+    return rng.permutation(n).tolist()
+
+
+def two_opt_improve(order, weights, max_rounds=50):
+    """2-opt local search: reverse segments while the cost drops.
+
+    Standard TSP improvement applied to the open path; used to measure
+    how far WOSS is from a local optimum.
+    """
+    weights = _check_weights(weights)
+    order = list(order)
+    n = len(order)
+    if sorted(order) != list(range(weights.shape[0])):
+        raise GeometryError("order must be a permutation of 0..n-1")
+    for _ in range(max_rounds):
+        improved = False
+        for a in range(n - 1):
+            for b in range(a + 1, n):
+                # Reversing order[a..b] changes only the two boundary edges.
+                before = 0.0
+                after = 0.0
+                if a > 0:
+                    before += weights[order[a - 1], order[a]]
+                    after += weights[order[a - 1], order[b]]
+                if b < n - 1:
+                    before += weights[order[b], order[b + 1]]
+                    after += weights[order[a], order[b + 1]]
+                if after < before - 1e-12:
+                    order[a:b + 1] = reversed(order[a:b + 1])
+                    improved = True
+        if not improved:
+            break
+    return order

@@ -1,0 +1,105 @@
+"""Switching similarity (paper Sec. 3.2).
+
+    similarity(i, j) = ∫₀ᵀ f(i,t)·f(j,t) dt / T  ∈ [−1, 1]
+
+Two forms are provided:
+
+* **cycle-accurate** (default): node values come from the levelized
+  zero-delay simulator; with one ±1 value per cycle the integral reduces
+  to the mean of the per-cycle products — a single matrix product over
+  all wires at once;
+* **time-domain**: exact integration of event-driven waveforms, capturing
+  glitches, via :meth:`Waveform.product_integral`.
+
+:class:`SimilarityAnalyzer` wraps simulation + caching so the ordering
+stage can ask for per-channel similarity matrices cheaply.
+"""
+
+import numpy as np
+
+from repro.simulate.levelized import simulate_levelized
+from repro.simulate.patterns import random_patterns
+from repro.utils.errors import SimulationError
+
+
+def similarity_from_values(values, indices=None):
+    """Pairwise similarity matrix from boolean per-cycle values.
+
+    Parameters
+    ----------
+    values:
+        Boolean array ``(num_nodes, n_patterns)`` from
+        :func:`simulate_levelized` (or any per-cycle signal matrix).
+    indices:
+        Optional node indices selecting the rows to correlate (e.g. one
+        channel's wires); defaults to all rows.
+
+    Returns the symmetric matrix ``S`` with ``S[a, b] = similarity``
+    between selected rows ``a`` and ``b`` (diagonal exactly 1).
+    """
+    values = np.asarray(values, dtype=bool)
+    if values.ndim != 2 or values.shape[1] == 0:
+        raise SimulationError("values must be (nodes, patterns) with >= 1 pattern")
+    rows = values if indices is None else values[np.asarray(indices, dtype=np.int64)]
+    signed = np.where(rows, 1.0, -1.0)
+    matrix = signed @ signed.T / signed.shape[1]
+    np.fill_diagonal(matrix, 1.0)
+    return matrix
+
+
+def similarity_from_waveforms(waveforms):
+    """Exact pairwise similarity of a list of :class:`Waveform` objects.
+
+    O(n² · transitions); intended for single channels or demos.
+    """
+    n = len(waveforms)
+    if n == 0:
+        raise SimulationError("need at least one waveform")
+    matrix = np.eye(n)
+    for a in range(n):
+        for b in range(a + 1, n):
+            matrix[a, b] = matrix[b, a] = waveforms[a].similarity(waveforms[b])
+    return matrix
+
+
+class SimilarityAnalyzer:
+    """Runs logic simulation once and serves per-channel similarity.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to analyze.
+    patterns:
+        Boolean pattern matrix; defaults to ``n_patterns`` seeded random
+        vectors (the paper takes patterns "from the logic simulation
+        stage"; see DESIGN.md §3).
+    n_patterns, seed:
+        Used only when ``patterns`` is not supplied.
+    """
+
+    def __init__(self, circuit, patterns=None, n_patterns=256, seed=0):
+        self.circuit = circuit
+        if patterns is None:
+            patterns = random_patterns(circuit.num_drivers, n_patterns, seed=seed)
+        self.patterns = np.asarray(patterns, dtype=bool)
+        self._values = simulate_levelized(circuit, self.patterns)
+
+    @property
+    def values(self):
+        """Node-by-pattern boolean matrix from the levelized simulation."""
+        return self._values
+
+    def matrix(self, indices):
+        """Similarity matrix over the node ``indices`` (a channel, usually)."""
+        return similarity_from_values(self._values, indices)
+
+    def pair(self, i, j):
+        """Similarity between node indices ``i`` and ``j``."""
+        return float(self.matrix([i, j])[0, 1])
+
+    def toggle_rate(self, index):
+        """Fraction of consecutive cycles on which node ``index`` changes."""
+        row = self._values[index]
+        if row.size < 2:
+            return 0.0
+        return float(np.mean(row[1:] != row[:-1]))

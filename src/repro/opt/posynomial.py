@@ -1,0 +1,212 @@
+"""Monomials and posynomials (paper Sec. 3.1 / 4.1).
+
+A *monomial* is ``c · Π x_vᵃᵛ`` with ``c > 0`` and real exponents; a
+*posynomial* is a finite sum of monomials.  Posynomials become convex
+under ``x = exp(y)`` (geometric-programming folklore), which is what
+gives problem ``PP`` its unique global optimum.
+
+These objects exist to make the paper's structural claims *checkable*:
+:func:`build_problem_posynomials` assembles the actual objective and
+constraint expressions of a circuit and the tests verify posynomiality
+(all coefficients positive) and numerical log-convexity.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.timing.elmore import CouplingDelayMode
+from repro.utils.errors import ValidationError
+from repro.utils.units import OHM_FF_TO_PS
+
+
+@dataclasses.dataclass(frozen=True)
+class Monomial:
+    """``coefficient · Π x_v^exponents[v]`` with positive coefficient."""
+
+    coefficient: float
+    exponents: tuple  # sorted tuple of (variable, power)
+
+    def __post_init__(self):
+        if self.coefficient <= 0:
+            raise ValidationError("monomial coefficients must be positive")
+
+    @classmethod
+    def make(cls, coefficient, exponents=None):
+        items = tuple(sorted((exponents or {}).items()))
+        items = tuple((v, p) for v, p in items if p != 0)
+        return cls(float(coefficient), items)
+
+    def evaluate(self, x):
+        """Evaluate at ``x`` (mapping variable → positive value)."""
+        value = self.coefficient
+        for var, power in self.exponents:
+            value *= x[var] ** power
+        return value
+
+    def variables(self):
+        return {var for var, _ in self.exponents}
+
+
+class Posynomial:
+    """A sum of monomials; closed under addition and monomial scaling."""
+
+    def __init__(self, monomials=()):
+        self.monomials = list(monomials)
+
+    @classmethod
+    def constant(cls, value):
+        return cls([Monomial.make(value)]) if value > 0 else cls([])
+
+    def add(self, other):
+        if isinstance(other, Monomial):
+            return Posynomial(self.monomials + [other])
+        return Posynomial(self.monomials + list(other.monomials))
+
+    def scale(self, factor):
+        """Multiply every monomial by a positive constant."""
+        if factor <= 0:
+            raise ValidationError("posynomial scale factor must be positive")
+        return Posynomial([
+            Monomial(m.coefficient * factor, m.exponents) for m in self.monomials
+        ])
+
+    def evaluate(self, x):
+        return sum(m.evaluate(x) for m in self.monomials)
+
+    def evaluate_log(self, y):
+        """Evaluate at ``x = exp(y)`` — the convex form (log-sum-exp-like)."""
+        return self.evaluate({v: float(np.exp(val)) for v, val in y.items()})
+
+    def variables(self):
+        out = set()
+        for m in self.monomials:
+            out |= m.variables()
+        return out
+
+    def is_posynomial(self):
+        """True by construction; re-validates coefficients defensively."""
+        return all(m.coefficient > 0 for m in self.monomials)
+
+    def __len__(self):
+        return len(self.monomials)
+
+    def __repr__(self):
+        return f"Posynomial(terms={len(self.monomials)})"
+
+
+def build_problem_posynomials(circuit, coupling, mode=CouplingDelayMode.OWN,
+                              max_components=600):
+    """Assemble problem ``PP``'s expressions as explicit posynomials.
+
+    Returns a dict with:
+
+    * ``"area"`` — the objective ``Σ α_i·x_i``,
+    * ``"power"`` — ``Σ c_i(x)``,
+    * ``"crosstalk"`` — ``Σ w_ij·c_ij(x)`` at the coupling set's Taylor
+      order (k = 2 produces exactly Eq. 3's linear form),
+    * ``"delays"`` — mapping node index → posynomial ``D_i(x)``.
+
+    Variables are named ``x<i>`` by node index.  Intended for structural
+    verification on small/medium circuits (``max_components`` guards
+    accidental use on huge ones: term counts grow with stage sizes).
+    """
+    if circuit.num_components > max_components:
+        raise ValidationError(
+            f"posynomial assembly limited to {max_components} components")
+    mode = CouplingDelayMode(mode)
+
+    def var(i):
+        return f"x{i}"
+
+    area = Posynomial([
+        Monomial.make(n.alpha, {var(n.index): 1})
+        for n in circuit.components()
+    ])
+
+    power = Posynomial()
+    for n in circuit.components():
+        power = power.add(Monomial.make(n.c_hat, {var(n.index): 1}))
+        if n.fringe > 0:
+            power = power.add(Monomial.make(n.fringe))
+
+    crosstalk = Posynomial()
+    u_vars = {}
+    for p in range(coupling.num_pairs):
+        i, j = int(coupling.pair_i[p]), int(coupling.pair_j[p])
+        d = float(coupling.distance[p])
+        ctilde = float(coupling.ctilde[p])
+        # ~c · Σ_{n<k} u^n with u = (x_i + x_j)/(2d): expand the multinomial.
+        for n_pow in range(coupling.order):
+            for a in range(n_pow + 1):
+                b = n_pow - a
+                coeff = ctilde * _binomial(n_pow, a) / (2.0 * d) ** n_pow
+                exps = {}
+                if a:
+                    exps[var(i)] = a
+                if b:
+                    exps[var(j)] = b
+                crosstalk = crosstalk.add(Monomial.make(coeff, exps))
+        u_vars[(i, j)] = d
+
+    delays = {}
+    cpl_lookup = _pair_lookup(coupling)
+    for n in circuit.components():
+        i = n.index
+        terms = Posynomial()
+        r_coeff = n.r_hat * OHM_FF_TO_PS
+        driver = n.is_driver
+        # Capacitance contributions of downstream(i), each divided by x_i
+        # (or a constant for drivers).
+        for k in sorted(circuit.downstream(i)):
+            node = circuit.node(k)
+            contributions = []
+            if node.is_gate and k != i:
+                contributions.append((node.c_hat, {var(k): 1}))
+            elif node.is_wire:
+                half = 0.5 if k == i else 1.0
+                contributions.append((half * node.c_hat, {var(k): 1}))
+                if node.fringe > 0:
+                    contributions.append((half * node.fringe, {}))
+                include_cpl = (mode is CouplingDelayMode.OWN and k == i) or \
+                    mode is CouplingDelayMode.PROPAGATED
+                if include_cpl:
+                    for (ci, cj, ctilde, d, order) in cpl_lookup.get(k, ()):  # noqa: B007
+                        for n_pow in range(order):
+                            for a in range(n_pow + 1):
+                                b = n_pow - a
+                                coeff = ctilde * _binomial(n_pow, a) / (2.0 * d) ** n_pow
+                                exps = {}
+                                if a:
+                                    exps[var(ci)] = exps.get(var(ci), 0) + a
+                                if b:
+                                    exps[var(cj)] = exps.get(var(cj), 0) + b
+                                contributions.append((coeff, exps))
+                if node.load_cap > 0:
+                    contributions.append((node.load_cap, {}))
+            for coeff, exps in contributions:
+                exps = dict(exps)
+                if not driver:
+                    exps[var(i)] = exps.get(var(i), 0) - 1
+                terms = terms.add(Monomial.make(coeff * r_coeff, exps))
+        delays[i] = terms
+
+    return {"area": area, "power": power, "crosstalk": crosstalk, "delays": delays}
+
+
+def _binomial(n, k):
+    from math import comb
+
+    return comb(n, k)
+
+
+def _pair_lookup(coupling):
+    """node → list of (i, j, weighted ~c, d, order) pairs touching it."""
+    table = {}
+    for p in range(coupling.num_pairs):
+        i, j = int(coupling.pair_i[p]), int(coupling.pair_j[p])
+        entry = (i, j, float(coupling.ctilde[p]), float(coupling.distance[p]),
+                 coupling.order)
+        table.setdefault(i, []).append(entry)
+        table.setdefault(j, []).append(entry)
+    return table

@@ -1,0 +1,156 @@
+"""Independent NLP solution of problem ``PP`` (optimality cross-check).
+
+Solves the exact program OGWS solves — same Elmore engine, same coupling
+set, same bounds — but through SciPy's general-purpose constrained
+optimizers with explicit arrival-time variables:
+
+    minimize    Σ α_i·x_i
+    subject to  a_i ≥ a_j + D_i(x)   for every edge (j, i) into component i
+                a_j ≤ A0             for every primary-output wire j
+                Σ c_i(x) ≤ P',  X(x) ≤ X_B,  L ≤ x ≤ U
+
+Because ``PP`` is convex in log-variables, any KKT point SciPy finds is
+the global optimum, so agreement with OGWS (a few % at the paper's 1%
+precision) certifies Theorem 7 empirically.  Cost is O(vars²) per
+iteration with finite-difference gradients — small circuits only.
+"""
+
+import dataclasses
+
+import numpy as np
+from scipy import optimize
+
+from repro.utils.errors import ValidationError
+from repro.utils.units import FF_PER_PF
+
+
+@dataclasses.dataclass(frozen=True)
+class ReferenceSolution:
+    """Outcome of the SciPy reference solve."""
+
+    x: np.ndarray          # full-length size vector (0 on non-sizable)
+    arrival: np.ndarray    # arrival-time variables at the solution
+    area_um2: float
+    success: bool
+    message: str
+    n_variables: int
+
+
+def solve_reference(engine, problem, x0=None, max_components=160,
+                    maxiter=400, ftol=1e-10):
+    """Solve ``PP`` with SLSQP.  Returns a :class:`ReferenceSolution`.
+
+    ``x0`` seeds the solver (default: geometric mean of the bounds).
+    Refuses circuits above ``max_components`` — finite-difference SLSQP
+    scales quadratically and this is a certification tool, not a sizer.
+    """
+    cc = engine.compiled
+    if cc.num_components > max_components:
+        raise ValidationError(
+            f"reference solver limited to {max_components} components "
+            f"(got {cc.num_components})")
+
+    sizable = np.flatnonzero(cc.is_sizable)
+    n_x = len(sizable)
+    # Arrival variables for every component node (drivers..components).
+    arrival_nodes = np.flatnonzero(cc.is_sizable | cc.is_driver)
+    n_a = len(arrival_nodes)
+    a_pos = {int(node): n_x + k for k, node in enumerate(arrival_nodes)}
+
+    lower, upper = cc.lower[sizable], cc.upper[sizable]
+
+    def unpack(z):
+        x = np.zeros(cc.num_nodes)
+        x[sizable] = np.clip(z[:n_x], lower, upper)
+        return x
+
+    def objective(z):
+        return float(np.sum(cc.alpha[sizable] * z[:n_x]))
+
+    def objective_grad(z):
+        g = np.zeros_like(z)
+        g[:n_x] = cc.alpha[sizable]
+        return g
+
+    def delay_vector(z):
+        return engine.delays(unpack(z))
+
+    def arrival_constraints(z):
+        """a_i − a_j − D_i ≥ 0 per edge into a component; a_src = 0."""
+        delays = delay_vector(z)
+        out = []
+        for e in range(cc.num_edges):
+            j, i = int(cc.edge_src[e]), int(cc.edge_dst[e])
+            if i == cc.sink:
+                continue
+            a_j = 0.0 if j == cc.source else z[a_pos[j]]
+            out.append(z[a_pos[i]] - a_j - delays[i])
+        return np.array(out)
+
+    def output_constraints(z):
+        """A0 − a_j ≥ 0 for every primary-output wire."""
+        po = [int(cc.edge_src[e]) for e in cc.sink_in_edges]
+        return np.array([problem.delay_bound_ps - z[a_pos[j]] for j in po])
+
+    def power_constraint(z):
+        x = unpack(z)
+        return np.array([
+            problem.power_cap_bound_ff - float(np.sum(cc.self_capacitance(x)))
+        ])
+
+    def noise_constraint(z):
+        x = unpack(z)
+        return np.array([problem.noise_bound_ff - engine.coupling.total(x)])
+
+    x_start = np.sqrt(lower * upper) if x0 is None else np.asarray(x0)[sizable]
+    z0 = np.concatenate([x_start, np.zeros(n_a)])
+    # Seed arrivals consistently with the initial sizes.
+    d0 = delay_vector(z0)
+    a0 = engine.arrival_times(d0)
+    for node, pos in a_pos.items():
+        z0[pos] = a0[node] * 1.05 + 1.0
+
+    bounds = [(lo, hi) for lo, hi in zip(lower, upper)]
+    bounds += [(0.0, None)] * n_a
+
+    constraints = [
+        {"type": "ineq", "fun": arrival_constraints},
+        {"type": "ineq", "fun": output_constraints},
+        {"type": "ineq", "fun": power_constraint},
+        {"type": "ineq", "fun": noise_constraint},
+    ]
+    result = optimize.minimize(
+        objective, z0, jac=objective_grad, bounds=bounds, constraints=constraints,
+        method="SLSQP", options={"maxiter": maxiter, "ftol": ftol},
+    )
+    x_full = unpack(result.x)
+    arrival = np.zeros(cc.num_nodes)
+    for node, pos in a_pos.items():
+        arrival[node] = result.x[pos]
+    return ReferenceSolution(
+        x=x_full,
+        arrival=arrival,
+        area_um2=objective(result.x),
+        success=bool(result.success),
+        message=str(result.message),
+        n_variables=n_x + n_a,
+    )
+
+
+def compare_with_reference(engine, problem, sizing_result, **kwargs):
+    """Relative area difference OGWS vs SciPy: (ours − ref)/ref.
+
+    Positive values mean the reference found a smaller area.  Also
+    returns the reference solution for inspection.
+    """
+    ref = solve_reference(engine, problem, **kwargs)
+    ours = sizing_result.metrics.area_um2
+    rel = (ours - ref.area_um2) / max(ref.area_um2, 1e-30)
+    return rel, ref
+
+
+def reference_metrics(engine, solution):
+    """Table 1-style metrics at a reference solution point."""
+    from repro.timing.metrics import evaluate_metrics
+
+    return evaluate_metrics(engine, solution.x)

@@ -1,0 +1,71 @@
+"""Boolean gate functions.
+
+Functions operate on a stacked boolean array of shape ``(fanin, ...)`` and
+return the element-wise result of shape ``(...,)``, so the same registry
+serves scalar evaluation, per-pattern vectors, and whole pattern matrices.
+"""
+
+import numpy as np
+
+from repro.utils.errors import SimulationError
+
+
+def _reduce_and(stack):
+    return np.logical_and.reduce(stack, axis=0)
+
+
+def _reduce_or(stack):
+    return np.logical_or.reduce(stack, axis=0)
+
+
+def _reduce_xor(stack):
+    return np.logical_xor.reduce(stack, axis=0)
+
+
+def _not(stack):
+    return np.logical_not(stack[0])
+
+
+def _buf(stack):
+    return np.asarray(stack[0]).copy()
+
+
+_REGISTRY = {
+    "and": (_reduce_and, 2, None),
+    "or": (_reduce_or, 2, None),
+    "nand": (lambda s: np.logical_not(_reduce_and(s)), 2, None),
+    "nor": (lambda s: np.logical_not(_reduce_or(s)), 2, None),
+    "xor": (_reduce_xor, 2, None),
+    "xnor": (lambda s: np.logical_not(_reduce_xor(s)), 2, None),
+    "not": (_not, 1, 1),
+    "buf": (_buf, 1, 1),
+}
+
+#: Names accepted by :func:`evaluate_function` (and by gate construction).
+SUPPORTED_FUNCTIONS = frozenset(_REGISTRY)
+
+
+def validate_function(name, fanin):
+    """Raise :class:`SimulationError` unless ``name`` accepts ``fanin`` inputs."""
+    try:
+        _, min_in, max_in = _REGISTRY[name]
+    except KeyError:
+        raise SimulationError(f"unknown gate function {name!r}") from None
+    if fanin < min_in or (max_in is not None and fanin > max_in):
+        raise SimulationError(
+            f"gate function {name!r} does not accept fan-in {fanin} "
+            f"(needs {min_in}{'+' if max_in is None else f'..{max_in}'})"
+        )
+
+
+def evaluate_function(name, inputs):
+    """Evaluate gate ``name`` on ``inputs`` (array-like, shape ``(fanin, ...)``).
+
+    Returns a boolean ndarray of shape ``inputs.shape[1:]``.
+    """
+    stack = np.asarray(inputs, dtype=bool)
+    if stack.ndim < 1 or stack.shape[0] < 1:
+        raise SimulationError("evaluate_function needs at least one input row")
+    validate_function(name, stack.shape[0])
+    fn, _, _ = _REGISTRY[name]
+    return np.asarray(fn(stack), dtype=bool)

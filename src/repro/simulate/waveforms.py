@@ -1,0 +1,140 @@
+"""Piecewise-constant ±1 waveforms.
+
+The paper's switching similarity (Sec. 3.2) integrates the product of two
+normalized waveforms ``f(i,t) ∈ {+1, −1}`` over the simulation duration:
+
+    similarity(i, j) = ∫₀ᵀ f(i,t)·f(j,t) dt / T
+
+:class:`Waveform` stores the transition times and values exactly, so the
+product integral is computed in closed form (no sampling error).
+"""
+
+import numpy as np
+
+from repro.utils.errors import SimulationError
+
+
+class Waveform:
+    """A right-continuous piecewise-constant signal with values in {+1, −1}.
+
+    ``times[k]`` is the instant the signal takes ``values[k]``; the value
+    holds on ``[times[k], times[k+1])`` and the last value holds through
+    ``duration``.  ``times[0]`` must be 0.
+    """
+
+    __slots__ = ("times", "values", "duration")
+
+    def __init__(self, times, values, duration):
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=np.int8)
+        if times.ndim != 1 or times.shape != values.shape or times.size == 0:
+            raise SimulationError("times and values must be matching non-empty 1-D arrays")
+        if times[0] != 0.0:
+            raise SimulationError("waveforms must start at t=0")
+        if np.any(np.diff(times) <= 0):
+            raise SimulationError("transition times must be strictly increasing")
+        if duration < times[-1]:
+            raise SimulationError("duration must cover the last transition")
+        if not np.all(np.isin(values, (-1, 1))):
+            raise SimulationError("waveform values must be +1 or -1")
+        self.times = times
+        self.values = values
+        self.duration = float(duration)
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def from_bits(cls, bits, cycle=1.0):
+        """Waveform from one boolean value per cycle (levelized simulation).
+
+        ``bits[p]`` holds on ``[p·cycle, (p+1)·cycle)``; consecutive equal
+        bits are merged into one segment.
+        """
+        bits = np.asarray(bits, dtype=bool)
+        if bits.ndim != 1 or bits.size == 0:
+            raise SimulationError("bits must be a non-empty 1-D array")
+        if cycle <= 0:
+            raise SimulationError("cycle must be positive")
+        keep = np.concatenate(([True], bits[1:] != bits[:-1]))
+        times = np.flatnonzero(keep) * float(cycle)
+        values = np.where(bits[keep], 1, -1)
+        return cls(times, values, duration=bits.size * float(cycle))
+
+    @classmethod
+    def from_transitions(cls, transitions, duration, initial=-1):
+        """Waveform from ``(time, bool_value)`` events (event-driven sim).
+
+        Events before t=0 are rejected; consecutive events that do not
+        change the value are dropped.
+        """
+        times = [0.0]
+        values = [1 if (initial in (1, True)) else -1]
+        # Stable sort on time only: same-instant events must keep their
+        # original order so the *last* recorded event wins.
+        for t, v in sorted(transitions, key=lambda tv: tv[0]):
+            if t < 0:
+                raise SimulationError("transition times must be non-negative")
+            level = 1 if v else -1
+            if t == times[-1]:
+                # Same-instant update: the later event wins (zero-width
+                # glitch); drop the entry entirely if it becomes redundant.
+                if len(times) == 1:
+                    values[0] = level  # transition exactly at t = 0
+                    continue
+                times.pop()
+                values.pop()
+            if level != values[-1]:
+                times.append(float(t))
+                values.append(level)
+        return cls(np.array(times), np.array(values), duration)
+
+    # -- queries ------------------------------------------------------------------
+
+    def at(self, t):
+        """Signal value at time ``t`` (right-continuous; clamps past the end)."""
+        if t < 0 or t > self.duration:
+            raise SimulationError(f"time {t} outside [0, {self.duration}]")
+        k = int(np.searchsorted(self.times, t, side="right")) - 1
+        return int(self.values[k])
+
+    @property
+    def num_transitions(self):
+        """Number of value changes after t=0."""
+        return len(self.times) - 1
+
+    def high_fraction(self):
+        """Fraction of the duration spent at +1."""
+        return (self.product_integral(_constant_one(self.duration)) / self.duration + 1) / 2
+
+    def product_integral(self, other):
+        """Exact ``∫₀ᵀ f(t)·g(t) dt`` (both waveforms must share ``duration``)."""
+        if not isinstance(other, Waveform):
+            raise SimulationError("product_integral expects another Waveform")
+        if other.duration != self.duration:
+            raise SimulationError("waveforms must share the same duration")
+        cuts = np.union1d(self.times, other.times)
+        widths = np.diff(np.append(cuts, self.duration))
+        mine = self.values[np.searchsorted(self.times, cuts, side="right") - 1]
+        theirs = other.values[np.searchsorted(other.times, cuts, side="right") - 1]
+        return float(np.sum(widths * mine.astype(float) * theirs.astype(float)))
+
+    def similarity(self, other):
+        """The paper's ``similarity`` in [−1, 1]: product integral over T."""
+        if self.duration == 0:
+            raise SimulationError("cannot normalize over zero duration")
+        return self.product_integral(other) / self.duration
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Waveform)
+            and self.duration == other.duration
+            and np.array_equal(self.times, other.times)
+            and np.array_equal(self.values, other.values)
+        )
+
+    def __repr__(self):
+        return f"Waveform(transitions={self.num_transitions}, duration={self.duration})"
+
+
+def _constant_one(duration):
+    return Waveform([0.0], [1], duration)

@@ -1,0 +1,184 @@
+"""Vectorized stage-limited Elmore delay engine.
+
+The delay of node ``i`` is ``D_i = r_i · C_i`` (paper Sec. 2.1) where
+``C_i`` sums the capacitance downstream of ``i``'s resistance *within its
+RC stage*: wire subtrees are traversed, gate input capacitances terminate
+the traversal (the gate's own drive resistance starts the next stage).
+With the π wire model, half a wire's self-capacitance sits upstream of
+its own resistance (it loads the driver but not the wire itself).
+
+Coupling capacitance enters the delay model according to
+:class:`CouplingDelayMode`:
+
+* ``OWN`` (paper): a wire's weighted coupling cap adds to that wire's own
+  ``C_i`` only — the attachment for which Theorem 5's ``opt_i`` is exact
+  (DESIGN.md §2),
+* ``NONE``: coupling affects the crosstalk constraint but not delay,
+* ``PROPAGATED``: coupling also loads all upstream resistors of the
+  stage, like ordinary wire capacitance (ablation; the sizing engine
+  compensates with the extra ``R_i``-weighted slope term).
+
+All sweeps are sequences of per-level NumPy segment operations, giving
+O(#edges) work per call with small constants — this is what makes the
+"linear runtime per iteration" claim reproducible at ISCAS85 scale.
+"""
+
+import enum
+
+import numpy as np
+
+from repro.noise.crosstalk import CouplingSet
+from repro.utils.errors import ValidationError
+from repro.utils.units import OHM_FF_TO_PS
+
+
+class CouplingDelayMode(enum.Enum):
+    """Where coupling capacitance shows up in the delay model."""
+
+    OWN = "own"
+    NONE = "none"
+    PROPAGATED = "propagated"
+
+
+class ElmoreEngine:
+    """Elmore delay / arrival-time / weighted-resistance sweeps.
+
+    Parameters
+    ----------
+    compiled:
+        A :class:`~repro.circuit.compiled.CompiledCircuit`.
+    coupling:
+        A :class:`~repro.noise.crosstalk.CouplingSet` (weighted pairs);
+        defaults to no coupling.
+    mode:
+        A :class:`CouplingDelayMode` (paper default ``OWN``).
+    """
+
+    def __init__(self, compiled, coupling=None, mode=CouplingDelayMode.OWN):
+        self.compiled = compiled
+        self.coupling = coupling if coupling is not None else CouplingSet.empty(
+            compiled.num_nodes)
+        if self.coupling.num_nodes != compiled.num_nodes:
+            raise ValidationError("coupling set does not match the circuit")
+        self.mode = CouplingDelayMode(mode)
+
+    # -- capacitance sweeps -------------------------------------------------------
+
+    def capacitances(self, x):
+        """One reverse sweep: per-node capacitance components at sizes ``x``.
+
+        Returns a dict with arrays of length ``num_nodes``:
+
+        ``cself``
+            Self (ground) capacitance ``ĉ·x + f``.
+        ``cpl``
+            Weighted coupling capacitance hanging on each node
+            (zero array under ``CouplingDelayMode.NONE``).
+        ``child_sum``
+            Σ of ``load`` over the node's children, plus ``C_L`` for
+            primary-output wires.
+        ``load``
+            Capacitance the node presents to its driver: full wire
+            subtree for wires (+ coupling when PROPAGATED), input cap
+            for gates.
+        ``downstream``
+            The paper's ``C_i``:  ``child_sum`` for gates/drivers;
+            ``cself/2 + cpl + child_sum`` for wires.
+        """
+        cc = self.compiled
+        cself = cc.self_capacitance(x)
+        if self.mode is CouplingDelayMode.NONE:
+            cpl = np.zeros(cc.num_nodes)
+        else:
+            cpl = self.coupling.node_coupling_caps(x)
+        child_sum = cc.load_cap.copy()
+        load = np.zeros(cc.num_nodes)
+        wire_load_extra = cpl if self.mode is CouplingDelayMode.PROPAGATED else 0.0
+        for level in range(cc.num_levels - 1, -1, -1):
+            eids = cc.edges_by_src_level[level]
+            if len(eids):
+                np.add.at(child_sum, cc.edge_src[eids], load[cc.edge_dst[eids]])
+            nodes = cc.nodes_by_level[level]
+            if not len(nodes):
+                continue
+            wires = nodes[cc.is_wire[nodes]]
+            gates = nodes[cc.is_gate[nodes]]
+            if len(wires):
+                load[wires] = cself[wires] + child_sum[wires]
+                if self.mode is CouplingDelayMode.PROPAGATED:
+                    load[wires] += np.asarray(wire_load_extra)[wires]
+            if len(gates):
+                load[gates] = cself[gates]
+        downstream = child_sum.copy()
+        wmask = cc.is_wire
+        downstream[wmask] += 0.5 * cself[wmask] + cpl[wmask]
+        return {
+            "cself": cself,
+            "cpl": cpl,
+            "child_sum": child_sum,
+            "load": load,
+            "downstream": downstream,
+        }
+
+    # -- delay --------------------------------------------------------------------
+
+    def effective_resistance(self, x):
+        """Per-node resistance scaled so that r·C is in picoseconds."""
+        return self.compiled.resistance(x) * OHM_FF_TO_PS
+
+    def delays(self, x, caps=None):
+        """Per-node Elmore delay ``D_i`` (ps).  Source/sink are zero."""
+        caps = caps if caps is not None else self.capacitances(x)
+        return self.effective_resistance(x) * caps["downstream"]
+
+    def arrival_times(self, delays):
+        """Arrival time ``a_i`` per node (ps), paper Sec. 4.1 recurrences.
+
+        ``a_i = max_{j ∈ input(i)} a_j + D_i`` with ``a_source = 0``; the
+        sink's value is the circuit delay (max over primary outputs).
+        """
+        cc = self.compiled
+        arrival = np.zeros(cc.num_nodes)
+        incoming = np.full(cc.num_nodes, -np.inf)
+        incoming[cc.source] = 0.0
+        for level in range(1, cc.num_levels):
+            eids = cc.edges_by_dst_level[level]
+            if len(eids):
+                np.maximum.at(incoming, cc.edge_dst[eids], arrival[cc.edge_src[eids]])
+            nodes = cc.nodes_by_level[level]
+            if len(nodes):
+                # The sink has zero delay, so this also sets the circuit
+                # delay at arrival[sink].
+                arrival[nodes] = incoming[nodes] + delays[nodes]
+        return arrival
+
+    def circuit_delay(self, x):
+        """Max primary-output arrival time (ps) — Table 1's "Delay"."""
+        delays = self.delays(x)
+        return float(self.arrival_times(delays)[self.compiled.sink])
+
+    # -- weighted upstream resistance ----------------------------------------------
+
+    def weighted_upstream_resistance(self, x, lam_node):
+        """Theorem 5's ``R_i = Σ_{j ∈ upstream(i)} λ_j·r_j`` (ps/fF units).
+
+        One forward sweep.  ``acc[i]`` accumulates the λ-weighted
+        resistance from the stage driver down to and including ``i``;
+        gates and drivers restart the accumulation (their resistance
+        starts a new stage), wires extend their parent's.
+        """
+        cc = self.compiled
+        r_eff = self.effective_resistance(x)
+        acc = np.zeros(cc.num_nodes)
+        upstream = np.zeros(cc.num_nodes)
+        for level in range(cc.num_levels):
+            eids = cc.edges_by_dst_level[level]
+            if len(eids):
+                np.add.at(upstream, cc.edge_dst[eids], acc[cc.edge_src[eids]])
+            nodes = cc.nodes_by_level[level]
+            if not len(nodes):
+                continue
+            own = lam_node[nodes] * r_eff[nodes]
+            starts = cc.is_gate[nodes] | cc.is_driver[nodes]
+            acc[nodes] = np.where(starts, own, own + upstream[nodes])
+        return upstream

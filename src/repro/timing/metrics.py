@@ -1,0 +1,72 @@
+"""The Table 1 quantities: noise, delay, power, area.
+
+:func:`evaluate_metrics` computes all four at a sizing point, in the
+paper's reporting units (noise pF, delay ps, power mW, area µm²), and
+:class:`CircuitMetrics` carries them plus improvement arithmetic.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.utils.tables import improvement_percent
+from repro.utils.units import FF_PER_PF, mw_from_v2fc
+
+
+@dataclasses.dataclass(frozen=True)
+class CircuitMetrics:
+    """One row of Table 1 at a single sizing point."""
+
+    noise_pf: float
+    delay_ps: float
+    power_mw: float
+    area_um2: float
+    #: Total switched capacitance in fF (the power constraint's native unit).
+    total_cap_ff: float
+
+    def improvements_over(self, initial):
+        """Percent improvements ``(Init − Fin)/Init × 100`` vs ``initial``."""
+        return {
+            "noise": improvement_percent(initial.noise_pf, self.noise_pf),
+            "delay": improvement_percent(initial.delay_ps, self.delay_ps),
+            "power": improvement_percent(initial.power_mw, self.power_mw),
+            "area": improvement_percent(initial.area_um2, self.area_um2),
+        }
+
+    def as_row(self):
+        """Formatted cells in Table 1 column order (noise, delay, power, area)."""
+        return [self.noise_pf, self.delay_ps, self.power_mw, self.area_um2]
+
+
+def total_area(compiled, x):
+    """``Σ α_i·x_i`` over sized components (µm²)."""
+    mask = compiled.is_sizable
+    return float(np.sum(compiled.alpha[mask] * x[mask]))
+
+
+def total_capacitance(compiled, x):
+    """``Σ c_i = Σ (ĉ_i·x_i + f_i)`` over sized components (fF).
+
+    This is the power constraint's left side; the paper divides the power
+    bound by ``V²·f`` so the constraint is expressed in capacitance.
+    """
+    return float(np.sum(compiled.self_capacitance(x)))
+
+
+def total_power_mw(compiled, x):
+    """Dynamic power ``V²·f·Σc_i`` (mW) using the circuit's technology."""
+    tech = compiled.tech
+    return mw_from_v2fc(tech.supply_voltage, tech.clock_frequency,
+                        total_capacitance(compiled, x))
+
+
+def evaluate_metrics(engine, x):
+    """All Table 1 metrics at sizes ``x`` using ``engine``'s coupling set."""
+    compiled = engine.compiled
+    return CircuitMetrics(
+        noise_pf=engine.coupling.total(x) / FF_PER_PF,
+        delay_ps=engine.circuit_delay(x),
+        power_mw=total_power_mw(compiled, x),
+        area_um2=total_area(compiled, x),
+        total_cap_ff=total_capacitance(compiled, x),
+    )

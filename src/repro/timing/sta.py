@@ -1,0 +1,88 @@
+"""Static timing analysis on top of the Elmore engine.
+
+Arrival times come from :meth:`ElmoreEngine.arrival_times`; this module
+adds required times, per-node slack, and critical-path extraction — the
+diagnostics the examples and benches use to explain *where* the delay
+bound binds.
+"""
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingReport:
+    """STA result at one sizing point.
+
+    ``arrival``/``required``/``slack`` are per-node arrays (ps); the
+    ``critical_path`` lists node indices from a driver to a primary
+    output along a minimum-slack chain.
+    """
+
+    arrival: np.ndarray
+    required: np.ndarray
+    slack: np.ndarray
+    delays: np.ndarray
+    circuit_delay: float
+    delay_bound: float
+    critical_path: tuple
+
+    @property
+    def worst_slack(self):
+        """Minimum slack over primary outputs (negative ⇒ bound violated)."""
+        return float(self.delay_bound - self.circuit_delay)
+
+    @property
+    def meets_bound(self):
+        return self.circuit_delay <= self.delay_bound + 1e-9
+
+
+def static_timing_analysis(engine, x, delay_bound=None):
+    """Full STA at sizes ``x``.
+
+    ``delay_bound`` (ps) defaults to the computed circuit delay, which
+    makes the critical path have exactly zero slack.
+    """
+    cc = engine.compiled
+    delays = engine.delays(x)
+    arrival = engine.arrival_times(delays)
+    circuit_delay = float(arrival[cc.sink])
+    bound = circuit_delay if delay_bound is None else float(delay_bound)
+
+    required = np.full(cc.num_nodes, np.inf)
+    required[cc.sink] = bound
+    # Reverse sweep: required(i) = min over children (required(child) − D_child).
+    for level in range(cc.num_levels - 1, -1, -1):
+        eids = cc.edges_by_src_level[level]
+        if len(eids):
+            src = cc.edge_src[eids]
+            dst = cc.edge_dst[eids]
+            np.minimum.at(required, src, required[dst] - delays[dst])
+    slack = required - arrival
+    slack[cc.source] = required[cc.source]
+
+    return TimingReport(
+        arrival=arrival,
+        required=required,
+        slack=slack,
+        delays=delays,
+        circuit_delay=circuit_delay,
+        delay_bound=bound,
+        critical_path=_trace_critical_path(cc, arrival, delays),
+    )
+
+
+def _trace_critical_path(cc, arrival, delays):
+    """Walk back from the sink along arrival-defining predecessors."""
+    path = []
+    node = cc.sink
+    while node != cc.source:
+        lo, hi = cc.in_ptr[node], cc.in_ptr[node + 1]
+        preds = cc.edge_src[cc.in_edges[lo:hi]]
+        if len(preds) == 0:
+            break
+        node = int(preds[np.argmax(arrival[preds])])
+        if node != cc.source:
+            path.append(node)
+    return tuple(reversed(path))

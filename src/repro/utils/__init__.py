@@ -1,0 +1,42 @@
+"""Shared infrastructure: units, errors, RNG, tables, memory accounting.
+
+These helpers are deliberately dependency-light; every other subpackage may
+import from :mod:`repro.utils` but never the other way around.
+"""
+
+from repro.utils.errors import (
+    CircuitError,
+    ConvergenceError,
+    GeometryError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from repro.utils.memory import MemoryLedger, measure_tracemalloc
+from repro.utils.rng import make_rng
+from repro.utils.tables import format_table
+from repro.utils.units import (
+    FF_PER_PF,
+    MHZ,
+    MW_PER_W,
+    OHM_FF_TO_PS,
+    ps_from_ohm_ff,
+)
+
+__all__ = [
+    "ReproError",
+    "CircuitError",
+    "ValidationError",
+    "SimulationError",
+    "GeometryError",
+    "ConvergenceError",
+    "MemoryLedger",
+    "measure_tracemalloc",
+    "make_rng",
+    "format_table",
+    "OHM_FF_TO_PS",
+    "FF_PER_PF",
+    "MW_PER_W",
+    "MHZ",
+    "ps_from_ohm_ff",
+]

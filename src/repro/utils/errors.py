@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch library failures without masking programming errors (``TypeError``
+etc. are still raised directly where appropriate).
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised for structurally invalid circuit construction requests."""
+
+
+class ValidationError(CircuitError):
+    """Raised when a finished circuit fails a structural invariant check."""
+
+
+class SimulationError(ReproError):
+    """Raised for logic-simulation failures (unknown gate types, etc.)."""
+
+
+class GeometryError(ReproError):
+    """Raised for invalid layout geometry (negative pitch, overlap, ...)."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative solver exceeds its iteration budget.
+
+    The optimizers in :mod:`repro.core` only raise this when asked to
+    (``strict=True``); by default they return the best iterate with a
+    diagnostic record instead, matching how the paper reports results at a
+    fixed precision target.
+    """

@@ -1,0 +1,68 @@
+"""Memory accounting for the Figure 10(a) reproduction.
+
+The paper reports total storage of the C implementation (1.0–2.1 MB,
+linear in circuit size).  A Python process cannot be compared on absolute
+footprint, so we reproduce the *claim* — linear scaling — two ways:
+
+* :class:`MemoryLedger` counts the bytes of every NumPy array the solver
+  allocates (the algorithmically required storage, directly comparable to
+  the paper's accounting), and
+* :func:`measure_tracemalloc` measures actual Python heap growth for the
+  same run as a sanity bound.
+"""
+
+import tracemalloc
+
+
+class MemoryLedger:
+    """Explicit byte ledger for algorithm-owned storage.
+
+    Solver components register their arrays under a label; the ledger
+    reports per-label and total bytes.  Registering the same label twice
+    replaces the previous entry (re-allocation, not double counting).
+    """
+
+    def __init__(self):
+        self._entries = {}
+
+    def register(self, label, array_or_bytes):
+        """Record ``label`` → bytes (from an ndarray's ``nbytes`` or an int)."""
+        nbytes = getattr(array_or_bytes, "nbytes", array_or_bytes)
+        self._entries[label] = int(nbytes)
+
+    def register_many(self, prefix, named_arrays):
+        """Register a mapping of ``name → array`` under ``prefix/name``."""
+        for name, array in named_arrays.items():
+            self.register(f"{prefix}/{name}", array)
+
+    @property
+    def total_bytes(self):
+        return sum(self._entries.values())
+
+    @property
+    def total_megabytes(self):
+        return self.total_bytes / (1024.0 * 1024.0)
+
+    def breakdown(self):
+        """Return a ``label → bytes`` dict sorted by decreasing size."""
+        items = sorted(self._entries.items(), key=lambda kv: -kv[1])
+        return dict(items)
+
+    def __repr__(self):
+        return f"MemoryLedger(total={self.total_megabytes:.3f} MB, entries={len(self._entries)})"
+
+
+def measure_tracemalloc(fn, *args, **kwargs):
+    """Run ``fn`` and return ``(result, peak_bytes)`` measured by tracemalloc.
+
+    The measurement starts and stops around the call, so nested use is not
+    supported (tracemalloc is process-global); benchmark code calls this at
+    top level only.
+    """
+    tracemalloc.start()
+    try:
+        result = fn(*args, **kwargs)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak

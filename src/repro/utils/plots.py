@@ -1,0 +1,63 @@
+"""Terminal scatter plots for the Figure 10 reproductions.
+
+Dependency-free ASCII rendering so benchmark reports can *show* the
+linear trends the paper plots, not just quote an R².
+"""
+
+import numpy as np
+
+from repro.utils.errors import ReproError
+
+
+def ascii_scatter(xs, ys, width=60, height=16, marker="o", fit=None,
+                  x_label="", y_label=""):
+    """Render points (and optionally a fitted line) as ASCII art.
+
+    ``fit`` is an object with ``predict`` (e.g.
+    :class:`repro.analysis.compare.LinearFit`); its line is drawn with
+    ``·`` under the point markers.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.size != ys.size or xs.size == 0:
+        raise ReproError("ascii_scatter needs matching non-empty x/y arrays")
+    if width < 10 or height < 4:
+        raise ReproError("plot area too small")
+
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    if fit is not None:
+        line_y = fit.predict(np.linspace(x_lo, x_hi, width))
+        y_lo = min(y_lo, float(np.min(line_y)))
+        y_hi = max(y_hi, float(np.max(line_y)))
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    def col(x):
+        return int(round((x - x_lo) / x_span * (width - 1)))
+
+    def row(y):
+        return (height - 1) - int(round((y - y_lo) / y_span * (height - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    if fit is not None:
+        for c, x in enumerate(np.linspace(x_lo, x_hi, width)):
+            r = row(float(fit.predict(x)))
+            if 0 <= r < height:
+                grid[r][c] = "."
+    for x, y in zip(xs, ys):
+        grid[row(float(y))][col(float(x))] = marker
+
+    lines = []
+    top = f"{y_hi:.3g}"
+    bottom = f"{y_lo:.3g}"
+    gutter = max(len(top), len(bottom)) + 1
+    for r, cells in enumerate(grid):
+        label = top if r == 0 else (bottom if r == height - 1 else "")
+        lines.append(label.rjust(gutter) + "|" + "".join(cells))
+    lines.append(" " * gutter + "+" + "-" * width)
+    footer = f"{x_lo:.3g}".ljust(width // 2) + f"{x_hi:.3g}".rjust(width // 2)
+    lines.append(" " * (gutter + 1) + footer)
+    if x_label or y_label:
+        lines.append(" " * (gutter + 1) + f"x: {x_label}   y: {y_label}")
+    return "\n".join(lines)

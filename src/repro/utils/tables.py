@@ -1,0 +1,48 @@
+"""Plain-text table formatting for benchmark reports.
+
+The benchmark harnesses print rows in the same layout as the paper's
+Table 1 so that paper-vs-measured comparison is a visual diff.  Only the
+standard library is used; the output is stable across platforms.
+"""
+
+
+def format_table(headers, rows, title=None, floatfmt="{:.2f}"):
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    ``rows`` may contain strings, ints, and floats; floats are formatted
+    with ``floatfmt``.  Returns the table as a single string (no trailing
+    newline) so callers can ``print`` or log it.
+    """
+    rendered = [[_render(cell, floatfmt) for cell in row] for row in rows]
+    columns = list(headers)
+    widths = [len(str(h)) for h in columns]
+    for row in rendered:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.rjust(widths[k]) for k, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line([str(h) for h in columns]))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def _render(cell, floatfmt):
+    if isinstance(cell, float):
+        return floatfmt.format(cell)
+    return str(cell)
+
+
+def improvement_percent(initial, final):
+    """The paper's improvement metric ``(Init − Fin) / Init × 100``.
+
+    Returns ``0.0`` when ``initial`` is zero to keep report code simple.
+    """
+    if initial == 0:
+        return 0.0
+    return (initial - final) / initial * 100.0

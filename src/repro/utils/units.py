@@ -1,0 +1,43 @@
+"""Unit conventions used throughout the library.
+
+The paper quotes resistances in ohms (Ω), capacitances in femtofarads (fF),
+delays in picoseconds (ps), sizes/lengths in micrometers (µm), areas in
+µm², power in milliwatts (mW), and total noise in picofarads (pF).  We keep
+those units everywhere rather than converting to SI internally:
+
+* resistance  — Ω        (gate: Ω·µm per unit size; wire: Ω/µm of length)
+* capacitance — fF       (per µm of width and/or length)
+* size/width  — µm
+* delay       — ps       (Ω × fF = 1e-15 s = 1e-3 ps)
+* area        — µm²
+* power       — mW       (V²·f·C with C in fF and f in Hz gives 1e-15 W·…)
+
+The conversion constants below are the single source of truth; they are
+plain floats so they vectorize transparently with NumPy.
+"""
+
+#: Multiplying Ω by fF yields 1e-15 seconds; scale to picoseconds.
+OHM_FF_TO_PS = 1e-3
+
+#: Number of femtofarads in one picofarad (noise totals are quoted in pF).
+FF_PER_PF = 1e3
+
+#: Watts → milliwatts.
+MW_PER_W = 1e3
+
+#: Hertz in one megahertz (clock frequencies are quoted in MHz).
+MHZ = 1e6
+
+
+def ps_from_ohm_ff(resistance_ohm, capacitance_ff):
+    """Return the RC product of ``resistance_ohm`` × ``capacitance_ff`` in ps.
+
+    Works element-wise on NumPy arrays as well as on scalars.
+    """
+    return resistance_ohm * capacitance_ff * OHM_FF_TO_PS
+
+
+def mw_from_v2fc(voltage_v, frequency_hz, capacitance_ff):
+    """Dynamic power ``V²·f·C`` in milliwatts for capacitance given in fF."""
+    watts = voltage_v * voltage_v * frequency_hz * capacitance_ff * 1e-15
+    return watts * MW_PER_W

@@ -1,0 +1,58 @@
+"""Linearity fits and shape checks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import linear_fit, shape_check_table1
+from repro.analysis.compare import improvement_rows
+
+
+def test_linear_fit_exact_line():
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    fit = linear_fit(x, 2.5 * x + 1.0)
+    assert fit.slope == pytest.approx(2.5)
+    assert fit.intercept == pytest.approx(1.0)
+    assert fit.r_squared == pytest.approx(1.0)
+
+
+def test_linear_fit_noisy_line_high_r2():
+    rng = np.random.default_rng(0)
+    x = np.linspace(0, 10, 40)
+    y = 3.0 * x + rng.normal(0, 0.1, 40)
+    fit = linear_fit(x, y)
+    assert fit.r_squared > 0.99
+
+
+def test_linear_fit_predict():
+    fit = linear_fit([0.0, 1.0], [1.0, 3.0])
+    np.testing.assert_allclose(fit.predict([2.0]), [5.0])
+
+
+def test_linear_fit_validation():
+    with pytest.raises(ValueError):
+        linear_fit([1.0], [2.0])
+    with pytest.raises(ValueError):
+        linear_fit([1.0, 2.0], [1.0])
+
+
+def test_shape_check_bands():
+    good = {"noise": 91.0, "delay": -5.0, "power": 90.0, "area": 95.0}
+    result = shape_check_table1("c432", good)
+    assert all(result.values())
+    bad = {"noise": 10.0, "delay": 300.0, "power": 90.0, "area": 95.0}
+    result = shape_check_table1("c432", bad)
+    assert not result["noise"] and not result["delay"]
+    assert result["power"] and result["area"]
+
+
+def test_shape_check_unknown_circuit():
+    with pytest.raises(KeyError):
+        shape_check_table1("c9999", {})
+
+
+def test_improvement_rows_layout(small_flow_result):
+    rows = improvement_rows({"c432": small_flow_result.sizing})
+    assert len(rows) == 4
+    assert {r[1] for r in rows} == {"noise", "delay", "power", "area"}
+    noise_row = next(r for r in rows if r[1] == "noise")
+    assert noise_row[2] == pytest.approx(87.96, abs=0.1)  # paper c432 noise impr

@@ -1,0 +1,63 @@
+"""Embedded paper data consistency."""
+
+import pytest
+
+from repro.analysis.paper_data import (
+    PAPER_HEADLINE,
+    PAPER_IMPROVEMENTS,
+    PAPER_TABLE1,
+    PAPER_TRUNCATION_EXAMPLE,
+)
+
+
+def test_ten_rows():
+    assert len(PAPER_TABLE1) == 10
+
+
+def test_headline_row_values():
+    """Spot-check the row quoted in the abstract (c7552)."""
+    row = PAPER_TABLE1["c7552"]
+    assert row.gates == 3512 and row.wires == 6144
+    assert row.time_s == 2823          # "47 minute runtime"
+    assert row.memory_kb == 2120       # "2.1 MB memory"
+    assert row.iterations == 7
+
+
+def test_abstract_consistency():
+    assert PAPER_HEADLINE["time_min"] == pytest.approx(
+        PAPER_TABLE1["c7552"].time_s / 60.0, abs=0.1)
+    assert PAPER_HEADLINE["memory_mb"] == pytest.approx(
+        PAPER_TABLE1["c7552"].memory_kb / 1000.0, abs=0.1)
+
+
+def test_improvement_row_matches_per_circuit_average():
+    """Table 1's Impr(%) row ≈ the mean of per-circuit improvements.
+
+    The paper's own aggregate row is slightly off its per-circuit data
+    (delay prints 5.3 where the row mean is 6.9; area 87.90 vs 88.8) —
+    we tolerate that published inconsistency but no more.
+    """
+    for metric, published in PAPER_IMPROVEMENTS.items():
+        mean = sum(r.improvement(metric) for r in PAPER_TABLE1.values()) / 10
+        assert mean == pytest.approx(published, abs=1.7)
+
+
+def test_noise_final_is_about_ten_percent_everywhere():
+    """The Table 1 signature we reverse-engineered the bounds from.
+
+    Every circuit lands within a point or two of exactly 10% (c432, the
+    smallest, is the loosest at 12%).
+    """
+    for row in PAPER_TABLE1.values():
+        assert row.noise_fin / row.noise_init == pytest.approx(0.10, abs=0.025)
+
+
+def test_truncation_example_monotone():
+    ks = sorted(PAPER_TRUNCATION_EXAMPLE)
+    vals = [PAPER_TRUNCATION_EXAMPLE[k] for k in ks]
+    assert vals == sorted(vals, reverse=True)
+
+
+def test_totals():
+    for row in PAPER_TABLE1.values():
+        assert row.total == row.gates + row.wires

@@ -1,0 +1,32 @@
+"""Report formatting."""
+
+from repro.analysis import format_fig10_rows, format_table1, linear_fit
+from repro.analysis.report import format_paper_table1
+
+
+def test_table1_contains_circuit_and_improvement_rows(small_flow_result):
+    out = format_table1({"c432": small_flow_result.sizing})
+    assert "c432" in out
+    assert "Impr(%)" in out
+    assert "NoiseI(pF)" in out
+
+
+def test_paper_table_renders_all_rows():
+    out = format_paper_table1()
+    for name in ("c432", "c7552", "c6288"):
+        assert name in out
+    assert "2823" in out  # c7552 runtime seconds
+
+
+def test_fig10_rows_with_fit():
+    sizes = [1000, 2000, 3000]
+    values = [1.0, 2.0, 3.0]
+    fit = linear_fit(sizes, values)
+    out = format_fig10_rows(sizes, values, "MB", fit=fit)
+    assert "R^2" in out
+    assert "1000" in out
+
+
+def test_fig10_rows_without_fit():
+    out = format_fig10_rows([10], [0.5], "seconds")
+    assert "seconds" in out and "R^2" not in out

@@ -1,0 +1,39 @@
+"""Noise-blind LR baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import noise_blind_sizing
+from repro.utils.units import FF_PER_PF
+
+
+@pytest.fixture(scope="module")
+def blind(small_flow_result):
+    return noise_blind_sizing(small_flow_result.engine,
+                              small_flow_result.problem, max_iterations=150)
+
+
+def test_relaxed_problem_keeps_other_bounds(blind, small_flow_result):
+    relaxed = blind.sizing.problem
+    original = small_flow_result.problem
+    assert relaxed.delay_bound_ps == original.delay_bound_ps
+    assert relaxed.power_cap_bound_ff == original.power_cap_bound_ff
+    assert relaxed.noise_bound_ff > original.noise_bound_ff * 1e5
+
+
+def test_measured_noise_reported_against_tight_bound(blind, small_flow_result):
+    assert blind.noise_bound_pf == pytest.approx(
+        small_flow_result.problem.noise_bound_ff / FF_PER_PF)
+    assert blind.noise_violation == pytest.approx(
+        blind.measured_noise_pf / blind.noise_bound_pf - 1.0)
+
+
+def test_blind_area_never_worse_than_constrained(blind, small_flow_result):
+    """Dropping a constraint can only help the objective."""
+    assert blind.sizing.metrics.area_um2 <= \
+        small_flow_result.sizing.metrics.area_um2 * (1 + 1e-6)
+
+
+def test_blind_solution_meets_delay(blind, small_flow_result):
+    assert blind.sizing.metrics.delay_ps <= \
+        small_flow_result.problem.delay_bound_ps * (1 + 2e-3)

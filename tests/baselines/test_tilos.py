@@ -1,0 +1,69 @@
+"""TILOS-like greedy sizer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TilosLikeSizer
+from repro.core import SizingProblem
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def setting(small_flow_result):
+    return small_flow_result.engine, small_flow_result.problem
+
+
+def test_meets_reachable_delay_bound(setting):
+    engine, problem = setting
+    res = TilosLikeSizer(engine, problem).run()
+    assert res.met_delay
+    assert res.metrics.delay_ps <= problem.delay_bound_ps * (1 + 1e-9)
+
+
+def test_starts_from_minimum_and_only_upsizes(setting):
+    engine, problem = setting
+    res = TilosLikeSizer(engine, problem).run()
+    cc = engine.compiled
+    mask = cc.is_sizable
+    assert np.all(res.x[mask] >= cc.lower[mask] - 1e-12)
+    assert np.all(res.x[mask] <= cc.upper[mask] + 1e-12)
+
+
+def test_greedy_never_beats_ogws_area(setting, small_flow_result):
+    """OGWS is optimal; the greedy heuristic can at best tie."""
+    engine, problem = setting
+    res = TilosLikeSizer(engine, problem).run()
+    if res.feasible:
+        assert res.metrics.area_um2 >= \
+            small_flow_result.sizing.metrics.area_um2 * (1 - 1e-6)
+
+
+def test_unreachable_bound_stalls_gracefully(setting):
+    engine, _ = setting
+    impossible = SizingProblem(delay_bound_ps=1e-6, noise_bound_ff=1e9,
+                               power_cap_bound_ff=1e9)
+    res = TilosLikeSizer(engine, impossible, max_steps=200).run()
+    assert not res.met_delay
+    assert res.steps <= 200
+
+
+def test_loose_bound_needs_no_steps(setting):
+    engine, _ = setting
+    loose = SizingProblem(delay_bound_ps=1e9, noise_bound_ff=1e9,
+                          power_cap_bound_ff=1e9)
+    res = TilosLikeSizer(engine, loose).run()
+    assert res.steps == 0
+    cc = engine.compiled
+    np.testing.assert_allclose(res.x[cc.is_sizable], cc.lower[cc.is_sizable])
+
+
+def test_step_factor_validated(setting):
+    engine, problem = setting
+    with pytest.raises(ValidationError):
+        TilosLikeSizer(engine, problem, step_factor=1.0)
+
+
+def test_evaluation_count_tracked(setting):
+    engine, problem = setting
+    res = TilosLikeSizer(engine, problem).run()
+    assert res.evaluations >= res.steps

@@ -1,0 +1,66 @@
+"""Uniform-scaling baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import uniform_scaling_baseline
+from repro.core import SizingProblem
+from repro.timing import evaluate_metrics
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def setting(small_flow_result):
+    return small_flow_result.engine, small_flow_result.problem
+
+
+def test_uniform_sizes_are_uniform(setting):
+    engine, problem = setting
+    res = uniform_scaling_baseline(engine, problem)
+    cc = engine.compiled
+    mask = cc.is_sizable
+    expected = np.clip(res.scale, cc.lower[mask], cc.upper[mask])
+    np.testing.assert_allclose(res.x[mask], expected)
+
+
+def test_feasible_result_respects_bounds(setting):
+    engine, problem = setting
+    res = uniform_scaling_baseline(engine, problem)
+    if res.feasible:
+        assert problem.is_feasible(evaluate_metrics(engine, res.x), 1e-6)
+
+
+def test_ogws_beats_uniform(setting, small_flow_result):
+    """Per-component sizing must not lose to one global knob."""
+    engine, problem = setting
+    res = uniform_scaling_baseline(engine, problem)
+    if res.feasible:
+        assert small_flow_result.sizing.metrics.area_um2 <= res.metrics.area_um2 * (1 + 1e-6)
+    else:
+        # Uniform couldn't even find a feasible point; OGWS did.
+        assert small_flow_result.sizing.feasible
+
+
+def test_trivially_loose_problem_picks_small_scale(setting):
+    engine, _ = setting
+    loose = SizingProblem(delay_bound_ps=1e9, noise_bound_ff=1e9,
+                          power_cap_bound_ff=1e9)
+    res = uniform_scaling_baseline(engine, loose)
+    assert res.feasible
+    cc = engine.compiled
+    assert res.scale == pytest.approx(float(np.min(cc.lower[cc.is_sizable])))
+
+
+def test_impossible_problem_reports_least_bad(setting):
+    engine, _ = setting
+    impossible = SizingProblem(delay_bound_ps=1e-6, noise_bound_ff=1e-6,
+                               power_cap_bound_ff=1e-6)
+    res = uniform_scaling_baseline(engine, impossible)
+    assert not res.feasible
+    assert res.evaluations > 0
+
+
+def test_grid_validation(setting):
+    engine, problem = setting
+    with pytest.raises(ValidationError):
+        uniform_scaling_baseline(engine, problem, n_grid=2)

@@ -1,0 +1,139 @@
+"""CircuitBuilder construction semantics."""
+
+import pytest
+
+from repro.circuit import CircuitBuilder
+from repro.circuit.components import NodeKind
+from repro.utils.errors import CircuitError
+
+
+def test_figure1_structure(figure1_circuit):
+    c = figure1_circuit
+    # 3 drivers + 3 gates + 7 wires + source + sink = 15 nodes (paper Fig. 2).
+    assert c.num_nodes == 15
+    assert c.num_drivers == 3
+    assert c.num_gates == 3
+    assert c.num_wires == 7
+    assert c.node(0).kind is NodeKind.SOURCE
+    assert c.node(14).kind is NodeKind.SINK
+
+
+def test_auto_wires_inserted_per_gate_input():
+    b = CircuitBuilder()
+    a = b.add_input("a")
+    g = b.add_gate("not", [a], name="g")
+    b.set_output(g)
+    c = b.build()
+    # 1 input wire + 1 output wire.
+    assert c.num_wires == 2
+
+
+def test_wire_refs_connect_directly():
+    b = CircuitBuilder()
+    a = b.add_input("a")
+    stem = b.add_branch(a, 150.0, name="stem")
+    leaf = b.add_branch(stem, 80.0, name="leaf")
+    g = b.add_gate("not", [leaf], name="g")
+    b.set_output(g)
+    c = b.build()
+    stem_node = c.node_by_name("stem")
+    leaf_node = c.node_by_name("leaf")
+    assert c.inputs(leaf_node.index) == (stem_node.index,)
+    assert c.num_wires == 3  # stem, leaf, output
+
+
+def test_wire_lengths_respected():
+    b = CircuitBuilder()
+    a = b.add_input("a")
+    g = b.add_gate("not", [a], name="g", wire_lengths=[250.0])
+    b.set_output(g, wire_length=75.0)
+    c = b.build()
+    assert c.node_by_name("g.in0").length == 250.0
+    assert c.node_by_name("g.out").length == 75.0
+
+
+def test_wire_rc_scales_with_length():
+    b = CircuitBuilder()
+    a = b.add_input("a")
+    g = b.add_gate("not", [a], name="g", wire_lengths=[200.0])
+    b.set_output(g)
+    c = b.build()
+    w = c.node_by_name("g.in0")
+    tech = c.tech
+    assert w.r_hat == pytest.approx(tech.wire_unit_resistance * 200.0)
+    assert w.c_hat == pytest.approx(tech.wire_unit_capacitance * 200.0)
+    assert w.fringe == pytest.approx(tech.wire_fringe_capacitance * 200.0)
+    assert w.alpha == pytest.approx(200.0)
+
+
+def test_output_load_attached_to_po_wire(figure1_circuit):
+    po = figure1_circuit.primary_output_wires()
+    assert len(po) == 1
+    assert po[0].load_cap == 50.0
+
+
+def test_gate_without_inputs_rejected():
+    b = CircuitBuilder()
+    with pytest.raises(CircuitError):
+        b.add_gate("nand", [])
+
+
+def test_duplicate_names_rejected():
+    b = CircuitBuilder()
+    b.add_input("a")
+    with pytest.raises(CircuitError):
+        b.add_input("a")
+
+
+def test_foreign_ref_rejected():
+    b1, b2 = CircuitBuilder(), CircuitBuilder()
+    a = b1.add_input("a")
+    with pytest.raises(CircuitError):
+        b2.add_gate("not", [a])
+
+
+def test_double_build_rejected():
+    b = CircuitBuilder()
+    a = b.add_input("a")
+    g = b.add_gate("not", [a])
+    b.set_output(g)
+    b.build()
+    with pytest.raises(CircuitError):
+        b.build()
+
+
+def test_double_output_rejected():
+    b = CircuitBuilder()
+    a = b.add_input("a")
+    g = b.add_gate("not", [a])
+    w = b.set_output(g)
+    with pytest.raises(CircuitError):
+        b.set_output(w)
+
+
+def test_wire_length_must_be_positive():
+    b = CircuitBuilder()
+    a = b.add_input("a")
+    with pytest.raises(CircuitError):
+        b.add_branch(a, -5.0)
+
+
+def test_drivers_occupy_low_indices_regardless_of_creation_order():
+    b = CircuitBuilder()
+    a = b.add_input("a")
+    g = b.add_gate("not", [a], name="g")
+    late = b.add_input("late")
+    g2 = b.add_gate("nand", [g, late], name="g2")
+    b.set_output(g2)
+    c = b.build()
+    assert [n.kind for n in c.nodes[1:3]] == [NodeKind.DRIVER, NodeKind.DRIVER]
+
+
+def test_size_bounds_overridable():
+    b = CircuitBuilder()
+    a = b.add_input("a")
+    g = b.add_gate("not", [a], name="g", bounds=(0.5, 2.0))
+    b.set_output(g)
+    c = b.build()
+    node = c.node_by_name("g")
+    assert (node.lower, node.upper) == (0.5, 2.0)

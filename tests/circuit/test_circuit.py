@@ -1,0 +1,167 @@
+"""Circuit graph invariants and the paper's traversal definitions."""
+
+import pytest
+
+from repro.circuit import Circuit, CircuitBuilder
+from repro.circuit.components import Node, NodeKind
+from repro.utils.errors import ValidationError
+
+
+class TestStructure:
+    def test_indexing_is_topological(self, small_circuit):
+        for u, v in small_circuit.edges:
+            assert u < v
+
+    def test_source_feeds_exactly_drivers(self, small_circuit):
+        s = small_circuit.num_drivers
+        assert sorted(small_circuit.outputs(0)) == list(range(1, s + 1))
+
+    def test_sink_fed_by_loaded_wires(self, small_circuit):
+        for wire in small_circuit.primary_output_wires():
+            assert wire.is_wire and wire.load_cap > 0
+
+    def test_wires_have_single_parent(self, small_circuit):
+        for wire in small_circuit.wires():
+            assert len(small_circuit.inputs(wire.index)) == 1
+
+    def test_gate_inputs_are_wires(self, small_circuit):
+        for gate in small_circuit.gates():
+            for j in small_circuit.inputs(gate.index):
+                assert small_circuit.node(j).is_wire
+
+    def test_every_component_has_fanout(self, small_circuit):
+        for node in small_circuit.components():
+            assert small_circuit.outputs(node.index)
+
+    def test_node_lookup_by_name(self, figure1_circuit):
+        node = figure1_circuit.node_by_name("g1")
+        assert node.is_gate and node.function == "nand"
+        with pytest.raises(KeyError):
+            figure1_circuit.node_by_name("missing")
+
+    def test_counts(self, figure1_circuit):
+        assert figure1_circuit.num_components == 10  # 3 gates + 7 wires
+
+
+class TestTraversals:
+    """The paper's stage-limited upstream/downstream definitions."""
+
+    def test_downstream_includes_self(self, figure1_circuit):
+        c = figure1_circuit
+        g1 = c.node_by_name("g1").index
+        assert g1 in c.downstream(g1)
+
+    def test_downstream_stops_at_gates(self, figure1_circuit):
+        c = figure1_circuit
+        # Driver in1's stage: its wire and gate g1, nothing past g1.
+        d = c.node_by_name("in1").index
+        down = c.downstream(d)
+        g1 = c.node_by_name("g1").index
+        g3 = c.node_by_name("g3").index
+        assert g1 in down
+        assert g3 not in down
+        # Exactly: driver, its wire, g1.
+        w = c.node_by_name("g1.in0").index
+        assert down == {d, w, g1}
+
+    def test_downstream_of_gate_covers_fanout_wires(self, figure1_circuit):
+        c = figure1_circuit
+        g3 = c.node_by_name("g3").index
+        down = c.downstream(g3)
+        out_wire = c.node_by_name("g3.out").index
+        assert down == {g3, out_wire}  # sink excluded
+
+    def test_upstream_excludes_self_stops_at_stage_driver(self, figure1_circuit):
+        c = figure1_circuit
+        w = c.node_by_name("g3.in0").index  # wire from g1 to g3
+        up = c.upstream(w)
+        g1 = c.node_by_name("g3").index
+        assert c.node_by_name("g1").index in up
+        assert w not in up
+        assert up == {c.node_by_name("g1").index}
+
+    def test_upstream_of_gate_unions_input_stages(self, figure1_circuit):
+        c = figure1_circuit
+        g3 = c.node_by_name("g3").index
+        up = c.upstream(g3)
+        # Both input wires and both driving gates, but not the drivers
+        # beyond those gates.
+        expected = {
+            c.node_by_name("g3.in0").index,
+            c.node_by_name("g3.in1").index,
+            c.node_by_name("g1").index,
+            c.node_by_name("g2").index,
+        }
+        assert up == expected
+
+    def test_paper_example_cardinalities(self, figure1_circuit):
+        # In the paper's Fig. 4, downstream(2) = {2, 5, 7}: a driver's
+        # stage is {driver, wire, gate} per fanout branch.  in1 and in3
+        # feed one gate each (3 nodes); in2 fans out to g1 and g2 (5).
+        c = figure1_circuit
+        d1 = c.node_by_name("in1").index
+        d2 = c.node_by_name("in2").index
+        d3 = c.node_by_name("in3").index
+        assert len(c.downstream(d1)) == 3
+        assert len(c.downstream(d3)) == 3
+        assert len(c.downstream(d2)) == 5
+
+
+class TestValidationErrors:
+    def _nodes_ok(self):
+        return [
+            Node(index=0, kind=NodeKind.SOURCE, name="@source"),
+            Node(index=1, kind=NodeKind.DRIVER, name="d", r_hat=100.0),
+            Node(index=2, kind=NodeKind.WIRE, name="w", r_hat=1.0, c_hat=1.0,
+                 alpha=10.0, lower=0.1, upper=10.0, length=10.0, load_cap=5.0),
+            Node(index=3, kind=NodeKind.SINK, name="@sink"),
+        ]
+
+    def test_valid_minimal_circuit(self):
+        from repro.tech import Technology
+
+        c = Circuit(self._nodes_ok(), [(0, 1), (1, 2), (2, 3)], Technology.dac99())
+        assert c.num_components == 1  # the wire; drivers are not sized
+
+    def test_missing_source_rejected(self):
+        from repro.tech import Technology
+
+        nodes = self._nodes_ok()
+        nodes[0] = Node(index=0, kind=NodeKind.DRIVER, name="x", r_hat=1.0)
+        with pytest.raises(ValidationError):
+            Circuit(nodes, [(0, 1), (1, 2), (2, 3)], Technology.dac99())
+
+    def test_unloaded_po_wire_rejected(self):
+        from repro.tech import Technology
+
+        nodes = self._nodes_ok()
+        nodes[2] = Node(index=2, kind=NodeKind.WIRE, name="w", r_hat=1.0,
+                        c_hat=1.0, alpha=10.0, lower=0.1, upper=10.0,
+                        length=10.0, load_cap=0.0)
+        with pytest.raises(ValidationError):
+            Circuit(nodes, [(0, 1), (1, 2), (2, 3)], Technology.dac99())
+
+    def test_edge_direction_enforced(self):
+        from repro.tech import Technology
+
+        with pytest.raises(ValidationError):
+            Circuit(self._nodes_ok(), [(0, 1), (2, 1), (2, 3)], Technology.dac99())
+
+    def test_duplicate_names_rejected(self):
+        from repro.tech import Technology
+
+        nodes = self._nodes_ok()
+        nodes[2] = Node(index=2, kind=NodeKind.WIRE, name="d", r_hat=1.0,
+                        c_hat=1.0, alpha=10.0, lower=0.1, upper=10.0,
+                        length=10.0, load_cap=5.0)
+        with pytest.raises(ValidationError):
+            Circuit(nodes, [(0, 1), (1, 2), (2, 3)], Technology.dac99())
+
+    def test_default_sizes_clip_to_bounds(self, small_circuit):
+        x = small_circuit.default_sizes(100.0)
+        for node in small_circuit.components():
+            assert x[node.index] == node.upper
+        x = small_circuit.default_sizes(1.0)
+        for node in small_circuit.components():
+            assert node.lower <= x[node.index] <= node.upper
+        assert x[0] == 0.0

@@ -1,0 +1,100 @@
+"""CompiledCircuit arrays vs. the object graph."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.components import NodeKind
+
+
+@pytest.fixture(scope="module")
+def pair(small_circuit):
+    return small_circuit, small_circuit.compile()
+
+
+def test_kind_masks_match_nodes(pair):
+    circuit, cc = pair
+    for node in circuit.nodes:
+        assert cc.is_gate[node.index] == node.is_gate
+        assert cc.is_wire[node.index] == node.is_wire
+        assert cc.is_driver[node.index] == node.is_driver
+        assert cc.is_sizable[node.index] == node.kind.is_sizable
+
+
+def test_parameter_arrays_match_nodes(pair):
+    circuit, cc = pair
+    for node in circuit.nodes:
+        assert cc.r_hat[node.index] == node.r_hat
+        assert cc.c_hat[node.index] == node.c_hat
+        assert cc.fringe[node.index] == node.fringe
+        assert cc.alpha[node.index] == node.alpha
+        assert cc.load_cap[node.index] == node.load_cap
+
+
+def test_csr_adjacency_roundtrip(pair):
+    circuit, cc = pair
+    for node in circuit.nodes:
+        i = node.index
+        in_edges = cc.in_edges[cc.in_ptr[i]:cc.in_ptr[i + 1]]
+        assert sorted(cc.edge_src[in_edges]) == sorted(circuit.inputs(i))
+        out_edges = cc.out_edges[cc.out_ptr[i]:cc.out_ptr[i + 1]]
+        assert sorted(cc.edge_dst[out_edges]) == sorted(circuit.outputs(i))
+
+
+def test_levels_strictly_increase_along_edges(pair):
+    _, cc = pair
+    assert np.all(cc.level[cc.edge_src] < cc.level[cc.edge_dst])
+    assert cc.level[cc.source] == 0
+    assert cc.level[cc.sink] == cc.num_levels - 1
+    assert int(cc.level.max()) == cc.level[cc.sink]
+
+
+def test_level_groups_partition_nodes_and_edges(pair):
+    _, cc = pair
+    all_nodes = np.concatenate(cc.nodes_by_level)
+    assert sorted(all_nodes.tolist()) == list(range(cc.num_nodes))
+    by_src = np.concatenate([e for e in cc.edges_by_src_level if len(e)])
+    by_dst = np.concatenate([e for e in cc.edges_by_dst_level if len(e)])
+    assert sorted(by_src.tolist()) == list(range(cc.num_edges))
+    assert sorted(by_dst.tolist()) == list(range(cc.num_edges))
+
+
+def test_wire_parent_array(pair):
+    circuit, cc = pair
+    for wire in circuit.wires():
+        assert cc.wire_parent[wire.index] == circuit.inputs(wire.index)[0]
+    assert cc.wire_parent[cc.source] == -1
+
+
+def test_sink_in_edges_are_po_wires(pair):
+    circuit, cc = pair
+    po = {w.index for w in circuit.primary_output_wires()}
+    assert set(cc.edge_src[cc.sink_in_edges].tolist()) == po
+
+
+def test_resistance_and_capacitance_vectors(pair):
+    circuit, cc = pair
+    x = cc.default_sizes(1.7)
+    r = cc.resistance(x)
+    c = cc.self_capacitance(x)
+    for node in circuit.nodes:
+        if node.kind.is_sizable:
+            assert r[node.index] == pytest.approx(node.resistance(x[node.index]))
+            assert c[node.index] == pytest.approx(node.capacitance(x[node.index]))
+        elif node.kind is NodeKind.DRIVER:
+            assert r[node.index] == node.r_hat
+            assert c[node.index] == 0.0
+
+
+def test_clip_sizes(pair):
+    _, cc = pair
+    x = np.full(cc.num_nodes, 1e9)
+    clipped = cc.clip_sizes(x)
+    assert np.all(clipped[cc.is_sizable] == cc.upper[cc.is_sizable])
+    assert np.all(clipped[~cc.is_sizable] == 0.0)
+
+
+def test_nbytes_positive_and_inventory(pair):
+    _, cc = pair
+    assert cc.nbytes > 0
+    inventory = cc.array_inventory()
+    assert "r_hat" in inventory and "edge_src" in inventory

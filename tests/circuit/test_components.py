@@ -1,0 +1,98 @@
+"""Node records: model math and constructor validation."""
+
+import pytest
+
+from repro.circuit.components import Node, NodeKind
+from repro.utils.errors import CircuitError
+
+
+def make_wire(**overrides):
+    params = dict(index=5, kind=NodeKind.WIRE, name="w", r_hat=7.0, c_hat=2.4,
+                  fringe=2.0, alpha=100.0, lower=0.1, upper=10.0, length=100.0)
+    params.update(overrides)
+    return Node(**params)
+
+
+def make_gate(**overrides):
+    params = dict(index=4, kind=NodeKind.GATE, name="g", r_hat=10_000.0,
+                  c_hat=0.16, alpha=10.0, lower=0.1, upper=10.0, function="nand")
+    params.update(overrides)
+    return Node(**params)
+
+
+class TestModelMath:
+    def test_wire_rc(self):
+        w = make_wire()
+        assert w.resistance(2.0) == pytest.approx(3.5)      # r̂/x
+        assert w.capacitance(2.0) == pytest.approx(6.8)     # ĉ·x + f
+        assert w.area(2.0) == pytest.approx(200.0)          # α·x
+
+    def test_gate_rc(self):
+        g = make_gate()
+        assert g.resistance(4.0) == pytest.approx(2500.0)
+        assert g.capacitance(4.0) == pytest.approx(0.64)
+        assert g.area(4.0) == pytest.approx(40.0)
+
+    def test_driver_fixed_resistance_no_cap(self):
+        d = Node(index=1, kind=NodeKind.DRIVER, name="d", r_hat=200.0)
+        assert d.resistance(99.0) == 200.0   # size ignored
+        assert d.capacitance(99.0) == 0.0
+        assert d.area(99.0) == 0.0
+
+    def test_source_sink_electrically_inert(self):
+        s = Node(index=0, kind=NodeKind.SOURCE, name="s")
+        assert s.resistance(1.0) == 0.0
+        assert s.capacitance(1.0) == 0.0
+
+
+class TestKindProperties:
+    @pytest.mark.parametrize("kind,component,sizable", [
+        (NodeKind.SOURCE, False, False),
+        (NodeKind.DRIVER, True, False),
+        (NodeKind.GATE, True, True),
+        (NodeKind.WIRE, True, True),
+        (NodeKind.SINK, False, False),
+    ])
+    def test_flags(self, kind, component, sizable):
+        assert kind.is_component is component
+        assert kind.is_sizable is sizable
+
+
+class TestValidation:
+    def test_negative_index_rejected(self):
+        with pytest.raises(CircuitError):
+            make_wire(index=-1)
+
+    def test_wire_needs_positive_rc(self):
+        with pytest.raises(CircuitError):
+            make_wire(r_hat=0.0)
+        with pytest.raises(CircuitError):
+            make_wire(c_hat=-1.0)
+
+    def test_bounds_must_be_ordered_positive(self):
+        with pytest.raises(CircuitError):
+            make_wire(lower=0.0)
+        with pytest.raises(CircuitError):
+            make_wire(lower=2.0, upper=1.0)
+
+    def test_gate_needs_function(self):
+        with pytest.raises(CircuitError):
+            make_gate(function="")
+
+    def test_wire_needs_length(self):
+        with pytest.raises(CircuitError):
+            make_wire(length=0.0)
+
+    def test_driver_needs_resistance(self):
+        with pytest.raises(CircuitError):
+            Node(index=1, kind=NodeKind.DRIVER, name="d", r_hat=0.0)
+
+    def test_negative_fringe_or_load_rejected(self):
+        with pytest.raises(CircuitError):
+            make_wire(fringe=-0.1)
+        with pytest.raises(CircuitError):
+            make_wire(load_cap=-1.0)
+
+    def test_alpha_must_be_positive_for_sizable(self):
+        with pytest.raises(CircuitError):
+            make_gate(alpha=0.0)

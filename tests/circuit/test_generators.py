@@ -1,0 +1,95 @@
+"""Random circuit generation invariants."""
+
+import pytest
+
+from repro.circuit import random_circuit
+from repro.utils.errors import CircuitError
+
+
+def test_exact_counts():
+    c = random_circuit(50, 8, 5, seed=0, n_wires=110)
+    assert c.num_gates == 50
+    assert c.num_drivers == 8
+    assert len(c.primary_output_wires()) == 5
+    assert c.num_wires == 110
+
+
+def test_wire_count_identity():
+    """#wires = Σ gate fan-ins + #POs (every connection is a wire)."""
+    c = random_circuit(40, 6, 4, seed=1)
+    fanin_total = sum(len(c.inputs(g.index)) for g in c.gates())
+    assert c.num_wires == fanin_total + len(c.primary_output_wires())
+
+
+def test_deterministic_per_seed():
+    a = random_circuit(30, 5, 3, seed=7)
+    b = random_circuit(30, 5, 3, seed=7)
+    assert a.edges == b.edges
+    assert [n.length for n in a.wires()] == [n.length for n in b.wires()]
+
+
+def test_different_seeds_differ():
+    a = random_circuit(30, 5, 3, seed=7)
+    b = random_circuit(30, 5, 3, seed=8)
+    assert a.edges != b.edges
+
+
+def test_every_driver_used():
+    c = random_circuit(25, 10, 3, seed=2)
+    for d in range(1, 11):
+        assert c.outputs(d), f"driver {d} unused"
+
+
+def test_validates():
+    # Construction runs Circuit.validate(); re-run explicitly for clarity.
+    random_circuit(60, 9, 6, seed=3).validate()
+
+
+def test_target_depth_steers_levels():
+    shallow = random_circuit(200, 16, 8, seed=4, target_depth=8).compile()
+    deep = random_circuit(200, 16, 8, seed=4, target_depth=60).compile()
+    assert deep.num_levels > shallow.num_levels
+
+
+def test_wire_lengths_within_range():
+    c = random_circuit(30, 5, 3, seed=5, wire_length_range=(100.0, 150.0))
+    for w in c.wires():
+        assert 100.0 <= w.length <= 150.0
+
+
+def test_fanin_bounds_respected():
+    c = random_circuit(80, 8, 6, seed=6, n_wires=300)
+    for g in c.gates():
+        assert 1 <= len(c.inputs(g.index)) <= 4
+
+
+def test_single_input_gates_are_inverters_or_buffers():
+    c = random_circuit(40, 6, 4, seed=9)
+    for g in c.gates():
+        if len(c.inputs(g.index)) == 1:
+            assert g.function in ("not", "buf")
+        else:
+            assert g.function in ("nand", "nor", "and", "or", "xor")
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(n_gates=0, n_inputs=3, n_outputs=1),
+    dict(n_gates=5, n_inputs=0, n_outputs=1),
+    dict(n_gates=5, n_inputs=3, n_outputs=0),
+    dict(n_gates=5, n_inputs=3, n_outputs=6),
+])
+def test_invalid_shapes_rejected(kwargs):
+    with pytest.raises(CircuitError):
+        random_circuit(seed=0, **kwargs)
+
+
+def test_infeasible_wire_budget_rejected():
+    with pytest.raises(CircuitError):
+        random_circuit(10, 3, 2, seed=0, n_wires=8)     # < gates + outputs
+    with pytest.raises(CircuitError):
+        random_circuit(10, 3, 2, seed=0, n_wires=100)   # > 4·gates + outputs
+
+
+def test_target_depth_validation():
+    with pytest.raises(CircuitError):
+        random_circuit(10, 3, 2, seed=0, target_depth=0)

@@ -1,0 +1,52 @@
+"""The ISCAS85-like Table 1 suite."""
+
+import pytest
+
+from repro.circuit import ISCAS85_SPECS, iscas85_circuit, iscas85_suite
+from repro.analysis.paper_data import PAPER_TABLE1
+
+
+def test_specs_match_paper_table1_counts():
+    for name, spec in ISCAS85_SPECS.items():
+        row = PAPER_TABLE1[name]
+        assert spec.gates == row.gates
+        assert spec.wires == row.wires
+        assert spec.total == row.total
+
+
+def test_all_ten_circuits_present():
+    assert len(ISCAS85_SPECS) == 10
+    assert set(ISCAS85_SPECS) == set(PAPER_TABLE1)
+
+
+@pytest.mark.parametrize("name", ["c432", "c880"])
+def test_generated_counts_exact(name):
+    spec = ISCAS85_SPECS[name]
+    c = iscas85_circuit(name)
+    assert c.num_gates == spec.gates
+    assert c.num_wires == spec.wires
+    assert c.num_drivers == spec.inputs
+    assert len(c.primary_output_wires()) == spec.outputs
+
+
+def test_deterministic_by_name():
+    a = iscas85_circuit("c432")
+    b = iscas85_circuit("c432")
+    assert a.edges == b.edges
+
+
+def test_seed_override_changes_topology():
+    a = iscas85_circuit("c432")
+    b = iscas85_circuit("c432", seed=12345)
+    assert a.edges != b.edges
+    assert b.num_wires == ISCAS85_SPECS["c432"].wires  # counts still exact
+
+
+def test_suite_yields_smallest_first():
+    names = [spec.name for spec, _ in iscas85_suite(["c880", "c432", "c499"])]
+    assert names == ["c432", "c880", "c499"]  # by total component count
+
+
+def test_unknown_name_raises():
+    with pytest.raises(KeyError):
+        iscas85_circuit("c9999")

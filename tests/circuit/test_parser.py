@@ -1,0 +1,134 @@
+""".bench parser: format handling and error paths."""
+
+import pytest
+
+from repro.circuit import load_bench, load_bench_text
+from repro.circuit.parser import builtin_bench_path
+from repro.utils.errors import CircuitError
+
+
+def test_c17_counts(c17):
+    assert c17.num_gates == 6        # six NANDs
+    assert c17.num_drivers == 5      # five inputs
+    assert c17.num_wires == 14       # 12 fan-ins + 2 outputs
+    assert len(c17.primary_output_wires()) == 2
+
+
+def test_c17_gate_functions(c17):
+    for gate in c17.gates():
+        assert gate.function == "nand"
+        assert len(c17.inputs(gate.index)) == 2
+
+
+def test_out_of_order_definitions_sorted():
+    text = """
+    INPUT(a)
+    OUTPUT(z)
+    z = NOT(y)
+    y = NOT(a)
+    """
+    c = load_bench_text(text)
+    assert c.num_gates == 2
+
+
+def test_comments_and_blank_lines_ignored():
+    text = """
+    # a comment
+    INPUT(a)   # trailing comment
+
+    OUTPUT(z)
+    z = BUF(a)
+    """
+    c = load_bench_text(text)
+    assert c.num_gates == 1
+    assert c.gates()[0].function == "buf"
+
+
+def test_buff_alias():
+    c = load_bench_text("INPUT(a)\nOUTPUT(z)\nz = BUFF(a)\n")
+    assert c.gates()[0].function == "buf"
+
+
+def test_nary_gates():
+    c = load_bench_text("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(z)\nz = NOR(a, b, c)\n")
+    gate = c.gates()[0]
+    assert len(c.inputs(gate.index)) == 3
+
+
+def test_deterministic_wire_lengths():
+    text = "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n"
+    a = load_bench_text(text, seed=5)
+    b = load_bench_text(text, seed=5)
+    assert [w.length for w in a.wires()] == [w.length for w in b.wires()]
+    c = load_bench_text(text, seed=6)
+    assert [w.length for w in a.wires()] != [w.length for w in c.wires()]
+
+
+def test_cycle_detected():
+    text = "INPUT(a)\nOUTPUT(z)\nz = NOT(y)\ny = NOT(z)\n"
+    with pytest.raises(CircuitError, match="cycle"):
+        load_bench_text(text)
+
+
+def test_undefined_signal_detected():
+    with pytest.raises(CircuitError, match="undefined"):
+        load_bench_text("INPUT(a)\nOUTPUT(z)\nz = NOT(ghost)\n")
+
+
+def test_undefined_output_detected():
+    with pytest.raises(CircuitError, match="undefined"):
+        load_bench_text("INPUT(a)\nOUTPUT(ghost)\ny = NOT(a)\nOUTPUT(y)\n")
+
+
+def test_dff_rejected_by_default():
+    text = "INPUT(a)\nOUTPUT(z)\nq = DFF(a)\nz = NOT(q)\n"
+    with pytest.raises(CircuitError, match="DFF"):
+        load_bench_text(text)
+    c = load_bench_text(text, dff_as_buffer=True)
+    assert {g.function for g in c.gates()} == {"buf", "not"}
+
+
+def test_unsupported_gate_rejected():
+    with pytest.raises(CircuitError, match="unsupported"):
+        load_bench_text("INPUT(a)\nOUTPUT(z)\nz = MAJ3(a, a, a)\n")
+
+
+def test_arity_validation():
+    with pytest.raises(CircuitError):
+        load_bench_text("INPUT(a)\nOUTPUT(z)\nz = NOT(a, a)\n")
+    with pytest.raises(CircuitError):
+        load_bench_text("INPUT(a)\nOUTPUT(z)\nz = NAND(a)\n")
+
+
+def test_duplicate_definition_rejected():
+    with pytest.raises(CircuitError, match="twice"):
+        load_bench_text("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\nz = BUF(a)\n")
+
+
+def test_input_redefined_as_gate_rejected():
+    with pytest.raises(CircuitError):
+        load_bench_text("INPUT(a)\nOUTPUT(a)\na = NOT(a)\n")
+
+
+def test_garbage_line_rejected():
+    with pytest.raises(CircuitError, match="cannot parse"):
+        load_bench_text("INPUT(a)\nOUTPUT(z)\nthis is not bench\nz = NOT(a)\n")
+
+
+def test_missing_io_rejected():
+    with pytest.raises(CircuitError):
+        load_bench_text("OUTPUT(z)\nz = NOT(z)\n")
+    with pytest.raises(CircuitError):
+        load_bench_text("INPUT(a)\n")
+
+
+def test_builtin_path_missing_name():
+    with pytest.raises(CircuitError):
+        builtin_bench_path("c9999")
+
+
+def test_load_bench_from_path(tmp_path):
+    p = tmp_path / "mini.bench"
+    p.write_text("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\n")
+    c = load_bench(p)
+    assert c.name == "mini"

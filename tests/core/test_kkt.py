@@ -1,0 +1,58 @@
+"""Theorem 6 KKT certificate."""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiplierState, OGWSOptimizer, SizingProblem, check_kkt
+from repro.timing import ElmoreEngine
+
+
+@pytest.fixture(scope="module")
+def converged(small_circuit, small_coupling):
+    cc = small_circuit.compile()
+    engine = ElmoreEngine(cc, small_coupling)
+    problem = SizingProblem.from_initial(engine, cc.default_sizes(np.inf))
+    result = OGWSOptimizer(engine, problem, max_iterations=800,
+                           tolerance=0.002).run()
+    return engine, problem, result
+
+
+def test_converged_solution_nearly_satisfies_kkt(converged):
+    engine, problem, result = converged
+    report = check_kkt(engine, problem, result.x, result.multipliers)
+    assert report.flow_conservation < 1e-8
+    assert report.primal_feasibility < 2e-3
+    assert report.multiplier_nonnegativity == 0.0
+    assert report.sizing_fixed_point < 0.05
+    assert report.satisfied(tolerance=0.2)
+
+
+def test_random_point_fails_kkt(converged, rng):
+    engine, problem, result = converged
+    cc = engine.compiled
+    x_bad = cc.default_sizes(1.0)
+    x_bad[cc.is_sizable] = rng.uniform(cc.lower[cc.is_sizable],
+                                       cc.upper[cc.is_sizable])
+    report = check_kkt(engine, problem, x_bad, result.multipliers)
+    assert not report.satisfied(tolerance=0.05)
+    assert report.sizing_fixed_point > 0.05
+
+
+def test_zero_multipliers_fail_fixed_point_unless_at_lower(converged):
+    engine, problem, _ = converged
+    cc = engine.compiled
+    zero = MultiplierState(cc)
+    # With zero multipliers, the fixed point is x = L everywhere.
+    x_low = cc.clip_sizes(np.where(cc.is_sizable, cc.lower, 0.0))
+    report = check_kkt(engine, problem, x_low, zero)
+    assert report.sizing_fixed_point < 1e-9
+    assert report.flow_conservation == 0.0
+
+
+def test_max_residual_is_max(converged):
+    engine, problem, result = converged
+    report = check_kkt(engine, problem, result.x, result.multipliers)
+    fields = [report.flow_conservation, report.complementary_slackness,
+              report.primal_feasibility, report.multiplier_nonnegativity,
+              report.sizing_fixed_point]
+    assert report.max_residual() == max(fields)

@@ -1,0 +1,141 @@
+"""OGWS edge cases and configuration paths."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LagrangianSubproblemSolver,
+    OGWSOptimizer,
+    SizingProblem,
+)
+from repro.timing import ElmoreEngine
+
+
+@pytest.fixture(scope="module")
+def engine(small_circuit, small_coupling):
+    return ElmoreEngine(small_circuit.compile(), small_coupling)
+
+
+@pytest.fixture(scope="module")
+def problem(engine):
+    return SizingProblem.from_initial(
+        engine, engine.compiled.default_sizes(np.inf))
+
+
+def test_history_can_be_disabled(engine, problem):
+    result = OGWSOptimizer(engine, problem, record_history=False,
+                           max_iterations=60).run()
+    assert result.history == []
+    assert result.feasible
+
+
+def test_cold_start_lrs_same_solution(engine, problem):
+    warm = OGWSOptimizer(engine, problem, warm_start_lrs=True,
+                         max_iterations=120).run()
+    cold = OGWSOptimizer(engine, problem, warm_start_lrs=False,
+                         max_iterations=120).run()
+    assert warm.metrics.area_um2 == pytest.approx(cold.metrics.area_um2,
+                                                  rel=0.01)
+
+
+def test_custom_lrs_injected(engine, problem):
+    lrs = LagrangianSubproblemSolver(engine, tolerance=1e-5, max_passes=50)
+    result = OGWSOptimizer(engine, problem, lrs=lrs, max_iterations=80).run()
+    assert result.feasible
+
+
+def test_single_iteration_budget(engine, problem):
+    result = OGWSOptimizer(engine, problem, max_iterations=1).run()
+    assert result.iterations == 1
+    assert not result.converged
+
+
+def test_repair_produces_feasible_blend(engine):
+    """_repair returns a feasible point between anchor and iterate."""
+    from repro.timing.metrics import evaluate_metrics
+
+    cc = engine.compiled
+    # A problem where a fat uniform anchor is certainly feasible: bounds
+    # taken at x = 2 with generous slack.
+    mid_metrics = evaluate_metrics(engine, cc.default_sizes(2.0))
+    problem = SizingProblem(
+        delay_bound_ps=mid_metrics.delay_ps * 1.2,
+        noise_bound_ff=mid_metrics.noise_pf * 1e3 * 1.2,
+        power_cap_bound_ff=mid_metrics.total_cap_ff * 1.2,
+    )
+    opt = OGWSOptimizer(engine, problem)
+    anchor = cc.default_sizes(2.0)
+    assert opt._is_feasible(mid_metrics, anchor)
+    x_bad = cc.default_sizes(0.0)  # min sizes: delay blows the bound
+    assert not opt._is_feasible(evaluate_metrics(engine, x_bad), x_bad)
+    repaired, metrics = opt._repair(x_bad, anchor)
+    assert repaired is not None
+    assert opt._is_feasible(metrics, repaired)
+    # The repair moves off the anchor toward the (cheaper) iterate.
+    anchor_area = float(np.sum(cc.alpha[cc.is_sizable] * anchor[cc.is_sizable]))
+    assert metrics.area_um2 < anchor_area
+
+
+def test_extreme_bounds_do_not_crash(engine):
+    """Absurd bounds terminate cleanly in both directions."""
+    loose = SizingProblem(1e12, 1e12, 1e12)
+    res = OGWSOptimizer(engine, loose, max_iterations=40).run()
+    assert res.feasible
+    cc = engine.compiled
+    np.testing.assert_allclose(res.x[cc.is_sizable], cc.lower[cc.is_sizable])
+
+    hopeless = SizingProblem(1e-9, 1e-9, 1e-9)
+    res = OGWSOptimizer(engine, hopeless, max_iterations=40).run()
+    assert not res.feasible
+    assert res.duality_gap == np.inf
+
+
+def test_tiny_single_gate_circuit():
+    from repro.circuit import CircuitBuilder
+
+    b = CircuitBuilder()
+    a = b.add_input("a")
+    g = b.add_gate("not", [a], name="g")
+    b.set_output(g)
+    circuit = b.build()
+    cc = circuit.compile()
+    engine = ElmoreEngine(cc)
+    problem = SizingProblem.from_initial(
+        engine, cc.default_sizes(np.inf), noise_fraction=1e9)
+    result = OGWSOptimizer(engine, problem, max_iterations=200).run()
+    assert result.feasible
+    assert result.metrics.delay_ps <= problem.delay_bound_ps * 1.001
+
+
+def test_wide_fanin_gate_circuit():
+    from repro.circuit import CircuitBuilder
+
+    b = CircuitBuilder()
+    ins = [b.add_input(f"i{k}") for k in range(4)]
+    g = b.add_gate("nand", ins, name="wide")
+    b.set_output(g)
+    circuit = b.build()
+    engine = ElmoreEngine(circuit.compile())
+    x = circuit.compile().default_sizes(1.0)
+    delays = engine.delays(x)
+    arrival = engine.arrival_times(delays)
+    assert arrival[circuit.sink_index] > 0
+
+
+def test_long_chain_circuit():
+    """A 60-stage inverter chain: deep level schedule, single path."""
+    from repro.circuit import CircuitBuilder
+
+    b = CircuitBuilder()
+    node = b.add_input("a")
+    for k in range(60):
+        node = b.add_gate("not", [node], name=f"inv{k}")
+    b.set_output(node)
+    circuit = b.build()
+    cc = circuit.compile()
+    engine = ElmoreEngine(cc)
+    problem = SizingProblem.from_initial(
+        engine, cc.default_sizes(np.inf), noise_fraction=1e9)
+    result = OGWSOptimizer(engine, problem, max_iterations=300).run()
+    assert result.feasible
+    assert result.converged

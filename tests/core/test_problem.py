@@ -1,0 +1,81 @@
+"""SizingProblem bounds and feasibility."""
+
+import numpy as np
+import pytest
+
+from repro.core import SizingProblem
+from repro.timing import ElmoreEngine, evaluate_metrics
+from repro.utils.errors import ValidationError
+from repro.utils.units import FF_PER_PF
+
+
+@pytest.fixture(scope="module")
+def engine(small_circuit, small_coupling):
+    return ElmoreEngine(small_circuit.compile(), small_coupling)
+
+
+def test_from_initial_reverse_engineers_table1(engine):
+    x = engine.compiled.default_sizes(np.inf)
+    metrics = evaluate_metrics(engine, x)
+    problem = SizingProblem.from_initial(engine, x)
+    assert problem.delay_bound_ps == pytest.approx(1.1 * metrics.delay_ps)
+    assert problem.noise_bound_ff == pytest.approx(
+        0.1 * metrics.noise_pf * FF_PER_PF)
+    assert problem.power_cap_bound_ff == pytest.approx(0.2 * metrics.total_cap_ff)
+
+
+def test_violations_signs(engine):
+    x = engine.compiled.default_sizes(np.inf)
+    problem = SizingProblem.from_initial(engine, x)
+    v = problem.violations(evaluate_metrics(engine, x))
+    # At the initial point: delay under its 1.1x bound, noise/power over.
+    assert v["delay"] < 0
+    assert v["noise"] > 0
+    assert v["power"] > 0
+
+
+def test_is_feasible_tolerance(engine):
+    x = engine.compiled.default_sizes(np.inf)
+    metrics = evaluate_metrics(engine, x)
+    exact = SizingProblem(
+        delay_bound_ps=metrics.delay_ps,
+        noise_bound_ff=metrics.noise_pf * FF_PER_PF,
+        power_cap_bound_ff=metrics.total_cap_ff,
+    )
+    assert exact.is_feasible(metrics, tolerance=1e-9)
+    slightly_tight = SizingProblem(
+        delay_bound_ps=metrics.delay_ps * 0.999,
+        noise_bound_ff=metrics.noise_pf * FF_PER_PF,
+        power_cap_bound_ff=metrics.total_cap_ff,
+    )
+    assert not slightly_tight.is_feasible(metrics, tolerance=1e-6)
+    assert slightly_tight.is_feasible(metrics, tolerance=0.01)
+
+
+def test_from_physical_unit_conversion():
+    from repro.tech import Technology
+
+    tech = Technology.dac99()
+    problem = SizingProblem.from_physical(tech, delay_bound_ps=1000.0,
+                                          noise_bound_pf=5.0,
+                                          power_bound_mw=100.0)
+    assert problem.noise_bound_ff == pytest.approx(5000.0)
+    # P' = P/(V² f): 0.1 W / (3.3² × 2e8) = 4.591e-11 F = 45912 fF.
+    assert problem.power_cap_bound_ff == pytest.approx(
+        0.1 / (3.3 ** 2 * 2e8) / 1e-15, rel=1e-9)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(delay_bound_ps=0.0, noise_bound_ff=1.0, power_cap_bound_ff=1.0),
+    dict(delay_bound_ps=1.0, noise_bound_ff=-1.0, power_cap_bound_ff=1.0),
+    dict(delay_bound_ps=1.0, noise_bound_ff=1.0, power_cap_bound_ff=0.0),
+])
+def test_nonpositive_bounds_rejected(kwargs):
+    with pytest.raises(ValidationError):
+        SizingProblem(**kwargs)
+
+
+def test_from_initial_factor_validation(engine):
+    x = engine.compiled.default_sizes(np.inf)
+    with pytest.raises(ValidationError):
+        SizingProblem.from_initial(engine, x, delay_slack=0.0)

@@ -1,0 +1,64 @@
+"""SizingResult reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import IterationRecord, SizingResult
+from repro.timing.metrics import CircuitMetrics
+
+
+def make_metrics(noise=1.0, delay=100.0, power=10.0, area=1000.0, cap=500.0):
+    return CircuitMetrics(noise_pf=noise, delay_ps=delay, power_mw=power,
+                          area_um2=area, total_cap_ff=cap)
+
+
+@pytest.fixture
+def result():
+    return SizingResult(
+        x=np.array([0.0, 1.0, 2.0]),
+        metrics=make_metrics(noise=0.1, delay=110.0, power=1.0, area=100.0),
+        initial_metrics=make_metrics(),
+        problem=None,
+        converged=True,
+        iterations=12,
+        dual_value=99.0,
+        duality_gap=0.01,
+        feasible=True,
+        history=[],
+        runtime_s=1.5,
+        memory_bytes=2 * 1048576,
+    )
+
+
+def test_improvements_signs(result):
+    imp = result.improvements
+    assert imp["noise"] == pytest.approx(90.0)
+    assert imp["area"] == pytest.approx(90.0)
+    assert imp["power"] == pytest.approx(90.0)
+    assert imp["delay"] == pytest.approx(-10.0)  # got slower
+
+
+def test_summary_contents(result):
+    text = result.summary()
+    assert "converged after 12 iterations" in text
+    assert "feasible" in text and "INFEASIBLE" not in text
+    assert "1.00%" in text          # duality gap
+    assert "2.00 MB" in text        # memory
+    assert "90.0%" in text          # area improvement
+
+
+def test_summary_flags_infeasible(result):
+    result.feasible = False
+    result.converged = False
+    text = result.summary()
+    assert "INFEASIBLE" in text
+    assert "iteration budget reached" in text
+
+
+def test_iteration_record_is_frozen():
+    record = IterationRecord(
+        iteration=1, area_um2=1.0, delay_ps=1.0, noise_pf=1.0, power_mw=1.0,
+        dual_value=0.5, paper_gap=0.5, duality_gap=0.5, feasible=True,
+        lrs_passes=3, step=1.0, beta=0.0, gamma=0.0)
+    with pytest.raises(AttributeError):
+        record.area_um2 = 2.0

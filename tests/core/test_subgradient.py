@@ -1,0 +1,141 @@
+"""Step schedules and multiplier updates (Fig. 9 step A4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConstantStep,
+    HarmonicStep,
+    MultiplierState,
+    MultiplicativeUpdate,
+    SizingProblem,
+    SqrtStep,
+    SubgradientUpdate,
+)
+from repro.core.subgradient import edge_timing_terms
+from repro.timing import ElmoreEngine
+from repro.utils.errors import ValidationError
+
+
+class TestSchedules:
+    def test_paper_conditions(self):
+        """μ_k → 0 and Σ μ_k → ∞ (checked on a long prefix)."""
+        for schedule in (HarmonicStep(1.0), SqrtStep(1.0)):
+            steps = [schedule(k) for k in range(1, 5001)]
+            assert steps[-1] < 0.05
+            assert all(a >= b for a, b in zip(steps, steps[1:]))
+            assert sum(steps) > 8.0
+
+    def test_constant_violates_decay_but_is_constant(self):
+        s = ConstantStep(0.2)
+        assert s(1) == s(1000) == 0.2
+
+    def test_mu0_validated(self):
+        for cls in (HarmonicStep, SqrtStep, ConstantStep):
+            with pytest.raises(ValidationError):
+                cls(0.0)
+
+
+@pytest.fixture(scope="module")
+def setting(small_circuit, small_coupling):
+    cc = small_circuit.compile()
+    engine = ElmoreEngine(cc, small_coupling)
+    x = cc.default_sizes(1.0)
+    delays = engine.delays(x)
+    arrival = engine.arrival_times(delays)
+    problem = SizingProblem(delay_bound_ps=float(arrival[cc.sink]),
+                            noise_bound_ff=100.0, power_cap_bound_ff=1000.0)
+    return cc, engine, arrival, delays, problem
+
+
+class TestEdgeTerms:
+    def test_internal_edges_nonpositive_with_exact_arrivals(self, setting):
+        cc, _, arrival, delays, problem = setting
+        residual, _ = edge_timing_terms(cc, arrival, delays,
+                                        problem.delay_bound_ps)
+        internal = cc.edge_dst != cc.sink
+        assert np.all(residual[internal] <= 1e-9)
+
+    def test_critical_edges_have_zero_residual(self, setting):
+        cc, _, arrival, delays, problem = setting
+        residual, _ = edge_timing_terms(cc, arrival, delays,
+                                        problem.delay_bound_ps)
+        # Every node's arrival is defined by at least one tight in-edge.
+        tight_per_node = np.zeros(cc.num_nodes, dtype=bool)
+        for e in range(cc.num_edges):
+            if abs(residual[e]) < 1e-9:
+                tight_per_node[cc.edge_dst[e]] = True
+        comp = cc.is_sizable | cc.is_driver
+        assert np.all(tight_per_node[comp])
+
+    def test_sink_edges_measure_bound_violation(self, setting):
+        cc, _, arrival, delays, problem = setting
+        half_bound = problem.delay_bound_ps / 2
+        residual, reference = edge_timing_terms(cc, arrival, delays, half_bound)
+        on_sink = cc.edge_dst == cc.sink
+        src = cc.edge_src[on_sink]
+        np.testing.assert_allclose(residual[on_sink], arrival[src] - half_bound)
+        np.testing.assert_allclose(reference[on_sink], half_bound)
+
+
+class TestUpdates:
+    def _apply(self, update, setting, beta0=0.1, gamma0=0.1,
+               power_cap=2000.0, noise=50.0):
+        cc, _, arrival, delays, problem = setting
+        mult = MultiplierState.initial(cc, beta=beta0, gamma=gamma0)
+        before = mult.lam_edge.copy()
+        update.apply(mult, 1, arrival, delays, problem,
+                     power_cap=power_cap, noise=noise)
+        return mult, before
+
+    def test_subgradient_nonnegative_after_update(self, setting):
+        mult, _ = self._apply(SubgradientUpdate(), setting)
+        assert np.all(mult.lam_edge >= 0)
+        assert mult.beta >= 0 and mult.gamma >= 0
+
+    def test_subgradient_beta_direction(self, setting):
+        # power over bound (2000 > 1000) -> β grows; under -> shrinks.
+        over, _ = self._apply(SubgradientUpdate(), setting, power_cap=2000.0)
+        under, _ = self._apply(SubgradientUpdate(), setting, power_cap=500.0)
+        assert over.beta > 0.1
+        assert under.beta < 0.1
+
+    def test_multiplicative_gamma_direction(self, setting):
+        over, _ = self._apply(MultiplicativeUpdate(), setting, noise=200.0)
+        under, _ = self._apply(MultiplicativeUpdate(), setting, noise=50.0)
+        assert over.gamma > 0.1
+        assert under.gamma < 0.1
+
+    def test_multiplicative_keeps_positive_lambda_positive(self, setting):
+        mult, before = self._apply(MultiplicativeUpdate(), setting)
+        positive = before > 0
+        assert np.all(mult.lam_edge[positive] > 0)
+
+    def test_multiplicative_ratio_clipped(self, setting):
+        cc, _, arrival, delays, problem = setting
+        update = MultiplicativeUpdate(schedule=ConstantStep(1.0), ratio_clip=2.0)
+        mult = MultiplierState.initial(cc, beta=1.0, gamma=1.0)
+        update.apply(mult, 1, arrival, delays, problem,
+                     power_cap=1e9, noise=1e9)  # huge violations
+        assert mult.beta <= 2.0 + 1e-12
+        assert mult.gamma <= 2.0 + 1e-12
+
+    def test_ratio_clip_validated(self):
+        with pytest.raises(ValidationError):
+            MultiplicativeUpdate(ratio_clip=1.0)
+
+    def test_noncritical_edges_decay(self, setting):
+        """Edges with slack lose multiplier mass under both rules."""
+        cc, _, arrival, delays, problem = setting
+        residual, reference = edge_timing_terms(cc, arrival, delays,
+                                                problem.delay_bound_ps)
+        slack_edges = np.flatnonzero(residual < -1e-6)
+        if not len(slack_edges):
+            pytest.skip("no slack edges in this circuit")
+        for update in (SubgradientUpdate(), MultiplicativeUpdate()):
+            mult = MultiplierState.initial(cc, beta=0.1, gamma=0.1)
+            before = mult.lam_edge.copy()
+            update.apply(mult, 1, arrival, delays, problem,
+                         power_cap=500.0, noise=50.0)
+            changed = mult.lam_edge[slack_edges] <= before[slack_edges] + 1e-12
+            assert np.all(changed)

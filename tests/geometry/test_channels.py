@@ -1,0 +1,44 @@
+"""Channel grouping."""
+
+import pytest
+
+from repro.geometry import Channel, wires_by_level
+from repro.utils.errors import GeometryError
+
+
+def test_channels_partition_all_wires(small_circuit):
+    channels = wires_by_level(small_circuit)
+    seen = [w for ch in channels for w in ch.wires]
+    expected = sorted(w.index for w in small_circuit.wires())
+    assert sorted(seen) == expected
+
+
+def test_channel_members_share_level(small_circuit):
+    cc = small_circuit.compile()
+    for ch in wires_by_level(small_circuit):
+        levels = {int(cc.level[w]) for w in ch.wires}
+        assert len(levels) == 1
+
+
+def test_channel_reordered():
+    ch = Channel("c", (10, 11, 12))
+    out = ch.reordered([2, 0, 1])
+    assert out.wires == (12, 10, 11)
+    assert out.label == "c"
+
+
+def test_channel_reorder_validates_permutation():
+    ch = Channel("c", (10, 11, 12))
+    with pytest.raises(GeometryError):
+        ch.reordered([0, 0, 1])
+    with pytest.raises(GeometryError):
+        ch.reordered([0, 1])
+
+
+def test_duplicate_wire_rejected():
+    with pytest.raises(GeometryError):
+        Channel("c", (5, 5))
+
+
+def test_len():
+    assert len(Channel("c", (1, 2, 3))) == 3

@@ -1,0 +1,108 @@
+"""Coupling capacitance model and Theorem 1."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.paper_data import PAPER_TRUNCATION_EXAMPLE
+from repro.noise import (
+    coupling_capacitance_exact,
+    coupling_capacitance_taylor,
+    truncation_error_ratio,
+)
+from repro.noise.coupling import taylor_derivative_factor
+from repro.utils.errors import GeometryError
+
+
+class TestExactForm:
+    def test_matches_eq2(self):
+        # ~c/(1−u): u = (1+1)/(2·4) = 0.25 -> c = ~c/0.75.
+        c = coupling_capacitance_exact(3.0, 1.0, 1.0, 4.0)
+        assert c == pytest.approx(3.0 / 0.75)
+
+    def test_monotone_in_sizes(self):
+        c1 = coupling_capacitance_exact(1.0, 0.5, 0.5, 4.0)
+        c2 = coupling_capacitance_exact(1.0, 1.0, 1.0, 4.0)
+        assert c2 > c1
+
+    def test_touching_wires_rejected(self):
+        with pytest.raises(GeometryError):
+            coupling_capacitance_exact(1.0, 4.0, 4.0, 4.0)  # u = 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(GeometryError):
+            coupling_capacitance_exact(1.0, -0.5, 1.0, 4.0)
+
+
+class TestTaylorForm:
+    def test_order2_is_paper_eq3(self):
+        # ~c·(1 + u).
+        c = coupling_capacitance_taylor(3.0, 1.0, 1.0, 4.0, order=2)
+        assert c == pytest.approx(3.0 * 1.25)
+
+    def test_order1_is_constant(self):
+        c = coupling_capacitance_taylor(3.0, 5.0, 5.0, 4.0, order=1)
+        assert c == pytest.approx(3.0)
+
+    def test_converges_to_exact(self):
+        exact = coupling_capacitance_exact(2.0, 0.6, 0.6, 4.0)
+        approx = coupling_capacitance_taylor(2.0, 0.6, 0.6, 4.0, order=30)
+        assert approx == pytest.approx(exact, rel=1e-12)
+
+    def test_increasing_order_tightens_from_below(self):
+        vals = [coupling_capacitance_taylor(1.0, 1.0, 1.0, 4.0, order=k)
+                for k in range(1, 8)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+        assert vals[-1] < coupling_capacitance_exact(1.0, 1.0, 1.0, 4.0)
+
+    def test_vectorized(self):
+        xi = np.array([0.5, 1.0, 2.0])
+        out = coupling_capacitance_taylor(1.0, xi, 1.0, 4.0, order=2)
+        assert out.shape == (3,)
+        assert np.all(np.diff(out) > 0)
+
+    def test_order_validated(self):
+        with pytest.raises(GeometryError):
+            coupling_capacitance_taylor(1.0, 1.0, 1.0, 4.0, order=0)
+
+
+class TestTheorem1:
+    def test_error_ratio_is_u_to_the_k(self):
+        u = 0.3
+        for k in (1, 2, 3, 5):
+            assert truncation_error_ratio(u, k) == pytest.approx(u ** k)
+
+    def test_error_ratio_matches_definition(self):
+        """(f − f̂)/f must equal uᵏ exactly."""
+        u = 0.37
+        for k in (2, 3, 4):
+            f = 1.0 / (1.0 - u)
+            fhat = sum(u ** n for n in range(k))
+            assert (f - fhat) / f == pytest.approx(truncation_error_ratio(u, k))
+
+    def test_paper_in_text_numbers(self):
+        """At u = 0.25 the paper quotes <6.3%, 1.6%, 0.4%, 0.1% for k=2..5."""
+        for k, bound in PAPER_TRUNCATION_EXAMPLE.items():
+            assert truncation_error_ratio(0.25, k) <= bound + 1e-12
+
+    def test_requires_u_below_one(self):
+        with pytest.raises(GeometryError):
+            truncation_error_ratio(1.0, 2)
+
+
+class TestDerivativeFactor:
+    def test_order2_factor_is_one(self):
+        """k = 2 gives the constant slope ĉ_ij — the paper's closed form."""
+        assert taylor_derivative_factor(0.77, 2) == pytest.approx(1.0)
+        assert taylor_derivative_factor(0.0, 2) == pytest.approx(1.0)
+
+    def test_matches_numeric_derivative(self):
+        d, ctilde = 4.0, 2.0
+        for order in (2, 3, 5):
+            x_j = 0.8
+            def cap(x_i):
+                return coupling_capacitance_taylor(ctilde, x_i, x_j, d, order)
+            h = 1e-7
+            numeric = (cap(1.0 + h) - cap(1.0 - h)) / (2 * h)
+            u = (1.0 + x_j) / (2 * d)
+            analytic = (ctilde / (2 * d)) * taylor_derivative_factor(u, order)
+            assert analytic == pytest.approx(numeric, rel=1e-6)

@@ -1,0 +1,148 @@
+"""CouplingSet evaluation (the sizing engine's coupling arrays)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import ChannelLayout, CouplingPair
+from repro.noise import CouplingSet, MillerMode, SimilarityAnalyzer
+from repro.noise.coupling import coupling_capacitance_taylor
+from repro.utils.errors import GeometryError
+
+
+def two_pair_set(order=2, weights=(1.0, 1.0)):
+    pairs = [
+        CouplingPair(i=1, j=2, overlap=100.0, distance=2.0, unit_fringe=0.5),
+        CouplingPair(i=2, j=3, overlap=80.0, distance=2.0, unit_fringe=0.5),
+    ]
+    return CouplingSet(5, pairs, weights=np.array(weights), order=order)
+
+
+class TestEvaluation:
+    def test_pair_caps_match_scalar_model(self):
+        cs = two_pair_set()
+        x = np.array([0.0, 1.0, 2.0, 0.5, 0.0])
+        caps = cs.pair_caps(x)
+        for p in range(2):
+            i, j = cs.pair_i[p], cs.pair_j[p]
+            expected = coupling_capacitance_taylor(
+                cs.ctilde[p], x[i], x[j], cs.distance[p], order=2)
+            assert caps[p] == pytest.approx(expected)
+
+    def test_total_is_sum(self):
+        cs = two_pair_set()
+        x = np.ones(5)
+        assert cs.total(x) == pytest.approx(np.sum(cs.pair_caps(x)))
+
+    def test_exact_total_exceeds_taylor(self):
+        cs = two_pair_set()
+        x = np.full(5, 0.5)
+        assert cs.total(x, exact=True) > cs.total(x)
+
+    def test_weights_scale_linearly(self):
+        x = np.ones(5)
+        base = two_pair_set(weights=(1.0, 1.0)).total(x)
+        doubled = two_pair_set(weights=(2.0, 2.0)).total(x)
+        assert doubled == pytest.approx(2 * base)
+
+    def test_zero_weight_pairs_dropped(self):
+        cs = two_pair_set(weights=(1.0, 0.0))
+        assert cs.num_pairs == 1
+
+    def test_empty_set(self):
+        cs = CouplingSet.empty(10)
+        assert cs.total(np.ones(10)) == 0.0
+        cap_sum, dx_sum = cs.node_sums(np.ones(10))
+        assert not cap_sum.any() and not dx_sum.any()
+
+
+class TestNodeSums:
+    def test_order2_matches_paper_constants(self):
+        """For k=2: cap_sum_i = Σ(~c + ĉ·x_j), dx_sum_i = Σ ĉ."""
+        cs = two_pair_set(order=2)
+        x = np.array([0.0, 1.5, 0.7, 2.0, 0.0])
+        cap_sum, dx_sum = cs.node_sums(x)
+        # Node 1 touches pair 0 only.
+        assert dx_sum[1] == pytest.approx(cs.chat[0])
+        assert cap_sum[1] == pytest.approx(cs.ctilde[0] + cs.chat[0] * x[2])
+        # Node 2 touches both pairs.
+        assert dx_sum[2] == pytest.approx(cs.chat[0] + cs.chat[1])
+        assert cap_sum[2] == pytest.approx(
+            cs.ctilde[0] + cs.chat[0] * x[1] + cs.ctilde[1] + cs.chat[1] * x[3])
+
+    def test_dx_sum_matches_numeric_gradient_any_order(self):
+        for order in (2, 3, 4):
+            cs = two_pair_set(order=order)
+            x = np.array([0.0, 1.2, 0.9, 1.7, 0.0])
+            _, dx_sum = cs.node_sums(x)
+            h = 1e-7
+            for node in (1, 2, 3):
+                xp, xm = x.copy(), x.copy()
+                xp[node] += h
+                xm[node] -= h
+                numeric = (cs.total(xp) - cs.total(xm)) / (2 * h)
+                assert dx_sum[node] == pytest.approx(numeric, rel=1e-5)
+
+    def test_cap_sum_is_coupling_minus_own_linear_part(self):
+        for order in (2, 3):
+            cs = two_pair_set(order=order)
+            x = np.array([0.0, 1.2, 0.9, 1.7, 0.0])
+            cap_sum, dx_sum = cs.node_sums(x)
+            caps_by_node = cs.node_coupling_caps(x)
+            np.testing.assert_allclose(cap_sum, caps_by_node - x * dx_sum)
+
+    def test_node_coupling_caps_counts_both_endpoints(self):
+        cs = two_pair_set()
+        x = np.ones(5)
+        caps = cs.pair_caps(x)
+        by_node = cs.node_coupling_caps(x)
+        assert by_node[1] == pytest.approx(caps[0])
+        assert by_node[2] == pytest.approx(caps[0] + caps[1])
+        assert by_node[3] == pytest.approx(caps[1])
+
+
+class TestFromLayout:
+    def test_similarity_weighted_build(self, small_circuit):
+        ana = SimilarityAnalyzer(small_circuit, n_patterns=64, seed=0)
+        layout = ChannelLayout.from_levels(small_circuit)
+        cs = CouplingSet.from_layout(layout, ana, MillerMode.SIMILARITY)
+        assert cs.num_nodes == small_circuit.num_nodes
+        assert np.all(cs.weight >= 0) and np.all(cs.weight <= 2.0 + 1e-9)
+
+    def test_worst_mode_weights_are_two(self, small_circuit):
+        layout = ChannelLayout.from_levels(small_circuit)
+        cs = CouplingSet.from_layout(layout, mode=MillerMode.WORST)
+        np.testing.assert_allclose(cs.weight, 2.0)
+
+    def test_worst_dominates_similarity(self, small_circuit):
+        ana = SimilarityAnalyzer(small_circuit, n_patterns=64, seed=0)
+        layout = ChannelLayout.from_levels(small_circuit)
+        sim = CouplingSet.from_layout(layout, ana, MillerMode.SIMILARITY)
+        worst = CouplingSet.from_layout(layout, mode=MillerMode.WORST)
+        x = small_circuit.compile().default_sizes(1.0)
+        assert worst.total(x) >= sim.total(x)
+
+    def test_similarity_mode_requires_analyzer(self, small_circuit):
+        layout = ChannelLayout.from_levels(small_circuit)
+        with pytest.raises(GeometryError):
+            CouplingSet.from_layout(layout, analyzer=None,
+                                    mode=MillerMode.SIMILARITY)
+
+
+class TestValidation:
+    def test_order_below_two_rejected(self):
+        with pytest.raises(GeometryError):
+            two_pair_set(order=1)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GeometryError):
+            two_pair_set(weights=(-0.5, 1.0))
+
+    def test_weight_shape_checked(self):
+        pairs = [CouplingPair(i=1, j=2, overlap=1.0, distance=1.0, unit_fringe=1.0)]
+        with pytest.raises(GeometryError):
+            CouplingSet(5, pairs, weights=np.ones(3))
+
+    def test_endpoint_range_checked(self):
+        pairs = [CouplingPair(i=1, j=9, overlap=1.0, distance=1.0, unit_fringe=1.0)]
+        with pytest.raises(GeometryError):
+            CouplingSet(5, pairs)

@@ -1,0 +1,56 @@
+"""Miller / anti-Miller weighting."""
+
+import numpy as np
+import pytest
+
+from repro.noise import MillerMode, miller_weight
+from repro.utils.errors import GeometryError
+
+
+def test_similarity_mode_interpolates_miller_endpoints():
+    # Opposite switching (s = −1) -> Miller factor 2; same (s = +1) -> 0.
+    assert miller_weight(-1.0) == pytest.approx(2.0)
+    assert miller_weight(1.0) == pytest.approx(0.0)
+    assert miller_weight(0.0) == pytest.approx(1.0)
+
+
+def test_worst_mode_always_two():
+    s = np.linspace(-1, 1, 5)
+    np.testing.assert_allclose(miller_weight(s, MillerMode.WORST), 2.0)
+
+
+def test_physical_mode_always_one():
+    s = np.linspace(-1, 1, 5)
+    np.testing.assert_allclose(miller_weight(s, MillerMode.PHYSICAL), 1.0)
+
+
+def test_literal_mode_clips_at_zero():
+    assert miller_weight(0.7, MillerMode.LITERAL) == pytest.approx(0.7)
+    assert miller_weight(-0.7, MillerMode.LITERAL) == 0.0
+
+
+def test_mode_accepts_strings():
+    assert miller_weight(0.5, "worst") == 2.0
+    assert miller_weight(0.5, "similarity") == pytest.approx(0.5)
+
+
+def test_vectorized_returns_array():
+    out = miller_weight(np.array([-1.0, 0.0, 1.0]))
+    np.testing.assert_allclose(out, [2.0, 1.0, 0.0])
+
+
+def test_scalar_returns_float():
+    assert isinstance(miller_weight(0.25), float)
+
+
+def test_out_of_range_similarity_rejected():
+    with pytest.raises(GeometryError):
+        miller_weight(1.5)
+    with pytest.raises(GeometryError):
+        miller_weight(np.array([0.0, -1.2]))
+
+
+def test_weights_are_nonnegative_for_all_modes():
+    s = np.linspace(-1, 1, 21)
+    for mode in MillerMode:
+        assert np.all(miller_weight(s, mode) >= 0.0)

@@ -1,0 +1,69 @@
+"""Per-net crosstalk reporting."""
+
+import numpy as np
+import pytest
+
+from repro.noise.report import noise_report, victim_records
+from repro.utils.errors import GeometryError
+
+
+@pytest.fixture(scope="module")
+def setting(small_circuit, small_coupling):
+    x = small_circuit.compile().default_sizes(1.0)
+    return small_circuit, small_coupling, x
+
+
+def test_records_sorted_descending(setting):
+    circuit, coupling, x = setting
+    records = victim_records(circuit, coupling, x)
+    noises = [r.noise_ff for r in records]
+    assert noises == sorted(noises, reverse=True)
+
+
+def test_totals_match_coupling_set(setting):
+    circuit, coupling, x = setting
+    records = victim_records(circuit, coupling, x)
+    assert sum(r.noise_ff for r in records) == pytest.approx(coupling.total(x))
+
+
+def test_owners_match_dominating_index(setting):
+    circuit, coupling, x = setting
+    owners = {int(o) for o in coupling.owner}
+    assert {r.net for r in victim_records(circuit, coupling, x)} == owners
+
+
+def test_worst_pair_is_largest(setting):
+    circuit, coupling, x = setting
+    records = victim_records(circuit, coupling, x)
+    caps = coupling.pair_caps(x)
+    for record in records[:5]:
+        owned = [float(caps[p]) for p in range(coupling.num_pairs)
+                 if int(coupling.owner[p]) == record.net]
+        assert record.worst_pair[1] == pytest.approx(max(owned))
+
+
+def test_utilization_with_bounds(setting):
+    circuit, coupling, x = setting
+    bounds = np.full(circuit.num_nodes, np.inf)
+    records = victim_records(circuit, coupling, x)
+    target = records[0]
+    bounds[target.net] = target.noise_ff * 2.0
+    updated = victim_records(circuit, coupling, x, bounds=bounds)
+    record = next(r for r in updated if r.net == target.net)
+    assert record.utilization == pytest.approx(0.5)
+
+
+def test_report_renders(setting):
+    circuit, coupling, x = setting
+    text = noise_report(circuit, coupling, x, top=5)
+    assert "victim net" in text
+    assert "total weighted crosstalk" in text
+    # Top row is the worst victim.
+    records = victim_records(circuit, coupling, x)
+    assert records[0].name in text
+
+
+def test_mismatched_coupling_rejected(setting, figure1_circuit):
+    _, coupling, x = setting
+    with pytest.raises(GeometryError):
+        victim_records(figure1_circuit, coupling, x)

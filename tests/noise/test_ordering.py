@@ -1,0 +1,146 @@
+"""Wire-ordering algorithms for the SS problem."""
+
+import numpy as np
+import pytest
+
+from repro.noise import (
+    exact_ordering,
+    ordering_cost,
+    random_ordering,
+    two_opt_improve,
+    woss_ordering,
+)
+from repro.noise.ordering import brute_force_ordering, greedy_both_ends
+from repro.utils.errors import GeometryError
+
+
+def random_weights(n, seed):
+    rng = np.random.default_rng(seed)
+    w = rng.random((n, n))
+    w = (w + w.T) / 2
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+class TestCost:
+    def test_sums_adjacent_weights(self):
+        w = random_weights(4, 0)
+        order = [2, 0, 3, 1]
+        assert ordering_cost(order, w) == pytest.approx(
+            w[2, 0] + w[0, 3] + w[3, 1])
+
+    def test_reversal_invariant(self):
+        w = random_weights(6, 1)
+        order = random_ordering(6, seed=0)
+        assert ordering_cost(order, w) == pytest.approx(
+            ordering_cost(order[::-1], w))
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(GeometryError):
+            ordering_cost([0, 0, 1], random_weights(3, 0))
+
+
+class TestWoss:
+    def test_returns_permutation(self):
+        for n in (1, 2, 3, 8, 15):
+            order = woss_ordering(random_weights(n, n))
+            assert sorted(order) == list(range(n))
+
+    def test_starts_with_global_minimum_edge(self):
+        """Fig. 7 step A1: the first two tracks carry the min-weight edge."""
+        w = random_weights(7, 3)
+        order = woss_ordering(w)
+        masked = w.copy()
+        np.fill_diagonal(masked, np.inf)
+        assert w[order[0], order[1]] == pytest.approx(masked.min())
+
+    def test_extends_from_tail_greedily(self):
+        """Fig. 7 step A2: each extension is the tail's cheapest unvisited."""
+        w = random_weights(9, 4)
+        order = woss_ordering(w)
+        visited = set(order[:2])
+        for k in range(2, len(order)):
+            tail = order[k - 1]
+            cheapest = min((w[tail, j], j) for j in range(9) if j not in visited)
+            assert order[k] == cheapest[1]
+            visited.add(order[k])
+
+    def test_optimal_on_chain_structure(self):
+        """A metric chain 0-1-2-3 with tiny adjacent weights."""
+        n = 5
+        w = np.abs(np.subtract.outer(np.arange(n), np.arange(n))).astype(float)
+        order = woss_ordering(w)
+        assert ordering_cost(order, w) == pytest.approx(n - 1)
+
+    def test_asymmetric_rejected(self):
+        w = random_weights(4, 5)
+        w[0, 1] += 1.0
+        with pytest.raises(GeometryError):
+            woss_ordering(w)
+
+
+class TestExact:
+    @pytest.mark.parametrize("n,seed", [(2, 0), (4, 1), (6, 2), (8, 3)])
+    def test_matches_brute_force(self, n, seed):
+        w = random_weights(n, seed)
+        hk = exact_ordering(w)
+        bf = brute_force_ordering(w)
+        assert ordering_cost(hk, w) == pytest.approx(ordering_cost(bf, w))
+
+    def test_never_worse_than_heuristics(self):
+        for seed in range(6):
+            w = random_weights(9, seed + 10)
+            opt = ordering_cost(exact_ordering(w), w)
+            assert opt <= ordering_cost(woss_ordering(w), w) + 1e-12
+            assert opt <= ordering_cost(greedy_both_ends(w), w) + 1e-12
+            assert opt <= ordering_cost(random_ordering(9, seed), w) + 1e-12
+
+    def test_size_guard(self):
+        with pytest.raises(GeometryError):
+            exact_ordering(random_weights(20, 0))
+        with pytest.raises(GeometryError):
+            brute_force_ordering(random_weights(12, 0))
+
+
+class TestTwoOpt:
+    def test_never_increases_cost(self):
+        for seed in range(5):
+            w = random_weights(12, seed + 20)
+            start = random_ordering(12, seed)
+            improved = two_opt_improve(start, w)
+            assert ordering_cost(improved, w) <= ordering_cost(start, w) + 1e-12
+
+    def test_fixes_obvious_crossing(self):
+        # Chain metric with a swap: 2-opt must recover the sorted order cost.
+        n = 6
+        w = np.abs(np.subtract.outer(np.arange(n), np.arange(n))).astype(float)
+        bad = [0, 3, 2, 1, 4, 5]
+        improved = two_opt_improve(bad, w)
+        assert ordering_cost(improved, w) == pytest.approx(n - 1)
+
+    def test_permutation_validated(self):
+        with pytest.raises(GeometryError):
+            two_opt_improve([0, 0, 1], random_weights(3, 0))
+
+
+class TestRandom:
+    def test_is_permutation_and_seeded(self):
+        a = random_ordering(10, seed=4)
+        assert sorted(a) == list(range(10))
+        assert a == random_ordering(10, seed=4)
+        assert a != random_ordering(10, seed=5)
+
+    def test_n_validated(self):
+        with pytest.raises(GeometryError):
+            random_ordering(0)
+
+
+def test_woss_quality_on_random_ensemble():
+    """WOSS should usually beat random and sit near 2-opt quality."""
+    woss_wins = 0
+    for seed in range(20):
+        w = random_weights(10, seed + 40)
+        if ordering_cost(woss_ordering(w), w) <= ordering_cost(
+                random_ordering(10, seed), w):
+            woss_wins += 1
+    assert woss_wins >= 15

@@ -1,0 +1,91 @@
+"""Switching similarity (Sec. 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.noise import (
+    SimilarityAnalyzer,
+    similarity_from_values,
+    similarity_from_waveforms,
+)
+from repro.simulate import Waveform, random_patterns, simulate_levelized
+from repro.utils.errors import SimulationError
+
+
+class TestFromValues:
+    def test_bounds_and_diagonal(self):
+        rng = np.random.default_rng(0)
+        values = rng.random((6, 40)) < 0.5
+        s = similarity_from_values(values)
+        assert np.all(s <= 1.0 + 1e-12) and np.all(s >= -1.0 - 1e-12)
+        np.testing.assert_allclose(np.diag(s), 1.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(1)
+        s = similarity_from_values(rng.random((5, 30)) < 0.5)
+        np.testing.assert_allclose(s, s.T)
+
+    def test_identical_rows_have_similarity_one(self):
+        values = np.array([[1, 0, 1], [1, 0, 1]], dtype=bool)
+        assert similarity_from_values(values)[0, 1] == pytest.approx(1.0)
+
+    def test_inverted_rows_have_similarity_minus_one(self):
+        values = np.array([[1, 0, 1], [0, 1, 0]], dtype=bool)
+        assert similarity_from_values(values)[0, 1] == pytest.approx(-1.0)
+
+    def test_definition_agree_minus_disagree(self):
+        values = np.array([[1, 1, 0, 0], [1, 0, 0, 1]], dtype=bool)
+        # 2 agreements, 2 disagreements over 4 cycles.
+        assert similarity_from_values(values)[0, 1] == pytest.approx(0.0)
+
+    def test_index_selection(self):
+        values = np.array([[1, 1], [0, 0], [1, 1]], dtype=bool)
+        s = similarity_from_values(values, indices=[0, 2])
+        assert s.shape == (2, 2)
+        assert s[0, 1] == pytest.approx(1.0)
+
+    def test_empty_patterns_rejected(self):
+        with pytest.raises(SimulationError):
+            similarity_from_values(np.zeros((3, 0), dtype=bool))
+
+
+class TestFromWaveforms:
+    def test_agrees_with_value_form_on_cycle_waveforms(self):
+        rng = np.random.default_rng(2)
+        bits = rng.random((4, 60)) < 0.5
+        s_vals = similarity_from_values(bits)
+        waves = [Waveform.from_bits(row) for row in bits]
+        s_wave = similarity_from_waveforms(waves)
+        np.testing.assert_allclose(s_vals, s_wave, atol=1e-12)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            similarity_from_waveforms([])
+
+
+class TestAnalyzer:
+    def test_wire_similarity_to_driver_is_one(self, small_circuit):
+        ana = SimilarityAnalyzer(small_circuit, n_patterns=64, seed=0)
+        wire = small_circuit.wires()[0]
+        parent = small_circuit.inputs(wire.index)[0]
+        assert ana.pair(wire.index, parent) == pytest.approx(1.0)
+
+    def test_matrix_matches_manual_computation(self, small_circuit):
+        pats = random_patterns(small_circuit.num_drivers, 48, seed=9)
+        ana = SimilarityAnalyzer(small_circuit, patterns=pats)
+        vals = simulate_levelized(small_circuit, pats)
+        idx = [w.index for w in small_circuit.wires()[:5]]
+        np.testing.assert_allclose(ana.matrix(idx),
+                                   similarity_from_values(vals, idx))
+
+    def test_default_patterns_seeded(self, small_circuit):
+        a = SimilarityAnalyzer(small_circuit, n_patterns=32, seed=3)
+        b = SimilarityAnalyzer(small_circuit, n_patterns=32, seed=3)
+        np.testing.assert_array_equal(a.patterns, b.patterns)
+
+    def test_toggle_rate(self, small_circuit):
+        ana = SimilarityAnalyzer(small_circuit, n_patterns=128, seed=0)
+        rate = ana.toggle_rate(1)  # a driver
+        assert 0.0 <= rate <= 1.0
+        # Random patterns toggle drivers about half the time.
+        assert 0.3 < rate < 0.7

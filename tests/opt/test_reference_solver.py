@@ -1,0 +1,62 @@
+"""SciPy reference solution of PP (optimality certification)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import random_circuit
+from repro.core import NoiseAwareSizingFlow
+from repro.opt import solve_reference
+from repro.opt.reference import compare_with_reference, reference_metrics
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def tiny_flow():
+    circuit = random_circuit(10, 4, 2, seed=5, target_depth=5)
+    flow = NoiseAwareSizingFlow(
+        circuit, n_patterns=64,
+        optimizer_options={"max_iterations": 600, "tolerance": 0.003})
+    return flow.run()
+
+
+def test_reference_solution_feasible(tiny_flow):
+    ref = solve_reference(tiny_flow.engine, tiny_flow.problem)
+    from repro.timing.metrics import evaluate_metrics
+
+    metrics = evaluate_metrics(tiny_flow.engine, ref.x)
+    v = tiny_flow.problem.violations(metrics)
+    assert all(val <= 5e-3 for val in v.values())
+
+
+def test_ogws_matches_reference_area(tiny_flow):
+    """Theorem 7 empirically: OGWS's area within ~2% of the NLP optimum."""
+    rel, ref = compare_with_reference(tiny_flow.engine, tiny_flow.problem,
+                                      tiny_flow.sizing)
+    assert ref.area_um2 > 0
+    assert abs(rel) < 0.02
+
+
+def test_reference_never_much_better_than_dual(tiny_flow):
+    """Weak duality check: reference area ≥ best dual bound."""
+    ref = solve_reference(tiny_flow.engine, tiny_flow.problem)
+    assert ref.area_um2 >= tiny_flow.sizing.dual_value * (1 - 1e-6)
+
+
+def test_reference_metrics_helper(tiny_flow):
+    ref = solve_reference(tiny_flow.engine, tiny_flow.problem)
+    m = reference_metrics(tiny_flow.engine, ref)
+    assert m.area_um2 == pytest.approx(ref.area_um2, rel=1e-9)
+
+
+def test_size_guard(small_flow_result):
+    with pytest.raises(ValidationError):
+        solve_reference(small_flow_result.engine, small_flow_result.problem,
+                        max_components=5)
+
+
+def test_solution_respects_box(tiny_flow):
+    ref = solve_reference(tiny_flow.engine, tiny_flow.problem)
+    cc = tiny_flow.engine.compiled
+    mask = cc.is_sizable
+    assert np.all(ref.x[mask] >= cc.lower[mask] - 1e-9)
+    assert np.all(ref.x[mask] <= cc.upper[mask] + 1e-9)

@@ -1,0 +1,58 @@
+"""Property-based tests on the coupling model (Theorem 1 territory)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.noise import (
+    coupling_capacitance_exact,
+    coupling_capacitance_taylor,
+    truncation_error_ratio,
+)
+
+sizes = st.floats(0.0, 3.0)
+distances = st.floats(4.0, 20.0)
+ctildes = st.floats(0.01, 10.0)
+orders = st.integers(2, 6)
+
+
+@settings(max_examples=80, deadline=None)
+@given(c=ctildes, xi=sizes, xj=sizes, d=distances, k=orders)
+def test_taylor_below_exact_and_positive(c, xi, xj, d, k):
+    approx = coupling_capacitance_taylor(c, xi, xj, d, order=k)
+    exact = coupling_capacitance_exact(c, xi, xj, d)
+    assert 0.0 < approx <= exact + 1e-12
+
+
+@settings(max_examples=80, deadline=None)
+@given(c=ctildes, xi=sizes, xj=sizes, d=distances, k=orders)
+def test_theorem1_error_ratio_exact(c, xi, xj, d, k):
+    """(exact − taylor)/exact == uᵏ — Theorem 1(2) verbatim."""
+    u = (xi + xj) / (2 * d)
+    approx = coupling_capacitance_taylor(c, xi, xj, d, order=k)
+    exact = coupling_capacitance_exact(c, xi, xj, d)
+    assert abs((exact - approx) / exact - truncation_error_ratio(u, k)) < 1e-10
+
+
+@settings(max_examples=80, deadline=None)
+@given(c=ctildes, xi=sizes, xj=sizes, d=distances, k=orders)
+def test_symmetry_in_wire_pair(c, xi, xj, d, k):
+    a = coupling_capacitance_taylor(c, xi, xj, d, order=k)
+    b = coupling_capacitance_taylor(c, xj, xi, d, order=k)
+    assert abs(a - b) < 1e-12
+
+
+@settings(max_examples=80, deadline=None)
+@given(c=ctildes, xi=sizes, xj=sizes, d=distances, k=orders,
+       bump=st.floats(0.01, 1.0))
+def test_monotone_in_size(c, xi, xj, d, k, bump):
+    base = coupling_capacitance_taylor(c, xi, xj, d, order=k)
+    bigger = coupling_capacitance_taylor(c, xi + bump, xj, d, order=k)
+    assert bigger > base
+
+
+@settings(max_examples=80, deadline=None)
+@given(c=ctildes, xi=sizes, xj=sizes, d=distances, k=orders)
+def test_order_monotone(c, xi, xj, d, k):
+    lower = coupling_capacitance_taylor(c, xi, xj, d, order=k)
+    higher = coupling_capacitance_taylor(c, xi, xj, d, order=k + 1)
+    assert higher >= lower - 1e-12

@@ -1,0 +1,74 @@
+"""Property-based tests on waveforms and similarity (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.noise import similarity_from_values
+from repro.simulate import Waveform
+
+bit_rows = hnp.arrays(dtype=bool, shape=st.integers(1, 60))
+
+
+@st.composite
+def bit_matrix(draw):
+    rows = draw(st.integers(2, 6))
+    cols = draw(st.integers(1, 40))
+    return draw(hnp.arrays(dtype=bool, shape=(rows, cols)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(bits=bit_rows)
+def test_similarity_with_self_is_one(bits):
+    w = Waveform.from_bits(bits)
+    assert abs(w.similarity(w) - 1.0) < 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(bits=bit_rows)
+def test_similarity_with_inverse_is_minus_one(bits):
+    a = Waveform.from_bits(bits)
+    b = Waveform.from_bits(~bits)
+    assert abs(a.similarity(b) + 1.0) < 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(m=bit_matrix())
+def test_similarity_matrix_is_valid_correlation(m):
+    s = similarity_from_values(m)
+    assert np.all(s >= -1.0 - 1e-12) and np.all(s <= 1.0 + 1e-12)
+    assert np.allclose(s, s.T)
+    assert np.allclose(np.diag(s), 1.0)
+    # PSD up to rounding (it is a Gram matrix of ±1 rows / n).
+    eigenvalues = np.linalg.eigvalsh(s)
+    assert eigenvalues.min() > -1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(m=bit_matrix())
+def test_value_and_waveform_similarity_agree(m):
+    s_vals = similarity_from_values(m)
+    waves = [Waveform.from_bits(row) for row in m]
+    for a in range(len(waves)):
+        for b in range(a + 1, len(waves)):
+            assert abs(waves[a].similarity(waves[b]) - s_vals[a, b]) < 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(bits=bit_rows, cycle=st.floats(0.1, 10.0))
+def test_cycle_scaling_does_not_change_similarity(bits, cycle):
+    a1 = Waveform.from_bits(bits, cycle=1.0)
+    a2 = Waveform.from_bits(bits, cycle=cycle)
+    b1 = Waveform.from_bits(np.roll(bits, 1), cycle=1.0)
+    b2 = Waveform.from_bits(np.roll(bits, 1), cycle=cycle)
+    assert abs(a1.similarity(b1) - a2.similarity(b2)) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(bits=bit_rows)
+def test_transition_count_bounded_by_length(bits):
+    w = Waveform.from_bits(bits)
+    assert 0 <= w.num_transitions < len(bits)
+    # Duration always covers all transitions.
+    assert w.times[-1] < w.duration + 1e-12

@@ -1,0 +1,108 @@
+"""Event-driven unit-delay simulation."""
+
+import numpy as np
+import pytest
+
+from repro.simulate import EventDrivenSimulator, random_patterns, simulate_levelized
+from repro.utils.errors import SimulationError
+
+
+def settled_agrees_with_levelized(circuit, n_patterns=25, seed=0):
+    pats = random_patterns(circuit.num_drivers, n_patterns, seed=seed)
+    lv = simulate_levelized(circuit, pats)
+    sim = EventDrivenSimulator(circuit)
+    waves = sim.run(pats)
+    T = sim.cycle_length
+    for node in circuit.components():
+        w = waves[node.index]
+        for p in range(n_patterns):
+            expected = 1 if lv[node.index, p] else -1
+            if w.at((p + 1) * T - 1e-9) != expected:
+                return False, node.name, p
+    return True, None, None
+
+
+def test_settles_to_levelized_c17(c17):
+    ok, name, p = settled_agrees_with_levelized(c17)
+    assert ok, f"{name} disagrees at pattern {p}"
+
+
+def test_settles_to_levelized_random(small_circuit):
+    ok, name, p = settled_agrees_with_levelized(small_circuit, n_patterns=15)
+    assert ok, f"{name} disagrees at pattern {p}"
+
+
+def test_glitch_captured():
+    """A NAND with reconverging inverted input glitches on 1->1."""
+    from repro.circuit import CircuitBuilder
+
+    b = CircuitBuilder()
+    a = b.add_input("a")
+    inv = b.add_gate("not", [a], name="inv")
+    g = b.add_gate("and", [a, inv], name="g")  # statically 0, glitches high
+    b.set_output(g)
+    c = b.build()
+    pats = np.array([[0], [1], [0], [1]], dtype=bool)
+    sim = EventDrivenSimulator(c, gate_delay=1.0, wire_delay=0.0)
+    waves = sim.run(pats)
+    gw = waves[c.node_by_name("g").index]
+    # Steady value is always -1, but rising inputs produce transient +1s.
+    assert gw.values[0] == -1
+    assert gw.num_transitions >= 2
+    assert (gw.values == 1).any()
+
+
+def test_levelized_view_misses_that_glitch():
+    from repro.circuit import CircuitBuilder
+
+    b = CircuitBuilder()
+    a = b.add_input("a")
+    inv = b.add_gate("not", [a], name="inv")
+    g = b.add_gate("and", [a, inv], name="g")
+    b.set_output(g)
+    c = b.build()
+    pats = np.array([[0], [1], [0], [1]], dtype=bool)
+    lv = simulate_levelized(c, pats)
+    assert not lv[c.node_by_name("g").index].any()
+
+
+def test_waveform_durations_uniform(c17):
+    pats = random_patterns(5, 10, seed=4)
+    sim = EventDrivenSimulator(c17)
+    waves = sim.run(pats)
+    durations = {w.duration for w in waves.values()}
+    assert durations == {10 * sim.cycle_length}
+
+
+def test_constant_inputs_produce_no_transitions(c17):
+    pats = np.ones((6, 5), dtype=bool)
+    waves = EventDrivenSimulator(c17).run(pats)
+    assert all(w.num_transitions == 0 for w in waves.values())
+
+
+def test_wire_delay_shifts_transitions(c17):
+    pats = random_patterns(5, 6, seed=5)
+    fast = EventDrivenSimulator(c17, gate_delay=1.0, wire_delay=0.0)
+    slow = EventDrivenSimulator(c17, gate_delay=1.0, wire_delay=0.5,
+                                cycle_length=fast.cycle_length * 2)
+    w_fast = fast.run(pats)
+    w_slow = slow.run(pats)
+    # A primary-output gate sits behind more wires, so its first
+    # transition happens strictly later with wire delay.
+    g22 = c17.node_by_name("gate:22").index
+    if w_fast[g22].num_transitions and w_slow[g22].num_transitions:
+        t_fast = w_fast[g22].times[1] % fast.cycle_length
+        t_slow = w_slow[g22].times[1] % slow.cycle_length
+        assert t_slow > t_fast
+
+
+def test_parameter_validation(c17):
+    with pytest.raises(SimulationError):
+        EventDrivenSimulator(c17, gate_delay=0.0)
+    with pytest.raises(SimulationError):
+        EventDrivenSimulator(c17, wire_delay=-1.0)
+    with pytest.raises(SimulationError):
+        EventDrivenSimulator(c17, cycle_length=-5.0)
+    sim = EventDrivenSimulator(c17)
+    with pytest.raises(SimulationError):
+        sim.run(np.zeros((3, 4), dtype=bool))  # wrong input count

@@ -1,0 +1,76 @@
+"""Gate function registry."""
+
+import numpy as np
+import pytest
+
+from repro.simulate import SUPPORTED_FUNCTIONS, evaluate_function
+from repro.simulate.logic import validate_function
+from repro.utils.errors import SimulationError
+
+
+TT = np.array([[False, False, True, True],
+               [False, True, False, True]])
+
+
+@pytest.mark.parametrize("fn,expected", [
+    ("and", [0, 0, 0, 1]),
+    ("or", [0, 1, 1, 1]),
+    ("nand", [1, 1, 1, 0]),
+    ("nor", [1, 0, 0, 0]),
+    ("xor", [0, 1, 1, 0]),
+    ("xnor", [1, 0, 0, 1]),
+])
+def test_two_input_truth_tables(fn, expected):
+    np.testing.assert_array_equal(evaluate_function(fn, TT),
+                                  np.array(expected, dtype=bool))
+
+
+def test_not_and_buf():
+    row = np.array([[False, True]])
+    np.testing.assert_array_equal(evaluate_function("not", row), [True, False])
+    np.testing.assert_array_equal(evaluate_function("buf", row), [False, True])
+
+
+def test_buf_returns_copy():
+    row = np.array([[False, True]])
+    out = evaluate_function("buf", row)
+    out[0] = True
+    assert row[0, 0] == False  # noqa: E712 — original untouched
+
+
+def test_nary_reduction():
+    three = np.array([[True], [True], [False]])
+    assert evaluate_function("and", three)[0] == False  # noqa: E712
+    assert evaluate_function("or", three)[0] == True    # noqa: E712
+    # n-ary xor is parity: two highs -> even -> False.
+    assert evaluate_function("xor", three)[0] == False  # noqa: E712
+    odd = np.array([[True], [True], [True]])
+    assert evaluate_function("xor", odd)[0] == True     # noqa: E712
+
+
+def test_matrix_shape_preserved():
+    stack = np.zeros((2, 5, 3), dtype=bool)
+    assert evaluate_function("nand", stack).shape == (5, 3)
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(SimulationError, match="unknown"):
+        evaluate_function("maj", TT)
+
+
+def test_arity_validation():
+    with pytest.raises(SimulationError):
+        validate_function("not", 2)
+    with pytest.raises(SimulationError):
+        validate_function("nand", 1)
+    validate_function("nand", 4)  # n-ary OK
+
+
+def test_supported_set():
+    assert {"and", "or", "nand", "nor", "xor", "xnor", "not", "buf"} == set(
+        SUPPORTED_FUNCTIONS)
+
+
+def test_empty_stack_rejected():
+    with pytest.raises(SimulationError):
+        evaluate_function("and", np.zeros((0, 4), dtype=bool))

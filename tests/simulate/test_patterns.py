@@ -1,0 +1,56 @@
+"""Pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.simulate import exhaustive_patterns, random_patterns, toggle_patterns
+from repro.utils.errors import SimulationError
+
+
+def test_random_shape_and_dtype():
+    p = random_patterns(7, 40, seed=1)
+    assert p.shape == (40, 7) and p.dtype == bool
+
+
+def test_random_seeded_reproducible():
+    np.testing.assert_array_equal(random_patterns(5, 10, seed=3),
+                                  random_patterns(5, 10, seed=3))
+
+
+def test_random_bias():
+    p = random_patterns(4, 5000, seed=0, p_high=0.9)
+    assert 0.85 < p.mean() < 0.95
+    assert random_patterns(4, 100, seed=0, p_high=0.0).sum() == 0
+
+
+def test_exhaustive_enumerates_all():
+    p = exhaustive_patterns(3)
+    assert p.shape == (8, 3)
+    as_ints = {int("".join("1" if b else "0" for b in row[::-1]), 2) for row in p}
+    assert as_ints == set(range(8))
+
+
+def test_exhaustive_limit():
+    with pytest.raises(SimulationError):
+        exhaustive_patterns(21)
+
+
+def test_toggle_periods():
+    p = toggle_patterns(3, 12)
+    # Input 0 toggles every cycle, input 1 every 2, input 2 every 3.
+    np.testing.assert_array_equal(p[:4, 0], [False, True, False, True])
+    np.testing.assert_array_equal(p[:4, 1], [False, False, True, True])
+    np.testing.assert_array_equal(p[:6, 2], [False, False, False, True, True, True])
+
+
+@pytest.mark.parametrize("fn", [random_patterns, toggle_patterns])
+def test_invalid_shapes_rejected(fn):
+    with pytest.raises(SimulationError):
+        fn(0, 5)
+    with pytest.raises(SimulationError):
+        fn(3, 0)
+
+
+def test_random_p_high_validated():
+    with pytest.raises(SimulationError):
+        random_patterns(3, 5, p_high=1.5)

@@ -1,0 +1,110 @@
+"""Waveform representation and exact product integrals."""
+
+import numpy as np
+import pytest
+
+from repro.simulate import Waveform
+from repro.utils.errors import SimulationError
+
+
+class TestConstruction:
+    def test_from_bits_merges_runs(self):
+        w = Waveform.from_bits(np.array([1, 1, 0, 0, 1], dtype=bool), cycle=2.0)
+        np.testing.assert_array_equal(w.times, [0.0, 4.0, 8.0])
+        np.testing.assert_array_equal(w.values, [1, -1, 1])
+        assert w.duration == 10.0
+
+    def test_from_transitions_dedupes(self):
+        w = Waveform.from_transitions([(1.0, True), (2.0, True), (3.0, False)],
+                                      duration=5.0, initial=False)
+        np.testing.assert_array_equal(w.times, [0.0, 1.0, 3.0])
+        np.testing.assert_array_equal(w.values, [-1, 1, -1])
+
+    def test_from_transitions_same_instant_last_wins(self):
+        # Zero-width glitch at t=2 collapses away entirely.
+        w = Waveform.from_transitions([(2.0, True), (2.0, False)],
+                                      duration=4.0, initial=False)
+        np.testing.assert_array_equal(w.times, [0.0])
+        np.testing.assert_array_equal(w.values, [-1])
+
+    def test_transition_at_zero_overrides_initial(self):
+        w = Waveform.from_transitions([(0.0, True)], duration=2.0, initial=False)
+        np.testing.assert_array_equal(w.times, [0.0])
+        np.testing.assert_array_equal(w.values, [1])
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Waveform([0.5], [1], 2.0)               # must start at 0
+        with pytest.raises(SimulationError):
+            Waveform([0.0, 1.0], [1, 0], 2.0)       # values in ±1 only
+        with pytest.raises(SimulationError):
+            Waveform([0.0, 1.0, 1.0], [1, -1, 1], 2.0)  # strictly increasing
+        with pytest.raises(SimulationError):
+            Waveform([0.0, 3.0], [1, -1], 2.0)      # duration covers last
+        with pytest.raises(SimulationError):
+            Waveform.from_bits(np.array([], dtype=bool))
+
+
+class TestQueries:
+    def test_at_is_right_continuous(self):
+        w = Waveform([0.0, 2.0], [1, -1], 4.0)
+        assert w.at(1.999) == 1
+        assert w.at(2.0) == -1
+        assert w.at(4.0) == -1
+
+    def test_at_range_checked(self):
+        w = Waveform([0.0], [1], 1.0)
+        with pytest.raises(SimulationError):
+            w.at(-0.1)
+        with pytest.raises(SimulationError):
+            w.at(1.5)
+
+    def test_high_fraction(self):
+        w = Waveform.from_bits(np.array([1, 0, 0, 0], dtype=bool))
+        assert w.high_fraction() == pytest.approx(0.25)
+
+    def test_num_transitions(self):
+        w = Waveform.from_bits(np.array([1, 0, 1, 0], dtype=bool))
+        assert w.num_transitions == 3
+
+
+class TestSimilarity:
+    def test_identical_is_one(self):
+        w = Waveform.from_bits(np.array([1, 0, 1], dtype=bool))
+        assert w.similarity(w) == pytest.approx(1.0)
+
+    def test_inverted_is_minus_one(self):
+        bits = np.array([1, 0, 1, 1], dtype=bool)
+        a = Waveform.from_bits(bits)
+        b = Waveform.from_bits(~bits)
+        assert a.similarity(b) == pytest.approx(-1.0)
+
+    def test_orthogonal_is_zero(self):
+        a = Waveform.from_bits(np.array([1, 1, 0, 0], dtype=bool))
+        b = Waveform.from_bits(np.array([1, 0, 0, 1], dtype=bool))
+        assert a.similarity(b) == pytest.approx(0.0)
+
+    def test_misaligned_transition_times(self):
+        # a: +1 on [0,3), −1 on [3,6); b: +1 on [0,2), −1 on [2,6).
+        a = Waveform([0.0, 3.0], [1, -1], 6.0)
+        b = Waveform([0.0, 2.0], [1, -1], 6.0)
+        # agree on [0,2) and [3,6) = 5, disagree on [2,3) = 1 -> (5−1)/6.
+        assert a.similarity(b) == pytest.approx(4.0 / 6.0)
+
+    def test_duration_mismatch_rejected(self):
+        a = Waveform([0.0], [1], 1.0)
+        b = Waveform([0.0], [1], 2.0)
+        with pytest.raises(SimulationError):
+            a.similarity(b)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a = Waveform.from_bits(rng.random(50) < 0.5)
+        b = Waveform.from_bits(rng.random(50) < 0.5)
+        assert a.similarity(b) == pytest.approx(b.similarity(a))
+
+
+def test_equality():
+    bits = np.array([1, 0], dtype=bool)
+    assert Waveform.from_bits(bits) == Waveform.from_bits(bits)
+    assert Waveform.from_bits(bits) != Waveform.from_bits(~bits)

@@ -1,0 +1,93 @@
+"""Command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.circuit.parser import builtin_bench_path
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestSuiteCommand:
+    def test_lists_all_circuits(self):
+        code, text = run_cli("suite")
+        assert code == 0
+        for name in ("c432", "c7552", "c6288"):
+            assert name in text
+
+
+class TestInfoCommand:
+    def test_table1_name(self):
+        code, text = run_cli("info", "c432")
+        assert code == 0
+        assert "gates" in text and "214" in text
+        assert "426" in text  # wires
+
+    def test_bench_path(self):
+        code, text = run_cli("info", str(builtin_bench_path("c17")))
+        assert code == 0
+        assert "c17" in text
+
+    def test_unknown_circuit(self):
+        code, text = run_cli("info", "c9999")
+        assert code == 2
+        assert "error" in text
+
+
+class TestSizeCommand:
+    def test_sizes_c17(self):
+        code, text = run_cli("size", str(builtin_bench_path("c17")),
+                             "--patterns", "64", "--max-iterations", "150")
+        assert code == 0
+        assert "converged" in text
+        assert "stage 1" in text and "stage 2" in text
+
+    def test_kkt_flag(self):
+        code, text = run_cli("size", str(builtin_bench_path("c17")),
+                             "--patterns", "64", "--max-iterations", "150",
+                             "--kkt")
+        assert code == 0
+        assert "KKT" in text
+
+    def test_sizes_flag_prints_components(self):
+        code, text = run_cli("size", str(builtin_bench_path("c17")),
+                             "--patterns", "64", "--max-iterations", "150",
+                             "--sizes")
+        assert code == 0
+        assert "gate:22" in text
+
+    def test_infeasible_bounds_exit_code(self):
+        code, text = run_cli("size", str(builtin_bench_path("c17")),
+                             "--patterns", "64", "--max-iterations", "20",
+                             "--delay-slack", "1e-6")
+        assert code == 1
+        assert "INFEASIBLE" in text
+
+    def test_ordering_choice_validated(self):
+        with pytest.raises(SystemExit):
+            run_cli("size", "c432", "--ordering", "bogus")
+
+
+class TestTable1Command:
+    def test_single_circuit(self):
+        code, text = run_cli("table1", "c432", "--patterns", "64",
+                             "--max-iterations", "100")
+        assert code == 0
+        assert "Table 1 (reproduced)" in text
+        assert "Table 1 (paper, as published)" in text
+
+    def test_unknown_names_rejected(self):
+        code, text = run_cli("table1", "c9999")
+        assert code == 2
+        assert "error" in text
+
+
+def test_no_command_exits():
+    with pytest.raises(SystemExit):
+        run_cli()

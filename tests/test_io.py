@@ -1,0 +1,97 @@
+"""JSON serialization round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    circuit_from_dict,
+    circuit_to_dict,
+    load_circuit,
+    load_sizing_summary,
+    save_circuit,
+    save_sizing_result,
+    sizing_result_to_dict,
+)
+from repro.utils.errors import ReproError
+
+
+class TestCircuitRoundtrip:
+    def test_structure_preserved(self, small_circuit):
+        clone = circuit_from_dict(circuit_to_dict(small_circuit))
+        assert clone.edges == small_circuit.edges
+        assert clone.num_gates == small_circuit.num_gates
+        assert clone.name == small_circuit.name
+
+    def test_node_parameters_preserved(self, small_circuit):
+        clone = circuit_from_dict(circuit_to_dict(small_circuit))
+        for a, b in zip(small_circuit.nodes, clone.nodes):
+            assert a == b  # frozen dataclass equality covers every field
+
+    def test_technology_preserved(self, small_circuit):
+        clone = circuit_from_dict(circuit_to_dict(small_circuit))
+        assert clone.tech == small_circuit.tech
+
+    def test_reloaded_circuit_simulates_identically(self, small_circuit):
+        from repro.simulate import random_patterns, simulate_levelized
+
+        clone = circuit_from_dict(circuit_to_dict(small_circuit))
+        pats = random_patterns(small_circuit.num_drivers, 32, seed=5)
+        np.testing.assert_array_equal(
+            simulate_levelized(small_circuit, pats),
+            simulate_levelized(clone, pats))
+
+    def test_file_roundtrip(self, small_circuit, tmp_path):
+        path = save_circuit(small_circuit, tmp_path / "c.json")
+        clone = load_circuit(path)
+        assert clone.edges == small_circuit.edges
+
+    def test_reload_is_validated(self, small_circuit, tmp_path):
+        data = circuit_to_dict(small_circuit)
+        data["edges"] = data["edges"][:-1]  # break an invariant
+        from repro.utils.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            circuit_from_dict(data)
+
+
+class TestSizingResultRoundtrip:
+    def test_summary_roundtrip(self, small_flow_result, tmp_path):
+        result = small_flow_result.sizing
+        path = save_sizing_result(result, tmp_path / "r.json")
+        data = load_sizing_summary(path)
+        assert data["feasible"] == result.feasible
+        assert data["iterations"] == result.iterations
+        np.testing.assert_allclose(data["sizes"], result.x)
+        assert data["metrics"]["area_um2"] == pytest.approx(
+            result.metrics.area_um2)
+
+    def test_history_optional(self, small_flow_result):
+        result = small_flow_result.sizing
+        without = sizing_result_to_dict(result)
+        with_history = sizing_result_to_dict(result, include_history=True)
+        assert "history" not in without
+        assert len(with_history["history"]) == result.iterations
+
+    def test_json_serializable(self, small_flow_result):
+        payload = sizing_result_to_dict(small_flow_result.sizing,
+                                        include_history=True)
+        json.dumps(payload)  # must not raise
+
+
+class TestHeaders:
+    def test_wrong_kind_rejected(self, small_circuit, tmp_path):
+        path = save_circuit(small_circuit, tmp_path / "c.json")
+        with pytest.raises(ReproError, match="sizing_result"):
+            load_sizing_summary(path)
+
+    def test_wrong_schema_rejected(self, small_circuit):
+        data = circuit_to_dict(small_circuit)
+        data["schema"] = 99
+        with pytest.raises(ReproError, match="schema"):
+            circuit_from_dict(data)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ReproError):
+            circuit_from_dict([1, 2, 3])

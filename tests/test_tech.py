@@ -1,0 +1,61 @@
+"""Technology parameter validation and derived quantities."""
+
+import pytest
+
+from repro.tech import Technology
+from repro.utils.errors import ValidationError
+
+
+def test_dac99_matches_paper_constants():
+    tech = Technology.dac99()
+    assert tech.gate_unit_capacitance == pytest.approx(0.16)
+    assert tech.wire_unit_resistance == pytest.approx(0.07)
+    assert tech.wire_unit_capacitance == pytest.approx(0.024)
+    assert tech.min_size == pytest.approx(0.1)
+    assert tech.max_size == pytest.approx(10.0)
+    assert tech.supply_voltage == pytest.approx(3.3)
+    assert tech.clock_frequency == pytest.approx(200e6)
+
+
+def test_gate_model_scaling():
+    tech = Technology.dac99()
+    # r = r̂/x halves when size doubles; c = ĉ·x doubles.
+    assert tech.gate_resistance(2.0) == pytest.approx(tech.gate_resistance(1.0) / 2)
+    assert tech.gate_capacitance(2.0) == pytest.approx(2 * tech.gate_capacitance(1.0))
+
+
+def test_wire_model_includes_fringe():
+    tech = Technology.dac99()
+    cap = tech.wire_capacitance(100.0, 1.0)
+    assert cap == pytest.approx(0.024 * 100 + tech.wire_fringe_capacitance * 100)
+    assert tech.wire_resistance(100.0, 0.5) == pytest.approx(0.07 * 100 / 0.5)
+
+
+def test_replace_returns_modified_copy():
+    tech = Technology.dac99()
+    other = tech.replace(max_size=20.0)
+    assert other.max_size == 20.0
+    assert tech.max_size == 10.0  # original untouched (frozen)
+
+
+@pytest.mark.parametrize("field,value", [
+    ("gate_unit_resistance", 0.0),
+    ("wire_unit_capacitance", -1.0),
+    ("min_size", 0.0),
+    ("track_pitch", -0.5),
+    ("supply_voltage", 0.0),
+])
+def test_nonpositive_parameters_rejected(field, value):
+    with pytest.raises(ValidationError):
+        Technology.dac99().replace(**{field: value})
+
+
+def test_inverted_bounds_rejected():
+    with pytest.raises(ValidationError):
+        Technology.dac99().replace(min_size=5.0, max_size=1.0)
+
+
+def test_negative_fringe_rejected_but_zero_ok():
+    assert Technology.dac99().replace(wire_fringe_capacitance=0.0)
+    with pytest.raises(ValidationError):
+        Technology.dac99().replace(wire_fringe_capacitance=-0.1)

@@ -1,0 +1,96 @@
+"""Activity-aware power analysis."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.library import parity_tree
+from repro.simulate import simulate_levelized, toggle_patterns
+from repro.timing import ElmoreEngine
+from repro.timing.activity import activity_power, toggle_rates
+from repro.timing.metrics import total_power_mw
+from repro.utils.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def parity():
+    circuit = parity_tree(8)
+    return circuit, circuit.compile()
+
+
+def test_rates_in_unit_interval(small_circuit):
+    rates = toggle_rates(small_circuit, n_patterns=128)
+    assert np.all(rates >= 0.0) and np.all(rates <= 1.0)
+    assert rates[0] == 0.0  # source
+
+
+def test_wire_rate_equals_parent_rate(small_circuit):
+    rates = toggle_rates(small_circuit, n_patterns=128)
+    for wire in small_circuit.wires():
+        parent = small_circuit.inputs(wire.index)[0]
+        assert rates[wire.index] == rates[parent]
+
+
+def test_known_toggle_pattern(parity):
+    """toggle_patterns input 0 flips every cycle -> rate exactly 1."""
+    circuit, _ = parity
+    pats = toggle_patterns(circuit.num_drivers, 64)
+    values = simulate_levelized(circuit, pats)
+    rates = toggle_rates(circuit, values)
+    in0 = circuit.node_by_name("in0").index
+    assert rates[in0] == pytest.approx(1.0)
+    in3 = circuit.node_by_name("in3").index  # toggles every 4 cycles
+    assert rates[in3] == pytest.approx(16 / 63, abs=0.02)
+
+
+def test_constant_inputs_zero_power(parity):
+    circuit, cc = parity
+    values = simulate_levelized(
+        circuit, np.ones((8, circuit.num_drivers), dtype=bool))
+    rates = toggle_rates(circuit, values)
+    engine = ElmoreEngine(cc)
+    report = activity_power(engine, cc.default_sizes(1.0), rates)
+    assert report.activity_mw == 0.0
+    assert report.uniform_mw > 0.0
+    assert report.overestimate_factor == np.inf
+
+
+def test_uniform_bounds_activity(parity):
+    """α ≤ 1 and the ½ factor mean activity power ≤ uniform/2."""
+    circuit, cc = parity
+    rates = toggle_rates(circuit, n_patterns=256)
+    engine = ElmoreEngine(cc)
+    x = cc.default_sizes(1.0)
+    report = activity_power(engine, x, rates)
+    assert 0.0 < report.activity_mw <= report.uniform_mw / 2 + 1e-12
+    assert report.uniform_mw == pytest.approx(total_power_mw(cc, x))
+
+
+def test_xor_tree_keeps_activity_high(parity):
+    """XOR trees propagate activity: internal rates stay near input rates."""
+    circuit, cc = parity
+    rates = toggle_rates(circuit, n_patterns=512)
+    gate_rates = [rates[g.index] for g in circuit.gates()]
+    assert min(gate_rates) > 0.3  # XOR of random inputs still ~50%
+
+
+def test_top_consumers_sorted(parity):
+    circuit, cc = parity
+    rates = toggle_rates(circuit, n_patterns=128)
+    report = activity_power(ElmoreEngine(cc), cc.default_sizes(1.0), rates,
+                            top=4)
+    powers = [p for _, p in report.top_consumers]
+    assert powers == sorted(powers, reverse=True)
+    assert len(report.top_consumers) <= 4
+
+
+def test_validation(parity, small_circuit):
+    circuit, cc = parity
+    engine = ElmoreEngine(cc)
+    with pytest.raises(SimulationError):
+        activity_power(engine, cc.default_sizes(1.0), np.zeros(3))
+    bad = np.zeros(cc.num_nodes)
+    bad[1] = 1.5
+    with pytest.raises(SimulationError):
+        activity_power(engine, cc.default_sizes(1.0), bad)
+    with pytest.raises(SimulationError):
+        toggle_rates(circuit, np.zeros((circuit.num_nodes, 1), dtype=bool))

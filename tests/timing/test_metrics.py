@@ -1,0 +1,72 @@
+"""Table 1 metric computation."""
+
+import numpy as np
+import pytest
+
+from repro.timing import ElmoreEngine, evaluate_metrics
+from repro.timing.metrics import total_area, total_capacitance, total_power_mw
+from repro.utils.units import FF_PER_PF
+
+
+@pytest.fixture(scope="module")
+def setup(small_circuit, small_coupling):
+    cc = small_circuit.compile()
+    return cc, ElmoreEngine(cc, small_coupling)
+
+
+def test_total_area_formula(setup, small_circuit):
+    cc, _ = setup
+    x = cc.default_sizes(1.3)
+    expected = sum(n.alpha * x[n.index] for n in small_circuit.components())
+    assert total_area(cc, x) == pytest.approx(expected)
+
+
+def test_total_capacitance_formula(setup, small_circuit):
+    cc, _ = setup
+    x = cc.default_sizes(0.8)
+    expected = sum(n.capacitance(x[n.index]) for n in small_circuit.components())
+    assert total_capacitance(cc, x) == pytest.approx(expected)
+
+
+def test_power_uses_v2fc(setup):
+    cc, _ = setup
+    x = cc.default_sizes(1.0)
+    tech = cc.tech
+    cap_ff = total_capacitance(cc, x)
+    expected_w = tech.supply_voltage ** 2 * tech.clock_frequency * cap_ff * 1e-15
+    assert total_power_mw(cc, x) == pytest.approx(expected_w * 1e3)
+
+
+def test_evaluate_metrics_bundle(setup):
+    cc, engine = setup
+    x = cc.default_sizes(1.0)
+    m = evaluate_metrics(engine, x)
+    assert m.noise_pf == pytest.approx(engine.coupling.total(x) / FF_PER_PF)
+    assert m.delay_ps == pytest.approx(engine.circuit_delay(x))
+    assert m.area_um2 == pytest.approx(total_area(cc, x))
+    assert m.total_cap_ff == pytest.approx(total_capacitance(cc, x))
+
+
+def test_metrics_monotone_in_scale(setup):
+    cc, engine = setup
+    small = evaluate_metrics(engine, cc.default_sizes(0.5))
+    large = evaluate_metrics(engine, cc.default_sizes(2.0))
+    assert large.area_um2 > small.area_um2
+    assert large.power_mw > small.power_mw
+    assert large.noise_pf > small.noise_pf
+
+
+def test_improvements_over(setup):
+    cc, engine = setup
+    init = evaluate_metrics(engine, cc.default_sizes(np.inf))
+    fin = evaluate_metrics(engine, cc.default_sizes(0.0))
+    imp = fin.improvements_over(init)
+    assert imp["area"] == pytest.approx(
+        (init.area_um2 - fin.area_um2) / init.area_um2 * 100)
+    assert set(imp) == {"noise", "delay", "power", "area"}
+
+
+def test_as_row_order(setup):
+    cc, engine = setup
+    m = evaluate_metrics(engine, cc.default_sizes(1.0))
+    assert m.as_row() == [m.noise_pf, m.delay_ps, m.power_mw, m.area_um2]

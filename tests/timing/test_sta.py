@@ -1,0 +1,61 @@
+"""Static timing analysis."""
+
+import numpy as np
+import pytest
+
+from repro.timing import ElmoreEngine, static_timing_analysis
+
+
+@pytest.fixture(scope="module")
+def engine(small_circuit):
+    return ElmoreEngine(small_circuit.compile())
+
+
+def test_critical_path_has_zero_slack_at_own_bound(engine, small_circuit):
+    x = small_circuit.compile().default_sizes(1.0)
+    report = static_timing_analysis(engine, x)  # bound = computed delay
+    assert report.worst_slack == pytest.approx(0.0, abs=1e-9)
+    for node in report.critical_path:
+        assert report.slack[node] == pytest.approx(0.0, abs=1e-6)
+
+
+def test_slack_nonnegative_at_own_bound(engine, small_circuit):
+    x = small_circuit.compile().default_sizes(1.0)
+    report = static_timing_analysis(engine, x)
+    comp = small_circuit.compile().is_sizable
+    assert np.all(report.slack[comp] >= -1e-6)
+
+
+def test_arrival_consistency_along_critical_path(engine, small_circuit):
+    x = small_circuit.compile().default_sizes(1.0)
+    report = static_timing_analysis(engine, x)
+    path = report.critical_path
+    for prev, node in zip(path, path[1:]):
+        assert report.arrival[node] == pytest.approx(
+            report.arrival[prev] + report.delays[node], rel=1e-9)
+
+
+def test_critical_path_starts_at_driver_ends_at_po(engine, small_circuit):
+    x = small_circuit.compile().default_sizes(1.0)
+    report = static_timing_analysis(engine, x)
+    first = small_circuit.node(report.critical_path[0])
+    last = small_circuit.node(report.critical_path[-1])
+    assert first.is_driver
+    assert last.is_wire and last.load_cap > 0
+
+
+def test_meets_bound_flags(engine, small_circuit):
+    x = small_circuit.compile().default_sizes(1.0)
+    d = engine.circuit_delay(x)
+    relaxed = static_timing_analysis(engine, x, delay_bound=2 * d)
+    tight = static_timing_analysis(engine, x, delay_bound=0.5 * d)
+    assert relaxed.meets_bound and relaxed.worst_slack == pytest.approx(d)
+    assert not tight.meets_bound and tight.worst_slack < 0
+
+
+def test_required_minus_arrival_is_slack(engine, small_circuit):
+    x = small_circuit.compile().default_sizes(1.0)
+    report = static_timing_analysis(engine, x, delay_bound=1e6)
+    comp = small_circuit.compile().is_sizable
+    np.testing.assert_allclose(report.slack[comp],
+                               (report.required - report.arrival)[comp])

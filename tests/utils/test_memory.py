@@ -1,0 +1,43 @@
+"""Memory ledger semantics."""
+
+import numpy as np
+
+from repro.utils.memory import MemoryLedger, measure_tracemalloc
+
+
+def test_register_ndarray_uses_nbytes():
+    ledger = MemoryLedger()
+    ledger.register("a", np.zeros(100))  # 800 bytes
+    assert ledger.total_bytes == 800
+
+
+def test_register_int_directly():
+    ledger = MemoryLedger()
+    ledger.register("x", 1024)
+    assert ledger.total_bytes == 1024
+    assert ledger.total_megabytes == 1024 / 1048576
+
+
+def test_reregistration_replaces_not_accumulates():
+    ledger = MemoryLedger()
+    ledger.register("a", 100)
+    ledger.register("a", 50)
+    assert ledger.total_bytes == 50
+
+
+def test_register_many_prefixes():
+    ledger = MemoryLedger()
+    ledger.register_many("grp", {"x": np.zeros(10), "y": np.zeros(20)})
+    breakdown = ledger.breakdown()
+    assert set(breakdown) == {"grp/x", "grp/y"}
+    # Sorted by decreasing size.
+    assert list(breakdown.values()) == sorted(breakdown.values(), reverse=True)
+
+
+def test_tracemalloc_measures_allocation():
+    def alloc():
+        return np.zeros(200_000)  # 1.6 MB
+
+    result, peak = measure_tracemalloc(alloc)
+    assert result.nbytes == 1_600_000
+    assert peak >= 1_500_000

@@ -1,0 +1,43 @@
+"""ASCII scatter rendering."""
+
+import pytest
+
+from repro.analysis import linear_fit
+from repro.utils.errors import ReproError
+from repro.utils.plots import ascii_scatter
+
+
+def test_marker_per_point():
+    out = ascii_scatter([0, 1, 2], [0, 1, 2], width=30, height=10)
+    assert out.count("o") == 3
+
+
+def test_fit_line_drawn():
+    fit = linear_fit([0.0, 10.0], [0.0, 10.0])
+    out = ascii_scatter([0, 5, 10], [0, 5, 10], fit=fit, width=30, height=10)
+    assert "." in out
+
+
+def test_axis_labels_present():
+    out = ascii_scatter([1, 2], [3, 4], x_label="size", y_label="MB")
+    assert "x: size" in out and "y: MB" in out
+
+
+def test_extents_in_gutter():
+    out = ascii_scatter([100, 200], [0.5, 2.5], width=20, height=6)
+    assert "2.5" in out and "0.5" in out
+    assert "100" in out and "200" in out
+
+
+def test_degenerate_single_point():
+    out = ascii_scatter([5], [5], width=20, height=6)
+    assert "o" in out
+
+
+def test_validation():
+    with pytest.raises(ReproError):
+        ascii_scatter([], [])
+    with pytest.raises(ReproError):
+        ascii_scatter([1, 2], [1])
+    with pytest.raises(ReproError):
+        ascii_scatter([1], [1], width=5)

@@ -1,0 +1,35 @@
+"""Deterministic RNG helpers."""
+
+import numpy as np
+
+from repro.utils.rng import derive_rng, make_rng
+
+
+def test_none_defaults_to_seed_zero():
+    a = make_rng(None).integers(0, 1_000_000, 10)
+    b = make_rng(0).integers(0, 1_000_000, 10)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_int_seed_reproducible():
+    a = make_rng(42).random(5)
+    b = make_rng(42).random(5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_generator_passes_through():
+    gen = np.random.default_rng(7)
+    assert make_rng(gen) is gen
+
+
+def test_derive_rng_streams_independent():
+    base = 9
+    a = derive_rng(base, "alpha").random(5)
+    b = derive_rng(base, "beta").random(5)
+    assert not np.allclose(a, b)
+
+
+def test_derive_rng_reproducible_per_label():
+    a = derive_rng(9, "alpha").random(5)
+    b = derive_rng(9, "alpha").random(5)
+    np.testing.assert_array_equal(a, b)

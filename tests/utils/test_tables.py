@@ -1,0 +1,42 @@
+"""Table formatting and the improvement metric."""
+
+import pytest
+
+from repro.utils.tables import format_table, improvement_percent
+
+
+def test_alignment_and_header():
+    out = format_table(["a", "bb"], [[1, 2.5], [33, 4.0]])
+    lines = out.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert lines[0].endswith("bb")
+    # Columns are right-aligned to equal width per column.
+    assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+
+def test_title_line():
+    out = format_table(["x"], [[1]], title="T")
+    assert out.splitlines()[0] == "T"
+
+
+def test_float_formatting():
+    out = format_table(["v"], [[1.23456]], floatfmt="{:.1f}")
+    assert "1.2" in out and "1.23" not in out
+
+
+def test_strings_pass_through():
+    out = format_table(["v"], [["hello"]])
+    assert "hello" in out
+
+
+def test_improvement_percent_matches_paper_definition():
+    # (Init − Fin)/Init × 100, e.g. 20.53 -> 2.14 is 89.7%.
+    assert improvement_percent(20.53, 2.14) == pytest.approx(89.576, abs=0.01)
+
+
+def test_improvement_percent_zero_initial():
+    assert improvement_percent(0.0, 5.0) == 0.0
+
+
+def test_improvement_percent_worse_is_negative():
+    assert improvement_percent(100.0, 110.0) == pytest.approx(-10.0)

@@ -1,0 +1,40 @@
+"""Unit-conversion constants and helpers."""
+
+import numpy as np
+
+from repro.utils.units import (
+    FF_PER_PF,
+    MHZ,
+    MW_PER_W,
+    OHM_FF_TO_PS,
+    mw_from_v2fc,
+    ps_from_ohm_ff,
+)
+
+
+def test_ohm_ff_is_femtoseconds_in_ps():
+    # 1 Ω · 1 fF = 1e-15 s = 1e-3 ps.
+    assert OHM_FF_TO_PS == 1e-3
+
+
+def test_rc_product_scalar():
+    # 10 kΩ × 100 fF = 1 ns = 1000 ps.
+    assert ps_from_ohm_ff(10_000.0, 100.0) == 1000.0
+
+
+def test_rc_product_vectorizes():
+    r = np.array([1000.0, 2000.0])
+    c = np.array([10.0, 5.0])
+    np.testing.assert_allclose(ps_from_ohm_ff(r, c), [10.0, 10.0])
+
+
+def test_power_formula_matches_paper_setup():
+    # V=3.3, f=200 MHz, C=1 pF -> V^2 f C = 2.1782e-3 W = 2.1782 mW.
+    got = mw_from_v2fc(3.3, 200e6, 1000.0)
+    assert abs(got - 3.3**2 * 2e8 * 1e-12 * 1e3) < 1e-12
+
+
+def test_constants_consistent():
+    assert FF_PER_PF == 1000.0
+    assert MW_PER_W == 1000.0
+    assert MHZ == 1e6
