@@ -2,47 +2,51 @@
 
 DESIGN.md §2 documents that Theorem 5's closed form corresponds to
 coupling loading only the victim wire's own delay (`OWN`).  This bench
-compares the three supported attachments on c432: ignoring coupling in
+compares the three supported attachments on c432 via a declarative
+:class:`SweepSpec` over the ``delay_modes`` axis: ignoring coupling in
 delay (`NONE`), the paper-consistent `OWN`, and full upstream
 propagation (`PROPAGATED`, with the corrected denominator term).  The
 initial delay rises with each richer model; the optimizer compensates
 with marginal area.
 """
 
-import numpy as np
 import pytest
 
-from repro import CouplingDelayMode, NoiseAwareSizingFlow, iscas85_circuit
+from repro.runtime import BatchRunner, CircuitRef, FlowConfig, SweepSpec
+from repro.timing import CouplingDelayMode
 from repro.utils.tables import format_table
 
-_ROWS = {}
+_RECORDS = {}
+
+SPEC = SweepSpec(
+    circuits=(CircuitRef.iscas85("c432"),),
+    delay_modes=tuple(m.value for m in CouplingDelayMode),
+    base=FlowConfig(n_patterns=128, max_iterations=200),
+)
+
+_BY_MODE = {s.config.delay_mode: s for s in SPEC.scenarios()}
 
 
 def run_mode(mode):
-    circuit = iscas85_circuit("c432")
-    flow = NoiseAwareSizingFlow(circuit, n_patterns=128, delay_mode=mode,
-                                optimizer_options={"max_iterations": 200})
-    return flow.run()
+    return BatchRunner().run([_BY_MODE[mode.value]])[0]
 
 
 @pytest.mark.parametrize("mode", list(CouplingDelayMode))
 def test_delay_mode(benchmark, mode):
-    outcome = benchmark.pedantic(run_mode, args=(mode,), rounds=1, iterations=1)
-    sizing = outcome.sizing
-    assert sizing.feasible
-    _ROWS[mode.value] = [
-        mode.value,
-        sizing.initial_metrics.delay_ps,
-        sizing.metrics.delay_ps,
-        sizing.metrics.area_um2,
-        sizing.iterations,
-    ]
+    record = benchmark.pedantic(run_mode, args=(mode,), rounds=1, iterations=1)
+    assert record.feasible
+    _RECORDS[mode.value] = record
 
 
 def test_delay_mode_report(benchmark, report_writer):
     def render():
         order = ["none", "own", "propagated"]
-        return [_ROWS[k] for k in order if k in _ROWS]
+        return [
+            [mode, _RECORDS[mode].initial_metrics.delay_ps,
+             _RECORDS[mode].metrics.delay_ps,
+             _RECORDS[mode].metrics.area_um2, _RECORDS[mode].iterations]
+            for mode in order if mode in _RECORDS
+        ]
 
     rows = benchmark.pedantic(render, rounds=1, iterations=1)
     text = format_table(

@@ -5,6 +5,11 @@ For every ISCAS85 circuit of Table 1: run the full two-stage flow
 report Init/Fin noise, delay, power, area plus iterations, runtime, and
 memory, in the paper's own layout, next to the published table.
 
+Runs go through the scenario layer (:mod:`repro.runtime`): one
+:class:`Scenario` per circuit, executed by a :class:`BatchRunner`, with
+the resulting :class:`RunRecord`\\ s feeding the shape checks and the
+report directly.
+
 Shape expectations (absolute values differ by construction — DESIGN.md §3):
 noise ends ≈10× below initial (binding X_B), area and power collapse,
 delay moves only a few percent, iteration counts stay small.
@@ -12,34 +17,33 @@ delay moves only a few percent, iteration counts stay small.
 
 import pytest
 
-from repro import NoiseAwareSizingFlow, iscas85_circuit
 from repro.analysis import PAPER_IMPROVEMENTS, shape_check_table1
 from repro.analysis.report import format_paper_table1, format_table1
+from repro.runtime import BatchRunner, CircuitRef, FlowConfig, Scenario
 
 _RESULTS = {}
 
 CIRCUITS = ["c432", "c880", "c499", "c1355", "c1908", "c2670", "c3540",
             "c5315", "c6288", "c7552"]
 
+CONFIG = FlowConfig(n_patterns=256, max_iterations=200)
+
 
 def run_flow(name):
-    circuit = iscas85_circuit(name)
-    flow = NoiseAwareSizingFlow(circuit, n_patterns=256,
-                                optimizer_options={"max_iterations": 200})
-    return flow.run()
+    scenario = Scenario(CircuitRef.iscas85(name), CONFIG)
+    return BatchRunner().run([scenario])[0]
 
 
 @pytest.mark.parametrize("name", CIRCUITS)
 def test_table1_circuit(benchmark, name):
-    outcome = benchmark.pedantic(run_flow, args=(name,), rounds=1, iterations=1)
-    sizing = outcome.sizing
-    _RESULTS[name] = sizing
-    benchmark.extra_info["iterations"] = sizing.iterations
-    benchmark.extra_info["duality_gap"] = round(sizing.duality_gap, 4)
-    benchmark.extra_info["memory_mb"] = round(sizing.memory_bytes / 1048576, 3)
-    assert sizing.feasible, f"{name}: no feasible iterate found"
-    assert sizing.converged, f"{name}: 1% precision not reached"
-    checks = shape_check_table1(name, sizing.improvements)
+    record = benchmark.pedantic(run_flow, args=(name,), rounds=1, iterations=1)
+    _RESULTS[name] = record
+    benchmark.extra_info["iterations"] = record.iterations
+    benchmark.extra_info["duality_gap"] = round(record.duality_gap, 4)
+    benchmark.extra_info["memory_mb"] = round(record.memory_bytes / 1048576, 3)
+    assert record.feasible, f"{name}: no feasible iterate found"
+    assert record.converged, f"{name}: 1% precision not reached"
+    checks = shape_check_table1(name, record.improvements)
     assert all(checks.values()), f"{name}: shape mismatch {checks}"
 
 

@@ -1,38 +1,51 @@
 #!/usr/bin/env python3
 """Run Table 1 circuits through the flow and compare with the paper.
 
-By default runs the four smallest suite circuits to stay fast; pass
-circuit names (or "all") as arguments for more.
+Built on the scenario layer: circuits expand into a declarative
+:class:`SweepSpec`, a :class:`BatchRunner` executes them (optionally in
+parallel and against a result cache), and the streamed
+:class:`RunRecord`\\ s feed the Table 1 formatter directly.
 
-Run:  python examples/iscas85_sweep.py [c432 c880 ... | all]
+By default runs the four smallest suite circuits to stay fast; pass
+circuit names (or "all") for more, ``--jobs N`` for worker processes,
+and ``--cache DIR`` to skip recomputation on repeat runs.
+
+Run:  python examples/iscas85_sweep.py [c432 c880 ... | all] [--jobs N] [--cache DIR]
 """
 
-import sys
+import argparse
 
-from repro import NoiseAwareSizingFlow, iscas85_suite
-from repro.analysis import PAPER_TABLE1
+from repro import ISCAS85_SPECS
 from repro.analysis.report import format_paper_table1, format_table1
+from repro.runtime import BatchRunner, CircuitRef, FlowConfig, ResultCache, SweepSpec
 
 
-def main(argv):
-    if argv and argv[0] == "all":
-        names = None
-    elif argv:
-        names = argv
-    else:
-        names = ["c432", "c880", "c499", "c1355"]
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("names", nargs="*", default=["c432", "c880", "c499", "c1355"])
+    parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--cache", default=None, help="result cache directory")
+    args = parser.parse_args(argv)
+
+    names = args.names
+    if names == ["all"]:
+        names = sorted(ISCAS85_SPECS, key=lambda n: ISCAS85_SPECS[n].total)
+
+    spec = SweepSpec(
+        circuits=tuple(CircuitRef.iscas85(n) for n in names),
+        base=FlowConfig(n_patterns=256, max_iterations=200),
+    )
+    cache = ResultCache(args.cache) if args.cache else None
+    runner = BatchRunner(jobs=args.jobs, cache=cache)
 
     results = {}
-    for spec, circuit in iscas85_suite(names):
-        flow = NoiseAwareSizingFlow(circuit, n_patterns=256,
-                                    optimizer_options={"max_iterations": 200})
-        outcome = flow.run()
-        results[spec.name] = outcome.sizing
-        s = outcome.sizing
-        print(f"{spec.name}: {s.iterations} iterations, "
-              f"gap {s.duality_gap:.2%}, {s.runtime_s:.1f}s")
+    for record in runner.iter_records(spec):
+        results[record.scenario.circuit.label] = record
+        origin = " [cached]" if record.cached else ""
+        print(f"{record.scenario.circuit.label}: {record.iterations} iterations, "
+              f"gap {record.duality_gap:.2%}, {record.runtime_s:.1f}s{origin}")
 
-    print()
+    print(f"\n{runner.stats.summary()}\n")
     print(format_table1(results))
     print()
     print(format_paper_table1())
@@ -44,4 +57,4 @@ def main(argv):
 
 
 if __name__ == "__main__":
-    main(sys.argv[1:])
+    main()

@@ -1,9 +1,27 @@
 """Shim for legacy editable installs (offline environments without `wheel`).
 
-All real metadata lives in pyproject.toml; install with:
+Install with:
     pip install -e . --no-use-pep517 --no-build-isolation
+
+The builtin ``.bench`` netlists under ``repro/circuit/data/`` ship as
+package data so :func:`repro.circuit.parser.builtin_bench_path` resolves
+from an installed copy, not only from a source checkout.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Noise-constrained gate/wire sizing by Lagrangian relaxation "
+        "(DAC 1999 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro.circuit": ["data/*.bench"]},
+    include_package_data=True,
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -23,8 +23,12 @@ Package map (bottom-up):
 * :mod:`repro.timing`    — Elmore engine, STA, power/area metrics
 * :mod:`repro.opt`       — posynomials + SciPy reference optimum
 * :mod:`repro.core`      — LRS, OGWS, KKT certificate, two-stage flow
+* :mod:`repro.runtime`   — scenario specs, batch runner, result cache
 * :mod:`repro.baselines` — uniform / TILOS-like / noise-blind baselines
 * :mod:`repro.analysis`  — paper data and report formatting
+
+Sweeps (many circuits × many configurations, parallel, cached) go
+through :mod:`repro.runtime` — see its docstring for the quickstart.
 """
 
 from repro.circuit import (
@@ -49,6 +53,16 @@ from repro.core import (
 )
 from repro.geometry import ChannelLayout
 from repro.noise import CouplingSet, MillerMode, SimilarityAnalyzer, woss_ordering
+from repro.runtime import (
+    BatchRunner,
+    CircuitRef,
+    FlowConfig,
+    ResultCache,
+    RunRecord,
+    Scenario,
+    SweepSpec,
+    run_scenario,
+)
 from repro.tech import Technology
 from repro.timing import (
     CouplingDelayMode,
@@ -92,4 +106,13 @@ __all__ = [
     "NoiseAwareSizingFlow",
     "FlowResult",
     "check_kkt",
+    # runtime
+    "CircuitRef",
+    "FlowConfig",
+    "Scenario",
+    "SweepSpec",
+    "RunRecord",
+    "ResultCache",
+    "BatchRunner",
+    "run_scenario",
 ]

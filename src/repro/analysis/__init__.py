@@ -9,11 +9,13 @@
 
 from repro.analysis.compare import (
     LinearFit,
+    best_by_circuit,
     linear_fit,
     shape_check_table1,
+    sweep_summary,
 )
 from repro.analysis.paper_data import PAPER_IMPROVEMENTS, PAPER_TABLE1, PaperRow
-from repro.analysis.report import format_fig10_rows, format_table1
+from repro.analysis.report import format_fig10_rows, format_sweep, format_table1
 from repro.analysis.sensitivity import (
     ShadowPrices,
     bound_sweep,
@@ -28,7 +30,10 @@ __all__ = [
     "linear_fit",
     "LinearFit",
     "shape_check_table1",
+    "sweep_summary",
+    "best_by_circuit",
     "format_table1",
+    "format_sweep",
     "format_fig10_rows",
     "ShadowPrices",
     "shadow_prices",

@@ -58,6 +58,37 @@ def format_paper_table1(title="Table 1 (paper, as published)"):
     return format_table(headers, rows, title=title)
 
 
+def format_sweep(records, title="Scenario sweep"):
+    """Render a sweep's :class:`~repro.runtime.records.RunRecord` stream.
+
+    One row per scenario: the knobs that distinguish it, the convergence
+    diagnostics, the final metrics, and whether the record came from the
+    result cache.
+    """
+    headers = ["circuit", "ordering", "delay", "miller", "Xfrac",
+               "feas", "ite", "gap(%)", "NoiseF(pF)", "DelayF(ps)",
+               "AreaF(um2)", "dArea(%)", "src"]
+    rows = []
+    for record in records:
+        config = record.scenario.config
+        rows.append([
+            record.scenario.circuit.label,
+            config.ordering,
+            config.delay_mode,
+            config.miller_mode,
+            config.noise_fraction,
+            "yes" if record.feasible else "NO",
+            record.iterations,
+            record.duality_gap * 100.0,
+            record.metrics.noise_pf,
+            record.metrics.delay_ps,
+            record.metrics.area_um2,
+            record.improvements["area"],
+            "cache" if record.cached else "solve",
+        ])
+    return format_table(headers, rows, title=title, floatfmt="{:.2f}")
+
+
 def format_fig10_rows(sizes, values, value_label, fit=None,
                       title="Figure 10 (reproduced)"):
     """Render size-vs-value rows plus the linear fit summary."""

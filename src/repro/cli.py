@@ -4,6 +4,7 @@
 
 * ``info <circuit>``      — structure, depth, channels, initial metrics
 * ``size <circuit>``      — run the two-stage flow, print the result
+* ``sweep <circuits...>`` — run circuits × knob axes, parallel + cached
 * ``table1 [names...]``   — reproduce Table 1 rows next to the paper's
 * ``suite``               — list the embedded ISCAS85-like suite
 
@@ -15,14 +16,18 @@ repeated invocations print identical numbers (timing aside).
 import argparse
 import pathlib
 import sys
+import time
 
 import numpy as np
 
-from repro.analysis.report import format_paper_table1, format_table1
+from repro.analysis.report import format_paper_table1, format_sweep, format_table1
 from repro.circuit import ISCAS85_SPECS, iscas85_circuit, load_bench
 from repro.core import NoiseAwareSizingFlow, check_kkt
+from repro.core.flow import ORDERING_NAMES
 from repro.geometry import ChannelLayout
-from repro.timing import ElmoreEngine, evaluate_metrics
+from repro.noise import MillerMode
+from repro.runtime import BatchRunner, CircuitRef, FlowConfig, ResultCache, SweepSpec
+from repro.timing import CouplingDelayMode, ElmoreEngine, evaluate_metrics
 from repro.utils.errors import ReproError
 from repro.utils.tables import format_table
 
@@ -51,14 +56,42 @@ def build_parser():
     size.add_argument("--max-iterations", type=int, default=200)
     size.add_argument("--tolerance", type=float, default=0.01,
                       help="duality-gap stop (paper: 1%%)")
-    size.add_argument("--ordering", default="woss",
-                      choices=["woss", "greedy2", "random", "none"])
+    size.add_argument("--ordering", default="woss", choices=list(ORDERING_NAMES))
     size.add_argument("--update", default="multiplicative",
                       choices=["multiplicative", "subgradient"])
     size.add_argument("--kkt", action="store_true",
                       help="print the Theorem 6 KKT certificate")
     size.add_argument("--sizes", action="store_true",
                       help="print the final size of every component")
+
+    sweep = sub.add_parser(
+        "sweep", help="run circuits x knob axes in parallel with caching")
+    sweep.add_argument("circuits", nargs="+",
+                       help="Table 1 names and/or .bench paths")
+    sweep.add_argument("--orderings", nargs="+", default=["woss"],
+                       choices=list(ORDERING_NAMES), metavar="ORD")
+    sweep.add_argument("--delay-modes", nargs="+", default=["own"],
+                       choices=[m.value for m in CouplingDelayMode],
+                       metavar="MODE")
+    sweep.add_argument("--miller-modes", nargs="+", default=["similarity"],
+                       choices=[m.value for m in MillerMode], metavar="MODE")
+    sweep.add_argument("--noise-fractions", nargs="+", type=float,
+                       default=[0.1], metavar="F")
+    sweep.add_argument("--delay-slacks", nargs="+", type=float,
+                       default=[1.1], metavar="S")
+    sweep.add_argument("--patterns", type=int, default=256)
+    sweep.add_argument("--max-iterations", type=int, default=200)
+    sweep.add_argument("--tolerance", type=float, default=0.01)
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="base seed; per-scenario seeds derive from it")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial)")
+    sweep.add_argument("--cache-dir", default=".repro_cache",
+                       help="result cache directory (default: .repro_cache)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="always recompute; do not read or write the cache")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress the per-scenario stream, print the table only")
 
     table1 = sub.add_parser("table1", help="reproduce Table 1 rows")
     table1.add_argument("names", nargs="*",
@@ -143,6 +176,38 @@ def cmd_size(args, out):
     return 0 if sizing.feasible else 1
 
 
+def cmd_sweep(args, out):
+    spec = SweepSpec(
+        circuits=tuple(CircuitRef.from_spec(s, seed=args.seed)
+                       for s in args.circuits),
+        orderings=tuple(args.orderings),
+        miller_modes=tuple(args.miller_modes),
+        delay_modes=tuple(args.delay_modes),
+        noise_fractions=tuple(args.noise_fractions),
+        delay_slacks=tuple(args.delay_slacks),
+        base=FlowConfig(n_patterns=args.patterns, seed=args.seed,
+                        max_iterations=args.max_iterations,
+                        tolerance=args.tolerance),
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = BatchRunner(jobs=max(1, args.jobs), cache=cache)
+    out.write(f"sweep: {len(spec)} scenarios "
+              f"({len(args.circuits)} circuits), jobs={runner.jobs}, "
+              f"cache={'off' if cache is None else args.cache_dir}\n")
+
+    progress = None if args.quiet else (
+        lambda record: out.write(record.summary() + "\n"))
+    started = time.perf_counter()
+    records = runner.run(spec, progress=progress)
+    elapsed = time.perf_counter() - started
+
+    out.write("\n" + format_sweep(records) + "\n")
+    rate = len(records) / elapsed if elapsed > 0 else float("inf")
+    out.write(f"{runner.stats.summary()}, {elapsed:.2f}s "
+              f"({rate:.1f} scenarios/s)\n")
+    return 0 if all(r.feasible for r in records) else 1
+
+
 def cmd_table1(args, out):
     names = args.names or ["c432", "c880", "c499", "c1355"]
     unknown = [n for n in names if n not in ISCAS85_SPECS]
@@ -173,6 +238,7 @@ def cmd_suite(args, out):
 _COMMANDS = {
     "info": cmd_info,
     "size": cmd_size,
+    "sweep": cmd_sweep,
     "table1": cmd_table1,
     "suite": cmd_suite,
 }

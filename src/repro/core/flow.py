@@ -13,7 +13,6 @@ top-level entry point the examples and the Table 1 bench use.
 """
 
 import dataclasses
-import zlib
 
 import numpy as np
 
@@ -31,14 +30,10 @@ from repro.noise.ordering import (
 from repro.noise.similarity import SimilarityAnalyzer
 from repro.timing.elmore import CouplingDelayMode, ElmoreEngine
 from repro.utils.errors import ValidationError
+from repro.utils.rng import stable_seed
 
-_ORDERINGS = {
-    "woss": lambda weights, label: woss_ordering(weights),
-    "greedy2": lambda weights, label: greedy_both_ends(weights),
-    "random": lambda weights, label: random_ordering(
-        len(weights), seed=zlib.crc32(str(label).encode())),
-    "none": lambda weights, label: list(range(len(weights))),
-}
+#: Stage 1 algorithms accepted by name (`NoiseAwareSizingFlow`, config, CLI).
+ORDERING_NAMES = ("woss", "greedy2", "random", "none")
 
 
 @dataclasses.dataclass
@@ -111,14 +106,21 @@ class NoiseAwareSizingFlow:
         self.x_init = x_init
         self.optimizer_options = dict(optimizer_options or {})
 
-    @staticmethod
-    def _named_ordering(name):
-        try:
-            return _ORDERINGS[name]
-        except KeyError:
-            raise ValidationError(
-                f"unknown ordering {name!r}; choose from {sorted(_ORDERINGS)}"
-            ) from None
+    def _named_ordering(self, name):
+        if name == "woss":
+            return lambda weights, label: woss_ordering(weights)
+        if name == "greedy2":
+            return lambda weights, label: greedy_both_ends(weights)
+        if name == "random":
+            # Per-channel seeds derive from the flow seed plus the channel
+            # label, so two flows with different seeds explore different
+            # random orderings while each stays reproducible cross-process.
+            return lambda weights, label: random_ordering(
+                len(weights), seed=stable_seed(self.seed, "ordering", label))
+        if name == "none":
+            return lambda weights, label: list(range(len(weights)))
+        raise ValidationError(
+            f"unknown ordering {name!r}; choose from {sorted(ORDERING_NAMES)}")
 
     # -- stages ---------------------------------------------------------------------
 

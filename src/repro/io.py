@@ -15,6 +15,7 @@ import numpy as np
 from repro.circuit.circuit import Circuit
 from repro.circuit.components import Node, NodeKind
 from repro.tech import Technology
+from repro.timing.metrics import CircuitMetrics
 from repro.utils.errors import ReproError
 
 SCHEMA_VERSION = 1
@@ -132,7 +133,8 @@ def load_sizing_summary(path):
     return data
 
 
-def _metrics_dict(metrics):
+def metrics_to_dict(metrics):
+    """Plain-dict form of a :class:`~repro.timing.metrics.CircuitMetrics`."""
     return {
         "noise_pf": float(metrics.noise_pf),
         "delay_ps": float(metrics.delay_ps),
@@ -140,6 +142,15 @@ def _metrics_dict(metrics):
         "area_um2": float(metrics.area_um2),
         "total_cap_ff": float(metrics.total_cap_ff),
     }
+
+
+def metrics_from_dict(data):
+    """Rebuild a :class:`CircuitMetrics` from :func:`metrics_to_dict`."""
+    return CircuitMetrics(**{key: float(data[key]) for key in (
+        "noise_pf", "delay_ps", "power_mw", "area_um2", "total_cap_ff")})
+
+
+_metrics_dict = metrics_to_dict
 
 
 def _check_header(data, expected_kind):

@@ -1,0 +1,68 @@
+"""Scenario orchestration: declarative configs, batch execution, caching.
+
+The imperative flow object (:class:`~repro.core.flow.NoiseAwareSizingFlow`)
+optimizes *one* circuit under *one* configuration.  This package turns
+runs into data so sweeps scale:
+
+* :mod:`~repro.runtime.config` — :class:`CircuitRef`, :class:`FlowConfig`,
+  :class:`Scenario`, :class:`SweepSpec`: frozen, validated, canonically
+  serializable specs of what to run,
+* :mod:`~repro.runtime.runner` — :class:`BatchRunner` executes a sweep
+  serially or across worker processes, streaming :class:`RunRecord`\\ s in
+  a deterministic order (parallel output is byte-identical to serial),
+* :mod:`~repro.runtime.cache` — :class:`ResultCache` keys records by
+  content hash of the scenario plus the realized circuit's fingerprint,
+  so repeated sweeps hit disk instead of the solver,
+* :mod:`~repro.runtime.records` — :class:`RunRecord`, the structured
+  result consumed by :mod:`repro.analysis` and the report formatters.
+
+Quickstart (library)::
+
+    from repro.runtime import (BatchRunner, CircuitRef, FlowConfig,
+                               ResultCache, SweepSpec)
+
+    spec = SweepSpec(
+        circuits=(CircuitRef.iscas85("c432"), CircuitRef.iscas85("c880")),
+        orderings=("woss", "none"),
+        delay_modes=("own", "none", "propagated"),
+        base=FlowConfig(n_patterns=128),
+    )
+    runner = BatchRunner(jobs=4, cache=ResultCache(".repro_cache"))
+    for record in runner.iter_records(spec):   # 12 scenarios
+        print(record.summary())
+    print(runner.stats.summary())
+
+Quickstart (CLI) — the same sweep::
+
+    repro sweep c432 c880 --orderings woss none \\
+        --delay-modes own none propagated --patterns 128 --jobs 4
+
+Rerunning either form with the same cache directory completes without
+any solver work: every record is served from the cache.
+"""
+
+from repro.runtime.cache import ResultCache, scenario_key
+from repro.runtime.config import CircuitRef, FlowConfig, Scenario, SweepSpec
+from repro.runtime.records import RunRecord
+from repro.runtime.runner import (
+    BatchRunner,
+    MultiprocessExecutor,
+    SerialExecutor,
+    SweepStats,
+    run_scenario,
+)
+
+__all__ = [
+    "CircuitRef",
+    "FlowConfig",
+    "Scenario",
+    "SweepSpec",
+    "RunRecord",
+    "ResultCache",
+    "scenario_key",
+    "BatchRunner",
+    "SweepStats",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "run_scenario",
+]

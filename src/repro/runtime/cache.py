@@ -1,0 +1,87 @@
+"""Content-addressed result cache for scenario runs.
+
+The cache key is ``sha256(scenario canonical JSON ‖ circuit fingerprint)``:
+the scenario part covers every flow knob, the fingerprint part covers the
+*realized* circuit (so editing a ``.bench`` file in place, or changing the
+generator, invalidates entries without any manual versioning).  Records
+are stored one JSON file per key under two-level fan-out directories;
+writes are atomic (temp file + rename) so concurrent sweeps sharing a
+cache directory never observe torn entries.
+"""
+
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.runtime.records import RunRecord
+from repro.utils.errors import ReproError
+
+
+@functools.lru_cache(maxsize=256)
+def _fingerprint(circuit_ref):
+    """Per-process memo of :meth:`CircuitRef.fingerprint` (builds the circuit)."""
+    return circuit_ref.fingerprint()
+
+
+def scenario_key(scenario):
+    """Stable cache key for ``scenario`` (flow knobs + realized circuit)."""
+    payload = scenario.canonical_json() + "\x1f" + _fingerprint(scenario.circuit)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed store mapping scenario content to run records."""
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, scenario):
+        key = scenario_key(scenario)
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, scenario):
+        """The cached :class:`RunRecord` (marked ``cached=True``), or ``None``.
+
+        Unreadable or schema-incompatible entries count as misses — the
+        runner recomputes and overwrites them — rather than aborting a
+        sweep over one corrupt file.
+        """
+        path = self.path_for(scenario)
+        try:
+            data = json.loads(path.read_text())
+            record = RunRecord.from_dict(data)
+        except (OSError, TypeError, ValueError, KeyError, ReproError):
+            return None
+        return dataclasses.replace(record, cached=True)
+
+    def put(self, scenario, record):
+        """Persist ``record`` atomically; returns the entry path."""
+        path = self.path_for(scenario)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(record.to_dict(), indent=1)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def __len__(self):
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def __contains__(self, scenario):
+        return self.path_for(scenario).exists()
+
+    def clear(self):
+        """Drop every entry (keeps the directory)."""
+        for entry in self.root.glob("*/*.json"):
+            entry.unlink()

@@ -1,0 +1,212 @@
+"""Scenario execution: serial and multiprocess, cache-aware, streaming.
+
+:func:`run_scenario` is the pure unit of work (scenario in, record out);
+:class:`BatchRunner` expands a :class:`~repro.runtime.config.SweepSpec`,
+answers what it can from a :class:`~repro.runtime.cache.ResultCache`, and
+executes the rest with a pluggable executor — :class:`SerialExecutor` or
+:class:`MultiprocessExecutor` (``multiprocessing.Pool``).  Records stream
+back in scenario order regardless of executor, and the per-scenario seed
+is derived from scenario content (see :attr:`Scenario.seed`), so parallel
+and serial runs of the same spec produce byte-identical records.
+"""
+
+import dataclasses
+import multiprocessing
+
+from repro.core.flow import NoiseAwareSizingFlow
+from repro.runtime.config import SweepSpec
+from repro.runtime.records import RunRecord
+from repro.utils.errors import ValidationError
+
+
+def run_scenario(scenario):
+    """Execute one scenario through the two-stage flow; returns a RunRecord."""
+    config = scenario.config
+    circuit = scenario.circuit.build()
+    flow = NoiseAwareSizingFlow(
+        circuit,
+        ordering=config.ordering,
+        miller_mode=config.miller_mode,
+        coupling_order=config.coupling_order,
+        delay_mode=config.delay_mode,
+        n_patterns=config.n_patterns,
+        seed=scenario.seed,
+        bound_factors=config.bound_factors,
+        optimizer_options=config.optimizer_options,
+    )
+    outcome = flow.run()
+    sizing = outcome.sizing
+    return RunRecord(
+        scenario=scenario,
+        feasible=bool(sizing.feasible),
+        converged=bool(sizing.converged),
+        iterations=int(sizing.iterations),
+        duality_gap=float(sizing.duality_gap),
+        ordering_cost_before=float(outcome.ordering_cost_before),
+        ordering_cost_after=float(outcome.ordering_cost_after),
+        initial_metrics=sizing.initial_metrics,
+        metrics=sizing.metrics,
+        sizes=tuple(float(x) for x in sizing.x),
+        runtime_s=float(sizing.runtime_s),
+        memory_bytes=int(sizing.memory_bytes),
+    )
+
+
+class SerialExecutor:
+    """In-process execution, scenarios in order."""
+
+    def map(self, fn, items):
+        for item in items:
+            yield fn(item)
+
+    def close(self):
+        pass
+
+    def abort(self):
+        pass
+
+
+class MultiprocessExecutor:
+    """``multiprocessing.Pool`` execution; results stream back in order.
+
+    ``imap`` (not ``imap_unordered``) keeps the stream in submission
+    order, so downstream consumers see the same sequence as serial runs.
+    """
+
+    def __init__(self, jobs):
+        if jobs < 2:
+            raise ValidationError("MultiprocessExecutor needs jobs >= 2")
+        self.jobs = int(jobs)
+        self._pool = None
+
+    def map(self, fn, items):
+        self._pool = multiprocessing.Pool(processes=self.jobs)
+        return self._pool.imap(fn, items)
+
+    def close(self):
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def abort(self):
+        """Tear the pool down without draining queued work.
+
+        ``imap`` submits every item up front, so a plain ``close`` +
+        ``join`` after early abandonment would block until the whole
+        sweep finished computing.
+        """
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+def make_executor(jobs):
+    """Executor for ``jobs`` workers (1 → serial)."""
+    if int(jobs) <= 1:
+        return SerialExecutor()
+    return MultiprocessExecutor(int(jobs))
+
+
+@dataclasses.dataclass
+class SweepStats:
+    """Execution accounting for one :meth:`BatchRunner.run` call."""
+
+    total: int = 0
+    computed: int = 0
+    cache_hits: int = 0
+
+    def summary(self):
+        return (f"{self.total} scenarios: {self.computed} computed, "
+                f"{self.cache_hits} cached")
+
+
+class BatchRunner:
+    """Expand a sweep and execute it, serving repeats from the cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; 1 runs in-process.
+    cache:
+        Optional :class:`ResultCache`.  Hits skip the solver entirely;
+        fresh results are persisted as they complete.
+    run:
+        The per-scenario work function (testing hook, e.g. to count
+        invocations).  Anything other than the default requires
+        ``jobs=1`` — worker processes can only import module-level
+        functions.
+    """
+
+    def __init__(self, jobs=1, cache=None, run=run_scenario):
+        if int(jobs) < 1:
+            raise ValidationError("BatchRunner needs jobs >= 1")
+        if run is not run_scenario and int(jobs) > 1:
+            raise ValidationError("a custom run function requires jobs=1")
+        self.jobs = int(jobs)
+        self.cache = cache
+        self._run = run
+        self.stats = SweepStats()
+
+    def iter_records(self, spec_or_scenarios):
+        """Yield one :class:`RunRecord` per scenario, in scenario order.
+
+        Cache hits yield immediately; misses are dispatched to the
+        executor and merged back into the stream in order, so a warm
+        cache streams the whole sweep without touching the solver.
+        """
+        scenarios = self._expand(spec_or_scenarios)
+        self.stats = SweepStats(total=len(scenarios))
+
+        cached = {}
+        missing = []
+        for index, scenario in enumerate(scenarios):
+            record = self.cache.get(scenario) if self.cache is not None else None
+            if record is not None:
+                cached[index] = record
+            else:
+                missing.append((index, scenario))
+
+        # A fully warm cache must not pay pool spin-up for zero work.
+        executor = make_executor(self.jobs) if missing else SerialExecutor()
+        completed = False
+        try:
+            fresh = iter(executor.map(self._run, [s for _, s in missing]))
+            for index, scenario in enumerate(scenarios):
+                if index in cached:
+                    self.stats.cache_hits += 1
+                    yield cached[index]
+                    continue
+                record = next(fresh)
+                self.stats.computed += 1
+                if self.cache is not None:
+                    self.cache.put(scenario, record)
+                yield record
+            completed = True
+        finally:
+            # On early abandonment (consumer break / exception) drop the
+            # queued work instead of joining on the whole remaining sweep.
+            if completed:
+                executor.close()
+            else:
+                executor.abort()
+
+    def run(self, spec_or_scenarios, progress=None):
+        """Execute everything; returns the record list in scenario order.
+
+        ``progress`` is an optional callable invoked with each record as
+        it completes (the CLI uses it to stream one line per scenario).
+        """
+        records = []
+        for record in self.iter_records(spec_or_scenarios):
+            if progress is not None:
+                progress(record)
+            records.append(record)
+        return records
+
+    @staticmethod
+    def _expand(spec_or_scenarios):
+        if isinstance(spec_or_scenarios, SweepSpec):
+            return spec_or_scenarios.scenarios()
+        return list(spec_or_scenarios)

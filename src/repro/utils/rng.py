@@ -6,6 +6,7 @@ ready ``numpy.random.Generator``.  Centralizing the coercion here keeps the
 behavior uniform and the experiments reproducible.
 """
 
+import hashlib
 import zlib
 
 import numpy as np
@@ -37,3 +38,17 @@ def derive_rng(rng, stream):
     base = make_rng(rng)
     salt = zlib.crc32(str(stream).encode())
     return np.random.default_rng([int(base.integers(0, 2**32)), salt])
+
+
+def stable_seed(*parts):
+    """Deterministic 32-bit seed from the string forms of ``parts``.
+
+    The canonical way to derive a per-scenario or per-label seed from a
+    base seed plus context (``stable_seed(base, "ordering", label)``):
+    SHA-256 of the joined parts, so it is stable across processes,
+    platforms, and runs (``hash()`` is salted per process) and
+    collision-resistant where CRC32 of a label is not.
+    """
+    text = "\x1f".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:4], "big")

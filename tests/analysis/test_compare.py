@@ -3,8 +3,57 @@
 import numpy as np
 import pytest
 
-from repro.analysis import linear_fit, shape_check_table1
+from repro.analysis import (
+    best_by_circuit,
+    linear_fit,
+    shape_check_table1,
+    sweep_summary,
+)
 from repro.analysis.compare import improvement_rows
+
+
+def test_sweep_summary_groups_by_axes(sweep_records):
+    summary = sweep_summary(sweep_records, axes=("ordering",))
+    assert set(summary) == {("woss",), ("none",)}
+    for entry in summary.values():
+        assert entry["runs"] == 2
+        assert 0.0 <= entry["feasible_fraction"] <= 1.0
+        assert entry["mean_iterations"] >= 1
+        for metric in ("noise", "delay", "power", "area"):
+            assert metric in entry
+
+
+def test_sweep_summary_means_exclude_infeasible(sweep_records):
+    import dataclasses
+
+    crippled = [dataclasses.replace(r, feasible=False) for r in sweep_records]
+    summary = sweep_summary(crippled, axes=("ordering",))
+    for entry in summary.values():
+        assert entry["feasible_fraction"] == 0.0
+        assert np.isnan(entry["area"])
+    # one feasible record per group -> its improvements alone are the mean
+    mixed = [sweep_records[0]] + [dataclasses.replace(r, feasible=False)
+                                  for r in sweep_records[1:]]
+    summary = sweep_summary(mixed, axes=())
+    [entry] = summary.values()
+    assert entry["area"] == sweep_records[0].improvements["area"]
+
+
+def test_best_by_circuit_picks_lowest_area(sweep_records):
+    best = best_by_circuit(sweep_records)
+    labels = {r.scenario.circuit.label for r in sweep_records}
+    assert set(best) == labels
+    for label, winner in best.items():
+        rivals = [r for r in sweep_records
+                  if r.scenario.circuit.label == label and r.feasible]
+        assert winner.metrics.area_um2 == min(r.metrics.area_um2 for r in rivals)
+
+
+def test_best_by_circuit_skips_infeasible(sweep_records):
+    import dataclasses
+
+    crippled = [dataclasses.replace(r, feasible=False) for r in sweep_records]
+    assert best_by_circuit(crippled) == {}
 
 
 def test_linear_fit_exact_line():

@@ -1,6 +1,6 @@
 """Report formatting."""
 
-from repro.analysis import format_fig10_rows, format_table1, linear_fit
+from repro.analysis import format_fig10_rows, format_sweep, format_table1, linear_fit
 from repro.analysis.report import format_paper_table1
 
 
@@ -9,6 +9,21 @@ def test_table1_contains_circuit_and_improvement_rows(small_flow_result):
     assert "c432" in out
     assert "Impr(%)" in out
     assert "NoiseI(pF)" in out
+
+
+def test_table1_accepts_run_records(sweep_records):
+    out = format_table1({r.scenario.circuit.label: r for r in sweep_records[:2]})
+    assert "Impr(%)" in out
+    assert sweep_records[0].scenario.circuit.label in out
+
+
+def test_format_sweep_one_row_per_record(sweep_records):
+    out = format_sweep(sweep_records)
+    lines = [line for line in out.splitlines() if "solve" in line or "cache" in line]
+    assert len(lines) == len(sweep_records)
+    assert "ordering" in out and "delay" in out
+    for record in sweep_records:
+        assert record.scenario.circuit.label in out
 
 
 def test_paper_table_renders_all_rows():

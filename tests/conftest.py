@@ -12,6 +12,7 @@ from repro.circuit.parser import builtin_bench_path
 from repro.core import NoiseAwareSizingFlow
 from repro.geometry import ChannelLayout
 from repro.noise import CouplingSet, MillerMode, SimilarityAnalyzer
+from repro.runtime import BatchRunner, CircuitRef, FlowConfig, SweepSpec
 
 
 @pytest.fixture(scope="session")
@@ -63,6 +64,18 @@ def small_flow_result(small_circuit):
         optimizer_options={"max_iterations": 300, "tolerance": 0.01},
     )
     return flow.run()
+
+
+@pytest.fixture(scope="session")
+def sweep_records():
+    """Records of a tiny 2-circuit × 2-ordering sweep (shared read-only)."""
+    spec = SweepSpec(
+        circuits=(CircuitRef.random(12, 4, 2, seed=0, target_depth=5),
+                  CircuitRef.random(16, 5, 3, seed=1, target_depth=6)),
+        orderings=("woss", "none"),
+        base=FlowConfig(n_patterns=32, max_iterations=50),
+    )
+    return BatchRunner().run(spec)
 
 
 @pytest.fixture

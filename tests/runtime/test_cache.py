@@ -1,0 +1,95 @@
+"""Content-hash result cache: round trips, invalidation, corruption."""
+
+import json
+
+import pytest
+
+from repro.runtime import (
+    BatchRunner,
+    CircuitRef,
+    FlowConfig,
+    ResultCache,
+    RunRecord,
+    Scenario,
+    run_scenario,
+)
+from repro.runtime.cache import scenario_key
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return Scenario(
+        CircuitRef.random(12, 4, 2, seed=0, target_depth=5),
+        FlowConfig(n_patterns=32, max_iterations=50),
+    )
+
+
+@pytest.fixture(scope="module")
+def record(scenario):
+    return run_scenario(scenario)
+
+
+def test_round_trip_preserves_canonical_payload(tmp_path, scenario, record):
+    cache = ResultCache(tmp_path)
+    assert cache.get(scenario) is None
+    cache.put(scenario, record)
+    loaded = cache.get(scenario)
+    assert loaded is not None
+    assert loaded.cached and not record.cached
+    assert loaded.canonical_json() == record.canonical_json()
+    assert loaded.runtime_s == record.runtime_s
+    assert len(cache) == 1 and scenario in cache
+
+
+def test_key_tracks_config_and_circuit(scenario):
+    key = scenario_key(scenario)
+    assert key == scenario_key(scenario)
+    other_config = Scenario(scenario.circuit,
+                            scenario.config.replace(noise_fraction=0.05))
+    other_circuit = Scenario(CircuitRef.random(12, 4, 2, seed=1, target_depth=5),
+                             scenario.config)
+    assert scenario_key(other_config) != key
+    assert scenario_key(other_circuit) != key
+
+
+def test_corrupt_entry_is_a_miss(tmp_path, scenario, record):
+    cache = ResultCache(tmp_path)
+    path = cache.put(scenario, record)
+    path.write_text("{not json")
+    assert cache.get(scenario) is None
+    path.write_text(json.dumps({"kind": "run_record", "schema": 99}))
+    assert cache.get(scenario) is None
+    # wrong-typed field inside a schema-valid document
+    broken = record.to_dict()
+    broken["sizes"] = 5
+    path.write_text(json.dumps(broken))
+    assert cache.get(scenario) is None
+
+
+def test_clear_empties_the_store(tmp_path, scenario, record):
+    cache = ResultCache(tmp_path)
+    cache.put(scenario, record)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get(scenario) is None
+
+
+def test_record_from_dict_rejects_junk():
+    from repro.utils.errors import ReproError
+
+    with pytest.raises(ReproError):
+        RunRecord.from_dict({"kind": "circuit"})
+    with pytest.raises(ReproError):
+        RunRecord.from_dict({"kind": "run_record", "schema": 99})
+
+
+def test_runner_overwrites_corrupt_entry(tmp_path, scenario):
+    cache = ResultCache(tmp_path)
+    runner = BatchRunner(cache=cache)
+    [first] = runner.run([scenario])
+    cache.path_for(scenario).write_text("garbage")
+    rerun = BatchRunner(cache=cache)
+    [second] = rerun.run([scenario])
+    assert rerun.stats.computed == 1
+    assert second.canonical_json() == first.canonical_json()
+    assert BatchRunner(cache=cache).run([scenario])[0].cached

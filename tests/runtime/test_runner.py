@@ -1,0 +1,135 @@
+"""Batch execution: parallel determinism, cache short-circuit, streaming."""
+
+import pytest
+
+from repro.runtime import (
+    BatchRunner,
+    CircuitRef,
+    FlowConfig,
+    ResultCache,
+    SweepSpec,
+    run_scenario,
+)
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """4 fast scenarios: 2 tiny circuits × 2 orderings."""
+    return SweepSpec(
+        circuits=(CircuitRef.random(12, 4, 2, seed=0, target_depth=5),
+                  CircuitRef.random(16, 5, 3, seed=1, target_depth=6)),
+        orderings=("woss", "random"),
+        base=FlowConfig(n_patterns=32, max_iterations=50),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_records(sweep):
+    runner = BatchRunner(jobs=1)
+    records = runner.run(sweep)
+    assert runner.stats.computed == len(sweep)
+    return records
+
+
+def test_records_are_structured(sweep, serial_records):
+    assert len(serial_records) == len(sweep) == 4
+    for record, scenario in zip(serial_records, sweep.scenarios()):
+        assert record.scenario == scenario
+        assert record.iterations >= 1
+        assert len(record.sizes) == record.scenario.circuit.build().num_nodes
+        assert record.metrics.area_um2 < record.initial_metrics.area_um2
+
+
+def test_parallel_matches_serial_byte_for_byte(sweep, serial_records):
+    runner = BatchRunner(jobs=2)
+    parallel = runner.run(sweep)
+    assert runner.stats.computed == len(sweep)
+    assert ([r.canonical_json() for r in parallel]
+            == [r.canonical_json() for r in serial_records])
+
+
+def test_rerun_is_deterministic(sweep, serial_records):
+    again = BatchRunner(jobs=1).run(sweep)
+    assert ([r.canonical_json() for r in again]
+            == [r.canonical_json() for r in serial_records])
+
+
+def test_streaming_yields_in_scenario_order(sweep, serial_records):
+    seen = []
+    for record in BatchRunner(jobs=2).iter_records(sweep):
+        seen.append(record.scenario.content_hash())
+    assert seen == [s.content_hash() for s in sweep.scenarios()]
+
+
+def test_second_run_served_entirely_from_cache(tmp_path, sweep, serial_records):
+    cache = ResultCache(tmp_path)
+    cold = BatchRunner(jobs=1, cache=cache)
+    cold_records = cold.run(sweep)
+    assert cold.stats.computed == len(sweep)
+    assert cold.stats.cache_hits == 0
+
+    calls = []
+
+    def counting_run(scenario):
+        calls.append(scenario)
+        return run_scenario(scenario)
+
+    warm = BatchRunner(jobs=1, cache=cache, run=counting_run)
+    warm_records = warm.run(sweep)
+    assert calls == [], "warm cache must not invoke the solver at all"
+    assert warm.stats.computed == 0
+    assert warm.stats.cache_hits == len(sweep)
+    assert all(r.cached for r in warm_records)
+    assert ([r.canonical_json() for r in warm_records]
+            == [r.canonical_json() for r in cold_records]
+            == [r.canonical_json() for r in serial_records])
+
+
+def test_partial_cache_computes_only_misses(tmp_path, sweep):
+    scenarios = sweep.scenarios()
+    cache = ResultCache(tmp_path)
+    BatchRunner(jobs=1, cache=cache).run(scenarios[:2])
+
+    calls = []
+
+    def counting_run(scenario):
+        calls.append(scenario)
+        return run_scenario(scenario)
+
+    runner = BatchRunner(jobs=1, cache=cache, run=counting_run)
+    records = runner.run(scenarios)
+    assert [s.content_hash() for s in calls] == \
+        [s.content_hash() for s in scenarios[2:]]
+    assert runner.stats.cache_hits == 2 and runner.stats.computed == 2
+    assert [r.scenario.content_hash() for r in records] == \
+        [s.content_hash() for s in scenarios]
+
+
+def test_abandoned_parallel_stream_returns_promptly(sweep):
+    """Breaking out of iter_records must terminate queued pool work, not
+    join on the rest of the sweep."""
+    runner = BatchRunner(jobs=2)
+    for record in runner.iter_records(sweep):
+        assert record.feasible
+        break
+    assert runner.stats.computed == 1
+
+
+def test_progress_callback_streams_every_record(sweep):
+    seen = []
+    records = BatchRunner(jobs=1).run(sweep, progress=seen.append)
+    assert seen == records
+
+
+def test_invalid_construction_rejected():
+    with pytest.raises(ValidationError):
+        BatchRunner(jobs=0)
+    with pytest.raises(ValidationError):
+        BatchRunner(jobs=2, run=lambda s: None)
+
+
+def test_scenario_list_accepted_directly(sweep):
+    scenarios = sweep.scenarios()[:2]
+    records = BatchRunner(jobs=1).run(scenarios)
+    assert [r.scenario for r in records] == scenarios

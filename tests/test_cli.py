@@ -74,6 +74,57 @@ class TestSizeCommand:
             run_cli("size", "c432", "--ordering", "bogus")
 
 
+class TestSweepCommand:
+    @staticmethod
+    def sweep(*extra, cache_args=("--no-cache",)):
+        return run_cli("sweep", str(builtin_bench_path("c17")),
+                       "--orderings", "woss", "none",
+                       "--delay-modes", "own", "none",
+                       "--patterns", "32", "--max-iterations", "60",
+                       *cache_args, *extra)
+
+    def test_expands_cross_product(self):
+        code, text = self.sweep()
+        assert code == 0
+        assert "sweep: 4 scenarios" in text
+        assert "4 scenarios: 4 computed, 0 cached" in text
+        assert "Scenario sweep" in text
+        assert text.count("c17/") == 4  # one streamed line per scenario
+
+    def test_parallel_jobs(self):
+        code, text = self.sweep("--jobs", "2")
+        assert code == 0
+        assert "jobs=2" in text
+        assert "4 computed" in text
+
+    def test_warm_cache_skips_solver(self, tmp_path):
+        cache_args = ("--cache-dir", str(tmp_path / "cache"))
+        code, text = self.sweep(cache_args=cache_args)
+        assert code == 0 and "4 computed, 0 cached" in text
+        code, text = self.sweep(cache_args=cache_args)
+        assert code == 0
+        assert "0 computed, 4 cached" in text
+        assert "[cached]" in text
+
+    def test_quiet_suppresses_stream(self):
+        code, text = self.sweep("--quiet")
+        assert code == 0
+        assert "[cached]" not in text
+        assert text.count("c17/") == 0
+
+    def test_unknown_circuit_rejected(self):
+        code, text = run_cli("sweep", "c9999", "--no-cache")
+        assert code == 2
+        assert "error" in text
+
+    def test_infeasible_scenario_exit_code(self):
+        code, text = run_cli("sweep", str(builtin_bench_path("c17")),
+                             "--patterns", "32", "--max-iterations", "20",
+                             "--delay-slacks", "1e-6", "--no-cache")
+        assert code == 1
+        assert "INFEASIBLE" in text
+
+
 class TestTable1Command:
     def test_single_circuit(self):
         code, text = run_cli("table1", "c432", "--patterns", "64",
