@@ -1,0 +1,146 @@
+"""Kernel-vs-reference performance trajectory (writes BENCH_perf.json).
+
+Measures, per circuit:
+
+* end-to-end OGWS wall clock with the kernel backend vs the reference
+  backend (same problem, same coupling set, same multiplier schedule —
+  the reference arm also runs the legacy projection sweep, i.e. the
+  pre-kernel solver hot path),
+* one isolated S2+S3+S4 LRS pass per backend,
+* the relative difference of the final size vectors (the equivalence
+  contract: ≤ 1e-12).
+
+Results append to a trajectory file (default ``BENCH_perf.json`` at the
+repo root) so successive PRs accumulate a history.  CI runs this on the
+small circuits as a non-gating smoke job; the committed entry covers the
+full set including c7552, the largest circuit in ``bench_lrs_scaling``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_trajectory.py \
+        --circuits c432 c880 c7552 --label "PR 2 kernelized hot path"
+"""
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro import ElmoreEngine, iscas85_circuit
+from repro.core import LagrangianSubproblemSolver, MultiplierState
+from repro.core.flow import NoiseAwareSizingFlow
+from repro.core.ogws import OGWSOptimizer
+
+BACKENDS = ("reference", "kernel")
+
+
+def time_ogws(engine, problem, repeats):
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        optimizer = OGWSOptimizer(engine, problem)
+        start = time.perf_counter()
+        result = optimizer.run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def time_lrs_pass(engine, mult, x0, repeats):
+    solver = LagrangianSubproblemSolver(engine, max_passes=1, tolerance=0.0)
+    solver.solve(mult, x0)  # warm plan/workspace
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        solver.solve(mult, x0)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_circuit(name, patterns, repeats):
+    flow = NoiseAwareSizingFlow(iscas85_circuit(name), n_patterns=patterns)
+    outcome = flow.run()
+    compiled = outcome.engine.compiled
+    mult = MultiplierState.initial(compiled, beta=1e-3, gamma=1e-3)
+    x0 = compiled.default_sizes(1.0)
+
+    row = {"name": name, "nodes": compiled.num_nodes,
+           "edges": compiled.num_edges, "levels": compiled.num_levels}
+    results = {}
+    for backend in BACKENDS:
+        engine = ElmoreEngine(compiled, outcome.coupling,
+                              outcome.engine.mode, backend=backend)
+        ogws_s, result = time_ogws(engine, outcome.problem, repeats)
+        pass_s = time_lrs_pass(engine, mult, x0, repeats)
+        results[backend] = result
+        row[f"ogws_{backend}_s"] = round(ogws_s, 6)
+        row[f"lrs_pass_{backend}_ms"] = round(pass_s * 1e3, 4)
+        row[f"iterations_{backend}"] = result.iterations
+    xr, xk = results["reference"].x, results["kernel"].x
+    row["max_rel_diff"] = float(np.max(
+        np.abs(xk - xr) / np.maximum(np.abs(xr), 1e-30)))
+    row["ogws_speedup"] = round(
+        row["ogws_reference_s"] / row["ogws_kernel_s"], 3)
+    row["lrs_pass_speedup"] = round(
+        row["lrs_pass_reference_ms"] / row["lrs_pass_kernel_ms"], 3)
+    return row
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--circuits", nargs="+", default=["c432", "c880"])
+    parser.add_argument("--patterns", type=int, default=64)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--label", default="dev")
+    parser.add_argument("--out", default=str(
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_perf.json"))
+    parser.add_argument("--check-speedup", type=float, default=None,
+                        help="exit nonzero unless the largest circuit's "
+                             "end-to-end OGWS speedup reaches this factor")
+    args = parser.parse_args(argv)
+
+    rows = []
+    for name in args.circuits:
+        row = bench_circuit(name, args.patterns, args.repeats)
+        rows.append(row)
+        print(f"{name}: OGWS {row['ogws_reference_s']*1e3:.1f} ms -> "
+              f"{row['ogws_kernel_s']*1e3:.1f} ms ({row['ogws_speedup']}x), "
+              f"LRS pass {row['lrs_pass_reference_ms']:.3f} -> "
+              f"{row['lrs_pass_kernel_ms']:.3f} ms "
+              f"({row['lrs_pass_speedup']}x), "
+              f"max rel diff {row['max_rel_diff']:.2e}")
+        if row["max_rel_diff"] > 1e-12:
+            print(f"FAIL: {name} kernel/reference results diverge")
+            return 1
+
+    entry = {
+        "label": args.label,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "circuits": rows,
+    }
+    out_path = pathlib.Path(args.out)
+    try:
+        payload = json.loads(out_path.read_text())
+        assert payload.get("kind") == "perf_trajectory"
+    except (OSError, ValueError, AssertionError):
+        payload = {"kind": "perf_trajectory", "entries": []}
+    payload["entries"].append(entry)
+    out_path.write_text(json.dumps(payload, indent=1) + "\n")
+    print(f"trajectory appended to {out_path}")
+
+    if args.check_speedup is not None:
+        largest = max(rows, key=lambda r: r["nodes"])
+        if largest["ogws_speedup"] < args.check_speedup:
+            print(f"FAIL: {largest['name']} speedup {largest['ogws_speedup']}x "
+                  f"< required {args.check_speedup}x")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -97,6 +97,21 @@ class CompiledCircuit:
     def from_circuit(cls, circuit):
         return cls(circuit)
 
+    def sweep_plan(self):
+        """Memoized :class:`~repro.timing.kernels.SweepPlan` for this circuit.
+
+        The plan presorts every level's edge group by scatter target so
+        the timing/sizing sweeps run as ``take``/``reduceat`` segment
+        operations instead of unbuffered ``np.add.at`` scatters.  Built
+        once on first use; like the rest of this object it is read-only.
+        """
+        plan = self.__dict__.get("_sweep_plan")
+        if plan is None:
+            from repro.timing.kernels import SweepPlan
+
+            plan = self._sweep_plan = SweepPlan(self)
+        return plan
+
     @property
     def nbytes(self):
         """Total bytes of the compiled arrays (used by the Fig. 10(a) bench)."""

@@ -5,6 +5,7 @@
 * ``info <circuit>``      — structure, depth, channels, initial metrics
 * ``size <circuit>``      — run the two-stage flow, print the result
 * ``sweep <circuits...>`` — run circuits × knob axes, parallel + cached
+* ``cache <stats|prune|clear>`` — inspect / LRU-evict a result cache
 * ``table1 [names...]``   — reproduce Table 1 rows next to the paper's
 * ``suite``               — list the embedded ISCAS85-like suite
 
@@ -90,8 +91,25 @@ def build_parser():
                        help="result cache directory (default: .repro_cache)")
     sweep.add_argument("--no-cache", action="store_true",
                        help="always recompute; do not read or write the cache")
+    sweep.add_argument("--verify-cache", action="store_true",
+                       help="re-fingerprint circuits before serving cache "
+                            "hits (guards against .bench files edited in "
+                            "place, at the cost of building each circuit)")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress the per-scenario stream, print the table only")
+
+    cache = sub.add_parser("cache", help="inspect and maintain a result cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry count, bytes, and hit/miss counters")
+    cache_prune = cache_sub.add_parser(
+        "prune", help="evict least-recently-used entries down to a size cap")
+    cache_prune.add_argument("--max-bytes", type=int, required=True,
+                             help="target total size of cache entries")
+    cache_clear = cache_sub.add_parser("clear", help="drop every entry")
+    for sub_parser in (cache_stats, cache_prune, cache_clear):
+        sub_parser.add_argument("--cache-dir", default=".repro_cache",
+                                help="cache directory (default: .repro_cache)")
 
     table1 = sub.add_parser("table1", help="reproduce Table 1 rows")
     table1.add_argument("names", nargs="*",
@@ -189,7 +207,8 @@ def cmd_sweep(args, out):
                         max_iterations=args.max_iterations,
                         tolerance=args.tolerance),
     )
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    cache = None if args.no_cache else ResultCache(
+        args.cache_dir, verify_fingerprints=args.verify_cache)
     runner = BatchRunner(jobs=max(1, args.jobs), cache=cache)
     out.write(f"sweep: {len(spec)} scenarios "
               f"({len(args.circuits)} circuits), jobs={runner.jobs}, "
@@ -206,6 +225,37 @@ def cmd_sweep(args, out):
     out.write(f"{runner.stats.summary()}, {elapsed:.2f}s "
               f"({rate:.1f} scenarios/s)\n")
     return 0 if all(r.feasible for r in records) else 1
+
+
+def cmd_cache(args, out):
+    # Inspection/maintenance must not create directories as a side
+    # effect (a typo'd --cache-dir should fail, not report emptiness).
+    if not pathlib.Path(args.cache_dir).is_dir():
+        raise ReproError(f"no such cache directory: {args.cache_dir}")
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        rows = [
+            ["entries", stats.entries],
+            ["total bytes", stats.total_bytes],
+            ["hits", stats.hits],
+            ["misses", stats.misses],
+            ["puts", stats.puts],
+            ["evictions", stats.evictions],
+        ]
+        out.write(format_table(["counter", "value"], rows,
+                               title=f"cache {args.cache_dir}") + "\n")
+    elif args.cache_command == "prune":
+        evicted, freed = cache.prune(args.max_bytes)
+        stats = cache.stats()
+        out.write(f"evicted {evicted} entries ({freed} bytes); "
+                  f"{stats.entries} entries ({stats.total_bytes} bytes) "
+                  f"remain\n")
+    else:  # clear
+        before = len(cache)
+        cache.clear()
+        out.write(f"cleared {before} entries from {args.cache_dir}\n")
+    return 0
 
 
 def cmd_table1(args, out):
@@ -239,6 +289,7 @@ _COMMANDS = {
     "info": cmd_info,
     "size": cmd_size,
     "sweep": cmd_sweep,
+    "cache": cmd_cache,
     "table1": cmd_table1,
     "suite": cmd_suite,
 }

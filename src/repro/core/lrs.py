@@ -17,11 +17,27 @@ its fixed point (paper step S5 "repeat until no improvement"), evaluating
 each pass with three vectorized sweeps (S2: capacitances, S3: upstream
 resistances, S4: the update) — linear work per pass.
 
+Two pass implementations sit behind the engine's ``backend`` flag:
+
+* ``"kernel"`` (default): the S2/S3/S4 sweeps are *fused* into one
+  workspace-backed pass (:meth:`_solve_kernel`) over the circuit's
+  precompiled :class:`~repro.timing.kernels.SweepPlan`.  All coupling
+  terms come from one :meth:`CouplingSet.node_terms` traversal, every
+  intermediate lives in the engine's preallocated
+  :class:`~repro.timing.kernels.Workspace`, and a steady-state pass
+  performs **no array allocation** (guarded by tracemalloc in
+  ``tests/timing/test_kernels.py``).  Measured on c7552 this makes one
+  pass ~4× faster than the reference spelling (see ``BENCH_perf.json``).
+* ``"reference"``: the original engine-method-per-sweep loop, kept as
+  the golden implementation; the property tests pin kernel ≡ reference
+  to 1e-12 relative across delay modes, coupling orders, and scalar /
+  per-net γ.
+
 Generalizations beyond the paper, both documented in DESIGN.md §2:
 
 * coupling Taylor order k > 2: the coupling sums are evaluated at the
-  current iterate via :meth:`CouplingSet.node_sums` (exactly the paper's
-  constants when k = 2);
+  current iterate via :meth:`CouplingSet.node_terms` (exactly the
+  paper's constants when k = 2);
 * ``CouplingDelayMode.PROPAGATED``: the denominator gains the
   ``R_i·Σ ∂c_ij/∂x_i`` term that full propagation induces.
 """
@@ -30,6 +46,7 @@ import dataclasses
 
 import numpy as np
 
+from repro.timing import kernels
 from repro.timing.elmore import CouplingDelayMode
 from repro.timing.metrics import total_area, total_capacitance
 from repro.utils.errors import ConvergenceError
@@ -53,7 +70,7 @@ class LagrangianSubproblemSolver:
     ----------
     engine:
         :class:`~repro.timing.elmore.ElmoreEngine` (supplies circuit,
-        coupling set, and delay mode).
+        coupling set, delay mode, and sweep backend).
     tolerance:
         Fixed-point stop: max relative size change per pass.
     max_passes:
@@ -74,6 +91,95 @@ class LagrangianSubproblemSolver:
         start converges to the same unique optimum — warm starts from the
         previous outer iteration just get there in fewer passes).
         """
+        if self.engine.backend == "kernel":
+            return self._solve_kernel(multipliers, x0)
+        return self._solve_reference(multipliers, x0)
+
+    # -- fused kernel path --------------------------------------------------------
+
+    def _solve_kernel(self, multipliers, x0):
+        """S2+S3+S4 fused into one workspace-backed pass per iteration.
+
+        Per pass: one :meth:`CouplingSet.node_terms` traversal (cap/slope
+        sums and, under PROPAGATED, per-node coupling caps), one reverse
+        capacitance sweep, one forward λ-weighted resistance sweep, and
+        the elementwise ``opt_i`` update — all into preallocated buffers.
+        The iterate ping-pongs between the workspace's two size vectors,
+        so the returned ``x`` is copied out once at the end.
+        """
+        engine = self.engine
+        cc = engine.compiled
+        plan = cc.sweep_plan()
+        ws = engine.workspace()
+        coupling = engine.coupling
+        lam_node = multipliers.node_multipliers()
+        beta, gamma = multipliers.beta, multipliers.gamma
+        propagated = engine.mode is CouplingDelayMode.PROPAGATED
+        coupled_delay = engine.mode is not CouplingDelayMode.NONE
+        sizable = cc.is_sizable
+        numer_lam_r = lam_node * plan.r_hat_eff
+        alpha_beta = cc.alpha + beta * cc.c_hat
+
+        x, x_new = ws.x_a, ws.x_b
+        if x0 is None:
+            np.copyto(x, cc.lower)
+        else:
+            np.copyto(x, np.asarray(x0, dtype=float))
+        np.maximum(x, cc.lower, out=x)
+        np.clip(x, cc.lower, cc.upper, out=x)
+        x[plan.nonsizable_idx] = 0.0
+
+        max_rel = np.inf
+        passes = 0
+        with np.errstate(invalid="ignore", divide="ignore"):
+            while passes < self.max_passes and max_rel > self.tolerance:
+                passes += 1
+                terms = coupling.node_terms(x, gamma, node_caps=propagated)
+                # S2: self caps + stage-closure capacitance accumulation.
+                kernels.s2_source_terms(plan, cc, x, terms.node_caps,
+                                        propagated, ws.cself,
+                                        ws.source_terms, ws.t1)
+                kernels.child_sum_sweep(plan, ws.source_terms, ws.child_sum, ws)
+                # S3: r = r̂/x on sizables (drivers are preset in the
+                # workspace); λ-weighted stage-closure accumulation.
+                np.divide(plan.r_hat_eff, x, out=ws.r_eff, where=sizable)
+                np.multiply(lam_node, ws.r_eff, out=ws.t2)
+                kernels.upstream_sweep(plan, ws.t2, ws.upstream, ws)
+                # S4: closed-form opt_i, clipped into the box.
+                np.add(ws.child_sum, plan.half_fringe_wire, out=ws.k_cap)
+                if coupled_delay:
+                    np.multiply(terms.cap_sum, plan.wire_mask_f, out=ws.t1)
+                    np.add(ws.k_cap, ws.t1, out=ws.k_cap)
+                np.multiply(ws.upstream, cc.c_hat, out=ws.denom)
+                np.add(ws.denom, alpha_beta, out=ws.denom)
+                np.add(ws.denom, terms.gamma_slopes, out=ws.denom)
+                if propagated:
+                    np.multiply(ws.upstream, terms.dx_sum, out=ws.t1)
+                    np.add(ws.denom, ws.t1, out=ws.denom)
+                # Non-sizable entries of ``opt`` keep stale (finite,
+                # non-negative) values; the clip + explicit zeroing of
+                # x_new below makes them irrelevant.
+                np.multiply(numer_lam_r, ws.k_cap, out=ws.t1)
+                np.divide(ws.t1, ws.denom, out=ws.opt, where=sizable)
+                np.sqrt(ws.opt, out=ws.opt)
+                np.clip(ws.opt, cc.lower, cc.upper, out=x_new)
+                x_new[plan.nonsizable_idx] = 0.0
+                # Fixed-point progress: max relative size change.
+                np.subtract(x_new, x, out=ws.t1)
+                np.abs(ws.t1, out=ws.t1)
+                np.divide(ws.t1, x, out=ws.t1, where=sizable)
+                if len(plan.sizable_idx):
+                    np.take(ws.t1, plan.sizable_idx, out=ws.szbuf)
+                    max_rel = float(ws.szbuf.max())
+                else:
+                    max_rel = 0.0
+                x, x_new = x_new, x
+        return self._finish(x.copy(), passes, max_rel)
+
+    # -- reference path -----------------------------------------------------------
+
+    def _solve_reference(self, multipliers, x0):
+        """The original spelling: one engine sweep call per step."""
         engine = self.engine
         cc = engine.compiled
         coupling = engine.coupling
@@ -116,6 +222,9 @@ class LagrangianSubproblemSolver:
                 rel = np.abs(x_new - x) / np.where(sizable, x, 1.0)
             max_rel = float(np.max(rel[sizable], initial=0.0))
             x = x_new
+        return self._finish(x, passes, max_rel)
+
+    def _finish(self, x, passes, max_rel):
         converged = max_rel <= self.tolerance
         if not converged and self.strict:
             raise ConvergenceError(
@@ -127,27 +236,43 @@ class LagrangianSubproblemSolver:
 
     # -- Lagrangian evaluation ----------------------------------------------------
 
-    def lagrangian_value(self, x, multipliers, problem):
+    def lagrangian_value(self, x, multipliers, problem, context=None):
         """``L_{λ,β,γ}(x)`` of Theorem 4, including the eliminated-arrival
         constant ``−A0·Σ λ_sink`` (so that ``min_x L`` is the dual value).
+
+        ``context`` is an optional
+        :class:`~repro.timing.metrics.EvalContext` at the same point;
+        when given, the delays, area, capacitance, and coupling totals
+        already computed for the outer iteration are reused instead of
+        re-running the full-circuit sweeps here.
         """
         engine = self.engine
         cc = engine.compiled
         lam_node = multipliers.node_multipliers()
-        delays = engine.delays(x)
-        area = total_area(cc, x)
+        if context is not None:
+            delays = context.delays
+            area = context.area_um2
+        else:
+            delays = engine.delays(x)
+            area = total_area(cc, x)
         value = area
         value += float(np.dot(lam_node, delays))
         if np.isfinite(problem.power_cap_bound_ff):
-            value += multipliers.beta * (total_capacitance(cc, x)
+            total_cap = context.total_cap_ff if context is not None \
+                else total_capacitance(cc, x)
+            value += multipliers.beta * (total_cap
                                          - problem.power_cap_bound_ff)
         gamma = np.asarray(multipliers.gamma, dtype=float)
         if gamma.ndim:  # distributed per-net bounds (extension)
-            slack = engine.coupling.net_caps(x) - problem.noise_bounds_ff
+            net_caps = context.net_caps_ff if context is not None \
+                else engine.coupling.net_caps(x)
+            slack = net_caps - problem.noise_bounds_ff
             active = np.isfinite(problem.noise_bounds_ff)
             value += float(np.dot(gamma[active], slack[active]))
         elif np.isfinite(problem.noise_bound_ff):
-            value += multipliers.gamma * (engine.coupling.total(x)
+            coupling_total = context.coupling_total_ff if context is not None \
+                else engine.coupling.total(x)
+            value += multipliers.gamma * (coupling_total
                                           - problem.noise_bound_ff)
         value -= problem.delay_bound_ps * multipliers.sink_flow()
         return value

@@ -47,16 +47,20 @@ class MultiplierState:
         self.gamma = gamma_arr.copy() if gamma_arr.ndim else float(gamma)
 
     @classmethod
-    def initial(cls, compiled, beta=1e-3, gamma=1e-3, sink_weight=1.0):
+    def initial(cls, compiled, beta=1e-3, gamma=1e-3, sink_weight=1.0,
+                backend="kernel"):
         """The paper's A1: an arbitrary point satisfying Theorem 3.
 
         Every sink in-edge starts at ``sink_weight``; one projection sweep
         then propagates consistent flows to every edge upstream.
+        ``backend`` selects the projection implementation so a
+        reference-backend solver run stays on the legacy code path
+        throughout (OGWS threads its engine's backend here).
         """
         lam = np.zeros(compiled.num_edges)
         lam[compiled.sink_in_edges] = sink_weight
         state = cls(compiled, lam, beta=beta, gamma=gamma)
-        state.project()
+        state.project(backend=backend)
         return state
 
     # -- aggregates ---------------------------------------------------------------
@@ -83,7 +87,7 @@ class MultiplierState:
 
     # -- projection ---------------------------------------------------------------
 
-    def project(self):
+    def project(self, backend="kernel"):
         """Restore Theorem 3 exactly (one reverse-topological sweep).
 
         Processing nodes from the deepest level upward, each node's
@@ -91,7 +95,22 @@ class MultiplierState:
         out-flow settles conservation in one pass.  Nodes whose in-edges
         are all zero receive the out-flow split equally; nodes with zero
         out-flow zero their in-edges.
+
+        Runs over the circuit's precompiled condensed cascade
+        (:func:`repro.timing.kernels.project_sweep`); the per-level
+        reference spelling is kept as :meth:`_project_reference`
+        (``backend="reference"`` selects it, mirroring the engine's
+        sweep-backend flag) and pinned equivalent by the kernel tests.
         """
+        if backend == "reference":
+            return self._project_reference()
+        from repro.timing.kernels import project_sweep
+
+        project_sweep(self.compiled.sweep_plan(), self.lam_edge)
+        return self
+
+    def _project_reference(self):
+        """Original unbuffered per-level sweep (golden reference)."""
         cc = self.compiled
         lam = self.lam_edge
         # Each edge belongs to exactly one src-level and one dst-level

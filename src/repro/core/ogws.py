@@ -29,7 +29,7 @@ from repro.core.lrs import LagrangianSubproblemSolver
 from repro.core.multipliers import MultiplierState
 from repro.core.result import IterationRecord, SizingResult
 from repro.core.subgradient import MultiplicativeUpdate, SubgradientUpdate
-from repro.timing.metrics import evaluate_metrics, total_area
+from repro.timing.metrics import EvalContext, evaluate_metrics
 from repro.utils.errors import ValidationError
 from repro.utils.memory import MemoryLedger
 from repro.utils.units import FF_PER_PF
@@ -104,7 +104,7 @@ class OGWSOptimizer:
 
         initial_metrics = evaluate_metrics(engine, self.x_init)
         mult = multipliers.copy() if multipliers is not None else \
-            MultiplierState.initial(cc)
+            MultiplierState.initial(cc, backend=engine.backend)
 
         history = []
         best_dual = -np.inf
@@ -119,11 +119,15 @@ class OGWSOptimizer:
             x0 = x if (self.warm_start_lrs and x is not None) else None
             lrs_result = self.lrs.solve(mult, x0=x0)           # A2 + A3
             x = lrs_result.x
-            delays = engine.delays(x)
-            arrival = engine.arrival_times(delays)
+            # One evaluation context per iterate: the arrival sweep, the
+            # Table 1 metrics, and the dual value below all share it, so
+            # no full-circuit quantity is computed twice at this point.
+            context = EvalContext(engine, x)
+            delays = context.delays
+            arrival = context.arrival
 
-            metrics = evaluate_metrics(engine, x)
-            dual = self.lrs.lagrangian_value(x, mult, problem)
+            metrics = context.metrics
+            dual = self.lrs.lagrangian_value(x, mult, problem, context=context)
             best_dual = max(best_dual, dual)
             area = metrics.area_um2
             paper_gap = abs(area - dual) / max(area, 1e-30)    # A7 quantity
@@ -152,7 +156,7 @@ class OGWSOptimizer:
                 noise=metrics.noise_pf * FF_PER_PF,
                 engine=engine, x=x,
             )
-            mult.project()                                     # A5
+            mult.project(backend=engine.backend)               # A5
 
             if self.record_history:
                 history.append(IterationRecord(
@@ -256,9 +260,16 @@ class OGWSOptimizer:
         ledger = MemoryLedger()
         ledger.register("compiled", self.engine.compiled.nbytes)
         ledger.register("coupling", self.engine.coupling.nbytes)
-        n = self.engine.compiled.num_nodes
-        # LRS + sweeps keep ~12 double arrays of node length alive.
-        ledger.register("work_arrays", 12 * n * 8)
+        workspace = getattr(self.engine, "_workspace", None)
+        if workspace is not None:
+            # Kernel backend: the preallocated sweep workspace plus the
+            # precompiled level segments are the solver's working set.
+            ledger.register("workspace", workspace.nbytes)
+            ledger.register("sweep_plan", workspace.plan.nbytes)
+        else:
+            n = self.engine.compiled.num_nodes
+            # Reference sweeps keep ~12 double arrays of node length alive.
+            ledger.register("work_arrays", 12 * n * 8)
         if multipliers is not None:
             ledger.register("multipliers", multipliers.nbytes)
         return ledger.total_bytes

@@ -21,11 +21,18 @@ posynomial form because weights are non-negative constants (pairs with
 weight 0 — perfect anti-Miller — are dropped).
 """
 
+import collections
+
 import numpy as np
 
 from repro.noise.coupling import taylor_derivative_factor
 from repro.noise.miller import MillerMode, miller_weight
 from repro.utils.errors import GeometryError
+
+#: Fused per-node coupling terms (see :meth:`CouplingSet.node_terms`).
+#: ``node_caps`` is ``None`` unless requested.
+CouplingTerms = collections.namedtuple(
+    "CouplingTerms", ("cap_sum", "dx_sum", "gamma_slopes", "node_caps"))
 
 
 class CouplingSet:
@@ -72,6 +79,12 @@ class CouplingSet:
         self.ctilde = weights * np.array([p.ctilde for p in pairs])
         self.chat = weights * np.array([p.chat for p in pairs])
         self._endpoints = np.concatenate([self.pair_i, self.pair_j])
+        # Stable endpoint order for the precompiled scatter operator the
+        # fused node_terms path builds lazily (see _ensure_scratch).
+        self._ep_order = np.ascontiguousarray(
+            np.argsort(self._endpoints, kind="stable"))
+        self._two_distance = 2.0 * self.distance
+        self._scratch = None
 
     # -- constructors -------------------------------------------------------------
 
@@ -166,6 +179,117 @@ class CouplingSet:
                              minlength=self.num_nodes).astype(float)
         cap_sum -= x * dx_sum
         return cap_sum, dx_sum
+
+    # -- fused evaluation (solver hot path) ----------------------------------------
+
+    def _ensure_scratch(self):
+        p, n = self.num_pairs, self.num_nodes
+        if self._scratch is None:
+            import types
+
+            from repro.timing import kernels
+
+            # Endpoint scatter as a static unit CSR operator: row i lists
+            # the pairs touching node i (in stable endpoint order).
+            by_node = [[] for _ in range(n)]
+            for pos in self._ep_order:
+                by_node[int(self._endpoints[pos])].append(int(pos) % p)
+            self._scratch = {
+                "op": kernels.CSROp(by_node, n),
+                "ws": types.SimpleNamespace(cbuf=np.zeros(2 * p),
+                                            sbuf=np.zeros(n)),
+                "u": np.zeros(p), "term": np.zeros(p), "tmp": np.zeros(p),
+                "caps": np.zeros(p), "slopes": np.zeros(p), "pw": np.zeros(p),
+                "cap_sum": np.zeros(n), "dx_sum": np.zeros(n),
+                "gamma_slopes": np.zeros(n), "node_caps": np.zeros(n),
+                "node_tmp": np.zeros(n),
+            }
+            if self.order == 2:
+                # Paper default k = 2: ∂c_ij/∂x_i = ĉ_ij is constant, so
+                # the per-node slope sums never change — scatter once.
+                s = self._scratch
+                kernels.csr_matvec(s["op"], self.chat, s["dx_sum"], s["ws"])
+                s["dx_static"] = s["dx_sum"].copy()
+                # Returned to every order-2 node_terms caller: freeze it
+                # so accidental in-place mutation fails loudly instead of
+                # corrupting all subsequent solves.
+                s["dx_static"].setflags(write=False)
+        return self._scratch
+
+    def _endpoint_scatter(self, pair_values, out, s):
+        """``out[i] = Σ_{pairs touching i} value`` via the static operator."""
+        from repro.timing import kernels
+
+        kernels.csr_matvec(s["op"], pair_values, out, s["ws"])
+
+    def node_terms(self, x, gamma, node_caps=False):
+        """All Theorem 5 coupling terms in one traversal.
+
+        Returns a :class:`CouplingTerms` with ``cap_sum`` and ``dx_sum``
+        exactly as :meth:`node_sums` and ``gamma_slopes`` exactly as
+        :meth:`slope_sums` — but the size ratio, the Taylor factors of
+        both series, and the endpoint scatter are each evaluated once
+        instead of once per method (and with a scalar ``gamma`` the
+        slopes are just ``gamma · dx_sum``, no third scatter).  With
+        ``node_caps=True`` the per-node total coupling capacitance
+        (:meth:`node_coupling_caps`, needed by the ``PROPAGATED`` delay
+        mode) rides along for free.
+
+        All returned arrays live in an internal scratch reused by the
+        next call — consume them before calling again (the fused LRS
+        pass does; allocate via the individual methods otherwise).
+        """
+        gamma = np.asarray(gamma, dtype=float)
+        per_net = gamma.ndim > 0
+        if self.num_pairs == 0:
+            zeros = np.zeros((4, self.num_nodes))
+            return CouplingTerms(zeros[0], zeros[1], zeros[2],
+                                 zeros[3] if node_caps else None)
+        s = self._ensure_scratch()
+        u, term, tmp = s["u"], s["term"], s["tmp"]
+        caps, slopes = s["caps"], s["slopes"]
+        np.take(x, self.pair_i, out=u)
+        np.take(x, self.pair_j, out=tmp)
+        np.add(u, tmp, out=u)
+        np.divide(u, self._two_distance, out=u)
+        if self.order == 2:
+            # k = 2 closed form: c = ~c·(1 + u), constant slopes ĉ.
+            np.multiply(u, self.ctilde, out=caps)
+            np.add(caps, self.ctilde, out=caps)
+            slopes = self.chat
+        else:
+            # Joint Taylor evaluation: caps ← Σ_{n<k} uⁿ, slopes ← Σ n·uⁿ⁻¹.
+            caps.fill(1.0)
+            slopes.fill(0.0)
+            term.fill(1.0)
+            for n in range(1, self.order):
+                np.multiply(term, float(n), out=tmp)
+                np.add(slopes, tmp, out=slopes)
+                np.multiply(term, u, out=term)
+                np.add(caps, term, out=caps)
+            np.multiply(caps, self.ctilde, out=caps)
+            np.multiply(slopes, self.chat, out=slopes)
+
+        cap_sum, dx_sum, gs = s["cap_sum"], s["dx_sum"], s["gamma_slopes"]
+        self._endpoint_scatter(caps, cap_sum, s)
+        if self.order == 2:
+            dx_sum = s["dx_static"]
+        else:
+            self._endpoint_scatter(slopes, dx_sum, s)
+        out_caps = None
+        if node_caps:
+            out_caps = s["node_caps"]
+            np.copyto(out_caps, cap_sum)
+        if per_net:
+            pw = s["pw"]
+            np.take(gamma, self.owner, out=pw)
+            np.multiply(pw, slopes, out=pw)
+            self._endpoint_scatter(pw, gs, s)
+        else:
+            np.multiply(dx_sum, float(gamma), out=gs)
+        np.multiply(x, dx_sum, out=s["node_tmp"])
+        np.subtract(cap_sum, s["node_tmp"], out=cap_sum)
+        return CouplingTerms(cap_sum, dx_sum, gs, out_caps)
 
     def node_coupling_caps(self, x):
         """Per-node total coupling cap ``Σ_{j∈N(i)} c_ij(x)`` (delay model)."""

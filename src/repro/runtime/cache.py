@@ -1,12 +1,35 @@
 """Content-addressed result cache for scenario runs.
 
-The cache key is ``sha256(scenario canonical JSON ‖ circuit fingerprint)``:
-the scenario part covers every flow knob, the fingerprint part covers the
-*realized* circuit (so editing a ``.bench`` file in place, or changing the
-generator, invalidates entries without any manual versioning).  Records
-are stored one JSON file per key under two-level fan-out directories;
-writes are atomic (temp file + rename) so concurrent sweeps sharing a
-cache directory never observe torn entries.
+The cache key is the *scenario spec hash alone*
+(:meth:`Scenario.content_hash`): every flow knob plus the circuit
+reference, but **not** the realized circuit.  Earlier versions keyed on
+``sha256(spec ‖ circuit fingerprint)``, which forced the sweep parent to
+build every circuit serially before it could even probe the cache — the
+"cache-key prologue" flagged in ROADMAP.md.  Now ``get`` is pure hashing;
+the realized-circuit fingerprint still travels with every entry and is
+
+* recorded at ``put`` time (workers fingerprint the circuit they already
+  built, so the parent never constructs one), and
+* optionally re-verified at read-back (``verify_fingerprints=True``)
+  for workflows where a ``.bench`` file may change on disk behind an
+  unchanged path.  A mismatch counts as a miss and the entry is
+  recomputed.
+
+Like the old fingerprint-keyed scheme, neither key covers *code*
+changes: entries persist across library versions, and results produced
+by older solver numerics are served until the cache is cleared (or the
+entry envelope's ``CACHE_SCHEMA_VERSION`` is bumped, which invalidates
+everything).  Clear sweep caches after upgrading when exact
+reproducibility across versions matters.
+
+Entries are one JSON document per key under two-level fan-out
+directories; writes are atomic (temp file + rename) so concurrent sweeps
+sharing a cache directory never observe torn entries.  Reads touch the
+entry's mtime, giving :meth:`ResultCache.prune` an LRU eviction order.
+Hit/miss/put counters accumulate in memory and persist to ``stats.json``
+beside the entries on ``put``/``prune``/``stats()``/:meth:`flush`
+(best-effort under concurrency: counter writes are atomic but
+last-writer-wins), surfaced by the ``repro cache stats`` CLI.
 """
 
 import dataclasses
@@ -20,6 +43,11 @@ import tempfile
 from repro.runtime.records import RunRecord
 from repro.utils.errors import ReproError
 
+#: Version of the on-disk entry envelope (bumped when the layout changes).
+CACHE_SCHEMA_VERSION = 2
+
+_COUNTER_FIELDS = ("hits", "misses", "puts", "evictions")
+
 
 @functools.lru_cache(maxsize=256)
 def _fingerprint(circuit_ref):
@@ -28,42 +56,145 @@ def _fingerprint(circuit_ref):
 
 
 def scenario_key(scenario):
-    """Stable cache key for ``scenario`` (flow knobs + realized circuit)."""
-    payload = scenario.canonical_json() + "\x1f" + _fingerprint(scenario.circuit)
-    return hashlib.sha256(payload.encode()).hexdigest()
+    """Stable cache key: the scenario's content hash (no circuit build)."""
+    return scenario.content_hash()
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time view of a cache directory."""
+
+    entries: int
+    total_bytes: int
+    hits: int
+    misses: int
+    puts: int
+    evictions: int
+
+    def summary(self):
+        return (f"{self.entries} entries, {self.total_bytes} bytes; "
+                f"{self.hits} hits, {self.misses} misses, "
+                f"{self.puts} puts, {self.evictions} evicted")
 
 
 class ResultCache:
-    """Directory-backed store mapping scenario content to run records."""
+    """Directory-backed store mapping scenario specs to run records.
 
-    def __init__(self, root):
+    Parameters
+    ----------
+    root:
+        Cache directory (created if missing).
+    verify_fingerprints:
+        When true, ``get`` rebuilds the scenario's circuit and compares
+        its fingerprint against the entry's before serving it (stale
+        entries count as misses).  Off by default — it reintroduces the
+        serial circuit-build cost that spec-hash keys exist to avoid,
+        and is only needed when netlist files may mutate in place.
+    """
+
+    def __init__(self, root, verify_fingerprints=False):
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.verify_fingerprints = bool(verify_fingerprints)
+        self._pending = {name: 0 for name in _COUNTER_FIELDS}
 
     def path_for(self, scenario):
         key = scenario_key(scenario)
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def _stats_path(self):
+        return self.root / "stats.json"
+
+    def _bump(self, **deltas):
+        """Accumulate counter deltas in memory (see :meth:`flush`).
+
+        Hits buffer without touching the filesystem — a warm sweep does
+        zero counter I/O per scenario; puts, evictions, :meth:`stats`,
+        and the batch runner's end-of-sweep hook flush.
+        """
+        for name, delta in deltas.items():
+            self._pending[name] += delta
+
+    def flush(self):
+        """Persist buffered counters to ``stats.json`` (atomic write)."""
+        if not any(self._pending.values()):
+            return
+        counters = self._load_counters()
+        for name, delta in self._pending.items():
+            counters[name] += delta
+        self._pending = {name: 0 for name in _COUNTER_FIELDS}
+        payload = json.dumps(counters)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, self._stats_path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def _load_counters(self):
+        try:
+            data = json.loads(self._stats_path.read_text())
+            return {name: int(data.get(name, 0)) for name in _COUNTER_FIELDS}
+        except (OSError, TypeError, ValueError):
+            return {name: 0 for name in _COUNTER_FIELDS}
+
+    # -- read / write -----------------------------------------------------------
+
     def get(self, scenario):
         """The cached :class:`RunRecord` (marked ``cached=True``), or ``None``.
 
-        Unreadable or schema-incompatible entries count as misses — the
+        Unreadable, schema-incompatible, or (under
+        ``verify_fingerprints``) stale entries count as misses — the
         runner recomputes and overwrites them — rather than aborting a
         sweep over one corrupt file.
         """
         path = self.path_for(scenario)
         try:
             data = json.loads(path.read_text())
-            record = RunRecord.from_dict(data)
+            if not isinstance(data, dict) or data.get("kind") != "cache_entry":
+                raise ReproError("not a cache entry")
+            if data.get("schema") != CACHE_SCHEMA_VERSION:
+                raise ReproError("cache entry schema mismatch")
+            record = RunRecord.from_dict(data["record"])
         except (OSError, TypeError, ValueError, KeyError, ReproError):
+            self._bump(misses=1)
             return None
+        if self.verify_fingerprints:
+            stored = data.get("fingerprint", "")
+            # Deliberately unmemoized: verification exists to catch files
+            # edited on disk *during this process's lifetime*, so the
+            # circuit is rebuilt and re-hashed on every verified read.
+            if stored and stored != scenario.circuit.fingerprint():
+                self._bump(misses=1)
+                return None
+        try:
+            os.utime(path)  # LRU recency for prune()
+        except OSError:
+            pass
+        self._bump(hits=1)
         return dataclasses.replace(record, cached=True)
 
     def put(self, scenario, record):
-        """Persist ``record`` atomically; returns the entry path."""
+        """Persist ``record`` atomically; returns the entry path.
+
+        The entry stores the realized-circuit fingerprint alongside the
+        record: taken from the record itself when the worker computed it
+        (the normal path — no circuit build here), else computed now.
+        """
+        fingerprint = record.fingerprint or _fingerprint(scenario.circuit)
         path = self.path_for(scenario)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps(record.to_dict(), indent=1)
+        entry = {
+            "kind": "cache_entry",
+            "schema": CACHE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "record": record.to_dict(),
+        }
+        payload = json.dumps(entry, indent=1)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
@@ -73,7 +204,59 @@ class ResultCache:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        self._bump(puts=1)
+        self.flush()
         return path
+
+    # -- maintenance ------------------------------------------------------------
+
+    def _entries(self):
+        """(path, stat) per entry, oldest access first."""
+        entries = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                entries.append((path, path.stat()))
+            except OSError:
+                continue
+        entries.sort(key=lambda item: (item[1].st_mtime, str(item[0])))
+        return entries
+
+    def stats(self):
+        """Current :class:`CacheStats` (scans entries, loads counters)."""
+        self.flush()
+        entries = self._entries()
+        counters = self._load_counters()
+        return CacheStats(
+            entries=len(entries),
+            total_bytes=sum(st.st_size for _, st in entries),
+            **counters,
+        )
+
+    def prune(self, max_bytes):
+        """Evict least-recently-used entries until ≤ ``max_bytes`` remain.
+
+        Returns ``(evicted_count, freed_bytes)``.
+        """
+        if max_bytes < 0:
+            raise ReproError("max_bytes must be non-negative")
+        entries = self._entries()
+        total = sum(st.st_size for _, st in entries)
+        evicted = 0
+        freed = 0
+        for path, st in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= st.st_size
+            freed += st.st_size
+            evicted += 1
+        if evicted:
+            self._bump(evictions=evicted)
+            self.flush()
+        return evicted, freed
 
     def __len__(self):
         return sum(1 for _ in self.root.glob("*/*.json"))
@@ -82,6 +265,6 @@ class ResultCache:
         return self.path_for(scenario).exists()
 
     def clear(self):
-        """Drop every entry (keeps the directory)."""
+        """Drop every entry (keeps the directory and the counters)."""
         for entry in self.root.glob("*/*.json"):
             entry.unlink()

@@ -42,6 +42,18 @@ def _content_hash(data):
     return hashlib.sha256(_canonical_json(data).encode()).hexdigest()
 
 
+def circuit_fingerprint(circuit):
+    """SHA-256 over a *built* circuit's canonical form.
+
+    Shared by :meth:`CircuitRef.fingerprint` and the sweep workers (which
+    fingerprint the circuit they already constructed, so cache writes in
+    the parent never have to build one).
+    """
+    from repro.io import circuit_to_dict
+
+    return _content_hash(circuit_to_dict(circuit))
+
+
 def _normalize_params(pairs):
     """Hashable ``((key, value), ...)`` with sequence values as tuples.
 
@@ -150,14 +162,11 @@ class CircuitRef:
     def fingerprint(self):
         """SHA-256 over the *built* circuit's canonical form.
 
-        Hashing the realized graph (not just this reference) means a cache
-        keyed on the fingerprint invalidates itself when generator or
-        parser behavior changes, and when a ``.bench`` file on disk is
-        edited without its path changing.
+        Hashing the realized graph (not just this reference) means a
+        fingerprint check catches generator or parser behavior changes,
+        and ``.bench`` files edited on disk without their path changing.
         """
-        from repro.io import circuit_to_dict
-
-        return _content_hash(circuit_to_dict(self.build()))
+        return circuit_fingerprint(self.build())
 
     def canonical_dict(self):
         return {

@@ -41,6 +41,10 @@ class RunRecord:
     runtime_s: float = 0.0      # telemetry — excluded from canonical form
     memory_bytes: int = 0       # telemetry — excluded from canonical form
     cached: bool = False        # True when served from a ResultCache
+    #: Realized-circuit fingerprint, computed by the worker that built the
+    #: circuit.  Deterministic but kept out of the canonical form: it is
+    #: cache bookkeeping (verified at put/read-back), not an outcome.
+    fingerprint: str = ""
 
     @property
     def improvements(self):
@@ -95,6 +99,7 @@ class RunRecord:
         data = self.canonical_dict()
         data["runtime_s"] = float(self.runtime_s)
         data["memory_bytes"] = int(self.memory_bytes)
+        data["fingerprint"] = str(self.fingerprint)
         return data
 
     @classmethod
@@ -118,4 +123,5 @@ class RunRecord:
             sizes=tuple(float(x) for x in data["sizes"]),
             runtime_s=float(data.get("runtime_s", 0.0)),
             memory_bytes=int(data.get("memory_bytes", 0)),
+            fingerprint=str(data.get("fingerprint", "")),
         )

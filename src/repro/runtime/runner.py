@@ -20,7 +20,14 @@ from repro.utils.errors import ValidationError
 
 
 def run_scenario(scenario):
-    """Execute one scenario through the two-stage flow; returns a RunRecord."""
+    """Execute one scenario through the two-stage flow; returns a RunRecord.
+
+    The record carries the realized circuit's fingerprint (computed here,
+    where the circuit is already built) so a parent process can persist
+    cache entries without constructing any circuit itself.
+    """
+    from repro.runtime.config import circuit_fingerprint
+
     config = scenario.config
     circuit = scenario.circuit.build()
     flow = NoiseAwareSizingFlow(
@@ -49,6 +56,7 @@ def run_scenario(scenario):
         sizes=tuple(float(x) for x in sizing.x),
         runtime_s=float(sizing.runtime_s),
         memory_bytes=int(sizing.memory_bytes),
+        fingerprint=circuit_fingerprint(circuit),
     )
 
 
@@ -191,6 +199,8 @@ class BatchRunner:
                 executor.close()
             else:
                 executor.abort()
+            if self.cache is not None:
+                self.cache.flush()  # persist buffered hit/miss counters
 
     def run(self, spec_or_scenarios, progress=None):
         """Execute everything; returns the record list in scenario order.

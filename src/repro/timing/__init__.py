@@ -12,7 +12,8 @@
 
 from repro.timing.activity import ActivityPowerReport, activity_power, toggle_rates
 from repro.timing.elmore import CouplingDelayMode, ElmoreEngine
-from repro.timing.metrics import CircuitMetrics, evaluate_metrics
+from repro.timing.kernels import SweepPlan, Workspace
+from repro.timing.metrics import CircuitMetrics, EvalContext, evaluate_metrics
 from repro.timing.reference import ElmoreReference
 from repro.timing.sta import TimingReport, static_timing_analysis
 
@@ -20,6 +21,9 @@ __all__ = [
     "CouplingDelayMode",
     "ElmoreEngine",
     "ElmoreReference",
+    "SweepPlan",
+    "Workspace",
+    "EvalContext",
     "TimingReport",
     "static_timing_analysis",
     "CircuitMetrics",

@@ -1,0 +1,534 @@
+"""Precompiled sweep plans for the solver hot path.
+
+The timing/sizing inner loops are per-level scatter sweeps.  The
+straightforward NumPy spelling (``np.add.at`` / ``np.maximum.at`` per
+level) pays an unbuffered fancy-indexing loop *and* a fixed Python/numpy
+dispatch cost per level; at ISCAS85 scale a circuit has ~100 levels of
+~100 edges each, so dispatch overhead — not arithmetic — dominates an
+LRS pass.  This module precompiles three structures per circuit that
+remove that overhead:
+
+**Stage closures** (``desc``, ``anc``).  The paper's delay model is
+*stage-limited*: capacitance accumulation and λ-weighted upstream
+resistance only traverse wire (sub)trees — gate boundaries terminate
+them.  Both recurrences therefore unroll into static sparse linear
+operators with unit coefficients,
+
+    child_sum[i] = load_cap[i] + Σ_{j ∈ desc(i)} s[j]
+    upstream[i]  =               Σ_{j ∈ anc(i)}  λ_j·r_j
+
+where ``desc(i)`` (within-stage descendants: children, then onward
+through wires only) and ``anc(i)`` (within-stage ancestors, as a
+multiset over converging gate inputs) are precomputed index lists.
+Because stages are shallow, the closures stay at ~1.5× the edge count
+(c7552: 18.6k entries over 12.5k edges), and one CSR matrix–vector
+product evaluates the entire sweep with **no level loop**.
+
+**The condensed arrival graph**.  Arrival times are a true max-plus
+recurrence, but the max only happens where paths converge — at gates.
+Wires have in-degree exactly one, so along a wire chain arrival is just
+``arrival[stage anchor] + Σ chain delays``, and the chain sums are
+another static closure (``chain = WireChain · delays``).  The level
+recursion then runs over the *condensed* graph (non-wire nodes only,
+one edge per gate input carrying its anchor and chain hop), which has
+roughly a third of the levels and edges; wire arrivals are filled in
+afterwards by one flat gather.
+
+**Projection segments** (``proj_in`` / ``proj_out``).  The Theorem 3
+flow projection rescales each level's in-edge multipliers to match the
+already-final out-flow; its per-level scatters are presorted by node so
+each level is a ``take``/``reduceat``/assign triple.
+
+Sparse products go through :func:`csr_matvec` — SciPy's raw
+``csr_matvec`` kernel accumulating into a preallocated output — with a
+pure-NumPy ``take`` + ``add.reduceat`` fallback.  :class:`Workspace`
+preallocates all scratch, so a steady-state LRS pass in
+:class:`~repro.core.lrs.LagrangianSubproblemSolver` allocates nothing
+(guarded by tracemalloc in ``tests/timing/test_kernels.py``).
+
+The kernels are exact replacements for the reference sweeps in
+:class:`~repro.timing.elmore.ElmoreEngine` (``backend="reference"``);
+equivalence property tests pin agreement to 1e-12 relative across delay
+modes, coupling orders, and scalar / per-net γ.  Plans are read-only,
+workspaces single-threaded; obtain them via ``compiled.sweep_plan()``
+and ``ElmoreEngine.workspace()``.
+"""
+
+import numpy as np
+
+try:  # SciPy's C kernel accumulates into a caller-provided output array.
+    from scipy.sparse import _sparsetools as _st
+
+    _HAVE_RAW_MATVEC = hasattr(_st, "csr_matvec")
+except ImportError:  # pragma: no cover - scipy is a hard dependency in CI
+    _st = None
+    _HAVE_RAW_MATVEC = False
+
+
+class CSROp:
+    """A static unit-coefficient CSR operator ``y = A·x`` over ``n`` rows.
+
+    ``indptr``/``indices`` follow the usual CSR convention; ``data`` is
+    all ones (closure coefficients are unit by construction).  ``rows``
+    and ``starts`` retain the nonempty-row view used by the pure-NumPy
+    fallback path.
+    """
+
+    __slots__ = ("indptr", "indices", "data", "rows", "starts", "n_rows")
+
+    def __init__(self, lists, n_rows):
+        sizes = np.array([len(lst) for lst in lists], dtype=np.int64)
+        self.n_rows = n_rows
+        self.indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(sizes, out=self.indptr[1:])
+        self.indices = np.array(
+            [j for lst in lists for j in lst], dtype=np.int64)
+        self.data = np.ones(len(self.indices))
+        self.rows = np.flatnonzero(sizes)
+        self.starts = np.ascontiguousarray(self.indptr[self.rows])
+
+    @property
+    def nnz(self):
+        return len(self.indices)
+
+    @property
+    def nbytes(self):
+        return (self.indptr.nbytes + self.indices.nbytes + self.data.nbytes
+                + self.rows.nbytes + self.starts.nbytes)
+
+
+def csr_matvec(op, x, y, ws=None):
+    """``y ← op·x`` into the preallocated ``y`` (no allocation).
+
+    Uses SciPy's raw ``csr_matvec`` kernel when available, else a
+    ``take`` + ``add.reduceat`` fallback over the nonempty rows (drawing
+    scratch from ``ws`` when provided).
+    """
+    y.fill(0.0)
+    if not op.nnz:
+        return y
+    if _HAVE_RAW_MATVEC:
+        _st.csr_matvec(op.n_rows, len(x), op.indptr, op.indices, op.data,
+                       x, y)
+        return y
+    gathered = x.take(op.indices, out=ws.cbuf[:op.nnz] if ws is not None
+                      else None)
+    sums = np.add.reduceat(gathered, op.starts,
+                           out=ws.sbuf[:len(op.rows)] if ws is not None
+                           else None)
+    y[op.rows] = sums
+    return y
+
+
+class ProjectLevel:
+    """One condensed level of the flow-projection cascade.
+
+    All index arrays point into the compressed boundary-multiplier
+    vector ``lamb``: ``in_pos`` are this level's targets' in-edges
+    (grouped by target via ``in_starts``), ``out_pos`` the boundary
+    edges anchored at the targets that *have* fan-out (grouped via
+    ``out_starts``; ``out_sel`` selects those targets).  ``expand``
+    broadcasts per-target factors back to in-edges and ``in_deg`` holds
+    the targets' full graph in-degree for the dead-edge rule.
+    """
+
+    __slots__ = ("in_pos", "in_starts", "expand", "in_deg",
+                 "out_pos", "out_starts", "out_sel", "n_targets")
+
+    def __init__(self, in_pos, in_starts, expand, in_deg,
+                 out_pos, out_starts, out_sel, n_targets):
+        self.in_pos = in_pos
+        self.in_starts = in_starts
+        self.expand = expand
+        self.in_deg = in_deg
+        self.out_pos = out_pos
+        self.out_starts = out_starts
+        self.out_sel = out_sel
+        self.n_targets = n_targets
+
+
+class SweepPlan:
+    """Precompiled sweep structures for one :class:`CompiledCircuit`.
+
+    Obtain via ``compiled.sweep_plan()`` (memoized).  Carries the stage
+    closures, condensed arrival graph, and projection segments described
+    in the module docstring, plus the static per-node constants of the
+    fused LRS pass (``r_hat_eff``, ``half_fringe_wire``, ``wire_mask_f``,
+    ``wire_load_cap``) and index vectors (``gate_nodes``,
+    ``driver_nodes``, ``sizable_idx``, ``nonsizable_idx``).
+    """
+
+    def __init__(self, compiled):
+        from repro.utils.units import OHM_FF_TO_PS
+
+        cc = compiled
+        self.compiled = cc
+        self.num_nodes = cc.num_nodes
+        self.num_edges = cc.num_edges
+        self.num_levels = cc.num_levels
+        n = cc.num_nodes
+
+        children = [[] for _ in range(n)]
+        parents = [[] for _ in range(n)]
+        for src, dst in zip(cc.edge_src, cc.edge_dst):
+            children[int(src)].append(int(dst))
+            parents[int(dst)].append(int(src))
+        order = np.argsort(cc.level, kind="stable")
+        is_wire = cc.is_wire
+
+        # Stage closures.  Wires have in-degree exactly one, so the
+        # within-stage reachability used by both is a forest: every
+        # closure entry corresponds to exactly one traversal path of the
+        # reference sweeps (multiset semantics at converging gates).
+        desc = [None] * n
+        for i in order[::-1]:
+            i = int(i)
+            lst = []
+            for c in children[i]:
+                lst.append(c)
+                if is_wire[c]:
+                    lst.extend(desc[c])
+            desc[i] = lst
+        anc = [None] * n
+        for i in order:
+            i = int(i)
+            lst = []
+            for p in parents[i]:
+                lst.append(p)
+                if is_wire[p]:
+                    lst.extend(anc[p])
+            anc[i] = lst
+        self.desc = CSROp(desc, n)
+        self.anc = CSROp(anc, n)
+        self.desc_base = cc.load_cap.copy()
+
+        # Condensed arrival graph: anchors, wire chain closure, and the
+        # max-plus schedule over non-wire nodes.  The condensed node
+        # order is (condensed level, node id); per-level node slices are
+        # contiguous in that order, so the sweep assigns into views.
+        anchor = np.arange(n, dtype=np.int64)
+        for i in order:
+            i = int(i)
+            if is_wire[i]:
+                anchor[i] = anchor[cc.wire_parent[i]]
+        self.anchor = anchor
+        chain = [[i] + [j for j in anc[i] if is_wire[j]] if is_wire[i] else []
+                 for i in range(n)]
+        self.wire_chain = CSROp(chain, n)
+        self.wire_indices = cc.wire_indices
+
+        nonwire = np.flatnonzero(~is_wire)
+        boundary = np.flatnonzero(~is_wire[cc.edge_dst])  # edge ids
+        cond_dst = cc.edge_dst[boundary]
+        cond_anchor = anchor[cc.edge_src[boundary]]
+        cond_hop = cc.edge_src[boundary]
+        clevel = np.zeros(n, dtype=np.int64)
+        for e in np.argsort(cond_dst, kind="stable"):
+            d, a = cond_dst[e], cond_anchor[e]  # ascending dst == topo order
+            if clevel[a] + 1 > clevel[d]:
+                clevel[d] = clevel[a] + 1
+        self.cond_nodes = nonwire[
+            np.argsort(clevel[nonwire], kind="stable")]
+        cpos = np.full(n, -1, dtype=np.int64)
+        cpos[self.cond_nodes] = np.arange(len(self.cond_nodes))
+        n_clevels = int(clevel[nonwire].max(initial=0)) + 1
+        self.cond_node_ptr = np.searchsorted(
+            np.sort(clevel[nonwire]), np.arange(n_clevels + 1))
+        self.wire_anchor_pos = np.ascontiguousarray(
+            cpos[anchor[cc.wire_indices]])
+
+        # Condensed edges sorted by (level of dst, dst): per level the
+        # segment targets are then exactly the level's node slice, so
+        # ``maximum.reduceat`` writes straight into the slice view.
+        eorder = np.lexsort((cond_dst, clevel[cond_dst]))
+        cond_dst = cond_dst[eorder]
+        self.arr_anchor_pos = np.ascontiguousarray(cpos[cond_anchor[eorder]])
+        self.arr_hop = np.ascontiguousarray(cond_hop[eorder])
+        edge_levels = clevel[cond_dst]
+        self.arr_edge_ptr = np.searchsorted(edge_levels,
+                                            np.arange(n_clevels + 1))
+        self.arr_starts = []
+        for level in range(n_clevels):
+            lo, hi = self.arr_edge_ptr[level], self.arr_edge_ptr[level + 1]
+            dsts = cond_dst[lo:hi]
+            starts = np.flatnonzero(
+                np.concatenate(([True], dsts[1:] != dsts[:-1]))) \
+                if hi > lo else np.zeros(0, dtype=np.int64)
+            self.arr_starts.append(np.ascontiguousarray(starts))
+            node_lo = self.cond_node_ptr[level]
+            node_hi = self.cond_node_ptr[level + 1]
+            if level and not np.array_equal(dsts[starts],
+                                            self.cond_nodes[node_lo:node_hi]):
+                raise AssertionError(
+                    "condensed arrival schedule out of sync")  # pragma: no cover
+        self.max_cond_edges = int(np.max(np.diff(self.arr_edge_ptr),
+                                         initial=0))
+
+        # Flow-projection cascade over the same condensed graph.  Only
+        # boundary edges (non-wire destination) carry independent
+        # multiplier values through the Theorem 3 renormalization: a
+        # wire's single in-edge always ends up at exactly its subtree's
+        # boundary out-flow, so wire edges are reconstructed afterwards
+        # by one static scatter.
+        self.boundary_ids = boundary
+        bpos = np.full(cc.num_edges, -1, dtype=np.int64)
+        bpos[boundary] = np.arange(len(boundary))
+        by_anchor = [[] for _ in range(n)]
+        for k, e in enumerate(boundary):
+            by_anchor[int(anchor[cc.edge_src[e]])].append(k)
+        in_of = [[] for _ in range(n)]
+        for k, e in enumerate(boundary):
+            in_of[int(cc.edge_dst[e])].append(k)
+        self.proj_levels = []
+        for level in range(n_clevels - 1, 0, -1):
+            lo, hi = self.cond_node_ptr[level], self.cond_node_ptr[level + 1]
+            targets = [int(t) for t in self.cond_nodes[lo:hi]
+                       if t != cc.sink]
+            if not targets:
+                continue
+            in_pos, in_starts, expand = [], [], []
+            out_pos, out_starts, out_sel = [], [], []
+            for ti, t in enumerate(targets):
+                in_starts.append(len(in_pos))
+                in_pos.extend(in_of[t])
+                expand.extend([ti] * len(in_of[t]))
+                if by_anchor[t]:
+                    out_sel.append(ti)
+                    out_starts.append(len(out_pos))
+                    out_pos.extend(by_anchor[t])
+            self.proj_levels.append(ProjectLevel(
+                np.array(in_pos, dtype=np.int64),
+                np.array(in_starts, dtype=np.int64),
+                np.array(expand, dtype=np.int64),
+                cc.in_degree[targets].astype(float),
+                np.array(out_pos, dtype=np.int64),
+                np.array(out_starts, dtype=np.int64),
+                np.array(out_sel, dtype=np.int64),
+                len(targets)))
+        # Per-edge reconstruction: boundary edges map to themselves;
+        # a wire's in-edge sums the boundary edges below the wire.
+        scatter = [[] for _ in range(cc.num_edges)]
+        for k, e in enumerate(boundary):
+            scatter[int(e)].append(k)
+            src = int(cc.edge_src[e])
+            walk = [src] if is_wire[src] else []
+            if walk:
+                walk += [int(j) for j in anc[src] if is_wire[j]]
+            for w in walk:
+                wire_in_edge = int(cc.in_edges[cc.in_ptr[w]])
+                scatter[wire_in_edge].append(k)
+        self.proj_scatter = CSROp(scatter, cc.num_edges)
+
+        self.gate_nodes = cc.gate_indices
+        self.driver_nodes = np.flatnonzero(cc.is_driver)
+        self.sizable_idx = cc.component_indices
+        self.nonsizable_idx = np.flatnonzero(~cc.is_sizable)
+        self.load_cap = cc.load_cap
+        self.closure_size = max(self.desc.nnz, self.anc.nnz,
+                                self.wire_chain.nnz)
+
+        # Static fused-pass constants.
+        self.r_hat_eff = cc.r_hat * OHM_FF_TO_PS
+        self.half_fringe_wire = np.where(cc.is_wire, 0.5 * cc.fringe, 0.0)
+        self.wire_mask_f = cc.is_wire.astype(float)
+        self.wire_load_cap = np.where(cc.is_wire, cc.load_cap, 0.0)
+        # Sizable-masked model vectors: the Table 1 totals become single
+        # dot products (Σ α·x, Σ ĉ·x + Σf) instead of masked reductions.
+        sizable_f = cc.is_sizable.astype(float)
+        self.alpha_sizable = cc.alpha * sizable_f
+        self.c_hat_sizable = cc.c_hat * sizable_f
+        self.fringe_total = float(np.sum(cc.fringe[cc.is_sizable]))
+
+    @property
+    def nbytes(self):
+        total = (self.desc.nbytes + self.anc.nbytes + self.wire_chain.nbytes
+                 + self.proj_scatter.nbytes)
+        for starts in self.arr_starts:
+            total += starts.nbytes
+        for lv in self.proj_levels:
+            total += (lv.in_pos.nbytes + lv.in_starts.nbytes
+                      + lv.expand.nbytes + lv.in_deg.nbytes
+                      + lv.out_pos.nbytes + lv.out_starts.nbytes
+                      + lv.out_sel.nbytes)
+        for name in ("desc_base", "anchor", "cond_nodes", "cond_node_ptr",
+                     "wire_anchor_pos", "arr_anchor_pos", "arr_hop",
+                     "arr_edge_ptr", "boundary_ids", "gate_nodes",
+                     "driver_nodes", "sizable_idx", "nonsizable_idx",
+                     "r_hat_eff", "half_fringe_wire", "wire_mask_f",
+                     "wire_load_cap", "alpha_sizable", "c_hat_sizable"):
+            total += getattr(self, name).nbytes
+        return total
+
+    def __repr__(self):
+        return (f"SweepPlan(nodes={self.num_nodes}, edges={self.num_edges}, "
+                f"levels={self.num_levels}, closure={self.closure_size}, "
+                f"cond_levels={len(self.arr_starts)})")
+
+
+class Workspace:
+    """Preallocated buffers for the kernel sweeps and the fused LRS pass.
+
+    Node-length buffers double as sweep outputs inside the fused pass;
+    ``ebuf``/``cbuf``/``sbuf`` are gather and segment scratch and
+    ``szbuf`` holds the per-pass relative change restricted to sizable
+    nodes.  Reusing one workspace across passes is what makes a
+    steady-state LRS pass allocation-free; it is strictly
+    single-threaded.
+    """
+
+    NODE_BUFFERS = (
+        "cself", "child_sum", "source_terms", "r_eff", "chain",
+        "upstream", "k_cap", "denom", "opt", "x_a", "x_b", "t1", "t2",
+    )
+
+    def __init__(self, plan):
+        n = plan.num_nodes
+        self.plan = plan
+        for name in self.NODE_BUFFERS:
+            setattr(self, name, np.zeros(n))
+        self.ebuf = np.zeros(max(plan.max_cond_edges, 1))
+        self.cbuf = np.zeros(max(plan.closure_size, 1))
+        self.sbuf = np.zeros(n)
+        self.szbuf = np.zeros(max(len(plan.sizable_idx), 1))
+        self.wbuf = np.zeros(max(len(plan.wire_indices), 1))
+        self.wbuf2 = np.zeros(max(len(plan.wire_indices), 1))
+        n_cond = len(plan.cond_nodes)
+        self.arrc = np.zeros(max(n_cond, 1))
+        self.delays_c = np.zeros(max(n_cond, 1))
+        self.chain_e = np.zeros(max(len(plan.arr_hop), 1))
+        # r_eff is only ever written on sizable nodes (masked divide);
+        # driver entries are static, so preset them once.
+        self.r_eff[plan.driver_nodes] = plan.r_hat_eff[plan.driver_nodes]
+
+    @property
+    def nbytes(self):
+        total = 0
+        for name in self.NODE_BUFFERS + ("ebuf", "cbuf", "sbuf", "szbuf",
+                                         "wbuf", "wbuf2", "arrc",
+                                         "delays_c", "chain_e"):
+            total += getattr(self, name).nbytes
+        return total
+
+
+def s2_source_terms(plan, compiled, x, cpl, propagated, cself_out, source_out,
+                    scratch):
+    """Assemble the S2 inputs at sizes ``x`` (the one shared spelling).
+
+    Fills ``cself_out`` with the self capacitance ``ĉ·x + f`` (zero on
+    non-sizable nodes) and ``source_out`` with each node's contribution
+    to its ancestors' loads: input capacitance for gates, self + output
+    load (+ coupling ``cpl`` when ``propagated``) for wires.  Used by
+    the engine's kernel capacitance/delay paths and the fused LRS pass,
+    so the delay model has exactly one kernel-side definition.
+    """
+    np.multiply(compiled.c_hat, x, out=cself_out)
+    np.add(cself_out, compiled.fringe, out=cself_out)
+    cself_out[plan.nonsizable_idx] = 0.0
+    np.add(cself_out, plan.wire_load_cap, out=source_out)
+    if propagated:
+        np.multiply(cpl, plan.wire_mask_f, out=scratch)
+        np.add(source_out, scratch, out=source_out)
+    return cself_out, source_out
+
+
+def child_sum_sweep(plan, source_terms, child_sum, ws):
+    """Stage-closure capacitance accumulation (kernel S2).
+
+    ``child_sum[i] = load_cap[i] + Σ_{j ∈ desc(i)} source_terms[j]``
+    where ``source_terms`` is each node's own contribution to its
+    ancestors' loads: input capacitance for gates, self + output load
+    (+ coupling when PROPAGATED) for wires, zero otherwise.  One sparse
+    product evaluates the whole reverse sweep.
+    """
+    csr_matvec(plan.desc, source_terms, child_sum, ws)
+    np.add(child_sum, plan.desc_base, out=child_sum)
+    return child_sum
+
+
+def upstream_sweep(plan, own, upstream, ws):
+    """Stage-closure λ-weighted upstream resistance (kernel S3).
+
+    ``upstream[i] = Σ_{j ∈ anc(i)} own[j]`` with ``own = λ ∘ r_eff``;
+    the ancestor multiset runs from each node back through wires to the
+    stage-starting gates/drivers (inclusive), matching Theorem 5's
+    ``R_i`` exactly.
+    """
+    return csr_matvec(plan.anc, own, upstream, ws)
+
+
+def arrival_sweep(plan, delays, arrival, ws):
+    """Condensed max-plus sweep: arrival times at every node.
+
+    Wire-chain delay sums come from one sparse product and the per-edge
+    chain hops from one gather; the level recursion then runs over
+    non-wire nodes only (``a_g = max over gate inputs of (a_anchor +
+    chain) + D_g``) with contiguous per-level slices, and wire arrivals
+    are reconstructed by a flat gather at the end.  Matches
+    ``ElmoreEngine.arrival_times`` to floating-point reassociation.
+    """
+    chain = csr_matvec(plan.wire_chain, delays, ws.chain, ws)
+    n_cond = len(plan.cond_nodes)
+    arrc = ws.arrc[:n_cond]
+    arrc.fill(0.0)
+    if n_cond:
+        dc = ws.delays_c[:n_cond]
+        delays.take(plan.cond_nodes, out=dc)
+        chain_e = ws.chain_e[:len(plan.arr_hop)]
+        chain.take(plan.arr_hop, out=chain_e)
+        node_ptr, edge_ptr = plan.cond_node_ptr, plan.arr_edge_ptr
+        for level in range(1, len(plan.arr_starts)):
+            lo, hi = edge_ptr[level], edge_ptr[level + 1]
+            g = ws.ebuf[:hi - lo]
+            arrc.take(plan.arr_anchor_pos[lo:hi], out=g)
+            np.add(g, chain_e[lo:hi], out=g)
+            out = arrc[node_ptr[level]:node_ptr[level + 1]]
+            np.maximum.reduceat(g, plan.arr_starts[level], out=out)
+            np.add(out, dc[node_ptr[level]:node_ptr[level + 1]], out=out)
+    arrival.fill(0.0)
+    arrival[plan.cond_nodes] = arrc
+    wires = plan.wire_indices
+    if len(wires):
+        t = ws.wbuf[:len(wires)]
+        t2 = ws.wbuf2[:len(wires)]
+        arrc.take(plan.wire_anchor_pos, out=t)
+        chain.take(wires, out=t2)
+        np.add(t, t2, out=t)
+        arrival[wires] = t
+    return arrival
+
+
+def project_sweep(plan, lam):
+    """Theorem 3 flow renormalization over the condensed cascade.
+
+    Equivalent to ``MultiplierState._project_reference``: a wire's
+    single in-edge always renormalizes to exactly its subtree's boundary
+    out-flow (``λ'·out/in`` with one in-edge, and the dead-edge rule,
+    both collapse to ``out``), so only boundary-edge multipliers evolve
+    independently.  The cascade therefore runs over condensed levels
+    (non-wire nodes), rescaling each target's boundary in-edges to match
+    the out-flow already settled at deeper levels; sink in-edges keep
+    their original values (the reference sweep never rescales them).
+    One static scatter then rebuilds every edge multiplier — boundary
+    edges from themselves, wire in-edges as their subtree sums.
+
+    Runs once per OGWS iteration (not in the LRS hot loop), so it
+    favors clarity over zero allocation.
+    """
+    lamb = lam[plan.boundary_ids]
+    for lv in plan.proj_levels:
+        of = np.zeros(lv.n_targets)
+        if len(lv.out_sel):
+            of[lv.out_sel] = np.add.reduceat(lamb[lv.out_pos], lv.out_starts)
+        values = lamb[lv.in_pos]
+        inflow = np.add.reduceat(values, lv.in_starts)
+        if inflow.min(initial=np.inf) > 0.0:  # common case: all flows live
+            lamb[lv.in_pos] = values * (of / inflow)[lv.expand]
+            continue
+        pos = inflow > 0.0
+        scale = np.where(pos, of / np.where(pos, inflow, 1.0), 0.0)
+        # Dead in-edges under live out-flow: split out-flow equally.
+        dead = (~pos) & (of > 0.0)
+        share = np.where(dead, of / lv.in_deg, 0.0)
+        lamb[lv.in_pos] = np.where(dead[lv.expand], share[lv.expand],
+                                   values * scale[lv.expand])
+    return csr_matvec(plan.proj_scatter, lamb, lam)

@@ -146,3 +146,65 @@ class TestValidation:
         pairs = [CouplingPair(i=1, j=9, overlap=1.0, distance=1.0, unit_fringe=1.0)]
         with pytest.raises(GeometryError):
             CouplingSet(5, pairs)
+
+
+class TestNodeTerms:
+    """Fused node_terms vs the individual node_sums / slope_sums paths."""
+
+    def _random_sizes(self, cs, seed=0):
+        rng = np.random.default_rng(seed)
+        x = np.zeros(cs.num_nodes)
+        x[1:4] = rng.uniform(0.2, 1.5, 3)
+        return x
+
+    @pytest.mark.parametrize("order", [2, 3, 5])
+    def test_matches_separate_sums_scalar_gamma(self, order):
+        cs = two_pair_set(order=order)
+        x = self._random_sizes(cs)
+        gamma = 0.37
+        terms = cs.node_terms(x, gamma)
+        cap_sum, dx_sum = cs.node_sums(x)
+        np.testing.assert_allclose(terms.cap_sum, cap_sum,
+                                   rtol=1e-12, atol=1e-15)
+        np.testing.assert_allclose(terms.dx_sum, dx_sum,
+                                   rtol=1e-12, atol=1e-15)
+        np.testing.assert_allclose(terms.gamma_slopes,
+                                   cs.slope_sums(x, gamma),
+                                   rtol=1e-12, atol=1e-15)
+        assert terms.node_caps is None
+
+    @pytest.mark.parametrize("order", [2, 4])
+    def test_matches_separate_sums_per_net_gamma(self, order):
+        cs = two_pair_set(order=order)
+        x = self._random_sizes(cs, seed=3)
+        gamma = np.linspace(0.01, 0.4, cs.num_nodes)
+        terms = cs.node_terms(x, gamma)
+        np.testing.assert_allclose(terms.gamma_slopes,
+                                   cs.slope_sums(x, gamma),
+                                   rtol=1e-12, atol=1e-15)
+
+    def test_node_caps_ride_along(self):
+        cs = two_pair_set()
+        x = self._random_sizes(cs, seed=5)
+        terms = cs.node_terms(x, 0.1, node_caps=True)
+        np.testing.assert_allclose(terms.node_caps,
+                                   cs.node_coupling_caps(x),
+                                   rtol=1e-12, atol=1e-15)
+
+    def test_scratch_reuse_is_consistent(self):
+        """Repeated calls through the shared scratch stay correct."""
+        cs = two_pair_set(order=3)
+        for seed in range(4):
+            x = self._random_sizes(cs, seed=seed)
+            terms = cs.node_terms(x, 0.2)
+            cap_sum, dx_sum = cs.node_sums(x)
+            np.testing.assert_allclose(terms.cap_sum, cap_sum,
+                                       rtol=1e-12, atol=1e-15)
+            np.testing.assert_allclose(terms.dx_sum, dx_sum,
+                                       rtol=1e-12, atol=1e-15)
+
+    def test_empty_set_returns_zeros(self):
+        cs = CouplingSet.empty(6)
+        terms = cs.node_terms(np.ones(6), 0.5, node_caps=True)
+        assert not terms.cap_sum.any() and not terms.dx_sum.any()
+        assert not terms.gamma_slopes.any() and not terms.node_caps.any()

@@ -93,3 +93,130 @@ def test_runner_overwrites_corrupt_entry(tmp_path, scenario):
     assert rerun.stats.computed == 1
     assert second.canonical_json() == first.canonical_json()
     assert BatchRunner(cache=cache).run([scenario])[0].cached
+
+
+class TestSpecHashKeys:
+    """PR 2: get() is pure hashing — no circuit construction."""
+
+    def test_key_is_the_scenario_content_hash(self, scenario):
+        assert scenario_key(scenario) == scenario.content_hash()
+
+    def test_get_never_builds_the_circuit(self, tmp_path, scenario, record,
+                                          monkeypatch):
+        cache = ResultCache(tmp_path)
+        cache.put(scenario, record)
+
+        def forbidden(self):
+            raise AssertionError("get() must not build circuits")
+
+        monkeypatch.setattr(CircuitRef, "build", forbidden)
+        loaded = cache.get(scenario)
+        assert loaded is not None
+        assert loaded.canonical_json() == record.canonical_json()
+
+    def test_record_carries_worker_fingerprint(self, scenario, record):
+        assert record.fingerprint == scenario.circuit.fingerprint()
+
+    def test_entry_stores_fingerprint(self, tmp_path, scenario, record):
+        cache = ResultCache(tmp_path)
+        path = cache.put(scenario, record)
+        entry = json.loads(path.read_text())
+        assert entry["kind"] == "cache_entry"
+        assert entry["fingerprint"] == record.fingerprint
+
+    def test_verify_fingerprints_detects_stale_entry(self, tmp_path, scenario,
+                                                     record):
+        cache = ResultCache(tmp_path, verify_fingerprints=True)
+        path = cache.put(scenario, record)
+        assert cache.get(scenario) is not None
+        entry = json.loads(path.read_text())
+        entry["fingerprint"] = "0" * 64  # circuit changed behind the spec
+        path.write_text(json.dumps(entry))
+        assert cache.get(scenario) is None
+        # Without verification the stale entry is trusted (documented).
+        assert ResultCache(tmp_path).get(scenario) is not None
+
+
+class TestStatsAndPrune:
+    def test_counters_persist_across_instances(self, tmp_path, scenario,
+                                               record):
+        cache = ResultCache(tmp_path)
+        assert cache.get(scenario) is None          # miss (buffered)
+        cache.put(scenario, record)                 # put (flushes)
+        assert cache.get(scenario) is not None      # hit (buffered)
+        cache.flush()
+        stats = ResultCache(tmp_path).stats()       # fresh instance
+        assert (stats.hits, stats.misses, stats.puts) == (1, 1, 1)
+        assert stats.entries == 1 and stats.total_bytes > 0
+
+    def test_hits_buffer_without_filesystem_writes(self, tmp_path, scenario,
+                                                   record):
+        cache = ResultCache(tmp_path)
+        cache.put(scenario, record)
+        stats_path = tmp_path / "stats.json"
+        before = stats_path.stat().st_mtime_ns
+        for _ in range(5):
+            assert cache.get(scenario) is not None
+        assert stats_path.stat().st_mtime_ns == before  # no write per hit
+        assert cache.stats().hits == 5                  # flushed on stats()
+
+    def test_prune_evicts_lru_first(self, tmp_path, scenario, record):
+        import dataclasses as dc
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        other = Scenario(scenario.circuit,
+                         scenario.config.replace(noise_fraction=0.07))
+        old_path = cache.put(other, dc.replace(record, scenario=other))
+        new_path = cache.put(scenario, record)
+        past = time.time() - 3600
+        os.utime(old_path, (past, past))
+        evicted, freed = cache.prune(new_path.stat().st_size)
+        assert evicted == 1 and freed > 0
+        assert not old_path.exists() and new_path.exists()
+        assert cache.stats().evictions == 1
+
+    def test_get_refreshes_recency(self, tmp_path, scenario, record):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        path = cache.put(scenario, record)
+        past = time.time() - 3600
+        os.utime(path, (past, past))
+        cache.get(scenario)
+        assert path.stat().st_mtime > past + 1800
+
+    def test_prune_to_zero_clears_everything(self, tmp_path, scenario, record):
+        cache = ResultCache(tmp_path)
+        cache.put(scenario, record)
+        evicted, _ = cache.prune(0)
+        assert evicted == 1 and len(cache) == 0
+
+    def test_prune_rejects_negative(self, tmp_path):
+        from repro.utils.errors import ReproError
+
+        with pytest.raises(ReproError):
+            ResultCache(tmp_path).prune(-1)
+
+
+class TestInProcessVerification:
+    def test_verify_catches_bench_edited_mid_process(self, tmp_path):
+        """verify_fingerprints must re-hash, not reuse a process memo."""
+        import shutil
+
+        from repro.circuit.parser import builtin_bench_path
+
+        bench = tmp_path / "tiny.bench"
+        shutil.copy(builtin_bench_path("c17"), bench)
+        scenario = Scenario(CircuitRef.bench(bench),
+                            FlowConfig(n_patterns=32, max_iterations=30))
+        record = run_scenario(scenario)
+        cache = ResultCache(tmp_path / "cache", verify_fingerprints=True)
+        cache.put(scenario, record)
+        assert cache.get(scenario) is not None
+        # Same process, same CircuitRef: edit the netlist behind the path.
+        bench.write_text(bench.read_text().replace(
+            "22 = NAND(10, 16)", "22 = NOR(10, 16)"))
+        assert cache.get(scenario) is None

@@ -142,3 +142,51 @@ class TestTable1Command:
 def test_no_command_exits():
     with pytest.raises(SystemExit):
         run_cli()
+
+
+class TestCacheCommand:
+    def _populate(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, _ = run_cli("sweep", str(builtin_bench_path("c17")),
+                          "--patterns", "32", "--max-iterations", "30",
+                          "--cache-dir", cache_dir, "--quiet")
+        assert code in (0, 1)
+        return cache_dir
+
+    def test_stats_reports_counters(self, tmp_path):
+        cache_dir = self._populate(tmp_path)
+        code, text = run_cli("cache", "stats", "--cache-dir", cache_dir)
+        assert code == 0
+        assert "entries" in text and "hits" in text and "puts" in text
+
+    def test_prune_evicts_down_to_cap(self, tmp_path):
+        cache_dir = self._populate(tmp_path)
+        code, text = run_cli("cache", "prune", "--max-bytes", "0",
+                             "--cache-dir", cache_dir)
+        assert code == 0
+        assert "evicted 1 entries" in text
+        code, text = run_cli("cache", "stats", "--cache-dir", cache_dir)
+        assert code == 0 and "evictions" in text
+
+    def test_clear_drops_entries(self, tmp_path):
+        cache_dir = self._populate(tmp_path)
+        code, text = run_cli("cache", "clear", "--cache-dir", cache_dir)
+        assert code == 0
+        assert "cleared 1 entries" in text
+
+    def test_verify_cache_flag_accepted(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        args = ("sweep", str(builtin_bench_path("c17")), "--patterns", "32",
+                "--max-iterations", "30", "--cache-dir", cache_dir,
+                "--verify-cache", "--quiet")
+        code, _ = run_cli(*args)
+        assert code in (0, 1)
+        code, text = run_cli(*args)
+        assert code in (0, 1)
+        assert "1 cached" in text
+
+    def test_missing_cache_dir_is_an_error(self, tmp_path):
+        code, text = run_cli("cache", "stats", "--cache-dir",
+                             str(tmp_path / "nope"))
+        assert code == 2 and "no such cache directory" in text
+        assert not (tmp_path / "nope").exists()  # no mkdir side effect
