@@ -8,7 +8,11 @@ Measures, per circuit:
   pre-kernel solver hot path),
 * one isolated S2+S3+S4 LRS pass per backend,
 * the relative difference of the final size vectors (the equivalence
-  contract: ≤ 1e-12).
+  contract: ≤ 1e-12),
+* with ``--batch-scenarios K`` (default 8): a K-scenario sweep sharing
+  the circuit, solved by the scalar per-scenario loop vs one batched
+  ``SolverSession`` (compile-once + lockstep kernels), with the records
+  asserted byte-identical before the speedup is recorded.
 
 Results append to a trajectory file (default ``BENCH_perf.json`` at the
 repo root) so successive PRs accumulate a history.  CI runs this on the
@@ -18,7 +22,7 @@ full set including c7552, the largest circuit in ``bench_lrs_scaling``.
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_trajectory.py \
-        --circuits c432 c880 c7552 --label "PR 2 kernelized hot path"
+        --circuits c432 c880 c7552 --label "PR 3 batched sessions"
 """
 
 import argparse
@@ -58,6 +62,47 @@ def time_lrs_pass(engine, mult, x0, repeats):
         solver.solve(mult, x0)
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def bench_batch_vs_scalar(name, k, patterns, repeats):
+    """Batched SolverSession solve vs the scalar per-scenario loop.
+
+    K scenarios over one circuit, differing in their noise bounds (the
+    natural per-circuit sweep axis): the scalar arm runs them through
+    ``BatchRunner(batch=False)`` (one circuit build + analysis + solve
+    per scenario), the batched arm through one grouped session.  Records
+    must match byte for byte; returns the timing fields for the
+    trajectory row.
+    """
+    from repro.runtime import BatchRunner, CircuitRef, FlowConfig, SweepSpec
+
+    # Fractions start loose enough that every scenario converges: a
+    # non-convergent straggler runs its full iteration budget alone in
+    # both arms, which measures the straggler, not the batching.
+    spec = SweepSpec(
+        circuits=(CircuitRef.iscas85(name),),
+        noise_fractions=tuple(0.10 + 0.01 * i for i in range(k)),
+        base=FlowConfig(n_patterns=patterns),
+    )
+    scalar_s = np.inf
+    batch_s = np.inf
+    scalar_records = batch_records = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        scalar_records = BatchRunner(jobs=1, batch=False).run(spec)
+        scalar_s = min(scalar_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        batch_records = BatchRunner(jobs=1, batch=True).run(spec)
+        batch_s = min(batch_s, time.perf_counter() - start)
+    identical = ([r.canonical_json() for r in scalar_records]
+                 == [r.canonical_json() for r in batch_records])
+    return {
+        "batch_k": k,
+        "sweep_scalar_s": round(scalar_s, 6),
+        "sweep_batch_s": round(batch_s, 6),
+        "batch_speedup": round(scalar_s / batch_s, 3),
+        "batch_identical": identical,
+    }
 
 
 def bench_circuit(name, patterns, repeats):
@@ -100,11 +145,20 @@ def main(argv=None):
     parser.add_argument("--check-speedup", type=float, default=None,
                         help="exit nonzero unless the largest circuit's "
                              "end-to-end OGWS speedup reaches this factor")
+    parser.add_argument("--batch-scenarios", type=int, default=8,
+                        help="scenarios per circuit in the batched-sweep "
+                             "vs scalar-loop comparison (0 disables it)")
+    parser.add_argument("--check-batch-speedup", type=float, default=None,
+                        help="exit nonzero unless every circuit's batched "
+                             "sweep speedup reaches this factor")
     args = parser.parse_args(argv)
 
     rows = []
     for name in args.circuits:
         row = bench_circuit(name, args.patterns, args.repeats)
+        if args.batch_scenarios:
+            row.update(bench_batch_vs_scalar(
+                name, args.batch_scenarios, args.patterns, args.repeats))
         rows.append(row)
         print(f"{name}: OGWS {row['ogws_reference_s']*1e3:.1f} ms -> "
               f"{row['ogws_kernel_s']*1e3:.1f} ms ({row['ogws_speedup']}x), "
@@ -115,6 +169,15 @@ def main(argv=None):
         if row["max_rel_diff"] > 1e-12:
             print(f"FAIL: {name} kernel/reference results diverge")
             return 1
+        if args.batch_scenarios:
+            print(f"{name}: {row['batch_k']}-scenario sweep "
+                  f"{row['sweep_scalar_s']*1e3:.0f} ms scalar -> "
+                  f"{row['sweep_batch_s']*1e3:.0f} ms batched "
+                  f"({row['batch_speedup']}x, records "
+                  f"{'identical' if row['batch_identical'] else 'DIVERGED'})")
+            if not row["batch_identical"]:
+                print(f"FAIL: {name} batched records diverge from scalar")
+                return 1
 
     entry = {
         "label": args.label,
@@ -139,6 +202,13 @@ def main(argv=None):
             print(f"FAIL: {largest['name']} speedup {largest['ogws_speedup']}x "
                   f"< required {args.check_speedup}x")
             return 1
+    if args.check_batch_speedup is not None and args.batch_scenarios:
+        for row in rows:
+            if row["batch_speedup"] < args.check_batch_speedup:
+                print(f"FAIL: {row['name']} batch speedup "
+                      f"{row['batch_speedup']}x "
+                      f"< required {args.check_batch_speedup}x")
+                return 1
     return 0
 
 

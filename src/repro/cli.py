@@ -87,6 +87,12 @@ def build_parser():
                        help="base seed; per-scenario seeds derive from it")
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes (1 = serial)")
+    sweep.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                       default=None,
+                       help="group scenarios by circuit into compile-once "
+                            "SolverSessions with lockstep batched solving "
+                            "(default: on unless REPRO_NO_BATCH is set; "
+                            "records are byte-identical either way)")
     sweep.add_argument("--cache-dir", default=".repro_cache",
                        help="result cache directory (default: .repro_cache)")
     sweep.add_argument("--no-cache", action="store_true",
@@ -209,9 +215,11 @@ def cmd_sweep(args, out):
     )
     cache = None if args.no_cache else ResultCache(
         args.cache_dir, verify_fingerprints=args.verify_cache)
-    runner = BatchRunner(jobs=max(1, args.jobs), cache=cache)
+    runner = BatchRunner(jobs=max(1, args.jobs), cache=cache,
+                         batch=args.batch)
     out.write(f"sweep: {len(spec)} scenarios "
               f"({len(args.circuits)} circuits), jobs={runner.jobs}, "
+              f"batch={'on' if runner.batch else 'off'}, "
               f"cache={'off' if cache is None else args.cache_dir}\n")
 
     progress = None if args.quiet else (

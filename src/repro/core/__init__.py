@@ -19,9 +19,10 @@ from repro.core.flow import FlowResult, NoiseAwareSizingFlow
 from repro.core.kkt import KKTReport, check_kkt
 from repro.core.lrs import LagrangianSubproblemSolver, LRSResult
 from repro.core.multipliers import MultiplierState
-from repro.core.ogws import OGWSOptimizer
+from repro.core.ogws import OGWSOptimizer, run_lockstep
 from repro.core.problem import SizingProblem
 from repro.core.result import IterationRecord, SizingResult
+from repro.core.session import ScenarioBatch, SolverSession
 from repro.core.subgradient import (
     ConstantStep,
     HarmonicStep,
@@ -41,6 +42,9 @@ __all__ = [
     "LagrangianSubproblemSolver",
     "LRSResult",
     "OGWSOptimizer",
+    "run_lockstep",
+    "SolverSession",
+    "ScenarioBatch",
     "SizingResult",
     "IterationRecord",
     "KKTReport",

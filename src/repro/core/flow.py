@@ -9,17 +9,20 @@ coupling for the ordered layout and run OGWS to minimize area under the
 delay, crosstalk, and power bounds.
 
 :class:`NoiseAwareSizingFlow` wires the stages together; it is the
-top-level entry point the examples and the Table 1 bench use.
+top-level entry point the examples and the Table 1 bench use.  Since the
+SolverSession refactor it is a thin K = 1 wrapper: ``run()`` builds a
+single-use :class:`~repro.core.session.SolverSession` over its circuit
+and executes through it, so the one-circuit-one-config path and the
+batched multi-scenario path share one implementation (and stay
+bit-identical by construction).  The stage-1 helpers
+(:func:`resolve_ordering`, :func:`order_channel_wires`) live here as
+module functions for the same reason.
 """
 
 import dataclasses
 
 import numpy as np
 
-from repro.core.ogws import OGWSOptimizer
-from repro.core.problem import SizingProblem
-from repro.geometry.layout import ChannelLayout
-from repro.noise.crosstalk import CouplingSet
 from repro.noise.miller import MillerMode
 from repro.noise.ordering import (
     greedy_both_ends,
@@ -27,13 +30,56 @@ from repro.noise.ordering import (
     random_ordering,
     woss_ordering,
 )
-from repro.noise.similarity import SimilarityAnalyzer
-from repro.timing.elmore import CouplingDelayMode, ElmoreEngine
+from repro.timing.elmore import CouplingDelayMode
 from repro.utils.errors import ValidationError
 from repro.utils.rng import stable_seed
 
 #: Stage 1 algorithms accepted by name (`NoiseAwareSizingFlow`, config, CLI).
 ORDERING_NAMES = ("woss", "greedy2", "random", "none")
+
+
+def resolve_ordering(name, seed=0):
+    """The stage-1 ordering callable for a name from :data:`ORDERING_NAMES`.
+
+    ``seed`` only matters for ``"random"``: per-channel seeds derive
+    from it plus the channel label, so two flows with different seeds
+    explore different random orderings while each stays reproducible
+    cross-process.
+    """
+    if name == "woss":
+        return lambda weights, label: woss_ordering(weights)
+    if name == "greedy2":
+        return lambda weights, label: greedy_both_ends(weights)
+    if name == "random":
+        return lambda weights, label: random_ordering(
+            len(weights), seed=stable_seed(seed, "ordering", label))
+    if name == "none":
+        return lambda weights, label: list(range(len(weights)))
+    raise ValidationError(
+        f"unknown ordering {name!r}; choose from {sorted(ORDERING_NAMES)}")
+
+
+def order_channel_wires(analyzer, layout, ordering):
+    """Stage 1: per-channel track ordering from switching similarity.
+
+    ``ordering`` is a callable ``(weights, label) → permutation``.
+    Returns ``(ordered_layout, cost_before, cost_after)`` where the
+    costs are the summed ``1 − similarity`` over adjacent pairs.
+    """
+    orders = {}
+    cost_before = 0.0
+    cost_after = 0.0
+    for channel in layout.channels:
+        if len(channel) < 2:
+            continue
+        sim = analyzer.matrix(list(channel.wires))
+        weights = 1.0 - sim
+        np.fill_diagonal(weights, 0.0)
+        order = ordering(weights, channel.label)
+        orders[channel.label] = order
+        cost_before += ordering_cost(list(range(len(channel))), weights)
+        cost_after += ordering_cost(order, weights)
+    return layout.apply_ordering(orders), cost_before, cost_after
 
 
 @dataclasses.dataclass
@@ -94,6 +140,9 @@ class NoiseAwareSizingFlow:
                  bound_factors=(1.1, 0.1, 0.2), x_init=None,
                  optimizer_options=None):
         self.circuit = circuit
+        #: The ordering's name when one was given (lets a SolverSession
+        #: memoize stage 1 across scenarios); ``None`` for callables.
+        self.ordering_name = None if callable(ordering) else str(ordering)
         self.ordering = ordering if callable(ordering) else self._named_ordering(ordering)
         self.miller_mode = MillerMode(miller_mode)
         self.coupling_order = int(coupling_order)
@@ -107,20 +156,15 @@ class NoiseAwareSizingFlow:
         self.optimizer_options = dict(optimizer_options or {})
 
     def _named_ordering(self, name):
-        if name == "woss":
-            return lambda weights, label: woss_ordering(weights)
-        if name == "greedy2":
-            return lambda weights, label: greedy_both_ends(weights)
-        if name == "random":
-            # Per-channel seeds derive from the flow seed plus the channel
-            # label, so two flows with different seeds explore different
-            # random orderings while each stays reproducible cross-process.
-            return lambda weights, label: random_ordering(
-                len(weights), seed=stable_seed(self.seed, "ordering", label))
-        if name == "none":
-            return lambda weights, label: list(range(len(weights)))
-        raise ValidationError(
-            f"unknown ordering {name!r}; choose from {sorted(ORDERING_NAMES)}")
+        # Validate the name now (construction-time error), but read
+        # self.seed lazily at call time: it is assigned after the
+        # ordering resolves in __init__.
+        if name not in ORDERING_NAMES:
+            raise ValidationError(
+                f"unknown ordering {name!r}; "
+                f"choose from {sorted(ORDERING_NAMES)}")
+        return lambda weights, label: resolve_ordering(
+            name, seed=self.seed)(weights, label)
 
     # -- stages ---------------------------------------------------------------------
 
@@ -130,50 +174,19 @@ class NoiseAwareSizingFlow:
         Returns ``(ordered_layout, cost_before, cost_after)`` where the
         costs are the summed ``1 − similarity`` over adjacent pairs.
         """
-        orders = {}
-        cost_before = 0.0
-        cost_after = 0.0
-        for channel in layout.channels:
-            if len(channel) < 2:
-                continue
-            sim = analyzer.matrix(list(channel.wires))
-            weights = 1.0 - sim
-            np.fill_diagonal(weights, 0.0)
-            order = self.ordering(weights, channel.label)
-            orders[channel.label] = order
-            cost_before += ordering_cost(list(range(len(channel))), weights)
-            cost_after += ordering_cost(order, weights)
-        return layout.apply_ordering(orders), cost_before, cost_after
+        return order_channel_wires(analyzer, layout, self.ordering)
 
-    def run(self):
-        """Execute both stages; returns a :class:`FlowResult`."""
-        circuit = self.circuit
-        compiled = circuit.compile()
-        analyzer = SimilarityAnalyzer(circuit, n_patterns=self.n_patterns,
-                                      seed=self.seed)
-        layout = ChannelLayout.from_levels(circuit, pitch=self.pitch)
-        ordered, cost_before, cost_after = self.order_wires(analyzer, layout)
+    def run(self, session=None):
+        """Execute both stages; returns a :class:`FlowResult`.
 
-        coupling = CouplingSet.from_layout(ordered, analyzer, self.miller_mode,
-                                           order=self.coupling_order)
-        engine = ElmoreEngine(compiled, coupling, self.delay_mode)
-        x_init = compiled.default_sizes(np.inf) if self.x_init is None else self.x_init
-        problem = self.problem
-        if problem is None:
-            slack, noise_frac, power_frac = self.bound_factors
-            problem = SizingProblem.from_initial(
-                engine, x_init, delay_slack=slack, noise_fraction=noise_frac,
-                power_fraction=power_frac)
-        optimizer = OGWSOptimizer(engine, problem, x_init=x_init,
-                                  **self.optimizer_options)
-        sizing = optimizer.run()
-        return FlowResult(
-            circuit=circuit,
-            layout=ordered,
-            coupling=coupling,
-            engine=engine,
-            problem=problem,
-            sizing=sizing,
-            ordering_cost_before=cost_before,
-            ordering_cost_after=cost_after,
-        )
+        ``session`` optionally reuses an existing
+        :class:`~repro.core.session.SolverSession` over this circuit
+        (sharing its compiled circuit, similarity, layout, and coupling
+        artifacts); by default a fresh one is created, which reproduces
+        the historical standalone behavior exactly.
+        """
+        from repro.core.session import SolverSession
+
+        if session is None:
+            session = SolverSession.for_circuit(self.circuit)
+        return session.run_flow(self)

@@ -49,7 +49,7 @@ import numpy as np
 from repro.timing import kernels
 from repro.timing.elmore import CouplingDelayMode
 from repro.timing.metrics import total_area, total_capacitance
-from repro.utils.errors import ConvergenceError
+from repro.utils.errors import ConvergenceError, ValidationError
 from repro.utils.units import OHM_FF_TO_PS
 
 
@@ -94,6 +94,40 @@ class LagrangianSubproblemSolver:
         if self.engine.backend == "kernel":
             return self._solve_kernel(multipliers, x0)
         return self._solve_reference(multipliers, x0)
+
+    def solve_batch(self, multipliers, x0s=None, batch=None):
+        """Solve K subproblems over one circuit in lockstep.
+
+        ``multipliers`` is a sequence of K :class:`MultiplierState`\\ s
+        (typically one per scenario sharing this engine's circuit and
+        coupling set) and ``x0s`` optional per-column warm starts.
+        Returns one :class:`LRSResult` per input, each **bit-identical**
+        to ``solve(multipliers[k], x0s[k])``: the batched fused pass
+        (:meth:`_solve_kernel_batch`) performs per column exactly the
+        scalar pass's operations — CSR matvec becomes matmat, every
+        elementwise update runs on ``(n, K)`` matrices — and a column is
+        frozen (copied out, removed from the working set) the moment its
+        own fixed-point criterion fires, so later passes never touch it.
+
+        ``batch`` is an optional
+        :class:`~repro.timing.kernels.BatchWorkspace` reused across
+        calls (the lockstep optimizer threads one through all outer
+        iterations).  Falls back to per-column :meth:`solve` for K = 1,
+        the reference backend, or multipliers mixing scalar and per-net
+        ``gamma`` forms.
+        """
+        multipliers = list(multipliers)
+        if x0s is None:
+            x0s = [None] * len(multipliers)
+        x0s = list(x0s)
+        if len(x0s) != len(multipliers):
+            raise ValidationError("x0s must align with multipliers")
+        per_net = [np.ndim(m.gamma) > 0 for m in multipliers]
+        if (len(multipliers) <= 1 or self.engine.backend != "kernel"
+                or (any(per_net) and not all(per_net))):
+            return [self.solve(m, x0) for m, x0 in zip(multipliers, x0s)]
+        return self._solve_kernel_batch(multipliers, x0s, batch,
+                                        per_net=all(per_net))
 
     # -- fused kernel path --------------------------------------------------------
 
@@ -175,6 +209,130 @@ class LagrangianSubproblemSolver:
                     max_rel = 0.0
                 x, x_new = x_new, x
         return self._finish(x.copy(), passes, max_rel)
+
+    # -- batched kernel path ------------------------------------------------------
+
+    def _solve_kernel_batch(self, multipliers, x0s, batch, per_net=False):
+        """The fused pass over ``(n, K)`` column-stacked iterates.
+
+        Column k replays :meth:`_solve_kernel`'s arithmetic exactly;
+        when a column converges it is copied out and the survivors are
+        compacted into the pooled buffers of the smaller width (fresh
+        contiguous matrices, so the raw multi-vector CSR kernel keeps
+        its layout).  Steady-state passes at a constant width allocate
+        nothing beyond a few per-column scalars.
+        """
+        engine = self.engine
+        cc = engine.compiled
+        plan = cc.sweep_plan()
+        bws = batch if batch is not None else kernels.BatchWorkspace(plan)
+        coupling = engine.coupling
+        propagated = engine.mode is CouplingDelayMode.PROPAGATED
+        coupled_delay = engine.mode is not CouplingDelayMode.NONE
+        c = plan.cols()
+
+        total = len(multipliers)
+        order = np.arange(total)            # working column -> input index
+        out_x = [None] * total
+        out_passes = [0] * total
+        out_maxrel = [np.inf] * total
+
+        ws = bws.buffers(total)
+        x, x_new = ws.x_a, ws.x_b
+        lam, numer, ab = ws.lam, ws.numer, ws.alpha_beta
+        for k, mult in enumerate(multipliers):
+            lam[:, k] = mult.node_multipliers()
+        beta = np.array([float(m.beta) for m in multipliers])
+        if per_net:
+            gamma = np.column_stack(
+                [np.asarray(m.gamma, dtype=float) for m in multipliers])
+        else:
+            gamma = np.array([float(m.gamma) for m in multipliers])
+        np.multiply(lam, c.r_hat_eff, out=numer)
+        np.multiply(c.c_hat, beta, out=ab)
+        np.add(ab, c.alpha, out=ab)
+
+        for k, x0 in enumerate(x0s):
+            x[:, k] = cc.lower if x0 is None else np.asarray(x0, dtype=float)
+        np.maximum(x, c.lower, out=x)
+        np.clip(x, c.lower, c.upper, out=x)
+        x[plan.nonsizable_idx] = 0.0
+
+        passes = 0
+        with np.errstate(invalid="ignore", divide="ignore"):
+            while order.size and passes < self.max_passes:
+                passes += 1
+                terms = coupling.node_terms_batch(x, gamma,
+                                                  node_caps=propagated)
+                kernels.s2_source_terms(plan, cc, x, terms.node_caps,
+                                        propagated, ws.cself,
+                                        ws.source_terms, ws.t1)
+                kernels.child_sum_sweep(plan, ws.source_terms, ws.child_sum,
+                                        ws)
+                np.divide(c.r_hat_eff, x, out=ws.r_eff, where=c.is_sizable)
+                np.multiply(lam, ws.r_eff, out=ws.t2)
+                kernels.upstream_sweep(plan, ws.t2, ws.upstream, ws)
+                np.add(ws.child_sum, c.half_fringe_wire, out=ws.k_cap)
+                if coupled_delay:
+                    np.multiply(terms.cap_sum, c.wire_mask_f, out=ws.t1)
+                    np.add(ws.k_cap, ws.t1, out=ws.k_cap)
+                np.multiply(ws.upstream, c.c_hat, out=ws.denom)
+                np.add(ws.denom, ab, out=ws.denom)
+                np.add(ws.denom, terms.gamma_slopes, out=ws.denom)
+                if propagated:
+                    np.multiply(ws.upstream, terms.dx_sum, out=ws.t1)
+                    np.add(ws.denom, ws.t1, out=ws.denom)
+                np.multiply(numer, ws.k_cap, out=ws.t1)
+                np.divide(ws.t1, ws.denom, out=ws.opt, where=c.is_sizable)
+                np.sqrt(ws.opt, out=ws.opt)
+                np.clip(ws.opt, c.lower, c.upper, out=x_new)
+                x_new[plan.nonsizable_idx] = 0.0
+                np.subtract(x_new, x, out=ws.t1)
+                np.abs(ws.t1, out=ws.t1)
+                np.divide(ws.t1, x, out=ws.t1, where=c.is_sizable)
+                if len(plan.sizable_idx):
+                    np.take(ws.t1, plan.sizable_idx, axis=0, out=ws.szbuf)
+                    np.maximum.reduce(ws.szbuf, axis=0, out=ws.colmax)
+                else:
+                    ws.colmax.fill(0.0)
+                x, x_new = x_new, x
+                np.less_equal(ws.colmax, self.tolerance, out=ws.colmask)
+                if not ws.colmask.any():
+                    continue
+                # Freeze converged columns at this pass's iterate...
+                for wk in np.flatnonzero(ws.colmask):
+                    k = order[wk]
+                    out_x[k] = np.ascontiguousarray(x[:, wk])
+                    out_passes[k] = passes
+                    out_maxrel[k] = float(ws.colmax[wk])
+                keep = np.flatnonzero(~ws.colmask)
+                order = order[keep]
+                if not order.size:
+                    break
+                # ...and compact the survivors into the smaller width's
+                # pooled buffers (contiguity for the raw CSR kernel).
+                new_ws = bws.buffers(order.size)
+                new_ws.x_a[:] = x[:, keep]
+                new_ws.lam[:] = lam[:, keep]
+                new_ws.numer[:] = numer[:, keep]
+                new_ws.alpha_beta[:] = ab[:, keep]
+                # Carry the survivors' last-pass change too: if this was
+                # the final allowed pass, the tail below must see their
+                # true max_rel, not the fresh buffer's zeros.
+                new_ws.colmax[:] = ws.colmax[keep]
+                gamma = np.ascontiguousarray(
+                    gamma[:, keep] if per_net else gamma[keep])
+                ws = new_ws
+                x, x_new = ws.x_a, ws.x_b
+                lam, numer, ab = ws.lam, ws.numer, ws.alpha_beta
+        # Columns that never converged stop at the pass budget, exactly
+        # like the scalar loop.
+        for wk, k in enumerate(order):
+            out_x[k] = np.ascontiguousarray(x[:, wk])
+            out_passes[k] = passes
+            out_maxrel[k] = float(ws.colmax[wk]) if passes else np.inf
+        return [self._finish(out_x[k], out_passes[k], out_maxrel[k])
+                for k in range(total)]
 
     # -- reference path -----------------------------------------------------------
 

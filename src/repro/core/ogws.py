@@ -19,6 +19,14 @@ Feasibility: intermediate LRS iterates generally violate constraints
 (the dual approaches from below).  The optimizer tracks the best
 *feasible* iterate (within ``feasibility_tolerance``) and reports it;
 the final iterate is reported (flagged infeasible) if none was found.
+
+The loop body is decomposed into :meth:`OGWSOptimizer.start` /
+:meth:`~OGWSOptimizer.step` / :meth:`~OGWSOptimizer.finish` so that
+:func:`run_lockstep` can advance K optimizers sharing one engine in
+lockstep — one *batched* LRS solve, delay/arrival sweep, and Theorem 3
+projection per outer iteration, everything else per column.  A lockstep
+run is bit-identical per scenario to running each optimizer alone
+(see :mod:`repro.core.session`, which builds scenario batches on top).
 """
 
 import time
@@ -27,12 +35,37 @@ import numpy as np
 
 from repro.core.lrs import LagrangianSubproblemSolver
 from repro.core.multipliers import MultiplierState
+from repro.core.problem import SizingProblem
 from repro.core.result import IterationRecord, SizingResult
 from repro.core.subgradient import MultiplicativeUpdate, SubgradientUpdate
+from repro.timing.elmore import CouplingDelayMode
 from repro.timing.metrics import EvalContext, evaluate_metrics
 from repro.utils.errors import ValidationError
 from repro.utils.memory import MemoryLedger
 from repro.utils.units import FF_PER_PF
+
+
+class _RunState:
+    """Mutable per-run state of one OGWS execution (the lockstep unit)."""
+
+    __slots__ = ("mult", "initial_metrics", "history", "best_dual",
+                 "best_feasible_x", "best_feasible_area", "x", "iteration",
+                 "converged", "done", "paper_gap", "started", "repair_evals")
+
+    def __init__(self):
+        self.mult = None
+        self.initial_metrics = None
+        self.history = []
+        self.best_dual = -np.inf
+        self.best_feasible_x = None
+        self.best_feasible_area = np.inf
+        self.x = None
+        self.iteration = 0
+        self.converged = False
+        self.done = False
+        self.paper_gap = np.inf
+        self.started = 0.0
+        self.repair_evals = 0
 
 
 class OGWSOptimizer:
@@ -65,7 +98,8 @@ class OGWSOptimizer:
 
     def __init__(self, engine, problem, update="multiplicative", tolerance=0.01,
                  feasibility_tolerance=1e-3, max_iterations=200, x_init=None,
-                 lrs=None, warm_start_lrs=True, record_history=True):
+                 lrs=None, warm_start_lrs=True, record_history=True,
+                 initial_metrics=None):
         self.engine = engine
         self.problem = problem
         self.update = self._make_update(update)
@@ -80,6 +114,10 @@ class OGWSOptimizer:
         compiled = engine.compiled
         self.x_init = compiled.default_sizes(np.inf) if x_init is None else np.asarray(
             x_init, dtype=float)
+        # Optional precomputed metrics at x_init (identical values to
+        # evaluating here); a SolverSession shares one evaluation across
+        # every scenario of an engine group.
+        self._initial_metrics = initial_metrics
 
     @staticmethod
     def _make_update(update):
@@ -97,103 +135,129 @@ class OGWSOptimizer:
 
     def run(self, multipliers=None):
         """Execute Fig. 9 and return a :class:`SizingResult`."""
+        state = self.start(multipliers)
+        while not state.done:
+            x0 = state.x if (self.warm_start_lrs and state.x is not None) \
+                else None
+            lrs_result = self.lrs.solve(state.mult, x0=x0)     # A2 + A3
+            self.step(state, lrs_result)
+        return self.finish(state)
+
+    def start(self, multipliers=None):
+        """A1: initial metrics and a flow-conserving multiplier start."""
+        state = _RunState()
+        state.started = time.perf_counter()
+        state.initial_metrics = self._initial_metrics \
+            if self._initial_metrics is not None \
+            else evaluate_metrics(self.engine, self.x_init)
+        state.mult = multipliers.copy() if multipliers is not None else \
+            MultiplierState.initial(self.engine.compiled,
+                                    backend=self.engine.backend)
+        state.done = self.max_iterations < 1
+        return state
+
+    def step(self, state, lrs_result, context=None, project=True):
+        """One Fig. 9 iteration body after the LRS solve (A3 done).
+
+        ``context`` optionally supplies a pre-seeded
+        :class:`~repro.timing.metrics.EvalContext` at ``lrs_result.x``
+        (the lockstep driver injects batched delay/arrival columns);
+        ``project=False`` defers the A5 projection to the caller (the
+        lockstep driver projects all columns in one batched sweep).
+        Returns ``True`` once the run is finished.
+        """
         engine = self.engine
-        cc = engine.compiled
         problem = self.problem
-        start = time.perf_counter()
-
-        initial_metrics = evaluate_metrics(engine, self.x_init)
-        mult = multipliers.copy() if multipliers is not None else \
-            MultiplierState.initial(cc, backend=engine.backend)
-
-        history = []
-        best_dual = -np.inf
-        best_feasible_x = None
-        best_feasible_area = np.inf
-        x = None
-        converged = False
-        paper_gap = np.inf
-        iteration = 0
-
-        for iteration in range(1, self.max_iterations + 1):
-            x0 = x if (self.warm_start_lrs and x is not None) else None
-            lrs_result = self.lrs.solve(mult, x0=x0)           # A2 + A3
-            x = lrs_result.x
-            # One evaluation context per iterate: the arrival sweep, the
-            # Table 1 metrics, and the dual value below all share it, so
-            # no full-circuit quantity is computed twice at this point.
+        state.iteration += 1
+        iteration = state.iteration
+        x = lrs_result.x
+        state.x = x
+        mult = state.mult
+        # One evaluation context per iterate: the arrival sweep, the
+        # Table 1 metrics, and the dual value below all share it, so
+        # no full-circuit quantity is computed twice at this point.
+        if context is None:
             context = EvalContext(engine, x)
-            delays = context.delays
-            arrival = context.arrival
+        delays = context.delays
+        arrival = context.arrival
 
-            metrics = context.metrics
-            dual = self.lrs.lagrangian_value(x, mult, problem, context=context)
-            best_dual = max(best_dual, dual)
-            area = metrics.area_um2
-            paper_gap = abs(area - dual) / max(area, 1e-30)    # A7 quantity
+        metrics = context.metrics
+        dual = self.lrs.lagrangian_value(x, mult, problem, context=context)
+        state.best_dual = max(state.best_dual, dual)
+        area = metrics.area_um2
+        state.paper_gap = abs(area - dual) / max(area, 1e-30)  # A7 quantity
 
-            feasible = self._is_feasible(metrics, x)
-            if feasible and area < best_feasible_area:
-                best_feasible_area = area
-                best_feasible_x = x.copy()
-            elif not feasible and best_feasible_x is not None:
-                # Primal repair: the dual iterate usually rides the tight
-                # constraint from the violating side.  PP's feasible set
-                # is convex in log-sizes (posynomial constraints), so a
-                # log-space blend toward the feasible anchor crosses the
-                # boundary exactly once — bisect to the closest feasible
-                # blend and keep it if it improves the primal.
-                repaired, repaired_metrics = self._repair(x, best_feasible_x)
-                if repaired is not None and \
-                        repaired_metrics.area_um2 < best_feasible_area:
-                    best_feasible_area = repaired_metrics.area_um2
-                    best_feasible_x = repaired
+        feasible = self._is_feasible(metrics, x)
+        if feasible and area < state.best_feasible_area:
+            state.best_feasible_area = area
+            state.best_feasible_x = x.copy()
+        elif not feasible and state.best_feasible_x is not None:
+            # Primal repair: the dual iterate usually rides the tight
+            # constraint from the violating side.  PP's feasible set
+            # is convex in log-sizes (posynomial constraints), so a
+            # log-space blend toward the feasible anchor crosses the
+            # boundary exactly once — bisect to the closest feasible
+            # blend and keep it if it improves the primal.
+            repaired, repaired_metrics = self._repair(
+                x, state.best_feasible_x, state=state)
+            if repaired is not None and \
+                    repaired_metrics.area_um2 < state.best_feasible_area:
+                state.best_feasible_area = repaired_metrics.area_um2
+                state.best_feasible_x = repaired
 
-            gap = self._duality_gap(best_feasible_area, best_dual)
-            step = self.update.apply(                          # A4
-                mult, iteration, arrival, delays, problem,
-                power_cap=metrics.total_cap_ff,
-                noise=metrics.noise_pf * FF_PER_PF,
-                engine=engine, x=x,
-            )
+        gap = self._duality_gap(state.best_feasible_area, state.best_dual)
+        step = self.update.apply(                              # A4
+            mult, iteration, arrival, delays, problem,
+            power_cap=metrics.total_cap_ff,
+            noise=metrics.noise_pf * FF_PER_PF,
+            engine=engine, x=x,
+        )
+        if project:
             mult.project(backend=engine.backend)               # A5
 
-            if self.record_history:
-                history.append(IterationRecord(
-                    iteration=iteration, area_um2=area, delay_ps=metrics.delay_ps,
-                    noise_pf=metrics.noise_pf, power_mw=metrics.power_mw,
-                    dual_value=dual, paper_gap=paper_gap, duality_gap=gap,
-                    feasible=feasible, lrs_passes=lrs_result.passes, step=step,
-                    beta=mult.beta, gamma=mult.gamma,
-                ))
-            # A7: stop once the certified duality gap (best feasible area
-            # vs best dual bound) is inside the error bound.
-            if gap <= self.tolerance:
-                converged = True
-                break
+        if self.record_history:
+            state.history.append(IterationRecord(
+                iteration=iteration, area_um2=area, delay_ps=metrics.delay_ps,
+                noise_pf=metrics.noise_pf, power_mw=metrics.power_mw,
+                dual_value=dual, paper_gap=state.paper_gap, duality_gap=gap,
+                feasible=feasible, lrs_passes=lrs_result.passes, step=step,
+                beta=mult.beta, gamma=mult.gamma,
+            ))
+        # A7: stop once the certified duality gap (best feasible area
+        # vs best dual bound) is inside the error bound.
+        if gap <= self.tolerance:
+            state.converged = True
+            state.done = True
+        elif iteration >= self.max_iterations:
+            state.done = True
+        return state.done
 
-        feasible_found = best_feasible_x is not None
-        final_x = best_feasible_x if feasible_found else x
-        final_metrics = evaluate_metrics(engine, final_x)
-        runtime = time.perf_counter() - start
+    def finish(self, state):
+        """Assemble the :class:`SizingResult` for a completed run."""
+        feasible_found = state.best_feasible_x is not None
+        final_x = state.best_feasible_x if feasible_found else state.x
+        final_metrics = evaluate_metrics(self.engine, final_x)
+        runtime = time.perf_counter() - state.started
         # With no feasible iterate the dual bound certifies nothing about
         # the reported point; flag that with an infinite gap.
-        final_gap = self._duality_gap(final_metrics.area_um2, best_dual) \
+        final_gap = self._duality_gap(final_metrics.area_um2,
+                                      state.best_dual) \
             if feasible_found else np.inf
         return SizingResult(
             x=final_x,
             metrics=final_metrics,
-            initial_metrics=initial_metrics,
-            problem=problem,
-            converged=converged,
-            iterations=iteration,
-            dual_value=best_dual,
+            initial_metrics=state.initial_metrics,
+            problem=self.problem,
+            converged=state.converged,
+            iterations=state.iteration,
+            dual_value=state.best_dual,
             duality_gap=final_gap,
             feasible=feasible_found,
-            history=history,
+            history=state.history,
             runtime_s=runtime,
-            memory_bytes=self.memory_estimate(mult),
-            multipliers=mult,
+            memory_bytes=self.memory_estimate(state.mult),
+            multipliers=state.mult,
+            repair_evals=state.repair_evals,
         )
 
     @staticmethod
@@ -215,12 +279,48 @@ class OGWSOptimizer:
                             tolerance=self.feasibility_tolerance)
         return self.problem.is_feasible(metrics, self.feasibility_tolerance)
 
-    def _repair(self, x, x_feasible, bisections=7):
+    def _feasible_lazy(self, context, x):
+        """:meth:`_is_feasible` evaluated lazily through an ``EvalContext``.
+
+        Checks the constraints in the same order as
+        ``SizingProblem.violations`` (delay, noise, power) and
+        short-circuits on the first violation, so an infeasible repair
+        candidate rejected on delay never runs its coupling or
+        capacitance sweeps.  Each comparison reproduces the eager
+        spelling bit-for-bit (including the ``noise_pf`` unit
+        round-trip), so the accepted set is unchanged.
+        """
+        check_at = getattr(self.problem, "is_feasible_at", None)
+        if check_at is not None:
+            return check_at(self.engine, x, context.metrics,
+                            tolerance=self.feasibility_tolerance)
+        problem = self.problem
+        # The inline short-circuit replays SizingProblem.is_feasible
+        # specifically; a problem type overriding it keeps its own
+        # notion of feasibility (at eager-evaluation cost).
+        if type(problem).is_feasible is not SizingProblem.is_feasible:
+            return self._is_feasible(context.metrics, x)
+        tol = self.feasibility_tolerance
+        if context.circuit_delay_ps / problem.delay_bound_ps - 1.0 > tol:
+            return False
+        noise_pf = context.coupling_total_ff / FF_PER_PF
+        if noise_pf * FF_PER_PF / problem.noise_bound_ff - 1.0 > tol:
+            return False
+        return (context.total_cap_ff / problem.power_cap_bound_ff - 1.0
+                <= tol)
+
+    def _repair(self, x, x_feasible, bisections=7, state=None):
         """Largest-t feasible log-blend between ``x_feasible`` and ``x``.
 
         Returns ``(sizes, metrics)`` of the closest feasible point toward
         the (infeasible) dual iterate, or ``(None, None)`` if even tiny
-        steps leave feasibility (anchor sits on the boundary).
+        steps leave feasibility (anchor sits on the boundary).  Each
+        bisection step evaluates its candidate through a lazy
+        :class:`~repro.timing.metrics.EvalContext` — quantities a
+        violated earlier constraint makes irrelevant are never computed,
+        and full metrics materialize only for feasible candidates.
+        ``state`` (a :class:`_RunState`) accumulates the
+        ``repair_evals`` diagnostic counter.
         """
         engine = self.engine
         cc = engine.compiled
@@ -239,9 +339,11 @@ class OGWSOptimizer:
         for _ in range(bisections):
             mid = 0.5 * (lo + hi)
             cand = candidate(mid)
-            metrics = evaluate_metrics(engine, cand)
-            if self._is_feasible(metrics, cand):
-                best, best_metrics = cand, metrics
+            context = EvalContext(engine, cand)
+            if state is not None:
+                state.repair_evals += 1
+            if self._feasible_lazy(context, cand):
+                best, best_metrics = cand, context.metrics
                 lo = mid
             else:
                 hi = mid
@@ -273,3 +375,102 @@ class OGWSOptimizer:
         if multipliers is not None:
             ledger.register("multipliers", multipliers.nbytes)
         return ledger.total_bytes
+
+
+# -- lockstep multi-scenario driver ---------------------------------------------
+
+
+def _batched_delays_arrival(engine, x_cols, bws):
+    """Elmore delays and arrival times for ``(n, K)`` column-stacked sizes.
+
+    Mirrors ``ElmoreEngine._delays_kernel`` + ``arrival_times`` exactly
+    per column (same kernel calls on matrix buffers), so the columns are
+    bit-identical to the scalar sweeps at the same sizes.
+    """
+    from repro.timing import kernels
+
+    cc = engine.compiled
+    plan = cc.sweep_plan()
+    ws = bws.buffers(x_cols.shape[1])
+    c = plan.cols()
+    propagated = engine.mode is CouplingDelayMode.PROPAGATED
+    cpl = None if engine.mode is CouplingDelayMode.NONE else \
+        engine.coupling.node_coupling_caps(x_cols)
+    kernels.s2_source_terms(plan, cc, x_cols, cpl, propagated, ws.cself,
+                            ws.source_terms, ws.t1)
+    kernels.child_sum_sweep(plan, ws.source_terms, ws.child_sum, ws)
+    np.multiply(ws.cself, 0.5, out=ws.t1)
+    if cpl is not None:
+        np.add(ws.t1, cpl, out=ws.t1)
+    np.multiply(ws.t1, c.wire_mask_f, out=ws.t1)
+    np.add(ws.t1, ws.child_sum, out=ws.t1)
+    np.divide(c.r_hat_eff, x_cols, out=ws.r_eff, where=c.is_sizable)
+    delays = ws.r_eff * ws.t1
+    arrival = np.empty_like(delays)
+    kernels.arrival_sweep(plan, delays, arrival, ws)
+    return delays, arrival
+
+
+def run_lockstep(optimizers, batch=None):
+    """Advance K OGWS runs sharing one engine in lockstep.
+
+    Each outer iteration performs **one batched LRS solve** for every
+    still-running optimizer (CSR matvec → matmat over scenario columns,
+    per-column convergence freezing — see
+    :meth:`LagrangianSubproblemSolver.solve_batch`), one batched
+    delay/arrival sweep feeding per-column ``EvalContext``\\ s, the
+    per-column A4 multiplier updates, and one batched Theorem 3
+    projection.  Optimizers retire from the batch as their own stop
+    criteria fire.  Results are bit-identical to ``[opt.run() for opt
+    in optimizers]`` — the batched kernels replay the scalar arithmetic
+    per column exactly.
+
+    ``batch`` optionally supplies a reusable
+    :class:`~repro.timing.kernels.BatchWorkspace`.  Falls back to
+    sequential runs for a single optimizer or a non-kernel backend.
+    """
+    optimizers = list(optimizers)
+    if not optimizers:
+        return []
+    engine = optimizers[0].engine
+    solver = optimizers[0].lrs
+    compatible = all(
+        opt.engine is engine
+        and opt.lrs.tolerance == solver.tolerance
+        and opt.lrs.max_passes == solver.max_passes
+        and opt.lrs.strict == solver.strict
+        for opt in optimizers)
+    if not compatible:
+        raise ValidationError(
+            "lockstep optimizers must share one engine and LRS settings")
+    if len(optimizers) == 1 or engine.backend != "kernel":
+        return [opt.run() for opt in optimizers]
+    from repro.timing import kernels
+
+    plan = engine.compiled.sweep_plan()
+    bws = batch if batch is not None else kernels.BatchWorkspace(plan)
+    states = [opt.start() for opt in optimizers]
+    live = [k for k in range(len(optimizers)) if not states[k].done]
+    while live:
+        mults = [states[k].mult for k in live]
+        x0s = [states[k].x
+               if (optimizers[k].warm_start_lrs and states[k].x is not None)
+               else None for k in live]
+        results = solver.solve_batch(mults, x0s, batch=bws)
+        x_cols = np.column_stack([r.x for r in results])
+        delays, arrival = _batched_delays_arrival(engine, x_cols, bws)
+        for j, k in enumerate(live):
+            context = EvalContext(engine, results[j].x)
+            # Seed the lazy caches with this scenario's columns (values
+            # identical to what the scalar sweeps would produce).
+            context.__dict__["delays"] = np.ascontiguousarray(delays[:, j])
+            context.__dict__["arrival"] = np.ascontiguousarray(arrival[:, j])
+            optimizers[k].step(states[k], results[j], context=context,
+                               project=False)
+        # A5 for every column stepped this iteration, one batched sweep.
+        lam_cols = np.column_stack([states[k].mult.lam_edge for k in live])
+        kernels.project_sweep(plan, lam_cols)
+        for j, k in enumerate(live):
+            states[k].mult.lam_edge[:] = lam_cols[:, j]
+        live = [k for k in live if not states[k].done]
+    return [opt.finish(state) for opt, state in zip(optimizers, states)]

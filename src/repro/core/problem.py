@@ -47,7 +47,7 @@ class SizingProblem:
 
     @classmethod
     def from_initial(cls, engine, x_init, delay_slack=1.1, noise_fraction=0.1,
-                     power_fraction=0.2):
+                     power_fraction=0.2, metrics=None):
         """Bounds proportional to the initial solution's metrics.
 
         Reverse-engineered from Table 1 (final noise is exactly 10% of
@@ -57,10 +57,15 @@ class SizingProblem:
         * ``A0   = delay_slack    · delay(x_init)``
         * ``X_B  = noise_fraction · X(x_init)``
         * ``P'   = power_fraction · Σc(x_init)``
+
+        ``metrics`` optionally supplies precomputed metrics at
+        ``x_init`` (a :class:`SolverSession` evaluates them once per
+        engine group instead of once per scenario).
         """
         if delay_slack <= 0 or noise_fraction <= 0 or power_fraction <= 0:
             raise ValidationError("bound factors must be positive")
-        metrics = evaluate_metrics(engine, x_init)
+        if metrics is None:
+            metrics = evaluate_metrics(engine, x_init)
         noise_init_ff = metrics.noise_pf * FF_PER_PF
         return cls(
             delay_bound_ps=delay_slack * metrics.delay_ps,

@@ -47,6 +47,10 @@ class SizingResult:
     runtime_s: float
     memory_bytes: int
     multipliers: object = None
+    #: Full-circuit candidate evaluations spent inside the primal-repair
+    #: bisection (each one is lazily short-circuited on the first
+    #: violated constraint; see ``OGWSOptimizer._repair``).
+    repair_evals: int = 0
 
     @property
     def improvements(self):

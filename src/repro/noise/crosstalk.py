@@ -291,8 +291,141 @@ class CouplingSet:
         np.subtract(cap_sum, s["node_tmp"], out=cap_sum)
         return CouplingTerms(cap_sum, dx_sum, gs, out_caps)
 
+    # -- batched evaluation (K scenarios in lockstep) -------------------------------
+
+    def _ensure_batch_scratch(self, k):
+        """Width-``k`` scratch for the column-stacked paths (memoized).
+
+        Shares the static endpoint-scatter operator (and, for k = 2, the
+        frozen slope sums) with the scalar scratch; the ``(p, 1)``
+        column views of the pair constants broadcast against ``(p, k)``
+        iterates without per-call view creation.
+        """
+        base = self._ensure_scratch()
+        cache = self.__dict__.setdefault("_batch_scratch", {})
+        s = cache.pop(k, None)
+        if s is not None:
+            cache[k] = s   # refresh recency (insertion order == LRU order)
+        if s is None:
+            import types
+
+            p, n = self.num_pairs, self.num_nodes
+            s = {
+                "op": base["op"],
+                "ws": types.SimpleNamespace(cbuf=np.zeros((2 * p, k)),
+                                            sbuf=np.zeros((n, k))),
+                "u": np.zeros((p, k)), "term": np.zeros((p, k)),
+                "tmp": np.zeros((p, k)), "caps": np.zeros((p, k)),
+                "slopes": np.zeros((p, k)), "pw": np.zeros((p, k)),
+                "cap_sum": np.zeros((n, k)), "dx_sum": np.zeros((n, k)),
+                "gamma_slopes": np.zeros((n, k)),
+                "node_caps": np.zeros((n, k)), "node_tmp": np.zeros((n, k)),
+            }
+            if self.order == 2:
+                s["dx_static_col"] = base["dx_static"][:, None]
+            if "_ctilde_col" not in self.__dict__:
+                self._ctilde_col = self.ctilde[:, None]
+                self._chat_col = self.chat[:, None]
+                self._two_distance_col = self._two_distance[:, None]
+            # Same LRU bound as kernels.BatchWorkspace: a batch visiting
+            # many widths must not pool scratch for every one of them.
+            while len(cache) >= 6:
+                cache.pop(next(iter(cache)))
+            cache[k] = s
+        return s
+
+    def node_terms_batch(self, x, gamma, node_caps=False):
+        """:meth:`node_terms` over column-stacked ``(n, K)`` iterates.
+
+        ``gamma`` is a ``(K,)`` vector of per-scenario scalar multipliers
+        or an ``(n, K)`` matrix of per-net multipliers (one column per
+        scenario).  Every column of the returned arrays is bit-identical
+        to :meth:`node_terms` at that column — same elementwise
+        operations, same per-node accumulation order through the shared
+        endpoint-scatter operator.  Returned arrays live in width-keyed
+        scratch reused by the next batched call.
+        """
+        k = x.shape[1]
+        gamma = np.asarray(gamma, dtype=float)
+        per_net = gamma.ndim == 2
+        if self.num_pairs == 0:
+            zeros = np.zeros((4, self.num_nodes, k))
+            return CouplingTerms(zeros[0], zeros[1], zeros[2],
+                                 zeros[3] if node_caps else None)
+        s = self._ensure_batch_scratch(k)
+        u, term, tmp = s["u"], s["term"], s["tmp"]
+        caps, slopes = s["caps"], s["slopes"]
+        np.take(x, self.pair_i, axis=0, out=u)
+        np.take(x, self.pair_j, axis=0, out=tmp)
+        np.add(u, tmp, out=u)
+        np.divide(u, self._two_distance_col, out=u)
+        if self.order == 2:
+            # k = 2 closed form: c = ~c·(1 + u), constant slopes ĉ.
+            np.multiply(u, self._ctilde_col, out=caps)
+            np.add(caps, self._ctilde_col, out=caps)
+            slopes = self._chat_col
+        else:
+            caps.fill(1.0)
+            slopes.fill(0.0)
+            term.fill(1.0)
+            for order_n in range(1, self.order):
+                np.multiply(term, float(order_n), out=tmp)
+                np.add(slopes, tmp, out=slopes)
+                np.multiply(term, u, out=term)
+                np.add(caps, term, out=caps)
+            np.multiply(caps, self._ctilde_col, out=caps)
+            np.multiply(slopes, self._chat_col, out=slopes)
+
+        cap_sum, dx_sum, gs = s["cap_sum"], s["dx_sum"], s["gamma_slopes"]
+        self._endpoint_scatter(caps, cap_sum, s)
+        if self.order == 2:
+            dx_sum = s["dx_static_col"]
+        else:
+            self._endpoint_scatter(slopes, dx_sum, s)
+        out_caps = None
+        if node_caps:
+            out_caps = s["node_caps"]
+            np.copyto(out_caps, cap_sum)
+        if per_net:
+            pw = s["pw"]
+            np.take(gamma, self.owner, axis=0, out=pw)
+            np.multiply(pw, slopes, out=pw)
+            self._endpoint_scatter(pw, gs, s)
+        else:
+            np.multiply(dx_sum, gamma, out=gs)
+        np.multiply(x, dx_sum, out=s["node_tmp"])
+        np.subtract(cap_sum, s["node_tmp"], out=cap_sum)
+        return CouplingTerms(cap_sum, dx_sum, gs, out_caps)
+
     def node_coupling_caps(self, x):
-        """Per-node total coupling cap ``Σ_{j∈N(i)} c_ij(x)`` (delay model)."""
+        """Per-node total coupling cap ``Σ_{j∈N(i)} c_ij(x)`` (delay model).
+
+        Accepts ``(n,)`` or column-stacked ``(n, K)`` sizes.  The batched
+        branch replays :meth:`pair_caps`'s exact accumulation per column
+        and scatters through the static endpoint operator, whose
+        per-node addition order matches the scalar ``bincount`` bitwise
+        (stable endpoint sort).
+        """
+        if x.ndim == 2:
+            k = x.shape[1]
+            if self.num_pairs == 0:
+                return np.zeros((self.num_nodes, k))
+            s = self._ensure_batch_scratch(k)
+            u, term, total = s["u"], s["term"], s["tmp"]
+            np.take(x, self.pair_i, axis=0, out=u)
+            np.take(x, self.pair_j, axis=0, out=total)
+            np.add(u, total, out=u)
+            np.divide(u, self._two_distance_col, out=u)
+            # pair_caps' spelling verbatim: Σ_{m<k} uᵐ, then ·~c.
+            total.fill(0.0)
+            term.fill(1.0)
+            for _ in range(self.order):
+                np.add(total, term, out=total)
+                np.multiply(term, u, out=term)
+            np.multiply(total, self._ctilde_col, out=total)
+            out = np.empty((self.num_nodes, k))
+            self._endpoint_scatter(total, out, s)
+            return out
         if self.num_pairs == 0:
             return np.zeros(self.num_nodes)
         caps = self.pair_caps(x)

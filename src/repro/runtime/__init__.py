@@ -9,10 +9,19 @@ runs into data so sweeps scale:
   serializable specs of what to run,
 * :mod:`~repro.runtime.runner` — :class:`BatchRunner` executes a sweep
   serially or across worker processes, streaming :class:`RunRecord`\\ s in
-  a deterministic order (parallel output is byte-identical to serial),
-* :mod:`~repro.runtime.cache` — :class:`ResultCache` keys records by
-  content hash of the scenario plus the realized circuit's fingerprint,
-  so repeated sweeps hit disk instead of the solver,
+  a deterministic order (parallel output is byte-identical to serial).
+  Its grouping planner (on by default) partitions scenarios by circuit
+  and runs each group through one compile-once
+  :class:`~repro.core.session.SolverSession` — circuit build,
+  similarity analysis, layout, ordering, and coupling amortized across
+  the group, and scenarios sharing an engine configuration advanced in
+  lockstep by the batched ``(n, K)`` kernels.  Batched and scalar paths
+  produce byte-identical records; ``batch=False`` / ``--no-batch`` /
+  ``REPRO_NO_BATCH=1`` selects the per-scenario loop,
+* :mod:`~repro.runtime.cache` — :class:`ResultCache` keys records by the
+  scenario's content hash, so repeated sweeps hit disk instead of the
+  solver; hit/miss counters persist as per-process shards (exact under
+  concurrent sweeps),
 * :mod:`~repro.runtime.records` — :class:`RunRecord`, the structured
   result consumed by :mod:`repro.analysis` and the report formatters.
 
@@ -28,7 +37,7 @@ Quickstart (library)::
         base=FlowConfig(n_patterns=128),
     )
     runner = BatchRunner(jobs=4, cache=ResultCache(".repro_cache"))
-    for record in runner.iter_records(spec):   # 12 scenarios
+    for record in runner.iter_records(spec):   # 12 scenarios, 2 sessions
         print(record.summary())
     print(runner.stats.summary())
 
@@ -37,8 +46,19 @@ Quickstart (CLI) — the same sweep::
     repro sweep c432 c880 --orderings woss none \\
         --delay-modes own none propagated --patterns 128 --jobs 4
 
-Rerunning either form with the same cache directory completes without
-any solver work: every record is served from the cache.
+Quickstart (session) — many scenarios over *one* circuit, solved in
+lockstep without going through a runner::
+
+    from repro.core import SolverSession
+
+    session = SolverSession.for_ref(CircuitRef.iscas85("c432"))
+    records = session.solve(SweepSpec(
+        circuits=(session.ref,),
+        noise_fractions=(0.08, 0.10, 0.12, 0.15),
+    ).scenarios())
+
+Rerunning the runner forms with the same cache directory completes
+without any solver work: every record is served from the cache.
 """
 
 from repro.runtime.cache import ResultCache, scenario_key
@@ -50,6 +70,7 @@ from repro.runtime.runner import (
     SerialExecutor,
     SweepStats,
     run_scenario,
+    run_scenario_group,
 )
 
 __all__ = [
@@ -65,4 +86,5 @@ __all__ = [
     "SerialExecutor",
     "MultiprocessExecutor",
     "run_scenario",
+    "run_scenario_group",
 ]

@@ -26,10 +26,19 @@ Entries are one JSON document per key under two-level fan-out
 directories; writes are atomic (temp file + rename) so concurrent sweeps
 sharing a cache directory never observe torn entries.  Reads touch the
 entry's mtime, giving :meth:`ResultCache.prune` an LRU eviction order.
-Hit/miss/put counters accumulate in memory and persist to ``stats.json``
-beside the entries on ``put``/``prune``/``stats()``/:meth:`flush`
-(best-effort under concurrency: counter writes are atomic but
-last-writer-wins), surfaced by the ``repro cache stats`` CLI.
+
+Hit/miss/put counters accumulate in memory and persist on
+``put``/``prune``/``stats()``/:meth:`flush` as **per-process shard
+files** under ``stats.d/`` — each :class:`ResultCache` instance owns one
+shard (named by pid plus a random token) and only ever rewrites its own,
+so concurrent sweeps sharing a cache directory cannot lose each other's
+counts (the old single ``stats.json`` was atomic but last-writer-wins).
+``repro cache stats`` merges every shard plus any legacy ``stats.json``
+left by older versions.  Shards are a few dozen bytes each and accrue
+one per runner process; they are deliberately never compacted
+automatically (a live process's shard cannot be distinguished from a
+dead one, and folding a live shard into the base would double-count its
+next flush).
 """
 
 import dataclasses
@@ -38,6 +47,7 @@ import hashlib
 import json
 import os
 import pathlib
+import secrets
 import tempfile
 
 from repro.runtime.records import RunRecord
@@ -97,6 +107,13 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.verify_fingerprints = bool(verify_fingerprints)
         self._pending = {name: 0 for name in _COUNTER_FIELDS}
+        # This instance's lifetime totals, mirrored into its own shard
+        # file on flush.  The pid + random token name keeps shards
+        # collision-free across processes and across instances within
+        # one process (and across pid reuse).
+        self._lifetime = {name: 0 for name in _COUNTER_FIELDS}
+        self.shard_path = (self._shard_dir
+                           / f"{os.getpid()}-{secrets.token_hex(4)}.json")
 
     def path_for(self, scenario):
         key = scenario_key(scenario)
@@ -104,7 +121,12 @@ class ResultCache:
 
     @property
     def _stats_path(self):
+        """Legacy single-file counter base (read + compaction target)."""
         return self.root / "stats.json"
+
+    @property
+    def _shard_dir(self):
+        return self.root / "stats.d"
 
     def _bump(self, **deltas):
         """Accumulate counter deltas in memory (see :meth:`flush`).
@@ -116,31 +138,51 @@ class ResultCache:
         for name, delta in deltas.items():
             self._pending[name] += delta
 
-    def flush(self):
-        """Persist buffered counters to ``stats.json`` (atomic write)."""
-        if not any(self._pending.values()):
-            return
-        counters = self._load_counters()
-        for name, delta in self._pending.items():
-            counters[name] += delta
-        self._pending = {name: 0 for name in _COUNTER_FIELDS}
-        payload = json.dumps(counters)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+    @staticmethod
+    def _write_json_atomic(path, payload):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
                 handle.write(payload)
-            os.replace(tmp, self._stats_path)
+            os.replace(tmp, path)
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
 
-    def _load_counters(self):
+    def flush(self):
+        """Persist buffered counters to this instance's shard (atomic).
+
+        Only the instance's own shard is ever rewritten, so concurrent
+        processes flushing into one cache directory never clobber each
+        other's counts.
+        """
+        if not any(self._pending.values()):
+            return
+        for name, delta in self._pending.items():
+            self._lifetime[name] += delta
+        self._pending = {name: 0 for name in _COUNTER_FIELDS}
+        self._write_json_atomic(self.shard_path, json.dumps(self._lifetime))
+
+    @staticmethod
+    def _read_counters(path):
         try:
-            data = json.loads(self._stats_path.read_text())
+            data = json.loads(path.read_text())
             return {name: int(data.get(name, 0)) for name in _COUNTER_FIELDS}
         except (OSError, TypeError, ValueError):
-            return {name: 0 for name in _COUNTER_FIELDS}
+            return None
+
+    def _load_counters(self):
+        """Merged view: the legacy base file plus every counter shard."""
+        counters = self._read_counters(self._stats_path) or \
+            {name: 0 for name in _COUNTER_FIELDS}
+        for shard in sorted(self._shard_dir.glob("*.json")):
+            read = self._read_counters(shard)
+            if read is not None:
+                for name in _COUNTER_FIELDS:
+                    counters[name] += read[name]
+        return counters
 
     # -- read / write -----------------------------------------------------------
 
@@ -210,10 +252,16 @@ class ResultCache:
 
     # -- maintenance ------------------------------------------------------------
 
+    def _entry_paths(self):
+        """Every cache entry file (excluding the ``stats.d`` shards)."""
+        for path in self.root.glob("*/*.json"):
+            if path.parent.name != "stats.d":
+                yield path
+
     def _entries(self):
         """(path, stat) per entry, oldest access first."""
         entries = []
-        for path in self.root.glob("*/*.json"):
+        for path in self._entry_paths():
             try:
                 entries.append((path, path.stat()))
             except OSError:
@@ -259,12 +307,12 @@ class ResultCache:
         return evicted, freed
 
     def __len__(self):
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self._entry_paths())
 
     def __contains__(self, scenario):
         return self.path_for(scenario).exists()
 
     def clear(self):
         """Drop every entry (keeps the directory and the counters)."""
-        for entry in self.root.glob("*/*.json"):
+        for entry in self._entry_paths():
             entry.unlink()

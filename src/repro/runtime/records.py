@@ -21,7 +21,9 @@ from repro.io import metrics_from_dict, metrics_to_dict
 from repro.runtime.config import Scenario
 from repro.utils.errors import ReproError
 
-RECORD_SCHEMA_VERSION = 1
+#: Bumped to 2 when solver diagnostics (``repair_evals``) joined the
+#: canonical payload; schema-1 cache entries read back as misses.
+RECORD_SCHEMA_VERSION = 2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -38,6 +40,10 @@ class RunRecord:
     initial_metrics: object     # CircuitMetrics at x_init
     metrics: object             # CircuitMetrics at the reported sizing
     sizes: tuple                # final component sizes (um)
+    #: Deterministic solver diagnostics (e.g. ``repair_evals``, the
+    #: primal-repair bisection's candidate evaluations) — part of the
+    #: canonical form, so batch and scalar runs must agree on them.
+    diagnostics: dict = dataclasses.field(default_factory=dict)
     runtime_s: float = 0.0      # telemetry — excluded from canonical form
     memory_bytes: int = 0       # telemetry — excluded from canonical form
     cached: bool = False        # True when served from a ResultCache
@@ -87,6 +93,8 @@ class RunRecord:
             "initial_metrics": metrics_to_dict(self.initial_metrics),
             "metrics": metrics_to_dict(self.metrics),
             "sizes": [float(x) for x in self.sizes],
+            "diagnostics": {str(k): int(v)
+                            for k, v in sorted(self.diagnostics.items())},
         }
 
     def canonical_json(self):
@@ -121,6 +129,8 @@ class RunRecord:
             initial_metrics=metrics_from_dict(data["initial_metrics"]),
             metrics=metrics_from_dict(data["metrics"]),
             sizes=tuple(float(x) for x in data["sizes"]),
+            diagnostics={str(k): int(v)
+                         for k, v in data.get("diagnostics", {}).items()},
             runtime_s=float(data.get("runtime_s", 0.0)),
             memory_bytes=int(data.get("memory_bytes", 0)),
             fingerprint=str(data.get("fingerprint", "")),

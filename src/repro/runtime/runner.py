@@ -8,10 +8,24 @@ executes the rest with a pluggable executor — :class:`SerialExecutor` or
 back in scenario order regardless of executor, and the per-scenario seed
 is derived from scenario content (see :attr:`Scenario.seed`), so parallel
 and serial runs of the same spec produce byte-identical records.
+
+**Grouping planner.**  With ``batch=True`` (the default; the
+``REPRO_NO_BATCH`` environment variable or ``--no-batch`` flips it) the
+runner partitions the cache-missing scenarios by :class:`CircuitRef` and
+dispatches whole groups to the executor as
+:func:`run_scenario_group` units: each group builds **one**
+:class:`~repro.core.session.SolverSession` — circuit, compilation,
+similarity analysis, layout, ordering, coupling amortized across the
+group — and scenarios sharing an engine configuration advance in
+lockstep through the batched kernels.  Cache hits are peeled off per
+scenario *before* grouping, the record stream order and per-scenario
+seeds are unchanged, and records are byte-identical to the per-scenario
+path (pinned by the batch-equivalence tests).
 """
 
 import dataclasses
 import multiprocessing
+import os
 
 from repro.core.flow import NoiseAwareSizingFlow
 from repro.runtime.config import SweepSpec
@@ -54,10 +68,28 @@ def run_scenario(scenario):
         initial_metrics=sizing.initial_metrics,
         metrics=sizing.metrics,
         sizes=tuple(float(x) for x in sizing.x),
+        diagnostics={"repair_evals": int(sizing.repair_evals)},
         runtime_s=float(sizing.runtime_s),
         memory_bytes=int(sizing.memory_bytes),
         fingerprint=circuit_fingerprint(circuit),
     )
+
+
+def run_scenario_group(scenarios):
+    """Execute scenarios sharing one :class:`CircuitRef` through a session.
+
+    The unit of work the grouping planner dispatches to executors: one
+    :class:`~repro.core.session.SolverSession` per group amortizes the
+    circuit build, compilation, and analysis artifacts, and scenarios
+    sharing an engine configuration are solved in lockstep.  Returns the
+    group's records in the given scenario order, byte-identical to
+    per-scenario :func:`run_scenario` results.
+    """
+    from repro.core.session import SolverSession
+
+    scenarios = list(scenarios)
+    session = SolverSession.for_ref(scenarios[0].circuit)
+    return session.solve(scenarios, batch=True)
 
 
 class SerialExecutor:
@@ -124,10 +156,16 @@ class SweepStats:
     total: int = 0
     computed: int = 0
     cache_hits: int = 0
+    #: Circuit groups dispatched by the grouping planner (0 ⇒ the
+    #: per-scenario path ran, e.g. ``batch=False`` or a warm cache).
+    groups: int = 0
 
     def summary(self):
-        return (f"{self.total} scenarios: {self.computed} computed, "
+        text = (f"{self.total} scenarios: {self.computed} computed, "
                 f"{self.cache_hits} cached")
+        if self.groups:
+            text += f", {self.groups} circuit groups"
+        return text
 
 
 class BatchRunner:
@@ -144,10 +182,18 @@ class BatchRunner:
         The per-scenario work function (testing hook, e.g. to count
         invocations).  Anything other than the default requires
         ``jobs=1`` — worker processes can only import module-level
-        functions.
+        functions — and disables the grouping planner (custom runs are
+        per-scenario by definition).
+    batch:
+        ``True`` groups cache-missing scenarios by circuit and solves
+        each group through one compile-once
+        :class:`~repro.core.session.SolverSession` (lockstep batching
+        inside); ``False`` keeps the per-scenario path.  Default
+        (``None``): batched unless the ``REPRO_NO_BATCH`` environment
+        variable is set.  Both paths stream byte-identical records.
     """
 
-    def __init__(self, jobs=1, cache=None, run=run_scenario):
+    def __init__(self, jobs=1, cache=None, run=run_scenario, batch=None):
         if int(jobs) < 1:
             raise ValidationError("BatchRunner needs jobs >= 1")
         if run is not run_scenario and int(jobs) > 1:
@@ -155,14 +201,19 @@ class BatchRunner:
         self.jobs = int(jobs)
         self.cache = cache
         self._run = run
+        if batch is None:
+            batch = not os.environ.get("REPRO_NO_BATCH")
+        self.batch = bool(batch) and run is run_scenario
         self.stats = SweepStats()
 
     def iter_records(self, spec_or_scenarios):
         """Yield one :class:`RunRecord` per scenario, in scenario order.
 
         Cache hits yield immediately; misses are dispatched to the
-        executor and merged back into the stream in order, so a warm
-        cache streams the whole sweep without touching the solver.
+        executor — whole circuit groups under the grouping planner,
+        single scenarios otherwise — and merged back into the stream in
+        order, so a warm cache streams the whole sweep without touching
+        the solver.
         """
         scenarios = self._expand(spec_or_scenarios)
         self.stats = SweepStats(total=len(scenarios))
@@ -175,6 +226,10 @@ class BatchRunner:
                 cached[index] = record
             else:
                 missing.append((index, scenario))
+
+        if self.batch and missing:
+            yield from self._iter_grouped(scenarios, cached, missing)
+            return
 
         # A fully warm cache must not pay pool spin-up for zero work.
         executor = make_executor(self.jobs) if missing else SerialExecutor()
@@ -201,6 +256,80 @@ class BatchRunner:
                 executor.abort()
             if self.cache is not None:
                 self.cache.flush()  # persist buffered hit/miss counters
+
+    def _iter_grouped(self, scenarios, cached, missing):
+        """The grouping planner: partition misses by circuit, dispatch groups.
+
+        Cache hits were already peeled off (``cached``); the remaining
+        scenarios partition by their ``CircuitRef`` in first-appearance
+        order, each group running as one :func:`run_scenario_group` work
+        unit.  When that yields fewer work units than workers (e.g. a
+        single-circuit sweep with ``--jobs 4``), groups split further by
+        engine configuration — each sub-group is still fully
+        lockstep-compatible and amortizes its own circuit build, and the
+        requested parallelism is preserved.  The merged stream preserves
+        scenario order: group results are fetched from the executor
+        lazily as the stream first needs them (groups of interleaved
+        sweeps buffer until their turn).
+        """
+        from repro.core.session import SolverSession
+
+        def partition(key_fn):
+            groups = []
+            by_key = {}
+            for index, scenario in missing:
+                key = key_fn(scenario)
+                members = by_key.get(key)
+                if members is None:
+                    members = by_key[key] = []
+                    groups.append(members)
+                members.append((index, scenario))
+            return groups
+
+        groups = partition(lambda s: s.circuit)
+        if 1 < self.jobs and len(groups) < self.jobs:
+            groups = partition(
+                lambda s: (s.circuit, SolverSession._engine_key(s.config)))
+        self.stats.groups = len(groups)
+        locate = {}
+        for gpos, members in enumerate(groups):
+            for offset, (index, _) in enumerate(members):
+                locate[index] = (gpos, offset)
+
+        executor = make_executor(self.jobs)
+        completed = False
+        try:
+            fresh = iter(executor.map(
+                run_scenario_group,
+                [tuple(s for _, s in members) for members in groups]))
+            arrived = {}
+            remaining = [len(members) for members in groups]
+            next_group = 0
+            for index, scenario in enumerate(scenarios):
+                if index in cached:
+                    self.stats.cache_hits += 1
+                    yield cached[index]
+                    continue
+                gpos, offset = locate[index]
+                while next_group <= gpos:
+                    arrived[next_group] = list(next(fresh))
+                    next_group += 1
+                record = arrived[gpos][offset]
+                remaining[gpos] -= 1
+                if not remaining[gpos]:
+                    del arrived[gpos]   # keep streaming memory bounded
+                self.stats.computed += 1
+                if self.cache is not None:
+                    self.cache.put(scenario, record)
+                yield record
+            completed = True
+        finally:
+            if completed:
+                executor.close()
+            else:
+                executor.abort()
+            if self.cache is not None:
+                self.cache.flush()
 
     def run(self, spec_or_scenarios, progress=None):
         """Execute everything; returns the record list in scenario order.

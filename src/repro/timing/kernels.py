@@ -46,6 +46,22 @@ preallocates all scratch, so a steady-state LRS pass in
 :class:`~repro.core.lrs.LagrangianSubproblemSolver` allocates nothing
 (guarded by tracemalloc in ``tests/timing/test_kernels.py``).
 
+**Batched (column-stacked) evaluation.**  Every sweep in this module is
+shape-polymorphic: passing ``(n, K)`` C-contiguous iterates — one column
+per scenario — evaluates K scenarios at once.  The CSR products become
+matrix–matrix products (SciPy's ``csr_matvecs``), so the closure index
+arrays are traversed once for all K columns instead of once per
+scenario, and the per-level ``reduceat`` segments amortize their Python
+dispatch the same way.  Per-column results are **bit-identical** to the
+K = 1 sweeps: the multi-vector CSR kernel performs the same additions in
+the same order per column, elementwise ufuncs are per-element, and
+``reduceat`` accumulates each segment sequentially per column.  That
+exactness is what lets the batched multi-scenario solver
+(:mod:`repro.core.session`) promise records byte-identical to serial
+single-scenario runs.  Batched scratch comes from
+``Workspace(plan, width=K)``; :class:`BatchWorkspace` pools those by
+width so the lockstep solver reuses buffers as scenario batches shrink.
+
 The kernels are exact replacements for the reference sweeps in
 :class:`~repro.timing.elmore.ElmoreEngine` (``backend="reference"``);
 equivalence property tests pin agreement to 1e-12 relative across delay
@@ -56,13 +72,15 @@ and ``ElmoreEngine.workspace()``.
 
 import numpy as np
 
-try:  # SciPy's C kernel accumulates into a caller-provided output array.
+try:  # SciPy's C kernels accumulate into a caller-provided output array.
     from scipy.sparse import _sparsetools as _st
 
     _HAVE_RAW_MATVEC = hasattr(_st, "csr_matvec")
+    _HAVE_RAW_MATVECS = hasattr(_st, "csr_matvecs")
 except ImportError:  # pragma: no cover - scipy is a hard dependency in CI
     _st = None
     _HAVE_RAW_MATVEC = False
+    _HAVE_RAW_MATVECS = False
 
 
 class CSROp:
@@ -103,9 +121,26 @@ def csr_matvec(op, x, y, ws=None):
     Uses SciPy's raw ``csr_matvec`` kernel when available, else a
     ``take`` + ``add.reduceat`` fallback over the nonempty rows (drawing
     scratch from ``ws`` when provided).
+
+    ``x`` may be ``(n,)`` or a C-contiguous column-stacked ``(n, K)``
+    matrix; the multi-vector case goes through SciPy's ``csr_matvecs``
+    (one index traversal for all K columns) and is bit-identical per
+    column to the single-vector kernel.
     """
     y.fill(0.0)
     if not op.nnz:
+        return y
+    if x.ndim == 2:
+        if _HAVE_RAW_MATVECS:
+            _st.csr_matvecs(op.n_rows, len(x), x.shape[1], op.indptr,
+                            op.indices, op.data, x, y)
+            return y
+        gathered = np.take(x, op.indices, axis=0,
+                           out=ws.cbuf[:op.nnz] if ws is not None else None)
+        sums = np.add.reduceat(gathered, op.starts, axis=0,
+                               out=ws.sbuf[:len(op.rows)] if ws is not None
+                               else None)
+        y[op.rows] = sums
         return y
     if _HAVE_RAW_MATVEC:
         _st.csr_matvec(op.n_rows, len(x), op.indptr, op.indices, op.data,
@@ -339,6 +374,35 @@ class SweepPlan:
         self.c_hat_sizable = cc.c_hat * sizable_f
         self.fringe_total = float(np.sum(cc.fringe[cc.is_sizable]))
 
+    def cols(self):
+        """Memoized ``(n, 1)`` column views of the per-node constants.
+
+        Batched sweeps broadcast these against ``(n, K)`` iterates; the
+        views are built once so steady-state batched passes create no
+        objects at all (a bare ``(n,)`` array would broadcast along the
+        wrong axis).
+        """
+        cols = self.__dict__.get("_cols")
+        if cols is None:
+            import types
+
+            cc = self.compiled
+            cols = types.SimpleNamespace(
+                r_hat_eff=self.r_hat_eff[:, None],
+                half_fringe_wire=self.half_fringe_wire[:, None],
+                wire_mask_f=self.wire_mask_f[:, None],
+                wire_load_cap=self.wire_load_cap[:, None],
+                desc_base=self.desc_base[:, None],
+                c_hat=cc.c_hat[:, None],
+                fringe=cc.fringe[:, None],
+                alpha=cc.alpha[:, None],
+                lower=cc.lower[:, None],
+                upper=cc.upper[:, None],
+                is_sizable=cc.is_sizable[:, None],
+            )
+            self._cols = cols
+        return cols
+
     @property
     def nbytes(self):
         total = (self.desc.nbytes + self.anc.nbytes + self.wire_chain.nbytes
@@ -374,6 +438,12 @@ class Workspace:
     nodes.  Reusing one workspace across passes is what makes a
     steady-state LRS pass allocation-free; it is strictly
     single-threaded.
+
+    With ``width=K`` every buffer is a C-contiguous ``(rows, K)`` matrix
+    — one column per scenario — and the workspace additionally carries
+    the batched solver's per-solve constants (``lam``, ``numer``,
+    ``alpha_beta``) and per-column reduction scratch (``colmax``,
+    ``colmask``).
     """
 
     NODE_BUFFERS = (
@@ -381,33 +451,93 @@ class Workspace:
         "upstream", "k_cap", "denom", "opt", "x_a", "x_b", "t1", "t2",
     )
 
-    def __init__(self, plan):
+    def __init__(self, plan, width=None):
         n = plan.num_nodes
         self.plan = plan
+        self.width = None if width is None else int(width)
+
+        def buf(rows):
+            rows = max(int(rows), 1)
+            shape = rows if self.width is None else (rows, self.width)
+            return np.zeros(shape)
+
         for name in self.NODE_BUFFERS:
-            setattr(self, name, np.zeros(n))
-        self.ebuf = np.zeros(max(plan.max_cond_edges, 1))
-        self.cbuf = np.zeros(max(plan.closure_size, 1))
-        self.sbuf = np.zeros(n)
-        self.szbuf = np.zeros(max(len(plan.sizable_idx), 1))
-        self.wbuf = np.zeros(max(len(plan.wire_indices), 1))
-        self.wbuf2 = np.zeros(max(len(plan.wire_indices), 1))
+            setattr(self, name, buf(n))
+        self.ebuf = buf(plan.max_cond_edges)
+        self.cbuf = buf(plan.closure_size)
+        self.sbuf = buf(n)
+        self.szbuf = buf(len(plan.sizable_idx))
+        self.wbuf = buf(len(plan.wire_indices))
+        self.wbuf2 = buf(len(plan.wire_indices))
         n_cond = len(plan.cond_nodes)
-        self.arrc = np.zeros(max(n_cond, 1))
-        self.delays_c = np.zeros(max(n_cond, 1))
-        self.chain_e = np.zeros(max(len(plan.arr_hop), 1))
+        self.arrc = buf(n_cond)
+        self.delays_c = buf(n_cond)
+        self.chain_e = buf(len(plan.arr_hop))
+        if self.width is not None:
+            # Batched-solve extras: per-column multiplier constants and
+            # the per-column convergence reduction targets.
+            self.lam = buf(n)
+            self.numer = buf(n)
+            self.alpha_beta = buf(n)
+            self.colmax = np.zeros(self.width)
+            self.colmask = np.zeros(self.width, dtype=bool)
         # r_eff is only ever written on sizable nodes (masked divide);
         # driver entries are static, so preset them once.
-        self.r_eff[plan.driver_nodes] = plan.r_hat_eff[plan.driver_nodes]
+        preset = plan.r_hat_eff[plan.driver_nodes]
+        self.r_eff[plan.driver_nodes] = preset if self.width is None \
+            else preset[:, None]
 
     @property
     def nbytes(self):
         total = 0
-        for name in self.NODE_BUFFERS + ("ebuf", "cbuf", "sbuf", "szbuf",
-                                         "wbuf", "wbuf2", "arrc",
-                                         "delays_c", "chain_e"):
+        names = self.NODE_BUFFERS + ("ebuf", "cbuf", "sbuf", "szbuf",
+                                     "wbuf", "wbuf2", "arrc",
+                                     "delays_c", "chain_e")
+        if self.width is not None:
+            names = names + ("lam", "numer", "alpha_beta", "colmax",
+                             "colmask")
+        for name in names:
             total += getattr(self, name).nbytes
         return total
+
+
+class BatchWorkspace:
+    """Width-keyed pool of batched :class:`Workspace` objects.
+
+    The lockstep solver shrinks its scenario batch as columns converge;
+    each distinct width's buffers are built once and reused across
+    passes and outer iterations, keeping steady-state batched passes
+    allocation-free while every matrix stays C-contiguous (a sliced
+    ``(n, K)`` view would break the raw ``csr_matvecs`` kernel's layout
+    assumption).  The pool holds at most :attr:`MAX_POOL` widths,
+    evicting least-recently-used ones — a batch visiting many distinct
+    widths (columns retiring one by one) stays bounded at O(n·K·MAX_POOL)
+    instead of O(n·K²).  Single-threaded, like :class:`Workspace`.
+    """
+
+    #: Maximum distinct widths kept alive at once.
+    MAX_POOL = 6
+
+    def __init__(self, plan, max_pool=None):
+        self.plan = plan
+        self.max_pool = int(max_pool if max_pool is not None else
+                            self.MAX_POOL)
+        self._pool = {}   # width -> Workspace, insertion order == recency
+
+    def buffers(self, width):
+        """The pooled ``Workspace(plan, width)`` for ``width`` columns."""
+        width = int(width)
+        ws = self._pool.pop(width, None)
+        if ws is None:
+            ws = Workspace(self.plan, width=width)
+            while len(self._pool) >= self.max_pool:
+                self._pool.pop(next(iter(self._pool)))  # evict LRU width
+        self._pool[width] = ws  # (re)insert as most recent
+        return ws
+
+    @property
+    def nbytes(self):
+        return sum(ws.nbytes for ws in self._pool.values())
 
 
 def s2_source_terms(plan, compiled, x, cpl, propagated, cself_out, source_out,
@@ -420,13 +550,19 @@ def s2_source_terms(plan, compiled, x, cpl, propagated, cself_out, source_out,
     load (+ coupling ``cpl`` when ``propagated``) for wires.  Used by
     the engine's kernel capacitance/delay paths and the fused LRS pass,
     so the delay model has exactly one kernel-side definition.
+    ``x`` may be ``(n,)`` or column-stacked ``(n, K)``.
     """
-    np.multiply(compiled.c_hat, x, out=cself_out)
-    np.add(cself_out, compiled.fringe, out=cself_out)
+    batched = x.ndim == 2
+    c = plan.cols() if batched else None
+    np.multiply(c.c_hat if batched else compiled.c_hat, x, out=cself_out)
+    np.add(cself_out, c.fringe if batched else compiled.fringe,
+           out=cself_out)
     cself_out[plan.nonsizable_idx] = 0.0
-    np.add(cself_out, plan.wire_load_cap, out=source_out)
+    np.add(cself_out, c.wire_load_cap if batched else plan.wire_load_cap,
+           out=source_out)
     if propagated:
-        np.multiply(cpl, plan.wire_mask_f, out=scratch)
+        np.multiply(cpl, c.wire_mask_f if batched else plan.wire_mask_f,
+                    out=scratch)
         np.add(source_out, scratch, out=source_out)
     return cself_out, source_out
 
@@ -438,10 +574,12 @@ def child_sum_sweep(plan, source_terms, child_sum, ws):
     where ``source_terms`` is each node's own contribution to its
     ancestors' loads: input capacitance for gates, self + output load
     (+ coupling when PROPAGATED) for wires, zero otherwise.  One sparse
-    product evaluates the whole reverse sweep.
+    product evaluates the whole reverse sweep (matrix–matrix over the
+    columns in the batched case).
     """
     csr_matvec(plan.desc, source_terms, child_sum, ws)
-    np.add(child_sum, plan.desc_base, out=child_sum)
+    base = plan.cols().desc_base if child_sum.ndim == 2 else plan.desc_base
+    np.add(child_sum, base, out=child_sum)
     return child_sum
 
 
@@ -465,6 +603,9 @@ def arrival_sweep(plan, delays, arrival, ws):
     chain) + D_g``) with contiguous per-level slices, and wire arrivals
     are reconstructed by a flat gather at the end.  Matches
     ``ElmoreEngine.arrival_times`` to floating-point reassociation.
+    ``delays`` may be ``(n,)`` or column-stacked ``(n, K)`` (``arrival``
+    and ``ws`` shaped to match); each column's max-plus recursion is
+    bit-identical to the single-vector sweep.
     """
     chain = csr_matvec(plan.wire_chain, delays, ws.chain, ws)
     n_cond = len(plan.cond_nodes)
@@ -472,17 +613,17 @@ def arrival_sweep(plan, delays, arrival, ws):
     arrc.fill(0.0)
     if n_cond:
         dc = ws.delays_c[:n_cond]
-        delays.take(plan.cond_nodes, out=dc)
+        np.take(delays, plan.cond_nodes, axis=0, out=dc)
         chain_e = ws.chain_e[:len(plan.arr_hop)]
-        chain.take(plan.arr_hop, out=chain_e)
+        np.take(chain, plan.arr_hop, axis=0, out=chain_e)
         node_ptr, edge_ptr = plan.cond_node_ptr, plan.arr_edge_ptr
         for level in range(1, len(plan.arr_starts)):
             lo, hi = edge_ptr[level], edge_ptr[level + 1]
             g = ws.ebuf[:hi - lo]
-            arrc.take(plan.arr_anchor_pos[lo:hi], out=g)
+            np.take(arrc, plan.arr_anchor_pos[lo:hi], axis=0, out=g)
             np.add(g, chain_e[lo:hi], out=g)
             out = arrc[node_ptr[level]:node_ptr[level + 1]]
-            np.maximum.reduceat(g, plan.arr_starts[level], out=out)
+            np.maximum.reduceat(g, plan.arr_starts[level], axis=0, out=out)
             np.add(out, dc[node_ptr[level]:node_ptr[level + 1]], out=out)
     arrival.fill(0.0)
     arrival[plan.cond_nodes] = arrc
@@ -490,8 +631,8 @@ def arrival_sweep(plan, delays, arrival, ws):
     if len(wires):
         t = ws.wbuf[:len(wires)]
         t2 = ws.wbuf2[:len(wires)]
-        arrc.take(plan.wire_anchor_pos, out=t)
-        chain.take(wires, out=t2)
+        np.take(arrc, plan.wire_anchor_pos, axis=0, out=t)
+        np.take(chain, wires, axis=0, out=t2)
         np.add(t, t2, out=t)
         arrival[wires] = t
     return arrival
@@ -512,15 +653,21 @@ def project_sweep(plan, lam):
     edges from themselves, wire in-edges as their subtree sums.
 
     Runs once per OGWS iteration (not in the LRS hot loop), so it
-    favors clarity over zero allocation.
+    favors clarity over zero allocation.  ``lam`` may be ``(E,)`` or a
+    column-stacked ``(E, K)`` matrix of K independent multiplier
+    vectors; each column projects bit-identically to the single-vector
+    sweep (``of / where(pos, inflow, 1)`` equals ``of / inflow`` bitwise
+    wherever the fast path would have taken over).
     """
     lamb = lam[plan.boundary_ids]
+    batched = lamb.ndim == 2
     for lv in plan.proj_levels:
-        of = np.zeros(lv.n_targets)
+        of = np.zeros((lv.n_targets,) + lamb.shape[1:])
         if len(lv.out_sel):
-            of[lv.out_sel] = np.add.reduceat(lamb[lv.out_pos], lv.out_starts)
+            of[lv.out_sel] = np.add.reduceat(lamb[lv.out_pos], lv.out_starts,
+                                             axis=0)
         values = lamb[lv.in_pos]
-        inflow = np.add.reduceat(values, lv.in_starts)
+        inflow = np.add.reduceat(values, lv.in_starts, axis=0)
         if inflow.min(initial=np.inf) > 0.0:  # common case: all flows live
             lamb[lv.in_pos] = values * (of / inflow)[lv.expand]
             continue
@@ -528,7 +675,8 @@ def project_sweep(plan, lam):
         scale = np.where(pos, of / np.where(pos, inflow, 1.0), 0.0)
         # Dead in-edges under live out-flow: split out-flow equally.
         dead = (~pos) & (of > 0.0)
-        share = np.where(dead, of / lv.in_deg, 0.0)
+        in_deg = lv.in_deg[:, None] if batched else lv.in_deg
+        share = np.where(dead, of / in_deg, 0.0)
         lamb[lv.in_pos] = np.where(dead[lv.expand], share[lv.expand],
                                    values * scale[lv.expand])
     return csr_matvec(plan.proj_scatter, lamb, lam)

@@ -153,12 +153,51 @@ class TestStatsAndPrune:
                                                    record):
         cache = ResultCache(tmp_path)
         cache.put(scenario, record)
-        stats_path = tmp_path / "stats.json"
-        before = stats_path.stat().st_mtime_ns
+        before = cache.shard_path.stat().st_mtime_ns
         for _ in range(5):
             assert cache.get(scenario) is not None
-        assert stats_path.stat().st_mtime_ns == before  # no write per hit
+        assert cache.shard_path.stat().st_mtime_ns == before  # no write per hit
         assert cache.stats().hits == 5                  # flushed on stats()
+
+    def test_counter_shards_survive_contention(self, tmp_path, scenario,
+                                               record):
+        """Two instances flushing concurrently lose nothing (per-process
+        shards replace the old last-writer-wins stats.json)."""
+        a = ResultCache(tmp_path)
+        b = ResultCache(tmp_path)
+        assert a.shard_path != b.shard_path
+        a.put(scenario, record)
+        for _ in range(3):
+            assert a.get(scenario) is not None
+            assert b.get(scenario) is not None
+        # Interleaved flushes: each instance rewrites only its own shard.
+        a.flush()
+        b.flush()
+        merged = ResultCache(tmp_path).stats()
+        assert merged.puts == 1
+        assert merged.hits == 6
+
+    def test_legacy_stats_json_counts_as_base(self, tmp_path, scenario,
+                                              record):
+        import json
+
+        (tmp_path / "stats.json").write_text(
+            json.dumps({"hits": 10, "misses": 2, "puts": 3, "evictions": 1}))
+        cache = ResultCache(tmp_path)
+        cache.put(scenario, record)
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.puts, stats.evictions) == \
+            (10, 2, 4, 1)
+
+    def test_shards_are_not_cache_entries(self, tmp_path, scenario, record):
+        cache = ResultCache(tmp_path)
+        cache.put(scenario, record)
+        cache.flush()
+        assert len(cache) == 1                      # shard files excluded
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.shard_path.exists()            # counters survive clear
+        assert ResultCache(tmp_path).stats().puts == 1
 
     def test_prune_evicts_lru_first(self, tmp_path, scenario, record):
         import dataclasses as dc

@@ -133,3 +133,100 @@ def test_scenario_list_accepted_directly(sweep):
     scenarios = sweep.scenarios()[:2]
     records = BatchRunner(jobs=1).run(scenarios)
     assert [r.scenario for r in records] == scenarios
+
+
+class TestGroupingPlanner:
+    """batch=True partitions misses by CircuitRef and dispatches whole
+    compile-once groups; stream order, seeds, and bytes are unchanged."""
+
+    def test_grouped_matches_per_scenario_bytes(self, sweep, serial_records):
+        runner = BatchRunner(jobs=1, batch=True)
+        grouped = runner.run(sweep)
+        assert runner.stats.groups == 2          # one per circuit
+        assert runner.stats.computed == len(sweep)
+        assert ([r.canonical_json() for r in grouped]
+                == [r.canonical_json() for r in serial_records])
+
+    def test_grouped_parallel_matches_serial(self, sweep, serial_records):
+        runner = BatchRunner(jobs=2, batch=True)
+        parallel = runner.run(sweep)
+        assert runner.stats.groups == 2
+        assert ([r.canonical_json() for r in parallel]
+                == [r.canonical_json() for r in serial_records])
+
+    def test_single_circuit_parallel_sweep_splits_by_engine(self, sweep,
+                                                            serial_records):
+        """One circuit with --jobs N must not collapse onto one worker:
+        groups subdivide by engine config to preserve parallelism."""
+        scenarios = [s for s in sweep.scenarios()
+                     if s.circuit == sweep.circuits[0]]
+        assert len(scenarios) == 2              # woss + random orderings
+        runner = BatchRunner(jobs=2, batch=True)
+        records = runner.run(scenarios)
+        assert runner.stats.groups == 2         # split, both workers busy
+        by_hash = {r.scenario.content_hash(): r.canonical_json()
+                   for r in serial_records}
+        assert [r.canonical_json() for r in records] == \
+            [by_hash[s.content_hash()] for s in scenarios]
+
+    def test_interleaved_circuit_order_preserved(self, sweep, serial_records):
+        """Scenario order A B A B forms two groups yet streams in input
+        order (group results buffer until their turn)."""
+        scenarios = sweep.scenarios()
+        shuffled = [scenarios[0], scenarios[2], scenarios[1], scenarios[3]]
+        runner = BatchRunner(jobs=1, batch=True)
+        records = runner.run(shuffled)
+        assert runner.stats.groups == 2
+        assert [r.scenario.content_hash() for r in records] == \
+            [s.content_hash() for s in shuffled]
+        by_hash = {r.scenario.content_hash(): r.canonical_json()
+                   for r in serial_records}
+        assert [r.canonical_json() for r in records] == \
+            [by_hash[s.content_hash()] for s in shuffled]
+
+    def test_cache_hits_peeled_before_grouping(self, tmp_path, sweep):
+        scenarios = sweep.scenarios()
+        cache = ResultCache(tmp_path)
+        BatchRunner(jobs=1, cache=cache, batch=True).run(scenarios[:3])
+        runner = BatchRunner(jobs=1, cache=cache, batch=True)
+        records = runner.run(scenarios)
+        assert runner.stats.cache_hits == 3
+        assert runner.stats.computed == 1
+        assert runner.stats.groups == 1          # only the missing circuit
+        assert [r.scenario.content_hash() for r in records] == \
+            [s.content_hash() for s in scenarios]
+
+    def test_warm_cache_skips_grouping_entirely(self, tmp_path, sweep):
+        cache = ResultCache(tmp_path)
+        BatchRunner(jobs=1, cache=cache, batch=True).run(sweep)
+        runner = BatchRunner(jobs=1, cache=cache, batch=True)
+        records = runner.run(sweep)
+        assert runner.stats.cache_hits == len(sweep)
+        assert runner.stats.groups == 0
+        assert all(r.cached for r in records)
+
+    def test_custom_run_disables_grouping(self, sweep):
+        calls = []
+
+        def counting_run(scenario):
+            calls.append(scenario)
+            return run_scenario(scenario)
+
+        runner = BatchRunner(jobs=1, run=counting_run, batch=True)
+        runner.run(sweep.scenarios()[:2])
+        assert not runner.batch
+        assert len(calls) == 2
+
+    def test_no_batch_env_flips_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_BATCH", "1")
+        assert not BatchRunner(jobs=1).batch
+        assert BatchRunner(jobs=1, batch=True).batch
+        monkeypatch.delenv("REPRO_NO_BATCH")
+        assert BatchRunner(jobs=1).batch
+
+    def test_abandoned_grouped_stream_terminates(self, sweep):
+        runner = BatchRunner(jobs=2, batch=True)
+        for record in runner.iter_records(sweep):
+            assert record.feasible
+            break
+        assert runner.stats.computed == 1

@@ -235,6 +235,224 @@ def test_full_stack_without_scipy_kernel(setup, monkeypatch):
         reference.arrival_times(delays), rtol=1e-12, atol=1e-12)
 
 
+def _random_sizes(compiled, rng):
+    x = compiled.default_sizes(1.0)
+    mask = compiled.is_sizable
+    x[mask] = np.clip(rng.uniform(0.3, 4.0, int(mask.sum())),
+                      compiled.lower[mask], compiled.upper[mask])
+    return x
+
+
+class TestBatchedKernels:
+    """Column-stacked (n, K) sweeps must be bitwise equal per column."""
+
+    def test_csr_matmat_bitwise_equals_matvec(self, setup):
+        from repro.timing import kernels
+
+        compiled, _ = setup
+        plan = compiled.sweep_plan()
+        rng = np.random.default_rng(11)
+        x_cols = np.ascontiguousarray(rng.uniform(0.1, 3.0,
+                                                  (compiled.num_nodes, 5)))
+        ws = kernels.Workspace(plan, width=5)
+        y_cols = np.empty_like(x_cols)
+        kernels.csr_matvec(plan.desc, x_cols, y_cols, ws)
+        scalar_ws = kernels.Workspace(plan)
+        for k in range(5):
+            y = np.empty(compiled.num_nodes)
+            kernels.csr_matvec(plan.desc, np.ascontiguousarray(x_cols[:, k]),
+                               y, scalar_ws)
+            np.testing.assert_array_equal(y, y_cols[:, k])
+
+    def test_csr_matmat_fallback_matches(self, setup, monkeypatch):
+        from repro.timing import kernels
+
+        compiled, _ = setup
+        plan = compiled.sweep_plan()
+        rng = np.random.default_rng(12)
+        x_cols = np.ascontiguousarray(rng.uniform(0.1, 3.0,
+                                                  (compiled.num_nodes, 3)))
+        ws = kernels.Workspace(plan, width=3)
+        fast = np.empty_like(x_cols)
+        kernels.csr_matvec(plan.anc, x_cols, fast, ws)
+        monkeypatch.setattr(kernels, "_HAVE_RAW_MATVECS", False)
+        slow = np.empty_like(x_cols)
+        kernels.csr_matvec(plan.anc, x_cols, slow, ws)
+        np.testing.assert_allclose(slow, fast, rtol=1e-13, atol=1e-15)
+
+    @pytest.mark.parametrize("mode", list(CouplingDelayMode))
+    def test_batched_arrival_bitwise(self, setup, mode):
+        from repro.timing import kernels
+
+        compiled, coupling = setup
+        plan = compiled.sweep_plan()
+        engine = ElmoreEngine(compiled, coupling, mode)
+        rng = np.random.default_rng(17)
+        xs = [_random_sizes(compiled, rng) for _ in range(4)]
+        delays = np.column_stack([engine.delays(x) for x in xs])
+        ws = kernels.Workspace(plan, width=4)
+        arrival = np.empty_like(delays)
+        kernels.arrival_sweep(plan, delays, arrival, ws)
+        for k, x in enumerate(xs):
+            expected = engine.arrival_times(
+                np.ascontiguousarray(delays[:, k]))
+            np.testing.assert_array_equal(arrival[:, k], expected)
+
+    def test_batched_projection_bitwise(self, setup):
+        from repro.timing import kernels
+
+        compiled, _ = setup
+        plan = compiled.sweep_plan()
+        rng = np.random.default_rng(23)
+        lams = []
+        for _ in range(4):
+            lam = rng.uniform(0.0, 2.0, compiled.num_edges)
+            lam[rng.random(compiled.num_edges) < 0.2] = 0.0
+            lams.append(lam)
+        stacked = np.column_stack(lams)
+        kernels.project_sweep(plan, stacked)
+        for k, lam in enumerate(lams):
+            expected = lam.copy()
+            kernels.project_sweep(plan, expected)
+            np.testing.assert_array_equal(stacked[:, k], expected)
+
+    @pytest.mark.parametrize("mode", list(CouplingDelayMode))
+    def test_solve_batch_bitwise_equals_scalar(self, setup, mode):
+        compiled, coupling = setup
+        engine = ElmoreEngine(compiled, coupling, mode)
+        solver = LagrangianSubproblemSolver(engine)
+        mults = [MultiplierState.initial(compiled, beta=b, gamma=g)
+                 for b, g in [(1e-3, 1e-3), (5e-3, 2e-3),
+                              (1e-2, 1e-2), (2e-4, 5e-2)]]
+        batch = solver.solve_batch(mults)
+        for mult, got in zip(mults, batch):
+            want = solver.solve(mult)
+            assert got.passes == want.passes
+            assert got.max_rel_change == want.max_rel_change
+            np.testing.assert_array_equal(got.x, want.x)
+
+    def test_solve_batch_per_net_gamma(self, setup):
+        """Distributed per-net γ columns batch bitwise too."""
+        compiled, coupling = setup
+        engine = ElmoreEngine(compiled, coupling)
+        solver = LagrangianSubproblemSolver(engine)
+        rng = np.random.default_rng(31)
+        mults = []
+        for k in range(3):
+            mult = MultiplierState.initial(compiled, beta=1e-3, gamma=0.0)
+            mult.gamma = rng.uniform(1e-5, 1e-1, compiled.num_nodes)
+            mults.append(mult)
+        batch = solver.solve_batch(mults)
+        for mult, got in zip(mults, batch):
+            want = solver.solve(mult)
+            assert got.passes == want.passes
+            np.testing.assert_array_equal(got.x, want.x)
+
+    def test_solve_batch_mixed_gamma_forms_fall_back(self, setup):
+        compiled, coupling = setup
+        engine = ElmoreEngine(compiled, coupling)
+        solver = LagrangianSubproblemSolver(engine)
+        scalar_g = MultiplierState.initial(compiled, beta=1e-3, gamma=1e-3)
+        per_net = MultiplierState.initial(compiled, beta=1e-3, gamma=0.0)
+        per_net.gamma = np.full(compiled.num_nodes, 1e-3)
+        batch = solver.solve_batch([scalar_g, per_net])
+        np.testing.assert_array_equal(batch[0].x, solver.solve(scalar_g).x)
+        np.testing.assert_array_equal(batch[1].x, solver.solve(per_net).x)
+
+    def test_solve_batch_warm_starts(self, setup):
+        compiled, coupling = setup
+        engine = ElmoreEngine(compiled, coupling)
+        solver = LagrangianSubproblemSolver(engine)
+        mults = [MultiplierState.initial(compiled, beta=1e-3, gamma=1e-3)
+                 for _ in range(3)]
+        cold = solver.solve_batch(mults)
+        x0s = [r.x for r in cold]
+        warm = solver.solve_batch(mults, x0s)
+        for mult, x0, got in zip(mults, x0s, warm):
+            want = solver.solve(mult, x0=x0)
+            assert got.passes == want.passes
+            np.testing.assert_array_equal(got.x, want.x)
+
+    def test_compaction_on_final_pass_keeps_true_convergence_state(self,
+                                                                   setup):
+        """Regression: a column converging exactly at the pass budget
+        compacts the survivors into fresh buffers; their reported
+        max_rel/converged must come from the real last pass, not the new
+        buffer's zeros."""
+        compiled, coupling = setup
+        engine = ElmoreEngine(compiled, coupling)
+        mults = [MultiplierState.initial(compiled, beta=1e-3, gamma=1e-3),
+                 MultiplierState.initial(compiled, beta=3e-1, gamma=2e-1)]
+        # Warm-start column 1 at its own fixed point so it converges on
+        # pass 1 == max_passes, exactly when column 0 is still moving.
+        probe = LagrangianSubproblemSolver(engine)
+        x0s = [None, probe.solve(mults[1]).x]
+        solver = LagrangianSubproblemSolver(engine, max_passes=1)
+        batch = solver.solve_batch(mults, x0s)
+        for mult, x0, got in zip(mults, x0s, batch):
+            want = solver.solve(mult, x0=x0)
+            assert got.converged == want.converged
+            assert got.max_rel_change == want.max_rel_change
+            assert got.passes == want.passes
+            np.testing.assert_array_equal(got.x, want.x)
+        assert [r.converged for r in batch] == [False, True]
+
+    def test_batch_workspace_pooled_by_width(self, setup):
+        from repro.timing import kernels
+
+        compiled, _ = setup
+        plan = compiled.sweep_plan()
+        bws = kernels.BatchWorkspace(plan)
+        assert bws.buffers(4) is bws.buffers(4)
+        assert bws.buffers(4) is not bws.buffers(3)
+        assert bws.buffers(4).x_a.shape == (compiled.num_nodes, 4)
+        assert bws.nbytes > 0
+
+    def test_batch_workspace_evicts_lru_widths(self, setup):
+        """The pool stays bounded when a shrinking batch visits many
+        widths; recently-used widths survive, stale ones are dropped."""
+        from repro.timing import kernels
+
+        compiled, _ = setup
+        bws = kernels.BatchWorkspace(compiled.sweep_plan(), max_pool=3)
+        kept = bws.buffers(8)
+        for width in (7, 6):
+            bws.buffers(width)
+        bws.buffers(8)              # refresh width-8 recency
+        bws.buffers(5)              # evicts width 7 (LRU), not 8
+        assert set(bws._pool) == {6, 8, 5}
+        assert bws.buffers(8) is kept
+
+    def test_steady_state_batched_pass_allocates_nothing(self, setup):
+        """tracemalloc guard, batched edition: warm (n, K) passes at a
+        constant width run entirely in the pooled workspace."""
+        from repro.timing import kernels
+
+        compiled, coupling = setup
+        engine = ElmoreEngine(compiled, coupling)
+        bws = kernels.BatchWorkspace(compiled.sweep_plan())
+        mults = [MultiplierState.initial(compiled, beta=1e-3, gamma=1e-3)
+                 for _ in range(4)]
+        x0 = compiled.default_sizes(1.0)
+        x0s = [x0] * 4
+        # tolerance=0 keeps every column active: no compaction events,
+        # so every pass after warmup is steady-state.
+        solver = LagrangianSubproblemSolver(engine, max_passes=5,
+                                            tolerance=0.0)
+        solver.solve_batch(mults, x0s, batch=bws)  # warm pools + scratch
+
+        tracemalloc.start()
+        solver.solve_batch(mults, x0s, batch=bws)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # Per-solve constants (K lam_node vectors + the final x copies)
+        # are O(K·n); per-pass overhead must stay small and fixed.
+        per_pass_budget = 16 * 1024
+        per_solve = 12 * 4 * compiled.num_nodes * 8 + 8192
+        assert peak < per_solve + 5 * per_pass_budget, (
+            f"steady-state batched LRS passes allocated {peak} bytes")
+
+
 def test_evalcontext_totals_match_metric_functions(setup):
     """The dot-product fast totals pin exactly to the metric definitions."""
     from repro.timing.metrics import EvalContext, total_area, total_capacitance
