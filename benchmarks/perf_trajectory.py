@@ -12,7 +12,13 @@ Measures, per circuit:
 * with ``--batch-scenarios K`` (default 8): a K-scenario sweep sharing
   the circuit, solved by the scalar per-scenario loop vs one batched
   ``SolverSession`` (compile-once + lockstep kernels), with the records
-  asserted byte-identical before the speedup is recorded.
+  asserted byte-identical before the speedup is recorded,
+* with ``--queue-workers N``: the same K-scenario sweep submitted to a
+  throwaway :class:`~repro.runtime.queue.SweepQueue` as single-scenario
+  shards and drained by N worker processes (the sharded sweep service
+  end to end: submit → claim → solve → gather), gather asserted
+  byte-identical to the scalar records before the sharded-throughput
+  point is recorded.
 
 Results append to a trajectory file (default ``BENCH_perf.json`` at the
 repo root) so successive PRs accumulate a history.  CI runs this on the
@@ -64,6 +70,20 @@ def time_lrs_pass(engine, mult, x0, repeats):
     return best
 
 
+def _sweep_spec(name, k, patterns):
+    """The K-scenario single-circuit sweep both sweep benchmarks share."""
+    from repro.runtime import CircuitRef, FlowConfig, SweepSpec
+
+    # Fractions start loose enough that every scenario converges: a
+    # non-convergent straggler runs its full iteration budget alone in
+    # both arms, which measures the straggler, not the batching.
+    return SweepSpec(
+        circuits=(CircuitRef.iscas85(name),),
+        noise_fractions=tuple(0.10 + 0.01 * i for i in range(k)),
+        base=FlowConfig(n_patterns=patterns),
+    )
+
+
 def bench_batch_vs_scalar(name, k, patterns, repeats):
     """Batched SolverSession solve vs the scalar per-scenario loop.
 
@@ -72,18 +92,12 @@ def bench_batch_vs_scalar(name, k, patterns, repeats):
     ``BatchRunner(batch=False)`` (one circuit build + analysis + solve
     per scenario), the batched arm through one grouped session.  Records
     must match byte for byte; returns the timing fields for the
-    trajectory row.
+    trajectory row plus the scalar arm's time and records (the baseline
+    the queue benchmark reuses).
     """
-    from repro.runtime import BatchRunner, CircuitRef, FlowConfig, SweepSpec
+    from repro.runtime import BatchRunner
 
-    # Fractions start loose enough that every scenario converges: a
-    # non-convergent straggler runs its full iteration budget alone in
-    # both arms, which measures the straggler, not the batching.
-    spec = SweepSpec(
-        circuits=(CircuitRef.iscas85(name),),
-        noise_fractions=tuple(0.10 + 0.01 * i for i in range(k)),
-        base=FlowConfig(n_patterns=patterns),
-    )
+    spec = _sweep_spec(name, k, patterns)
     scalar_s = np.inf
     batch_s = np.inf
     scalar_records = batch_records = None
@@ -96,12 +110,56 @@ def bench_batch_vs_scalar(name, k, patterns, repeats):
         batch_s = min(batch_s, time.perf_counter() - start)
     identical = ([r.canonical_json() for r in scalar_records]
                  == [r.canonical_json() for r in batch_records])
-    return {
+    row = {
         "batch_k": k,
         "sweep_scalar_s": round(scalar_s, 6),
         "sweep_batch_s": round(batch_s, 6),
         "batch_speedup": round(scalar_s / batch_s, 3),
         "batch_identical": identical,
+    }
+    return row, scalar_s, scalar_records
+
+
+def bench_queue_drain(name, k, patterns, workers, repeats, scalar_s,
+                      scalar_records):
+    """Sharded-queue throughput: N worker processes drain one sweep.
+
+    The same K-scenario sweep as the batch benchmark, submitted to a
+    throwaway on-disk queue sharded into one chunk per worker (each
+    shard keeps the compile-once session amortization) and drained by
+    ``workers`` processes — submit, claim-by-rename, solve, persist, and
+    ``gather()`` all included, so the measured time is the service end
+    to end, not just the solves.  Gathered records must match the
+    scalar baseline byte for byte.
+    """
+    import shutil
+    import tempfile
+
+    from repro.runtime import SweepQueue, run_workers
+
+    spec = _sweep_spec(name, k, patterns)
+    shard_size = max(1, -(-k // workers))       # ceil(k / workers)
+    queue_s = np.inf
+    identical = True
+    for _ in range(repeats):
+        root = tempfile.mkdtemp(prefix="repro-queue-bench-")
+        try:
+            queue = SweepQueue(root)
+            start = time.perf_counter()
+            queue.submit(spec, shard_size=shard_size)
+            run_workers(root, workers, lease_s=300.0)
+            records = queue.gather()
+            queue_s = min(queue_s, time.perf_counter() - start)
+            identical = identical and (
+                [r.canonical_json() for r in records]
+                == [r.canonical_json() for r in scalar_records])
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    return {
+        "queue_workers": workers,
+        "sweep_queue_s": round(queue_s, 6),
+        "queue_speedup": round(scalar_s / queue_s, 3),
+        "queue_identical": identical,
     }
 
 
@@ -151,14 +209,28 @@ def main(argv=None):
     parser.add_argument("--check-batch-speedup", type=float, default=None,
                         help="exit nonzero unless every circuit's batched "
                              "sweep speedup reaches this factor")
+    parser.add_argument("--queue-workers", type=int, default=0,
+                        help="drain the same sweep through a sharded "
+                             "SweepQueue with this many worker processes "
+                             "and record the throughput (0 disables; "
+                             "requires --batch-scenarios)")
     args = parser.parse_args(argv)
+    if args.queue_workers and not args.batch_scenarios:
+        parser.error("--queue-workers needs --batch-scenarios for its "
+                     "scalar baseline")
 
     rows = []
     for name in args.circuits:
         row = bench_circuit(name, args.patterns, args.repeats)
         if args.batch_scenarios:
-            row.update(bench_batch_vs_scalar(
-                name, args.batch_scenarios, args.patterns, args.repeats))
+            batch_row, scalar_s, scalar_records = bench_batch_vs_scalar(
+                name, args.batch_scenarios, args.patterns, args.repeats)
+            row.update(batch_row)
+            if args.queue_workers:
+                row.update(bench_queue_drain(
+                    name, args.batch_scenarios, args.patterns,
+                    args.queue_workers, args.repeats, scalar_s,
+                    scalar_records))
         rows.append(row)
         print(f"{name}: OGWS {row['ogws_reference_s']*1e3:.1f} ms -> "
               f"{row['ogws_kernel_s']*1e3:.1f} ms ({row['ogws_speedup']}x), "
@@ -177,6 +249,14 @@ def main(argv=None):
                   f"{'identical' if row['batch_identical'] else 'DIVERGED'})")
             if not row["batch_identical"]:
                 print(f"FAIL: {name} batched records diverge from scalar")
+                return 1
+        if args.queue_workers:
+            print(f"{name}: {row['queue_workers']}-worker queue drain "
+                  f"{row['sweep_queue_s']*1e3:.0f} ms "
+                  f"({row['queue_speedup']}x vs scalar, gather "
+                  f"{'identical' if row['queue_identical'] else 'DIVERGED'})")
+            if not row["queue_identical"]:
+                print(f"FAIL: {name} gathered records diverge from scalar")
                 return 1
 
     entry = {

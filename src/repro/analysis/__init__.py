@@ -4,7 +4,9 @@
   published, for side-by-side comparison,
 * :mod:`~repro.analysis.compare` — improvement/shape comparisons and the
   linearity fits behind Figure 10,
-* :mod:`~repro.analysis.report` — monospace tables in the paper's layout.
+* :mod:`~repro.analysis.report` — monospace tables in the paper's layout,
+* :mod:`~repro.analysis.live` — live sweep monitoring: render progress
+  tables from a queue's tailed event stream (``repro queue watch``).
 """
 
 from repro.analysis.compare import (
@@ -14,6 +16,7 @@ from repro.analysis.compare import (
     shape_check_table1,
     sweep_summary,
 )
+from repro.analysis.live import watch_queue
 from repro.analysis.paper_data import PAPER_IMPROVEMENTS, PAPER_TABLE1, PaperRow
 from repro.analysis.report import format_fig10_rows, format_sweep, format_table1
 from repro.analysis.sensitivity import (
@@ -35,6 +38,7 @@ __all__ = [
     "format_table1",
     "format_sweep",
     "format_fig10_rows",
+    "watch_queue",
     "ShadowPrices",
     "shadow_prices",
     "validate_shadow_prices",

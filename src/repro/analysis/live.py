@@ -1,0 +1,81 @@
+"""Live sweep monitoring: render progress from a queue's event stream.
+
+The queue subsystem's ``record_done`` events carry a trimmed
+:class:`~repro.runtime.records.RunRecord` payload, so a watcher can
+stream per-scenario summary lines *while workers are still solving* and
+finish with the same :func:`~repro.analysis.report.format_sweep` table a
+completed sweep prints — all without touching the results store or the
+solver.  ``repro queue watch`` is the CLI face of
+:func:`watch_queue`; the function is equally usable as a library
+building block for dashboards (feed it any ``out`` with a ``write``
+method).
+"""
+
+from repro.analysis.report import format_sweep
+from repro.runtime.events import tail_events
+from repro.runtime.records import RunRecord
+from repro.utils.errors import ReproError
+
+#: Event kinds narrated as one-line notices (heartbeats stay silent).
+_NOTICE_KINDS = ("sweep_submitted", "shard_claimed", "shard_done",
+                 "lease_reclaimed", "lease_lost", "worker_started",
+                 "worker_done")
+
+
+def _notice(event):
+    parts = [event["kind"]]
+    if event.get("shard"):
+        parts.append(str(event["shard"]))
+    if event.get("worker"):
+        parts.append(f"[{event['worker']}]")
+    return " ".join(parts)
+
+
+def watch_queue(queue, out, follow=True, timeout_s=None, poll_s=0.2,
+                quiet=False):
+    """Tail a queue's events; returns the records seen, in sweep order.
+
+    Replays the history first (a watcher that starts late misses
+    nothing), then — with ``follow=True`` — keeps reading as workers
+    append, printing one summary line per completed scenario plus
+    shard/worker lifecycle notices, until every scenario of the sweep
+    has reported or ``timeout_s`` passes with no new event.  Ends with
+    the rendered sweep table and a status line.  Monitoring is
+    non-invasive: only ``events.jsonl`` is read.
+    """
+    from repro.runtime.queue import SweepQueue
+
+    if not isinstance(queue, SweepQueue):
+        queue = SweepQueue(queue)
+    total = len(queue.manifest()["scenarios"])
+    records = {}
+
+    def complete():
+        return len(records) >= total
+
+    for event in tail_events(queue.events_path, follow=follow,
+                             poll_s=poll_s, timeout_s=timeout_s,
+                             stop=complete):
+        kind = event.get("kind")
+        if kind == "record_done":
+            try:
+                record = RunRecord.from_dict(event["record"])
+                index = int(event["index"])
+            except (ReproError, KeyError, TypeError, ValueError):
+                continue    # a malformed event must not kill the watcher
+            if index in records:
+                continue    # re-run of a reclaimed shard; same record
+            records[index] = record
+            if not quiet:
+                out.write(f"[{len(records)}/{total}] {record.summary()}\n")
+        elif kind in _NOTICE_KINDS and not quiet:
+            out.write(f"-- {_notice(event)}\n")
+        if complete() and not follow:
+            break
+
+    ordered = [records[index] for index in sorted(records)]
+    if ordered:
+        out.write("\n" + format_sweep(
+            ordered, title=f"Sweep progress ({len(ordered)}/{total})") + "\n")
+    out.write(queue.status().summary() + "\n")
+    return ordered

@@ -5,6 +5,11 @@
 * ``info <circuit>``      — structure, depth, channels, initial metrics
 * ``size <circuit>``      — run the two-stage flow, print the result
 * ``sweep <circuits...>`` — run circuits × knob axes, parallel + cached
+* ``queue <submit|work|status|watch|gather|merge>`` — the sharded sweep
+  service: submit a sweep to a durable on-disk queue, drain it with any
+  number of worker processes (work-stealing via heartbeat leases),
+  watch live progress from the event stream, and gather records
+  byte-identical to a serial run
 * ``cache <stats|prune|clear>`` — inspect / LRU-evict a result cache
 * ``table1 [names...]``   — reproduce Table 1 rows next to the paper's
 * ``suite``               — list the embedded ISCAS85-like suite
@@ -31,6 +36,44 @@ from repro.runtime import BatchRunner, CircuitRef, FlowConfig, ResultCache, Swee
 from repro.timing import CouplingDelayMode, ElmoreEngine, evaluate_metrics
 from repro.utils.errors import ReproError
 from repro.utils.tables import format_table
+
+
+def _add_axis_args(parser):
+    """The sweep-defining arguments shared by ``sweep`` and ``queue submit``."""
+    parser.add_argument("circuits", nargs="+",
+                        help="Table 1 names and/or .bench paths")
+    parser.add_argument("--orderings", nargs="+", default=["woss"],
+                        choices=list(ORDERING_NAMES), metavar="ORD")
+    parser.add_argument("--delay-modes", nargs="+", default=["own"],
+                        choices=[m.value for m in CouplingDelayMode],
+                        metavar="MODE")
+    parser.add_argument("--miller-modes", nargs="+", default=["similarity"],
+                        choices=[m.value for m in MillerMode], metavar="MODE")
+    parser.add_argument("--noise-fractions", nargs="+", type=float,
+                        default=[0.1], metavar="F")
+    parser.add_argument("--delay-slacks", nargs="+", type=float,
+                        default=[1.1], metavar="S")
+    parser.add_argument("--patterns", type=int, default=256)
+    parser.add_argument("--max-iterations", type=int, default=200)
+    parser.add_argument("--tolerance", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed; per-scenario seeds derive from it")
+
+
+def _spec_from_args(args):
+    """The :class:`SweepSpec` described by ``_add_axis_args`` values."""
+    return SweepSpec(
+        circuits=tuple(CircuitRef.from_spec(s, seed=args.seed)
+                       for s in args.circuits),
+        orderings=tuple(args.orderings),
+        miller_modes=tuple(args.miller_modes),
+        delay_modes=tuple(args.delay_modes),
+        noise_fractions=tuple(args.noise_fractions),
+        delay_slacks=tuple(args.delay_slacks),
+        base=FlowConfig(n_patterns=args.patterns, seed=args.seed,
+                        max_iterations=args.max_iterations,
+                        tolerance=args.tolerance),
+    )
 
 
 def build_parser():
@@ -67,26 +110,9 @@ def build_parser():
 
     sweep = sub.add_parser(
         "sweep", help="run circuits x knob axes in parallel with caching")
-    sweep.add_argument("circuits", nargs="+",
-                       help="Table 1 names and/or .bench paths")
-    sweep.add_argument("--orderings", nargs="+", default=["woss"],
-                       choices=list(ORDERING_NAMES), metavar="ORD")
-    sweep.add_argument("--delay-modes", nargs="+", default=["own"],
-                       choices=[m.value for m in CouplingDelayMode],
-                       metavar="MODE")
-    sweep.add_argument("--miller-modes", nargs="+", default=["similarity"],
-                       choices=[m.value for m in MillerMode], metavar="MODE")
-    sweep.add_argument("--noise-fractions", nargs="+", type=float,
-                       default=[0.1], metavar="F")
-    sweep.add_argument("--delay-slacks", nargs="+", type=float,
-                       default=[1.1], metavar="S")
-    sweep.add_argument("--patterns", type=int, default=256)
-    sweep.add_argument("--max-iterations", type=int, default=200)
-    sweep.add_argument("--tolerance", type=float, default=0.01)
-    sweep.add_argument("--seed", type=int, default=0,
-                       help="base seed; per-scenario seeds derive from it")
-    sweep.add_argument("--jobs", type=int, default=1,
-                       help="worker processes (1 = serial)")
+    _add_axis_args(sweep)
+    sweep.add_argument("--jobs", default="1",
+                       help="worker processes (1 = serial, auto = CPU count)")
     sweep.add_argument("--batch", action=argparse.BooleanOptionalAction,
                        default=None,
                        help="group scenarios by circuit into compile-once "
@@ -103,6 +129,64 @@ def build_parser():
                             "place, at the cost of building each circuit)")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress the per-scenario stream, print the table only")
+
+    queue = sub.add_parser(
+        "queue", help="sharded sweep service: durable queue + workers")
+    queue_sub = queue.add_subparsers(dest="queue_command", required=True)
+    q_submit = queue_sub.add_parser(
+        "submit", help="expand a sweep into claimable circuit-grouped shards")
+    _add_axis_args(q_submit)
+    q_submit.add_argument("--shard-size", type=int, default=None, metavar="N",
+                          help="max scenarios per shard (default: one shard "
+                               "per circuit group; smaller shards let more "
+                               "workers share one circuit's sweep)")
+    q_submit.add_argument("--label", default="",
+                          help="free-form tag recorded in the manifest")
+    q_work = queue_sub.add_parser(
+        "work", help="claim and solve shards until the queue is drained")
+    q_work.add_argument("--jobs", default="1",
+                        help="worker processes (auto = CPU count)")
+    q_work.add_argument("--max-shards", type=int, default=None, metavar="N",
+                        help="stop each worker after N shards")
+    q_work.add_argument("--lease", type=float, default=60.0, metavar="S",
+                        help="steal a peer's shard after S seconds without "
+                             "a heartbeat (default 60)")
+    q_work.add_argument("--no-wait", action="store_true",
+                        help="exit when nothing is claimable instead of "
+                             "waiting for peers' shards to finish")
+    q_work.add_argument("--worker-id", default=None,
+                        help="identity stamped into leases and events")
+    q_status = queue_sub.add_parser(
+        "status", help="shard and record progress counters")
+    q_watch = queue_sub.add_parser(
+        "watch", help="follow the event stream, live table at the end")
+    q_watch.add_argument("--timeout", type=float, default=None, metavar="S",
+                         help="give up after S seconds without a new event "
+                              "(default: wait until the sweep completes)")
+    q_watch.add_argument("--no-follow", action="store_true",
+                         help="render what has happened so far and exit")
+    q_watch.add_argument("--quiet", action="store_true",
+                         help="suppress the per-event stream, table only")
+    q_gather = queue_sub.add_parser(
+        "gather", help="reassemble records in scenario order (serial-identical)")
+    q_gather.add_argument("--partial", action="store_true",
+                          help="return what exists instead of failing on an "
+                               "incomplete queue")
+    q_gather.add_argument("--verify-serial", action="store_true",
+                          help="re-run the sweep serially in-process and "
+                               "fail unless the gathered records are "
+                               "byte-identical")
+    q_gather.add_argument("--quiet", action="store_true",
+                          help="suppress the sweep table, verdict only")
+    q_merge = queue_sub.add_parser(
+        "merge", help="union other queues'/caches' results into this queue")
+    q_merge.add_argument("sources", nargs="+",
+                         help="queue directories or bare result-cache "
+                              "directories to copy records from")
+    for sub_parser in (q_submit, q_work, q_status, q_watch, q_gather,
+                       q_merge):
+        sub_parser.add_argument("--queue-dir", required=True,
+                                help="queue directory")
 
     cache = sub.add_parser("cache", help="inspect and maintain a result cache")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -201,21 +285,10 @@ def cmd_size(args, out):
 
 
 def cmd_sweep(args, out):
-    spec = SweepSpec(
-        circuits=tuple(CircuitRef.from_spec(s, seed=args.seed)
-                       for s in args.circuits),
-        orderings=tuple(args.orderings),
-        miller_modes=tuple(args.miller_modes),
-        delay_modes=tuple(args.delay_modes),
-        noise_fractions=tuple(args.noise_fractions),
-        delay_slacks=tuple(args.delay_slacks),
-        base=FlowConfig(n_patterns=args.patterns, seed=args.seed,
-                        max_iterations=args.max_iterations,
-                        tolerance=args.tolerance),
-    )
+    spec = _spec_from_args(args)
     cache = None if args.no_cache else ResultCache(
         args.cache_dir, verify_fingerprints=args.verify_cache)
-    runner = BatchRunner(jobs=max(1, args.jobs), cache=cache,
+    runner = BatchRunner(jobs=args.jobs, cache=cache,
                          batch=args.batch)
     out.write(f"sweep: {len(spec)} scenarios "
               f"({len(args.circuits)} circuits), jobs={runner.jobs}, "
@@ -233,6 +306,88 @@ def cmd_sweep(args, out):
     out.write(f"{runner.stats.summary()}, {elapsed:.2f}s "
               f"({rate:.1f} scenarios/s)\n")
     return 0 if all(r.feasible for r in records) else 1
+
+
+def cmd_queue(args, out):
+    from repro.analysis.live import watch_queue
+    from repro.runtime.queue import SweepQueue
+    from repro.runtime.worker import run_workers
+
+    queue = SweepQueue(args.queue_dir)
+    if args.queue_command == "submit":
+        shards = queue.submit(_spec_from_args(args),
+                              shard_size=args.shard_size, label=args.label)
+        scenarios = sum(len(s) for s in shards)
+        out.write(f"submitted {scenarios} scenarios as {len(shards)} "
+                  f"shards to {queue.root}\n")
+        for shard in shards:
+            out.write(f"  {shard.shard_id}: {len(shard)} scenarios\n")
+        out.write("drain with: repro queue work --queue-dir "
+                  f"{args.queue_dir} --jobs auto\n")
+        return 0
+    if args.queue_command == "work":
+        queue.manifest()    # fail fast on a typo'd --queue-dir
+        started = time.perf_counter()
+        workers = run_workers(args.queue_dir, args.jobs,
+                              worker_id=args.worker_id,
+                              lease_s=args.lease,
+                              max_shards=args.max_shards,
+                              wait=not args.no_wait)
+        status = queue.status()
+        out.write(f"{workers} worker(s) finished in "
+                  f"{time.perf_counter() - started:.2f}s: "
+                  f"{status.summary()}\n")
+        return 0 if status.drained or args.max_shards or args.no_wait else 1
+    if args.queue_command == "status":
+        status = queue.status()
+        rows = [
+            ["shards", status.total_shards],
+            ["pending", status.pending],
+            ["claimed", status.claimed],
+            ["done", status.done],
+            ["scenarios", status.total_scenarios],
+            ["records present", status.records_present],
+            ["complete", "yes" if status.complete else "no"],
+        ]
+        out.write(format_table(["counter", "value"], rows,
+                               title=f"queue {args.queue_dir}") + "\n")
+        return 0
+    if args.queue_command == "watch":
+        records = watch_queue(queue, out, follow=not args.no_follow,
+                              timeout_s=args.timeout, quiet=args.quiet)
+        return 0 if len(records) == len(queue.scenarios()) else 1
+    if args.queue_command == "gather":
+        records = queue.gather(partial=args.partial)
+        if not args.quiet:
+            out.write(format_sweep(
+                records, title=f"queue {args.queue_dir} (gathered)") + "\n")
+        if args.verify_serial:
+            serial = BatchRunner(jobs=1).run(queue.scenarios())
+            if ([r.canonical_json() for r in records]
+                    != [r.canonical_json() for r in serial]):
+                out.write("verify-serial: MISMATCH — gathered records "
+                          "diverge from a serial run\n")
+                return 1
+            out.write(f"verify-serial: {len(records)} records "
+                      "byte-identical to a serial run\n")
+        return 0 if all(r.feasible for r in records) else 1
+    # merge
+    queue.manifest()
+    target = queue.cache()
+    copied = skipped = 0
+    for source in args.sources:
+        source_dir = pathlib.Path(source)
+        if (source_dir / "sweep.json").exists():
+            source_dir = source_dir / "results"
+        got, seen = target.merge(source_dir)
+        copied += got
+        skipped += seen
+        out.write(f"{source}: {got} records copied, {seen} already "
+                  "present\n")
+    status = queue.status()
+    out.write(f"merged {copied} records ({skipped} duplicates); "
+              f"{status.summary()}\n")
+    return 0
 
 
 def cmd_cache(args, out):
@@ -297,6 +452,7 @@ _COMMANDS = {
     "info": cmd_info,
     "size": cmd_size,
     "sweep": cmd_sweep,
+    "queue": cmd_queue,
     "cache": cmd_cache,
     "table1": cmd_table1,
     "suite": cmd_suite,

@@ -23,7 +23,20 @@ runs into data so sweeps scale:
   solver; hit/miss counters persist as per-process shards (exact under
   concurrent sweeps),
 * :mod:`~repro.runtime.records` — :class:`RunRecord`, the structured
-  result consumed by :mod:`repro.analysis` and the report formatters.
+  result consumed by :mod:`repro.analysis` and the report formatters,
+* :mod:`~repro.runtime.queue` / :mod:`~repro.runtime.worker` /
+  :mod:`~repro.runtime.events` — the sharded sweep service:
+  :class:`SweepQueue` expands a sweep into circuit-grouped shards on
+  disk (claimed by atomic rename, protected by heartbeat leases, so a
+  killed worker's shard is re-run by a survivor), :class:`Worker`
+  drains shards through the compile-once session path into a shared
+  :class:`ResultCache`, every step lands on an append-only JSONL event
+  stream (:func:`tail_events` follows it live), and
+  :meth:`SweepQueue.gather` reassembles records in scenario order —
+  byte-identical to a serial run, no matter how many workers or hosts
+  took part.  :class:`QueueExecutor` adapts the service to the
+  executor protocol so a :class:`BatchRunner` can run on the queue
+  transparently.
 
 Quickstart (library)::
 
@@ -59,19 +72,51 @@ lockstep without going through a runner::
 
 Rerunning the runner forms with the same cache directory completes
 without any solver work: every record is served from the cache.
+
+Quickstart (sharded queue service) — terminal 1 submits and watches::
+
+    repro queue submit c432 c880 --orderings woss none \\
+        --delay-modes own none propagated --patterns 128 \\
+        --queue-dir /shared/q --shard-size 4
+    repro queue watch --queue-dir /shared/q      # live table as records land
+
+terminal 2 (and any number of others, on any host sharing the
+filesystem) drains the queue — kill one mid-shard and a survivor
+reclaims its lease and re-runs the shard::
+
+    repro queue work --queue-dir /shared/q --jobs auto
+
+afterwards, anywhere::
+
+    repro queue status --queue-dir /shared/q
+    repro queue gather --queue-dir /shared/q     # records in scenario order,
+                                                 # byte-identical to serial
+    repro queue merge --queue-dir /shared/q /other/host/q   # cross-host union
+
+The same service, as a library — a throwaway queue under an ordinary
+:class:`BatchRunner`::
+
+    from repro.runtime import BatchRunner, QueueExecutor
+
+    runner = BatchRunner(executor_factory=lambda: QueueExecutor(workers=4))
+    records = runner.run(spec)       # byte-identical to jobs=1
 """
 
 from repro.runtime.cache import ResultCache, scenario_key
 from repro.runtime.config import CircuitRef, FlowConfig, Scenario, SweepSpec
+from repro.runtime.events import EventLog, read_events, tail_events
+from repro.runtime.queue import QueueStatus, Shard, SweepQueue, make_shards
 from repro.runtime.records import RunRecord
 from repro.runtime.runner import (
     BatchRunner,
     MultiprocessExecutor,
     SerialExecutor,
     SweepStats,
+    resolve_jobs,
     run_scenario,
     run_scenario_group,
 )
+from repro.runtime.worker import QueueExecutor, Worker, run_workers, work_queue
 
 __all__ = [
     "CircuitRef",
@@ -85,6 +130,18 @@ __all__ = [
     "SweepStats",
     "SerialExecutor",
     "MultiprocessExecutor",
+    "QueueExecutor",
+    "resolve_jobs",
     "run_scenario",
     "run_scenario_group",
+    "EventLog",
+    "read_events",
+    "tail_events",
+    "SweepQueue",
+    "Shard",
+    "QueueStatus",
+    "make_shards",
+    "Worker",
+    "work_queue",
+    "run_workers",
 ]

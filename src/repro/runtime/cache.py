@@ -186,6 +186,21 @@ class ResultCache:
 
     # -- read / write -----------------------------------------------------------
 
+    @staticmethod
+    def _read_entry(path):
+        """Parse one entry envelope: ``(entry_dict, record)``; raises on junk.
+
+        The single validation path behind :meth:`get` and :meth:`peek`,
+        so the two reads can never diverge on what counts as a valid
+        entry.
+        """
+        data = json.loads(path.read_text())
+        if not isinstance(data, dict) or data.get("kind") != "cache_entry":
+            raise ReproError("not a cache entry")
+        if data.get("schema") != CACHE_SCHEMA_VERSION:
+            raise ReproError("cache entry schema mismatch")
+        return data, RunRecord.from_dict(data["record"])
+
     def get(self, scenario):
         """The cached :class:`RunRecord` (marked ``cached=True``), or ``None``.
 
@@ -196,12 +211,7 @@ class ResultCache:
         """
         path = self.path_for(scenario)
         try:
-            data = json.loads(path.read_text())
-            if not isinstance(data, dict) or data.get("kind") != "cache_entry":
-                raise ReproError("not a cache entry")
-            if data.get("schema") != CACHE_SCHEMA_VERSION:
-                raise ReproError("cache entry schema mismatch")
-            record = RunRecord.from_dict(data["record"])
+            data, record = self._read_entry(path)
         except (OSError, TypeError, ValueError, KeyError, ReproError):
             self._bump(misses=1)
             return None
@@ -219,6 +229,20 @@ class ResultCache:
             pass
         self._bump(hits=1)
         return dataclasses.replace(record, cached=True)
+
+    def peek(self, scenario):
+        """The stored record verbatim, or ``None`` — no side effects.
+
+        Unlike :meth:`get` this neither bumps counters, touches the
+        entry's LRU recency, nor flips the record's ``cached`` flag: it
+        is the read the queue subsystem's ``gather`` and result-merge
+        tooling use, where the record must round-trip exactly as the
+        worker produced it.
+        """
+        try:
+            return self._read_entry(self.path_for(scenario))[1]
+        except (OSError, TypeError, ValueError, KeyError, ReproError):
+            return None
 
     def put(self, scenario, record):
         """Persist ``record`` atomically; returns the entry path.
@@ -305,6 +329,37 @@ class ResultCache:
             self._bump(evictions=evicted)
             self.flush()
         return evicted, freed
+
+    def merge(self, other):
+        """Union another cache's entries into this one; ``(copied, skipped)``.
+
+        The cross-host story: entries are keyed by scenario content
+        hash and records are deterministic, so two caches produced by
+        different machines draining (parts of) the same sweep merge by
+        filename — an entry already present locally is necessarily
+        byte-equivalent in canonical content and is skipped.  Copies are
+        atomic (temp file + rename), so sweeps reading this cache
+        concurrently never observe torn entries.  Counters are not
+        merged; they describe each cache's own traffic.
+        """
+        if not isinstance(other, ResultCache):
+            path = pathlib.Path(other)
+            if not path.is_dir():
+                raise ReproError(f"no such cache directory: {path}")
+            other = ResultCache(path)
+        copied = skipped = 0
+        for source in other._entry_paths():
+            target = self.root / source.parent.name / source.name
+            if target.exists():
+                skipped += 1
+                continue
+            try:
+                payload = source.read_text()
+            except OSError:
+                continue    # pruned from under us mid-merge
+            self._write_json_atomic(target, payload)
+            copied += 1
+        return copied, skipped
 
     def __len__(self):
         return sum(1 for _ in self._entry_paths())

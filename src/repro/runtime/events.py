@@ -1,0 +1,138 @@
+"""Append-only JSONL event stream for sweep progress.
+
+The queue subsystem's observability channel: every worker appends one
+JSON object per line to a shared ``events.jsonl`` — shard lifecycle
+(``shard_claimed`` / ``shard_done`` / ``lease_reclaimed``), per-record
+completions (``record_done``, carrying a trimmed
+:class:`~repro.runtime.records.RunRecord` payload so a watcher can
+render live tables without touching the results store), worker
+lifecycle (``worker_started`` / ``worker_done``), and liveness
+(``heartbeat``).  :func:`tail_events` is the consumer side: an
+incremental reader that survives torn trailing lines and can *follow*
+the file as writers append, which is what ``repro queue watch`` and
+:func:`repro.analysis.live.watch_queue` sit on.
+
+Concurrency model: each event is a single ``write`` on a descriptor
+opened with ``O_APPEND``, which POSIX keeps atomic for writes up to
+``PIPE_BUF`` and which in practice never interleaves for the line sizes
+produced here (``record_done`` payloads omit the per-component size
+vector precisely to stay small).  The reader is defensive anyway: a
+line that does not parse as a JSON object is skipped, never fatal —
+monitoring must not take down a sweep.
+"""
+
+import json
+import os
+import time
+
+__all__ = ["EventLog", "read_events", "tail_events"]
+
+
+class EventLog:
+    """Writer handle for one append-only event file.
+
+    Stateless between calls — every :meth:`append` opens, writes one
+    line, and closes, so any number of processes can share one log with
+    no coordination beyond ``O_APPEND``.  ``worker`` (when given) is
+    stamped into every event, so one log interleaves the streams of all
+    workers draining a queue.
+    """
+
+    def __init__(self, path, worker=""):
+        self.path = path
+        self.worker = str(worker)
+
+    def append(self, kind, **fields):
+        """Write one event; returns the event dict as written."""
+        event = {"kind": str(kind), "ts": round(time.time(), 6)}
+        if self.worker:
+            event["worker"] = self.worker
+        event.update(fields)
+        line = json.dumps(event, sort_keys=True, separators=(",", ":"))
+        fd = os.open(str(self.path),
+                     os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, (line + "\n").encode())
+        finally:
+            os.close(fd)
+        return event
+
+
+def _parse_lines(chunk, buffer):
+    """Split ``buffer + chunk`` into complete lines; returns (events, rest).
+
+    The trailing partial line (a writer mid-append) stays in ``rest``
+    until its newline arrives; junk lines are dropped.
+    """
+    buffer += chunk
+    events = []
+    while True:
+        newline = buffer.find(b"\n")
+        if newline < 0:
+            return events, buffer
+        line, buffer = buffer[:newline], buffer[newline + 1:]
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(event, dict) and "kind" in event:
+            events.append(event)
+
+
+def read_events(path):
+    """Every complete, well-formed event currently in ``path`` (a list).
+
+    A missing file reads as an empty log (the queue may not have seen
+    its first event yet); a torn trailing line is excluded.
+    """
+    try:
+        with open(str(path), "rb") as handle:
+            chunk = handle.read()
+    except OSError:
+        return []
+    events, _ = _parse_lines(chunk, b"")
+    return events
+
+
+def tail_events(path, follow=False, poll_s=0.1, timeout_s=None, stop=None):
+    """Yield events from ``path`` incrementally, oldest first.
+
+    With ``follow=False`` (the default) yields what is currently on disk
+    and returns.  With ``follow=True`` the generator keeps polling for
+    appended lines until
+
+    * ``stop`` (a callable, checked between polls) returns true — the
+      normal exit, e.g. "the sweep is complete", or
+    * ``timeout_s`` elapses with no *new* event arriving (``None`` waits
+      forever).
+
+    Reading is offset-based, not inotify-based: portable, and a reader
+    that starts late replays the whole history first — exactly what a
+    progress dashboard wants.
+    """
+    offset = 0
+    buffer = b""
+    waited = 0.0
+    while True:
+        try:
+            with open(str(path), "rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+        except OSError:
+            chunk = b""
+        offset += len(chunk)
+        events, buffer = _parse_lines(chunk, buffer)
+        if events:
+            waited = 0.0
+            for event in events:
+                yield event
+        if not follow:
+            return
+        if stop is not None and stop():
+            return
+        if timeout_s is not None and waited >= timeout_s:
+            return
+        time.sleep(poll_s)
+        waited += poll_s

@@ -1,0 +1,487 @@
+"""Durable, filesystem-backed work queue for sharded sweeps.
+
+A :class:`SweepQueue` turns one sweep into a directory that any number
+of workers — processes today, hosts on a shared filesystem tomorrow —
+can cooperatively drain:
+
+* **submit** expands the :class:`~repro.runtime.config.SweepSpec` (or an
+  explicit scenario list) into *circuit-grouped shards*: scenarios
+  sharing a :class:`~repro.runtime.config.CircuitRef` land in the same
+  shard (optionally chunked by ``shard_size``), so a worker claiming a
+  shard runs it through one compile-once
+  :class:`~repro.core.session.SolverSession`
+  (:func:`~repro.runtime.runner.run_scenario_group`).
+* **claim** is one atomic ``os.rename`` of the shard ticket from
+  ``pending/`` to ``claimed/`` — exactly one contender wins, the losers
+  see the source file gone and move on.  No locks, no daemon.
+* **leases** make claims revocable: the claimant writes a heartbeat
+  sidecar next to its claimed ticket and refreshes it while solving.
+  :meth:`reclaim_expired` renames any claimed ticket whose lease went
+  stale back to ``pending/`` — so a shard abandoned by a killed worker
+  is re-run by a survivor, which is work stealing for free.  Because
+  records are deterministic and content-addressed, the pathological
+  race (a worker presumed dead that was merely slow) is harmless: both
+  executions write byte-identical records, and the slow worker's final
+  ticket rename simply fails (``lease_lost``).
+* **results** land in a shared :class:`~repro.runtime.cache.ResultCache`
+  under ``results/``, keyed by scenario content hash — the same keys a
+  serial sweep uses, so caches merge across queues and hosts
+  (:meth:`ResultCache.merge`).
+* **gather** reassembles the records in scenario order straight from
+  the results store.  Completion is *record-presence-based*, not
+  shard-state-based: a queue whose results were merged in from another
+  host gathers successfully without any local worker having run.  The
+  gathered stream is byte-identical (canonical JSON) to a serial
+  :class:`~repro.runtime.runner.BatchRunner` run of the same spec —
+  pinned by test.
+
+Directory layout::
+
+    <root>/
+      sweep.json     submission manifest: scenarios (canonical), shard ids
+      pending/       unclaimed shard tickets  <shard>.json
+      claimed/       claimed tickets + <shard>.lease heartbeat sidecars
+      done/          completed tickets (terminal)
+      results/       shared ResultCache (scenario-hash keyed)
+      events.jsonl   append-only event stream (see runtime.events)
+
+Every state transition is a rename of one ticket file, so a queue is
+never torn: crash at any point leaves each shard in exactly one of
+``pending``/``claimed``/``done``.
+"""
+
+import dataclasses
+import json
+import os
+import pathlib
+import re
+import time
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.config import Scenario, SweepSpec
+from repro.runtime.events import EventLog, read_events
+from repro.utils.errors import ReproError, ValidationError
+
+#: Version of the on-disk manifest / ticket envelope.
+QUEUE_SCHEMA_VERSION = 1
+
+_LABEL_RE = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+def _utcnow():
+    return time.time()
+
+
+@dataclasses.dataclass(frozen=True)
+class Shard:
+    """One claimable unit of work: scenarios sharing a circuit.
+
+    ``indexes`` are positions into the sweep's scenario expansion order
+    (the manifest's ``scenarios`` list), which is how ``gather`` and the
+    event stream tie shard-local results back to the global sweep.
+    """
+
+    shard_id: str
+    indexes: tuple
+    scenarios: tuple
+
+    def __len__(self):
+        return len(self.scenarios)
+
+    def to_dict(self):
+        return {
+            "kind": "shard",
+            "schema": QUEUE_SCHEMA_VERSION,
+            "shard": self.shard_id,
+            "indexes": [int(i) for i in self.indexes],
+            "scenarios": [s.canonical_dict() for s in self.scenarios],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        if not isinstance(data, dict) or data.get("kind") != "shard":
+            raise ReproError("not a shard ticket")
+        if data.get("schema") != QUEUE_SCHEMA_VERSION:
+            raise ReproError(
+                f"unsupported shard schema {data.get('schema')!r}")
+        return cls(
+            shard_id=str(data["shard"]),
+            indexes=tuple(int(i) for i in data["indexes"]),
+            scenarios=tuple(Scenario.from_dict(d) for d in data["scenarios"]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueStatus:
+    """Point-in-time view of a queue's drain progress."""
+
+    total_shards: int
+    pending: int
+    claimed: int
+    done: int
+    total_scenarios: int
+    records_present: int
+
+    @property
+    def drained(self):
+        """Every shard reached ``done/``."""
+        return self.done == self.total_shards
+
+    @property
+    def complete(self):
+        """Every scenario has a record in the results store.
+
+        The ``gather`` criterion — satisfiable without local workers
+        when results were merged in from elsewhere.
+        """
+        return self.records_present == self.total_scenarios
+
+    def summary(self):
+        return (f"{self.total_shards} shards: {self.pending} pending, "
+                f"{self.claimed} claimed, {self.done} done; "
+                f"records {self.records_present}/{self.total_scenarios}")
+
+
+def _group_scenarios(scenarios):
+    """Partition ``enumerate(scenarios)`` by CircuitRef, first-appearance order."""
+    groups = []
+    by_ref = {}
+    for index, scenario in enumerate(scenarios):
+        members = by_ref.get(scenario.circuit)
+        if members is None:
+            members = by_ref[scenario.circuit] = []
+            groups.append(members)
+        members.append((index, scenario))
+    return groups
+
+
+def make_shards(scenarios, shard_size=None):
+    """Circuit-grouped shards over ``scenarios`` (optionally chunked).
+
+    One shard per :class:`CircuitRef` group by default;  ``shard_size``
+    caps scenarios per shard, splitting large groups into consecutive
+    chunks so single-circuit sweeps still parallelize across workers.
+    Shard ids are ``<seq>-<circuit label>`` with the sequence number
+    zero-padded, so lexicographic claim order follows submission order.
+    """
+    if shard_size is not None and int(shard_size) < 1:
+        raise ValidationError("shard_size must be >= 1")
+    chunks = []
+    for members in _group_scenarios(scenarios):
+        if shard_size is None:
+            chunks.append(members)
+        else:
+            size = int(shard_size)
+            chunks.extend(members[i:i + size]
+                          for i in range(0, len(members), size))
+    shards = []
+    for seq, members in enumerate(chunks):
+        label = _LABEL_RE.sub("-", members[0][1].circuit.label) or "circuit"
+        shards.append(Shard(
+            shard_id=f"{seq:04d}-{label}",
+            indexes=tuple(index for index, _ in members),
+            scenarios=tuple(scenario for _, scenario in members),
+        ))
+    return shards
+
+
+class SweepQueue:
+    """Handle on one queue directory (existing or about to be created).
+
+    Construction is cheap and side-effect free; :meth:`submit` creates
+    the layout, every other method expects a submitted queue.  Multiple
+    handles — across processes and hosts sharing the filesystem — may
+    operate on one directory concurrently; all mutation goes through
+    atomic renames and atomic appends.
+    """
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+        self.pending_dir = self.root / "pending"
+        self.claimed_dir = self.root / "claimed"
+        self.done_dir = self.root / "done"
+        self.results_dir = self.root / "results"
+        self.manifest_path = self.root / "sweep.json"
+        self.events_path = self.root / "events.jsonl"
+        self._manifest = None
+
+    # -- submission -------------------------------------------------------------
+
+    def exists(self):
+        """True when this directory holds a submitted sweep."""
+        return self.manifest_path.exists()
+
+    def submit(self, spec_or_scenarios, shard_size=None, label=""):
+        """Expand, shard, and persist one sweep; returns the shard list.
+
+        A queue holds exactly one sweep for its lifetime (re-submission
+        raises) — the manifest *is* the gather contract, so it must
+        never change under a draining worker.
+        """
+        if self.exists():
+            raise ReproError(
+                f"queue {self.root} already holds a submitted sweep")
+        if isinstance(spec_or_scenarios, SweepSpec):
+            scenarios = spec_or_scenarios.scenarios()
+        else:
+            scenarios = list(spec_or_scenarios)
+        if not scenarios:
+            raise ValidationError("cannot submit an empty sweep")
+        shards = make_shards(scenarios, shard_size)
+        return self._persist(scenarios, shards, label)
+
+    def submit_shards(self, groups, label=""):
+        """Submit with an explicit shard per scenario group.
+
+        The :class:`~repro.runtime.worker.QueueExecutor` path: the
+        caller (the batch runner's grouping planner) already partitioned
+        the work, and result streaming needs exactly one shard per work
+        item.  Scenario order is the concatenation of the groups.
+        """
+        if self.exists():
+            raise ReproError(
+                f"queue {self.root} already holds a submitted sweep")
+        groups = [list(group) for group in groups]
+        if not groups or not all(groups):
+            raise ValidationError("submit_shards needs non-empty groups")
+        scenarios = [s for group in groups for s in group]
+        shards = []
+        offset = 0
+        for seq, group in enumerate(groups):
+            name = _LABEL_RE.sub("-", group[0].circuit.label) or "circuit"
+            shards.append(Shard(
+                shard_id=f"{seq:04d}-{name}",
+                indexes=tuple(range(offset, offset + len(group))),
+                scenarios=tuple(group),
+            ))
+            offset += len(group)
+        return self._persist(scenarios, shards, label)
+
+    def _persist(self, scenarios, shards, label):
+        for directory in (self.pending_dir, self.claimed_dir, self.done_dir,
+                          self.results_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        for shard in shards:
+            self._write_atomic(self.pending_dir / f"{shard.shard_id}.json",
+                               json.dumps(shard.to_dict(), indent=1))
+        manifest = {
+            "kind": "sweep_queue",
+            "schema": QUEUE_SCHEMA_VERSION,
+            "label": str(label),
+            "scenarios": [s.canonical_dict() for s in scenarios],
+            "shards": [shard.shard_id for shard in shards],
+        }
+        self._write_atomic(self.manifest_path, json.dumps(manifest, indent=1))
+        self._manifest = manifest
+        self.log().append("sweep_submitted", label=str(label),
+                          shards=len(shards), scenarios=len(scenarios))
+        return shards
+
+    @staticmethod
+    def _write_atomic(path, payload):
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
+
+    # -- shared views -----------------------------------------------------------
+
+    def manifest(self):
+        if self._manifest is None:
+            try:
+                data = json.loads(self.manifest_path.read_text())
+            except (OSError, ValueError) as error:
+                raise ReproError(
+                    f"no submitted sweep at {self.root}: {error}") from None
+            if not isinstance(data, dict) or data.get("kind") != "sweep_queue":
+                raise ReproError(f"{self.manifest_path} is not a sweep queue")
+            if data.get("schema") != QUEUE_SCHEMA_VERSION:
+                raise ReproError(
+                    f"unsupported queue schema {data.get('schema')!r}")
+            self._manifest = data
+        return self._manifest
+
+    def scenarios(self):
+        """The sweep's scenarios in expansion (gather) order."""
+        return [Scenario.from_dict(d) for d in self.manifest()["scenarios"]]
+
+    def shard_ids(self):
+        return list(self.manifest()["shards"])
+
+    def cache(self):
+        """A :class:`ResultCache` handle on this queue's results store."""
+        return ResultCache(self.results_dir)
+
+    def log(self, worker=""):
+        """An :class:`EventLog` writer bound to this queue's stream."""
+        return EventLog(self.events_path, worker=worker)
+
+    def events(self):
+        """Every event currently on disk (see :func:`read_events`)."""
+        return read_events(self.events_path)
+
+    def _ids_in(self, directory):
+        return sorted(p.stem for p in directory.glob("*.json"))
+
+    # -- claim / lease protocol -------------------------------------------------
+
+    def _lease_path(self, shard_id):
+        return self.claimed_dir / f"{shard_id}.lease"
+
+    def _write_lease(self, shard_id, worker_id):
+        self._write_atomic(self._lease_path(shard_id),
+                           json.dumps({"worker": str(worker_id),
+                                       "ts": _utcnow()}))
+
+    def claim(self, worker_id):
+        """Atomically claim the first pending shard; ``None`` when empty.
+
+        The rename from ``pending/`` to ``claimed/`` is the entire
+        mutual-exclusion protocol: concurrent claimants racing for one
+        ticket see exactly one ``rename`` succeed, and every loser gets
+        ``FileNotFoundError`` and tries the next ticket.
+        """
+        self.manifest()
+        for shard_id in self._ids_in(self.pending_dir):
+            source = self.pending_dir / f"{shard_id}.json"
+            target = self.claimed_dir / f"{shard_id}.json"
+            try:
+                os.rename(source, target)
+            except OSError:
+                continue       # lost the race; next ticket
+            try:
+                # rename preserves mtime, so without this a reclaimer's
+                # mtime fallback (lease_age) would see the *submit* time
+                # and steal a just-claimed shard whose lease sidecar has
+                # not landed yet.
+                os.utime(target)
+            except OSError:
+                pass
+            self._write_lease(shard_id, worker_id)
+            try:
+                shard = Shard.from_dict(json.loads(target.read_text()))
+            except (OSError, ValueError, ReproError):
+                # The ticket vanished (stolen by an overeager reclaimer)
+                # or is unreadable: surrender this claim, try the next.
+                self.log(worker_id).append("lease_lost", shard=shard_id)
+                continue
+            self.log(worker_id).append("shard_claimed", shard=shard_id,
+                                       scenarios=len(shard))
+            return shard
+        return None
+
+    def heartbeat(self, shard_id, worker_id, event=True):
+        """Refresh the claimant's lease (and optionally log liveness)."""
+        self._write_lease(shard_id, worker_id)
+        if event:
+            self.log(worker_id).append("heartbeat", shard=shard_id)
+
+    def lease_age(self, shard_id):
+        """Seconds since the shard's lease was last refreshed.
+
+        Falls back to the claimed ticket's mtime when the sidecar is
+        missing (a claimant that died between rename and lease write).
+        """
+        try:
+            data = json.loads(self._lease_path(shard_id).read_text())
+            return max(0.0, _utcnow() - float(data["ts"]))
+        except (OSError, TypeError, ValueError, KeyError):
+            pass
+        try:
+            stat = (self.claimed_dir / f"{shard_id}.json").stat()
+            return max(0.0, _utcnow() - stat.st_mtime)
+        except OSError:
+            return 0.0
+
+    def reclaim_expired(self, lease_s, worker_id=""):
+        """Steal claimed shards whose lease went stale; returns shard ids.
+
+        Each reclaim is a rename back to ``pending/`` — atomic, so two
+        survivors policing the same corpse reclaim it exactly once.
+        """
+        if lease_s < 0:
+            raise ValidationError("lease_s must be non-negative")
+        reclaimed = []
+        for shard_id in self._ids_in(self.claimed_dir):
+            if self.lease_age(shard_id) <= lease_s:
+                continue
+            source = self.claimed_dir / f"{shard_id}.json"
+            target = self.pending_dir / f"{shard_id}.json"
+            try:
+                os.rename(source, target)
+            except OSError:
+                continue       # completed or reclaimed by someone else
+            try:
+                self._lease_path(shard_id).unlink()
+            except OSError:
+                pass
+            self.log(worker_id).append("lease_reclaimed", shard=shard_id)
+            reclaimed.append(shard_id)
+        return reclaimed
+
+    def complete(self, shard, worker_id, computed=0, cached=0):
+        """Move a claimed shard to ``done/``; False when the lease was lost.
+
+        A ``False`` return means another worker reclaimed (and will
+        re-run) the shard while this one was still solving.  That is not
+        an error: the records this worker already persisted are
+        byte-identical to what the re-run will produce, so the caller
+        just moves on.
+        """
+        source = self.claimed_dir / f"{shard.shard_id}.json"
+        target = self.done_dir / f"{shard.shard_id}.json"
+        try:
+            os.rename(source, target)
+        except OSError:
+            self.log(worker_id).append("lease_lost", shard=shard.shard_id)
+            return False
+        try:
+            self._lease_path(shard.shard_id).unlink()
+        except OSError:
+            pass
+        self.log(worker_id).append("shard_done", shard=shard.shard_id,
+                                   computed=int(computed), cached=int(cached))
+        return True
+
+    # -- progress / assembly ----------------------------------------------------
+
+    def status(self):
+        """Current :class:`QueueStatus` (scans tickets and the results store)."""
+        manifest = self.manifest()
+        scenarios = self.scenarios()
+        cache = self.cache()
+        present = sum(1 for s in scenarios if s in cache)
+        return QueueStatus(
+            total_shards=len(manifest["shards"]),
+            pending=len(self._ids_in(self.pending_dir)),
+            claimed=len(self._ids_in(self.claimed_dir)),
+            done=len(self._ids_in(self.done_dir)),
+            total_scenarios=len(scenarios),
+            records_present=present,
+        )
+
+    def gather(self, partial=False):
+        """Records in scenario order, straight from the results store.
+
+        Deterministic reassembly: the manifest fixes the scenario order,
+        the store is content-addressed, and records are deterministic —
+        so the result is byte-identical (canonical JSON) to a serial
+        :class:`~repro.runtime.runner.BatchRunner` run of the same spec,
+        no matter how many workers drained the queue, in what order, or
+        on which hosts.  Raises unless every record is present
+        (``partial=True`` returns what exists).
+        """
+        cache = self.cache()
+        records = []
+        missing = []
+        for scenario in self.scenarios():
+            record = cache.peek(scenario)
+            if record is None:
+                missing.append(scenario.label)
+            else:
+                records.append(record)
+        if missing and not partial:
+            raise ReproError(
+                f"queue {self.root} is incomplete: {len(missing)} of "
+                f"{len(records) + len(missing)} records missing "
+                f"(first: {missing[0]})")
+        return records

@@ -120,6 +120,12 @@ class MultiprocessExecutor:
         self._pool = None
 
     def map(self, fn, items):
+        # A second map() while one is open would silently drop (and leak)
+        # the previous pool together with its worker processes.
+        if self._pool is not None:
+            raise ValidationError(
+                "MultiprocessExecutor.map called while a previous map is "
+                "still open; call close() or abort() first")
         self._pool = multiprocessing.Pool(processes=self.jobs)
         return self._pool.imap(fn, items)
 
@@ -142,11 +148,35 @@ class MultiprocessExecutor:
             self._pool = None
 
 
+def resolve_jobs(value):
+    """Normalize a jobs request to a positive int (``"auto"`` → CPU count).
+
+    Accepts an int or a string (the CLI's ``--jobs`` passes strings
+    through so ``auto`` works anywhere a count does).  Zero, negative,
+    and non-numeric values raise :class:`ValidationError`.
+    """
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if text == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            value = int(text)
+        except ValueError:
+            raise ValidationError(
+                f"jobs must be a positive integer or 'auto', got {value!r}"
+            ) from None
+    jobs = int(value)
+    if jobs < 1:
+        raise ValidationError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
 def make_executor(jobs):
-    """Executor for ``jobs`` workers (1 → serial)."""
-    if int(jobs) <= 1:
+    """Executor for ``jobs`` workers (1 → serial, ``"auto"`` → CPU count)."""
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1:
         return SerialExecutor()
-    return MultiprocessExecutor(int(jobs))
+    return MultiprocessExecutor(jobs)
 
 
 @dataclasses.dataclass
@@ -191,20 +221,31 @@ class BatchRunner:
         inside); ``False`` keeps the per-scenario path.  Default
         (``None``): batched unless the ``REPRO_NO_BATCH`` environment
         variable is set.  Both paths stream byte-identical records.
+    executor_factory:
+        Optional zero-argument callable returning a fresh executor
+        (``map``/``close``/``abort``) per sweep, overriding the default
+        ``jobs``-based choice — the seam distributed backends plug into
+        (e.g. ``lambda: QueueExecutor(workers=4)`` runs the sweep on a
+        durable work queue; see :mod:`repro.runtime.worker`).
     """
 
-    def __init__(self, jobs=1, cache=None, run=run_scenario, batch=None):
-        if int(jobs) < 1:
-            raise ValidationError("BatchRunner needs jobs >= 1")
-        if run is not run_scenario and int(jobs) > 1:
+    def __init__(self, jobs=1, cache=None, run=run_scenario, batch=None,
+                 executor_factory=None):
+        self.jobs = resolve_jobs(jobs)
+        if run is not run_scenario and self.jobs > 1:
             raise ValidationError("a custom run function requires jobs=1")
-        self.jobs = int(jobs)
         self.cache = cache
         self._run = run
         if batch is None:
             batch = not os.environ.get("REPRO_NO_BATCH")
         self.batch = bool(batch) and run is run_scenario
+        self.executor_factory = executor_factory
         self.stats = SweepStats()
+
+    def _new_executor(self):
+        if self.executor_factory is not None:
+            return self.executor_factory()
+        return make_executor(self.jobs)
 
     def iter_records(self, spec_or_scenarios):
         """Yield one :class:`RunRecord` per scenario, in scenario order.
@@ -232,7 +273,7 @@ class BatchRunner:
             return
 
         # A fully warm cache must not pay pool spin-up for zero work.
-        executor = make_executor(self.jobs) if missing else SerialExecutor()
+        executor = self._new_executor() if missing else SerialExecutor()
         completed = False
         try:
             fresh = iter(executor.map(self._run, [s for _, s in missing]))
@@ -296,7 +337,7 @@ class BatchRunner:
             for offset, (index, _) in enumerate(members):
                 locate[index] = (gpos, offset)
 
-        executor = make_executor(self.jobs)
+        executor = self._new_executor()
         completed = False
         try:
             fresh = iter(executor.map(

@@ -1,0 +1,387 @@
+"""Work-stealing queue workers and the queue-backed executor.
+
+:class:`Worker` is the drain loop over a
+:class:`~repro.runtime.queue.SweepQueue`: claim a shard, solve it
+through the existing compile-once
+:func:`~repro.runtime.runner.run_scenario_group` path (peeling
+per-scenario cache hits first), persist every record into the queue's
+shared :class:`~repro.runtime.cache.ResultCache`, append progress to the
+event stream, and mark the shard done.  While solving, a daemon
+heartbeat thread refreshes the shard's lease, so lease expiry measures
+*liveness*, not solve time; a worker that dies stops heartbeating and a
+survivor's :meth:`SweepQueue.reclaim_expired` puts its shard back up for
+grabs.
+
+:func:`work_queue` / :func:`run_workers` are the process entry points
+(`repro queue work --jobs N` spawns one process per worker), and
+:class:`QueueExecutor` adapts the whole service to the batch runner's
+``map`` / ``close`` / ``abort`` executor protocol — so
+``BatchRunner(executor_factory=...)`` runs an ordinary sweep on the
+durable queue transparently, records byte-identical to serial.
+"""
+
+import multiprocessing
+import os
+import pathlib
+import secrets
+import shutil
+import tempfile
+import threading
+import time
+
+from repro.runtime.queue import SweepQueue
+from repro.runtime.runner import (
+    resolve_jobs,
+    run_scenario,
+    run_scenario_group,
+)
+from repro.utils.errors import ReproError, ValidationError
+
+#: Default lease duration (seconds).  Generous: heartbeats refresh it
+#: every :attr:`Worker.heartbeat_s` regardless of how long a shard
+#: solves, so expiry only ever means the claimant stopped running.
+DEFAULT_LEASE_S = 60.0
+
+
+def _default_worker_id():
+    return f"w{os.getpid()}-{secrets.token_hex(2)}"
+
+
+def _event_record(record):
+    """The trimmed record payload carried by ``record_done`` events.
+
+    Everything the live watcher's table needs (metrics, convergence,
+    diagnostics) minus the per-component size vector, which dominates
+    the payload and is only wanted by ``gather`` — which reads the
+    results store, not the event stream.
+    """
+    data = record.to_dict()
+    data["sizes"] = []
+    return data
+
+
+class _LeaseHeartbeat(threading.Thread):
+    """Daemon thread refreshing one shard's lease while its solve runs."""
+
+    def __init__(self, queue, shard_id, worker_id, interval_s):
+        super().__init__(daemon=True, name=f"heartbeat-{shard_id}")
+        self.queue = queue
+        self.shard_id = shard_id
+        self.worker_id = worker_id
+        self.interval_s = interval_s
+        self._halt = threading.Event()
+
+    def run(self):
+        while not self._halt.wait(self.interval_s):
+            try:
+                self.queue.heartbeat(self.shard_id, self.worker_id)
+            except OSError:
+                pass    # a missed beat is recoverable; a crash is not
+
+    def stop(self):
+        self._halt.set()
+        self.join()
+
+
+class Worker:
+    """One queue-draining loop (single process, single shard at a time).
+
+    Parameters
+    ----------
+    queue:
+        A :class:`SweepQueue` (or a path to one).
+    worker_id:
+        Identity stamped into leases and events; defaults to a
+        pid-unique token.
+    lease_s:
+        How stale a *peer's* lease must be before this worker steals
+        the shard.  Must comfortably exceed ``heartbeat_s`` (not the
+        solve time — heartbeats run in a thread).
+    heartbeat_s:
+        Lease refresh interval; defaults to ``lease_s / 4``.
+    max_shards:
+        Stop after completing this many shards (``None`` = drain).
+    wait:
+        When true (default) an idle worker waits for shards still
+        claimed by live peers to finish (reclaiming any that expire)
+        before exiting, so its exit means the queue is drained.  When
+        false it exits as soon as nothing is claimable.
+    poll_s:
+        Idle-loop sleep between claim attempts.
+    """
+
+    def __init__(self, queue, worker_id=None, lease_s=DEFAULT_LEASE_S,
+                 heartbeat_s=None, max_shards=None, wait=True, poll_s=0.2):
+        if not isinstance(queue, SweepQueue):
+            queue = SweepQueue(queue)
+        if lease_s <= 0:
+            raise ValidationError("Worker lease_s must be positive")
+        if max_shards is not None and int(max_shards) < 1:
+            raise ValidationError("Worker max_shards must be >= 1")
+        self.queue = queue
+        self.worker_id = worker_id or _default_worker_id()
+        self.lease_s = float(lease_s)
+        self.heartbeat_s = (float(heartbeat_s) if heartbeat_s is not None
+                            else max(self.lease_s / 4.0, 0.02))
+        self.max_shards = None if max_shards is None else int(max_shards)
+        self.wait = bool(wait)
+        self.poll_s = float(poll_s)
+        # One cache handle for the worker's lifetime: each instance owns
+        # one stats.d/ counter shard, so per-shard instances would litter
+        # the store with one shard file per processed work unit.  Lazy —
+        # constructing it creates results/, which an unsubmitted queue
+        # should not grow.
+        self._cache = None
+        #: Tallies of the last :meth:`run` (shards, computed, cache hits).
+        self.shards_done = 0
+        self.computed = 0
+        self.cache_hits = 0
+
+    def _result_cache(self):
+        if self._cache is None:
+            self._cache = self.queue.cache()
+        return self._cache
+
+    def run(self):
+        """Drain loop; returns the number of shards this worker completed."""
+        log = self.queue.log(self.worker_id)
+        log.append("worker_started", lease_s=self.lease_s,
+                   max_shards=self.max_shards)
+        self.shards_done = self.computed = self.cache_hits = 0
+        while self.max_shards is None or self.shards_done < self.max_shards:
+            shard = self.queue.claim(self.worker_id)
+            if shard is None:
+                if not self._idle_continue():
+                    break
+                continue
+            if self.process(shard):
+                self.shards_done += 1
+            # else: the lease was lost to a reclaiming peer mid-solve —
+            # the peer's re-run owns the completion, don't count it here.
+        log.append("worker_done", shards=self.shards_done,
+                   computed=self.computed, cached=self.cache_hits)
+        return self.shards_done
+
+    def _idle_continue(self):
+        """Nothing claimable: steal expired leases, wait, or give up.
+
+        "Drained" is judged from the ``done/`` count alone — the one
+        monotonic, terminal state — because pending/claimed scans are
+        two separate directory listings and a concurrent reclaim or
+        claim landing between them could make both read zero while an
+        unsolved shard is mid-rename.
+        """
+        if len(self.queue._ids_in(self.queue.done_dir)) >= \
+                len(self.queue.shard_ids()):
+            return False    # drained
+        if self.queue._ids_in(self.queue.claimed_dir) and \
+                self.queue.reclaim_expired(self.lease_s, self.worker_id):
+            return True     # stolen work is immediately claimable
+        if not self.wait and not self.queue._ids_in(self.queue.pending_dir):
+            return False    # live peers hold the rest; not our problem
+        time.sleep(self.poll_s)
+        return True
+
+    def process(self, shard):
+        """Solve one claimed shard end to end (hits peeled, records persisted).
+
+        Returns whether the completion stuck (``False`` = lease lost to
+        a reclaiming peer; the records written are still valid).
+        """
+        cache = self._result_cache()
+        log = self.queue.log(self.worker_id)
+        records = {}
+        missing = []
+        heartbeat = _LeaseHeartbeat(self.queue, shard.shard_id,
+                                    self.worker_id, self.heartbeat_s)
+        heartbeat.start()
+        try:
+            for index, scenario in zip(shard.indexes, shard.scenarios):
+                hit = cache.get(scenario)
+                if hit is not None:
+                    records[index] = hit
+                else:
+                    missing.append((index, scenario))
+            if missing:
+                fresh = run_scenario_group(
+                    tuple(scenario for _, scenario in missing))
+                for (index, scenario), record in zip(missing, fresh):
+                    cache.put(scenario, record)
+                    records[index] = record
+        finally:
+            heartbeat.stop()
+            cache.flush()
+        for index, scenario in zip(shard.indexes, shard.scenarios):
+            record = records[index]
+            log.append("record_done", shard=shard.shard_id, index=index,
+                       scenario=scenario.content_hash(),
+                       label=scenario.label, cached=bool(record.cached),
+                       record=_event_record(record))
+        self.computed += len(missing)
+        self.cache_hits += len(shard) - len(missing)
+        return self.queue.complete(shard, self.worker_id,
+                                   computed=len(missing),
+                                   cached=len(shard) - len(missing))
+
+
+def work_queue(root, worker_id=None, lease_s=DEFAULT_LEASE_S,
+               heartbeat_s=None, max_shards=None, wait=True, poll_s=0.2):
+    """Run one :class:`Worker` to completion over the queue at ``root``.
+
+    Module-level so ``multiprocessing`` can target it; returns the
+    number of shards completed.
+    """
+    worker = Worker(SweepQueue(root), worker_id=worker_id, lease_s=lease_s,
+                    heartbeat_s=heartbeat_s, max_shards=max_shards,
+                    wait=wait, poll_s=poll_s)
+    return worker.run()
+
+
+def run_workers(root, jobs, **worker_kwargs):
+    """Drain the queue at ``root`` with ``jobs`` worker processes.
+
+    ``jobs`` accepts ``"auto"`` (see
+    :func:`~repro.runtime.runner.resolve_jobs`); 1 runs in-process.
+    Raises :class:`ReproError` if any worker process dies abnormally.
+    Returns the number of workers run.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs == 1:
+        work_queue(str(root), **worker_kwargs)
+        return 1
+    processes = [
+        multiprocessing.Process(
+            target=work_queue, args=(str(root),),
+            kwargs=dict(worker_kwargs, worker_id=worker_kwargs.get(
+                "worker_id") and f"{worker_kwargs['worker_id']}-{index}"),
+            name=f"repro-queue-worker-{index}")
+        for index in range(jobs)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join()
+    failed = [p.name for p in processes if p.exitcode != 0]
+    if failed:
+        raise ReproError(f"queue worker processes failed: {failed}")
+    return jobs
+
+
+class QueueExecutor:
+    """The executor protocol (``map``/``close``/``abort``) on a queue.
+
+    ``map`` submits each work item as one shard to a throwaway
+    :class:`SweepQueue`, spawns worker processes to drain it, and yields
+    per-item results in submission order as their shards complete — so
+    a :class:`~repro.runtime.runner.BatchRunner` constructed with
+    ``executor_factory=lambda: QueueExecutor(workers=4)`` runs its sweep
+    on the durable queue transparently, byte-identical records and all.
+    Unlike the in-memory executors the work units must be the module's
+    own (:func:`run_scenario` / :func:`run_scenario_group`) — queue
+    workers re-derive the work from the shard ticket, not from a pickled
+    callable.
+
+    With the default ``root=None`` each ``map`` cycle creates (and on
+    ``close``/``abort`` removes) a temporary queue directory; pass an
+    explicit ``root`` to keep the queue — results, events, tickets —
+    inspectable afterwards (such a root is single-use, like any
+    submitted queue).
+    """
+
+    def __init__(self, root=None, workers=2, lease_s=DEFAULT_LEASE_S,
+                 poll_s=0.05):
+        self.workers = resolve_jobs(workers)
+        self.lease_s = float(lease_s)
+        self.poll_s = float(poll_s)
+        self._given_root = None if root is None else pathlib.Path(root)
+        self._root = None
+        self._owns_root = False
+        self._queue = None
+        self._processes = []
+
+    def map(self, fn, items):
+        """Submit ``items`` as shards and stream their results in order."""
+        if self._queue is not None:
+            raise ValidationError(
+                "QueueExecutor.map called while a previous map is still "
+                "open; call close() or abort() first")
+        if fn is run_scenario:
+            groups = [[item] for item in items]
+            single = True
+        elif fn is run_scenario_group:
+            groups = [list(item) for item in items]
+            single = False
+        else:
+            raise ValidationError(
+                "QueueExecutor only runs run_scenario / run_scenario_group "
+                "work units (queue workers re-derive work from shard "
+                "tickets, not pickled callables)")
+        if not groups:
+            return iter(())
+        if self._given_root is not None:
+            self._root = self._given_root
+            self._owns_root = False
+        else:
+            self._root = pathlib.Path(tempfile.mkdtemp(prefix="repro-queue-"))
+            self._owns_root = True
+        self._queue = SweepQueue(self._root)
+        shards = self._queue.submit_shards(groups, label="queue-executor")
+        self._processes = [
+            multiprocessing.Process(
+                target=work_queue, args=(str(self._root),),
+                kwargs={"lease_s": self.lease_s, "poll_s": self.poll_s},
+                name=f"repro-queue-executor-{index}")
+            for index in range(min(self.workers, len(shards)))
+        ]
+        for process in self._processes:
+            process.start()
+        return self._stream(shards, groups, single)
+
+    def _stream(self, shards, groups, single):
+        cache = self._queue.cache()
+        for shard, group in zip(shards, groups):
+            ticket = self._queue.done_dir / f"{shard.shard_id}.json"
+            while not ticket.exists():
+                if not any(p.is_alive() for p in self._processes):
+                    # A worker may have completed this very shard (and
+                    # exited on the drained queue) between the exists()
+                    # probe and the liveness check — look again before
+                    # declaring the drain failed.
+                    if ticket.exists():
+                        break
+                    raise ReproError(
+                        f"queue workers exited before shard "
+                        f"{shard.shard_id} completed (see "
+                        f"{self._queue.events_path})")
+                time.sleep(self.poll_s)
+            records = []
+            for scenario in group:
+                record = cache.peek(scenario)
+                if record is None:
+                    raise ReproError(
+                        f"shard {shard.shard_id} is done but scenario "
+                        f"{scenario.label} has no record")
+                records.append(record)
+            yield records[0] if single else records
+
+    def _teardown(self):
+        self._processes = []
+        self._queue = None
+        if self._owns_root and self._root is not None:
+            shutil.rmtree(self._root, ignore_errors=True)
+        self._root = None
+        self._owns_root = False
+
+    def close(self):
+        """Wait for the workers to finish draining, then clean up."""
+        for process in self._processes:
+            process.join()
+        self._teardown()
+
+    def abort(self):
+        """Kill the workers without waiting for the queue to drain."""
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+            process.join()
+        self._teardown()

@@ -259,3 +259,90 @@ class TestInProcessVerification:
         bench.write_text(bench.read_text().replace(
             "22 = NAND(10, 16)", "22 = NOR(10, 16)"))
         assert cache.get(scenario) is None
+
+
+class TestPeekAndMerge:
+    """PR 4: side-effect-free reads and cross-host result union."""
+
+    def test_peek_round_trips_without_side_effects(self, tmp_path, scenario,
+                                                   record):
+        cache = ResultCache(tmp_path)
+        assert cache.peek(scenario) is None
+        cache.put(scenario, record)
+        cache.flush()
+        peeked = cache.peek(scenario)
+        assert not peeked.cached                      # verbatim, not a "hit"
+        assert peeked.canonical_json() == record.canonical_json()
+        stats = cache.stats()
+        assert (stats.hits, stats.misses) == (0, 0)   # no counter traffic
+
+    def test_merge_unions_and_skips_duplicates(self, tmp_path, scenario,
+                                               record):
+        source = ResultCache(tmp_path / "a")
+        target = ResultCache(tmp_path / "b")
+        source.put(scenario, record)
+        other = Scenario(scenario.circuit,
+                         scenario.config.replace(noise_fraction=0.07))
+        target.put(other, record)
+
+        assert target.merge(source) == (1, 0)
+        assert target.merge(source) == (0, 1)         # now a duplicate
+        assert target.merge(tmp_path / "a") == (0, 1)  # path form works too
+        assert len(target) == 2
+        merged = target.peek(scenario)
+        assert merged.canonical_json() == record.canonical_json()
+
+    def test_merge_from_missing_directory_raises(self, tmp_path):
+        from repro.utils.errors import ReproError
+
+        with pytest.raises(ReproError, match="no such cache"):
+            ResultCache(tmp_path / "b").merge(tmp_path / "missing")
+
+
+def _hammer_puts(root, scenario, record, count):
+    """Worker-process body: one cache instance bumping real counters."""
+    cache = ResultCache(root)
+    for _ in range(count):
+        cache.put(scenario, record)
+    cache.flush()
+
+
+class TestConcurrentWorkers:
+    """PR 4 satellites: counter exactness and prune-vs-put under real
+    process contention (the queue service hits both constantly)."""
+
+    def test_two_processes_lose_no_counts(self, tmp_path, scenario, record):
+        import multiprocessing
+
+        processes = [
+            multiprocessing.Process(
+                target=_hammer_puts,
+                args=(str(tmp_path), scenario, record, 15))
+            for _ in range(2)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join()
+        assert all(p.exitcode == 0 for p in processes)
+        assert ResultCache(tmp_path).stats().puts == 30
+
+    def test_prune_while_worker_is_mid_put(self, tmp_path, scenario, record):
+        """LRU eviction racing a writer never corrupts the store: every
+        surviving entry parses, and no temp files leak."""
+        import multiprocessing
+
+        writer = multiprocessing.Process(
+            target=_hammer_puts, args=(str(tmp_path), scenario, record, 200))
+        pruner = ResultCache(tmp_path)
+        writer.start()
+        while writer.is_alive():
+            pruner.prune(0)
+            entry = pruner.peek(scenario)
+            if entry is not None:       # either absent or fully intact
+                assert entry.canonical_json() == record.canonical_json()
+        writer.join()
+        assert writer.exitcode == 0
+        final = ResultCache(tmp_path).stats()       # store still coherent
+        assert final.puts == 200
+        assert not list(pruner.root.glob("*/*.tmp*"))   # atomic writes only

@@ -1,0 +1,99 @@
+"""Event stream: atomic appends, defensive reads, tail/follow."""
+
+import json
+import multiprocessing
+import threading
+import time
+
+from repro.runtime.events import EventLog, read_events, tail_events
+
+
+def test_append_read_round_trip(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path, worker="w1")
+    log.append("shard_claimed", shard="0000-c17")
+    log.append("record_done", shard="0000-c17", index=0)
+    events = read_events(path)
+    assert [e["kind"] for e in events] == ["shard_claimed", "record_done"]
+    assert all(e["worker"] == "w1" for e in events)
+    assert events[0]["ts"] <= events[1]["ts"]
+    assert events[1]["index"] == 0
+
+
+def test_missing_file_reads_as_empty_log(tmp_path):
+    assert read_events(tmp_path / "nope.jsonl") == []
+    assert list(tail_events(tmp_path / "nope.jsonl")) == []
+
+
+def test_torn_trailing_line_excluded_until_completed(tmp_path):
+    path = tmp_path / "events.jsonl"
+    EventLog(path).append("a")
+    with open(path, "a") as handle:
+        handle.write('{"kind":"b"')          # a writer mid-append
+    assert [e["kind"] for e in read_events(path)] == ["a"]
+    with open(path, "a") as handle:
+        handle.write(',"ts":1.0}\n')
+    assert [e["kind"] for e in read_events(path)] == ["a", "b"]
+
+
+def test_junk_lines_are_skipped_not_fatal(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with open(path, "w") as handle:
+        handle.write("not json\n\n[1,2]\n")
+        handle.write(json.dumps({"kind": "ok"}) + "\n")
+        handle.write(json.dumps({"no_kind": True}) + "\n")
+    assert [e["kind"] for e in read_events(path)] == ["ok"]
+
+
+def test_tail_follow_sees_appends_and_stops(tmp_path):
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path)
+    log.append("a", seq=0)
+    got = []
+
+    def writer():
+        time.sleep(0.05)
+        log.append("b", seq=1)
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    for event in tail_events(path, follow=True, poll_s=0.01,
+                             stop=lambda: len(got) >= 2):
+        got.append(event)
+    thread.join()
+    assert [e["kind"] for e in got] == ["a", "b"]
+
+
+def test_tail_follow_idle_timeout_returns(tmp_path):
+    path = tmp_path / "events.jsonl"
+    EventLog(path).append("only")
+    started = time.perf_counter()
+    events = list(tail_events(path, follow=True, poll_s=0.01, timeout_s=0.05))
+    assert [e["kind"] for e in events] == ["only"]
+    assert time.perf_counter() - started < 2.0
+
+
+def _append_burst(path, worker, count):
+    log = EventLog(path, worker=worker)
+    for seq in range(count):
+        log.append("tick", seq=seq)
+
+
+def test_concurrent_appends_from_processes_all_parse(tmp_path):
+    path = tmp_path / "events.jsonl"
+    workers = ["p1", "p2", "p3"]
+    processes = [
+        multiprocessing.Process(target=_append_burst,
+                                args=(str(path), worker, 40))
+        for worker in workers
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join()
+    assert all(p.exitcode == 0 for p in processes)
+    events = read_events(path)
+    assert len(events) == 120
+    for worker in workers:
+        seqs = [e["seq"] for e in events if e["worker"] == worker]
+        assert seqs == list(range(40))     # per-writer order preserved

@@ -1,0 +1,157 @@
+"""SweepQueue: sharding, atomic claims, leases, lifecycle, manifest."""
+
+import json
+import time
+
+import pytest
+
+from repro.runtime import (
+    CircuitRef,
+    FlowConfig,
+    Shard,
+    SweepQueue,
+    SweepSpec,
+    make_shards,
+)
+from repro.utils.errors import ReproError, ValidationError
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """4 fast scenarios: 2 tiny circuits × 2 orderings."""
+    return SweepSpec(
+        circuits=(CircuitRef.random(12, 4, 2, seed=0, target_depth=5),
+                  CircuitRef.random(16, 5, 3, seed=1, target_depth=6)),
+        orderings=("woss", "random"),
+        base=FlowConfig(n_patterns=32, max_iterations=50),
+    )
+
+
+def test_make_shards_groups_by_circuit(sweep):
+    scenarios = sweep.scenarios()
+    shards = make_shards(scenarios)
+    assert len(shards) == 2
+    for shard in shards:
+        assert len({s.circuit for s in shard.scenarios}) == 1
+    covered = sorted(i for shard in shards for i in shard.indexes)
+    assert covered == list(range(len(scenarios)))
+
+
+def test_make_shards_chunking_and_validation(sweep):
+    scenarios = sweep.scenarios()
+    shards = make_shards(scenarios, shard_size=1)
+    assert len(shards) == 4
+    assert [shard.indexes for shard in shards] == [(0,), (1,), (2,), (3,)]
+    with pytest.raises(ValidationError):
+        make_shards(scenarios, shard_size=0)
+
+
+def test_shard_ticket_round_trip(sweep):
+    shard = make_shards(sweep.scenarios())[0]
+    loaded = Shard.from_dict(json.loads(json.dumps(shard.to_dict())))
+    assert loaded == shard
+    with pytest.raises(ReproError):
+        Shard.from_dict({"kind": "nope"})
+
+
+def test_submit_persists_manifest_and_tickets(tmp_path, sweep):
+    queue = SweepQueue(tmp_path / "q")
+    assert not queue.exists()
+    shards = queue.submit(sweep, label="unit")
+    assert queue.exists()
+    assert queue.shard_ids() == [shard.shard_id for shard in shards]
+    assert [s.canonical_json() for s in queue.scenarios()] == \
+        [s.canonical_json() for s in sweep.scenarios()]
+    assert sorted(p.stem for p in queue.pending_dir.glob("*.json")) == \
+        queue.shard_ids()
+    kinds = [e["kind"] for e in queue.events()]
+    assert kinds == ["sweep_submitted"]
+    with pytest.raises(ReproError):
+        queue.submit(sweep)     # one sweep per queue, ever
+
+
+def test_unsubmitted_queue_raises_everywhere(tmp_path):
+    queue = SweepQueue(tmp_path / "empty")
+    with pytest.raises(ReproError):
+        queue.status()
+    with pytest.raises(ReproError):
+        queue.claim("w")
+    with pytest.raises(ReproError):
+        queue.gather()
+
+
+def test_claim_is_exclusive_and_exhaustive(tmp_path, sweep):
+    queue = SweepQueue(tmp_path / "q")
+    queue.submit(sweep)
+    # Two independent handles (as two processes would hold) never claim
+    # the same shard, and claims drain the pending set exactly.
+    first = SweepQueue(queue.root).claim("w1")
+    second = SweepQueue(queue.root).claim("w2")
+    assert first.shard_id != second.shard_id
+    assert queue.claim("w3") is None
+    status = queue.status()
+    assert (status.pending, status.claimed, status.done) == (0, 2, 0)
+    assert queue._lease_path(first.shard_id).exists()
+
+
+def test_complete_moves_claimed_to_done(tmp_path, sweep):
+    queue = SweepQueue(tmp_path / "q")
+    queue.submit(sweep)
+    shard = queue.claim("w1")
+    assert queue.complete(shard, "w1", computed=len(shard))
+    status = queue.status()
+    assert (status.pending, status.claimed, status.done) == (1, 0, 1)
+    assert not queue._lease_path(shard.shard_id).exists()
+    assert "shard_done" in [e["kind"] for e in queue.events()]
+
+
+def test_reclaim_expired_steals_and_completion_reports_loss(tmp_path, sweep):
+    queue = SweepQueue(tmp_path / "q")
+    queue.submit(sweep)
+    shard = queue.claim("doomed")
+    assert queue.reclaim_expired(lease_s=60) == []   # lease still fresh
+    time.sleep(0.05)
+    assert queue.reclaim_expired(lease_s=0.01, worker_id="survivor") == \
+        [shard.shard_id]
+    # The shard is claimable again; the dead worker's late completion
+    # observes the lost lease instead of corrupting the queue.
+    assert not queue.complete(shard, "doomed")
+    stolen = queue.claim("survivor")
+    assert stolen.shard_id == shard.shard_id
+    kinds = [e["kind"] for e in queue.events()]
+    assert "lease_reclaimed" in kinds and "lease_lost" in kinds
+
+
+def test_heartbeat_keeps_lease_fresh(tmp_path, sweep):
+    queue = SweepQueue(tmp_path / "q")
+    queue.submit(sweep)
+    shard = queue.claim("w1")
+    time.sleep(0.05)
+    queue.heartbeat(shard.shard_id, "w1")
+    assert queue.lease_age(shard.shard_id) < 0.05
+    assert queue.reclaim_expired(lease_s=0.04) == []
+
+
+def test_negative_lease_rejected(tmp_path, sweep):
+    queue = SweepQueue(tmp_path / "q")
+    queue.submit(sweep)
+    with pytest.raises(ValidationError):
+        queue.reclaim_expired(lease_s=-1)
+
+
+def test_submit_shards_explicit_groups(tmp_path, sweep):
+    scenarios = sweep.scenarios()
+    queue = SweepQueue(tmp_path / "q")
+    shards = queue.submit_shards([scenarios[:1], scenarios[1:2]])
+    assert [shard.indexes for shard in shards] == [(0,), (1,)]
+    assert len(queue.scenarios()) == 2
+    with pytest.raises(ValidationError):
+        SweepQueue(tmp_path / "q2").submit_shards([[]])
+
+
+def test_gather_incomplete_raises_and_partial_returns(tmp_path, sweep):
+    queue = SweepQueue(tmp_path / "q")
+    queue.submit(sweep)
+    with pytest.raises(ReproError, match="incomplete"):
+        queue.gather()
+    assert queue.gather(partial=True) == []

@@ -129,6 +129,30 @@ def test_invalid_construction_rejected():
         BatchRunner(jobs=2, run=lambda s: None)
 
 
+def test_resolve_jobs_accepts_auto_and_rejects_nonpositive():
+    import os
+
+    from repro.runtime import resolve_jobs
+
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs("4") == 4
+    auto = resolve_jobs("auto")
+    assert auto == max(1, os.cpu_count() or 1)
+    assert resolve_jobs(" AUTO ") == auto       # whitespace/case-insensitive
+    for bad in (0, -1, "0", "-2", "many", ""):
+        with pytest.raises(ValidationError):
+            resolve_jobs(bad)
+
+
+def test_batch_runner_resolves_auto_jobs():
+    import os
+
+    runner = BatchRunner(jobs="auto")
+    assert runner.jobs == max(1, os.cpu_count() or 1)
+    with pytest.raises(ValidationError):
+        BatchRunner(jobs="-3")
+
+
 def test_scenario_list_accepted_directly(sweep):
     scenarios = sweep.scenarios()[:2]
     records = BatchRunner(jobs=1).run(scenarios)

@@ -1,0 +1,178 @@
+"""Workers and the queue executor: drains, stealing, serial byte-identity."""
+
+import io
+import multiprocessing
+
+import pytest
+
+from repro.analysis.live import watch_queue
+from repro.runtime import (
+    BatchRunner,
+    CircuitRef,
+    FlowConfig,
+    QueueExecutor,
+    SweepQueue,
+    SweepSpec,
+    Worker,
+    work_queue,
+)
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """4 fast scenarios: 2 tiny circuits × 2 orderings."""
+    return SweepSpec(
+        circuits=(CircuitRef.random(12, 4, 2, seed=0, target_depth=5),
+                  CircuitRef.random(16, 5, 3, seed=1, target_depth=6)),
+        orderings=("woss", "random"),
+        base=FlowConfig(n_patterns=32, max_iterations=50),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_json(sweep):
+    """Canonical serialization of a plain serial BatchRunner run."""
+    return [r.canonical_json() for r in BatchRunner(jobs=1).run(sweep)]
+
+
+def test_two_worker_processes_drain_and_gather_serial_identical(
+        tmp_path, sweep, serial_json):
+    """The acceptance contract: a 2-worker cooperative drain gathers
+    records byte-identical to the serial run of the same spec."""
+    queue = SweepQueue(tmp_path / "q")
+    queue.submit(sweep, shard_size=1)    # 4 shards — both workers get work
+    processes = [
+        multiprocessing.Process(target=work_queue, args=(str(queue.root),),
+                                kwargs={"worker_id": f"w{i}", "lease_s": 30.0})
+        for i in range(2)
+    ]
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join()
+    assert all(p.exitcode == 0 for p in processes)
+
+    status = queue.status()
+    assert status.drained and status.complete
+    assert [r.canonical_json() for r in queue.gather()] == serial_json
+    # Both workers actually participated (4 shards, claims are striped).
+    claimants = {e["worker"] for e in queue.events()
+                 if e["kind"] == "shard_claimed"}
+    assert claimants == {"w0", "w1"}
+
+
+def test_abandoned_shard_is_stolen_and_completed(tmp_path, sweep,
+                                                 serial_json):
+    """A killed worker's claimed shard is reclaimed via its expired
+    lease and completed by a survivor."""
+    queue = SweepQueue(tmp_path / "q")
+    queue.submit(sweep, shard_size=1)
+    # Simulate a worker killed mid-shard: the claim (and its lease)
+    # exists, but no heartbeat will ever refresh it.
+    doomed = queue.claim("doomed")
+    assert doomed is not None
+
+    survivor = Worker(queue, worker_id="survivor", lease_s=0.05, poll_s=0.01)
+    assert survivor.run() == 4          # all shards, the stolen one included
+    status = queue.status()
+    assert status.drained and status.complete
+    assert [r.canonical_json() for r in queue.gather()] == serial_json
+
+    kinds = [e["kind"] for e in queue.events()]
+    assert "lease_reclaimed" in kinds
+    done = {e["shard"] for e in queue.events() if e["kind"] == "shard_done"}
+    assert doomed.shard_id in done
+    # One counter shard for the whole worker, not one per processed
+    # shard (the worker reuses a single ResultCache instance).
+    assert len(list((queue.results_dir / "stats.d").glob("*.json"))) == 1
+
+
+def test_worker_peels_cache_hits_without_solving(tmp_path, sweep,
+                                                 serial_json):
+    queue = SweepQueue(tmp_path / "q")
+    queue.submit(sweep)
+    cache = queue.cache()
+    for scenario, payload in zip(sweep.scenarios(),
+                                 BatchRunner(jobs=1).run(sweep)):
+        cache.put(scenario, payload)
+
+    worker = Worker(queue, worker_id="warm", lease_s=30.0)
+    worker.run()
+    assert worker.computed == 0
+    assert worker.cache_hits == len(sweep)
+    assert all(e["cached"] for e in queue.events()
+               if e["kind"] == "record_done")
+    assert [r.canonical_json() for r in queue.gather()] == serial_json
+
+
+def test_max_shards_stops_early(tmp_path, sweep):
+    queue = SweepQueue(tmp_path / "q")
+    queue.submit(sweep, shard_size=1)
+    assert Worker(queue, lease_s=30.0, max_shards=1).run() == 1
+    status = queue.status()
+    assert status.done == 1 and status.pending == 3
+
+
+def test_no_wait_worker_exits_while_peer_holds_a_shard(tmp_path, sweep):
+    queue = SweepQueue(tmp_path / "q")
+    queue.submit(sweep, shard_size=1)
+    queue.claim("live-peer")            # fresh lease, never expires here
+    worker = Worker(queue, worker_id="transient", lease_s=30.0, wait=False,
+                    poll_s=0.01)
+    assert worker.run() == 3            # everything except the peer's shard
+    status = queue.status()
+    assert (status.claimed, status.done) == (1, 3)
+
+
+def test_worker_validation(tmp_path):
+    with pytest.raises(ValidationError):
+        Worker(tmp_path, lease_s=0)
+    with pytest.raises(ValidationError):
+        Worker(tmp_path, max_shards=0)
+
+
+def test_queue_executor_under_batch_runner_matches_serial(sweep,
+                                                          serial_json):
+    runner = BatchRunner(
+        executor_factory=lambda: QueueExecutor(workers=2, lease_s=30.0))
+    records = runner.run(sweep)
+    assert [r.canonical_json() for r in records] == serial_json
+    assert runner.stats.computed == len(sweep)
+
+
+def test_queue_executor_keeps_explicit_root_inspectable(tmp_path, sweep,
+                                                        serial_json):
+    root = tmp_path / "qx"
+    executor = QueueExecutor(root=root, workers=2, lease_s=30.0)
+    runner = BatchRunner(batch=False, executor_factory=lambda: executor)
+    records = runner.run(sweep.scenarios()[:2])
+    assert [r.canonical_json() for r in records] == serial_json[:2]
+    queue = SweepQueue(root)            # still on disk for post-mortems
+    assert queue.status().drained
+    assert any(e["kind"] == "record_done" for e in queue.events())
+
+
+def test_queue_executor_rejects_foreign_work_functions(sweep):
+    executor = QueueExecutor(workers=2)
+    with pytest.raises(ValidationError, match="run_scenario"):
+        executor.map(len, sweep.scenarios())
+
+
+def test_watch_queue_streams_and_renders_from_events(tmp_path, sweep,
+                                                     serial_json):
+    queue = SweepQueue(tmp_path / "q")
+    queue.submit(sweep)
+    Worker(queue, worker_id="w", lease_s=30.0).run()
+
+    out = io.StringIO()
+    watched = watch_queue(queue, out, follow=False)
+    serial = BatchRunner(jobs=1).run(sweep)
+    # Event payloads drop the size vectors, so compare the watcher's
+    # view on everything the live table shows.
+    assert [r.summary() for r in watched] == [r.summary() for r in serial]
+    assert [r.scenario for r in watched] == [r.scenario for r in serial]
+    text = out.getvalue()
+    assert "Sweep progress (4/4)" in text
+    assert "[4/4]" in text
+    assert "shard_done" in text

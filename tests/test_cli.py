@@ -124,6 +124,89 @@ class TestSweepCommand:
         assert code == 1
         assert "INFEASIBLE" in text
 
+    def test_jobs_auto_resolves_to_cpu_count(self):
+        import os
+
+        code, text = self.sweep("--jobs", "auto", "--quiet")
+        assert code == 0
+        assert f"jobs={max(1, os.cpu_count() or 1)}" in text
+
+    def test_jobs_zero_and_negative_rejected(self):
+        for bad in ("0", "-2", "several"):
+            code, text = self.sweep("--jobs", bad)
+            assert code == 2
+            assert "error" in text and "jobs" in text
+
+
+class TestQueueCommands:
+    @staticmethod
+    def submit(queue_dir, *extra):
+        return run_cli("queue", "submit", str(builtin_bench_path("c17")),
+                       "--noise-fractions", "0.1", "0.12",
+                       "--patterns", "32", "--max-iterations", "60",
+                       "--queue-dir", str(queue_dir), *extra)
+
+    def test_submit_work_status_watch_gather_round_trip(self, tmp_path):
+        queue_dir = tmp_path / "q"
+        code, text = self.submit(queue_dir, "--shard-size", "1")
+        assert code == 0
+        assert "2 scenarios as 2 shards" in text
+
+        code, text = run_cli("queue", "work", "--queue-dir", str(queue_dir),
+                             "--jobs", "2")
+        assert code == 0
+        assert "records 2/2" in text
+
+        code, text = run_cli("queue", "status", "--queue-dir", str(queue_dir))
+        assert code == 0
+        assert "complete" in text and "yes" in text
+
+        code, text = run_cli("queue", "watch", "--queue-dir", str(queue_dir),
+                             "--no-follow")
+        assert code == 0
+        assert "Sweep progress (2/2)" in text
+        assert "[2/2]" in text
+
+        code, text = run_cli("queue", "gather", "--queue-dir", str(queue_dir),
+                             "--verify-serial")
+        assert code == 0
+        assert "byte-identical to a serial run" in text
+
+    def test_merge_enables_gather_without_local_workers(self, tmp_path):
+        drained, fresh = tmp_path / "a", tmp_path / "b"
+        assert self.submit(drained)[0] == 0
+        assert run_cli("queue", "work", "--queue-dir", str(drained))[0] == 0
+        assert self.submit(fresh)[0] == 0
+
+        code, text = run_cli("queue", "merge", str(drained),
+                             "--queue-dir", str(fresh))
+        assert code == 0
+        assert "2 records copied" in text
+
+        code, text = run_cli("queue", "gather", "--queue-dir", str(fresh),
+                             "--quiet")
+        assert code == 0
+
+    def test_gather_before_work_is_an_error(self, tmp_path):
+        queue_dir = tmp_path / "q"
+        assert self.submit(queue_dir)[0] == 0
+        code, text = run_cli("queue", "gather", "--queue-dir", str(queue_dir))
+        assert code == 2
+        assert "incomplete" in text
+
+    def test_work_on_missing_queue_is_an_error(self, tmp_path):
+        code, text = run_cli("queue", "work",
+                             "--queue-dir", str(tmp_path / "nope"))
+        assert code == 2
+        assert "error" in text
+
+    def test_resubmission_is_an_error(self, tmp_path):
+        queue_dir = tmp_path / "q"
+        assert self.submit(queue_dir)[0] == 0
+        code, text = self.submit(queue_dir)
+        assert code == 2
+        assert "already holds" in text
+
 
 class TestTable1Command:
     def test_single_circuit(self):
