@@ -6,8 +6,10 @@
 * ``size <circuit>``      — run the two-stage flow, print the result
 * ``sweep <circuits...>`` — run circuits × knob axes, parallel + cached
 * ``queue <submit|work|status|watch|gather|merge>`` — the sharded sweep
-  service: submit a sweep to a durable on-disk queue, drain it with any
-  number of worker processes (work-stealing via heartbeat leases),
+  service: submit a sweep to a durable on-disk queue (sharded by count
+  or by estimated solve cost), drain it with any number of worker
+  processes (work-stealing via heartbeat leases) or serve queues
+  long-lived with warm per-circuit sessions (``work --serve DIR``),
   watch live progress from the event stream, and gather records
   byte-identical to a serial run
 * ``cache <stats|prune|clear>`` — inspect / LRU-evict a result cache
@@ -136,14 +138,45 @@ def build_parser():
     q_submit = queue_sub.add_parser(
         "submit", help="expand a sweep into claimable circuit-grouped shards")
     _add_axis_args(q_submit)
+    q_submit.add_argument("--shard-mode", choices=["count", "cost"],
+                          default="count",
+                          help="how each circuit's scenario group splits "
+                               "into shards: 'count' caps scenarios per "
+                               "shard (--shard-size); 'cost' packs shards "
+                               "to an estimated-solve-cost budget "
+                               "(--cost-budget), so one large-circuit "
+                               "shard doesn't straggle behind many small "
+                               "ones (default: count)")
     q_submit.add_argument("--shard-size", type=int, default=None, metavar="N",
-                          help="max scenarios per shard (default: one shard "
-                               "per circuit group; smaller shards let more "
-                               "workers share one circuit's sweep)")
+                          help="max scenarios per shard — the count-mode "
+                               "splitter (default: one shard per circuit "
+                               "group; smaller shards let more workers "
+                               "share one circuit's sweep).  In "
+                               "--shard-mode cost it is an extra cap on "
+                               "top of the cost budget")
+    q_submit.add_argument("--cost-budget", type=float, default=None,
+                          metavar="C",
+                          help="cost mode: max estimated cost per shard "
+                               "(default: the single most expensive "
+                               "scenario's cost, so the largest circuit "
+                               "shards alone while cheap circuits pack "
+                               "many scenarios per shard)")
+    q_submit.add_argument("--cost-bench", default=None, metavar="PATH",
+                          help="calibrate the cost model from a "
+                               "BENCH_perf.json trajectory (cost mode; "
+                               "default: uncalibrated circuit-size "
+                               "estimates)")
     q_submit.add_argument("--label", default="",
                           help="free-form tag recorded in the manifest")
     q_work = queue_sub.add_parser(
         "work", help="claim and solve shards until the queue is drained")
+    q_work.add_argument("--serve", nargs="+", default=None, metavar="DIR",
+                        help="long-lived mode (instead of --queue-dir): "
+                             "drain every submitted queue under these "
+                             "directories, adopting sweeps submitted while "
+                             "running; workers keep warm per-circuit "
+                             "sessions across sweeps and exit on "
+                             "<DIR>/STOP or --max-idle")
     q_work.add_argument("--jobs", default="1",
                         help="worker processes (auto = CPU count)")
     q_work.add_argument("--max-shards", type=int, default=None, metavar="N",
@@ -151,13 +184,20 @@ def build_parser():
     q_work.add_argument("--lease", type=float, default=60.0, metavar="S",
                         help="steal a peer's shard after S seconds without "
                              "a heartbeat (default 60)")
+    q_work.add_argument("--max-idle", type=float, default=None, metavar="S",
+                        help="exit after S consecutive seconds without "
+                             "claimable work (serve mode's exit valve; "
+                             "default: serve until <DIR>/STOP)")
+    q_work.add_argument("--sessions", type=int, default=4, metavar="N",
+                        help="warm SolverSession LRU capacity per worker "
+                             "(default 4)")
     q_work.add_argument("--no-wait", action="store_true",
                         help="exit when nothing is claimable instead of "
                              "waiting for peers' shards to finish")
     q_work.add_argument("--worker-id", default=None,
                         help="identity stamped into leases and events")
     q_status = queue_sub.add_parser(
-        "status", help="shard and record progress counters")
+        "status", help="shard and record progress, estimated vs actual cost")
     q_watch = queue_sub.add_parser(
         "watch", help="follow the event stream, live table at the end")
     q_watch.add_argument("--timeout", type=float, default=None, metavar="S",
@@ -183,10 +223,11 @@ def build_parser():
     q_merge.add_argument("sources", nargs="+",
                          help="queue directories or bare result-cache "
                               "directories to copy records from")
-    for sub_parser in (q_submit, q_work, q_status, q_watch, q_gather,
-                       q_merge):
+    for sub_parser in (q_submit, q_status, q_watch, q_gather, q_merge):
         sub_parser.add_argument("--queue-dir", required=True,
                                 help="queue directory")
+    # `work` alone may take --serve instead of a queue directory.
+    q_work.add_argument("--queue-dir", default=None, help="queue directory")
 
     cache = sub.add_parser("cache", help="inspect and maintain a result cache")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
@@ -310,29 +351,60 @@ def cmd_sweep(args, out):
 
 def cmd_queue(args, out):
     from repro.analysis.live import watch_queue
-    from repro.runtime.queue import SweepQueue
+    from repro.runtime.queue import CostModel, SweepQueue
     from repro.runtime.worker import run_workers
 
-    queue = SweepQueue(args.queue_dir)
+    if args.queue_command == "work" and \
+            bool(args.serve) == bool(args.queue_dir):
+        raise ReproError(
+            "queue work needs exactly one of --queue-dir (drain one queue) "
+            "or --serve DIR... (serve every queue under the directories)")
+    if args.queue_command == "work" and args.serve and args.no_wait:
+        raise ReproError(
+            "--no-wait does not apply to --serve (a serving worker always "
+            "keeps waiting for new sweeps; bound it with --max-idle or a "
+            "STOP file)")
+    queue = SweepQueue(args.queue_dir) if args.queue_dir else None
     if args.queue_command == "submit":
+        cost_model = (CostModel.from_bench_file(args.cost_bench)
+                      if args.cost_bench else None)
         shards = queue.submit(_spec_from_args(args),
-                              shard_size=args.shard_size, label=args.label)
+                              shard_size=args.shard_size, label=args.label,
+                              shard_mode=args.shard_mode,
+                              cost_model=cost_model,
+                              cost_budget=args.cost_budget)
         scenarios = sum(len(s) for s in shards)
         out.write(f"submitted {scenarios} scenarios as {len(shards)} "
-                  f"shards to {queue.root}\n")
+                  f"shards ({args.shard_mode} mode) to {queue.root}\n")
         for shard in shards:
-            out.write(f"  {shard.shard_id}: {len(shard)} scenarios\n")
+            # General format: estimates are component counts uncalibrated
+            # (~1e2..1e4) but measured *seconds* when --cost-bench is on.
+            out.write(f"  {shard.shard_id}: {len(shard)} scenarios, "
+                      f"est cost {shard.est_cost:.4g}\n")
         out.write("drain with: repro queue work --queue-dir "
                   f"{args.queue_dir} --jobs auto\n")
         return 0
     if args.queue_command == "work":
-        queue.manifest()    # fail fast on a typo'd --queue-dir
         started = time.perf_counter()
+        if args.serve:
+            workers = run_workers([str(d) for d in args.serve], args.jobs,
+                                  serve=True,
+                                  worker_id=args.worker_id,
+                                  lease_s=args.lease,
+                                  max_shards=args.max_shards,
+                                  idle_timeout_s=args.max_idle,
+                                  session_capacity=args.sessions)
+            out.write(f"{workers} serving worker(s) finished in "
+                      f"{time.perf_counter() - started:.2f}s\n")
+            return 0
+        queue.manifest()    # fail fast on a typo'd --queue-dir
         workers = run_workers(args.queue_dir, args.jobs,
                               worker_id=args.worker_id,
                               lease_s=args.lease,
                               max_shards=args.max_shards,
-                              wait=not args.no_wait)
+                              wait=not args.no_wait,
+                              idle_timeout_s=args.max_idle,
+                              session_capacity=args.sessions)
         status = queue.status()
         out.write(f"{workers} worker(s) finished in "
                   f"{time.perf_counter() - started:.2f}s: "
@@ -351,6 +423,17 @@ def cmd_queue(args, out):
         ]
         out.write(format_table(["counter", "value"], rows,
                                title=f"queue {args.queue_dir}") + "\n")
+        report = queue.shard_report()
+        if report:
+            shard_rows = [
+                [row["shard"], row["state"], row["scenarios"],
+                 f"{row['est_cost']:.4g}",
+                 "-" if row["actual_s"] is None else f"{row['actual_s']:.3f}"]
+                for row in report
+            ]
+            out.write("\n" + format_table(
+                ["shard", "state", "scen", "est cost", "actual s"],
+                shard_rows, title="shards (estimated vs actual cost)") + "\n")
         return 0
     if args.queue_command == "watch":
         records = watch_queue(queue, out, follow=not args.no_follow,

@@ -22,7 +22,7 @@ from repro.core.multipliers import MultiplierState
 from repro.core.ogws import OGWSOptimizer, run_lockstep
 from repro.core.problem import SizingProblem
 from repro.core.result import IterationRecord, SizingResult
-from repro.core.session import ScenarioBatch, SolverSession
+from repro.core.session import ScenarioBatch, SessionPool, SolverSession
 from repro.core.subgradient import (
     ConstantStep,
     HarmonicStep,
@@ -45,6 +45,7 @@ __all__ = [
     "run_lockstep",
     "SolverSession",
     "ScenarioBatch",
+    "SessionPool",
     "SizingResult",
     "IterationRecord",
     "KKTReport",

@@ -22,10 +22,34 @@ The batched kernels replay the scalar arithmetic bit-for-bit per column
 independent :func:`repro.runtime.runner.run_scenario` executions — the
 property the batch-equivalence tests pin.
 
+:class:`SessionPool` keeps sessions *warm across work units*: a small
+LRU of sessions keyed by the :class:`~repro.runtime.config.CircuitRef`
+content hash, shared by the serial :class:`~repro.runtime.runner.BatchRunner`
+path and the queue :class:`~repro.runtime.worker.Worker` — consecutive
+same-circuit shards skip the build/compile/similarity/ordering work
+entirely instead of paying it once per shard.
+
+Concurrency contract
+--------------------
+Sessions and pools are **single-thread, single-process owned**: the
+kernel :class:`~repro.timing.kernels.Workspace` buffers a session holds
+are mutated in place during every solve, so a session must only ever be
+driven by the thread that created it.  A :class:`SessionPool` inherits
+that ownership — it is a per-worker (per-process) object, never shared
+between threads; parallel sweeps run one pool per worker process.
+Reuse is *observationally pure*: every memoized artifact is a
+deterministic function of its key, so records produced through a warm
+session are byte-identical to a cold rebuild (pinned by test).
+
 :class:`~repro.core.flow.NoiseAwareSizingFlow` is the K = 1 wrapper over
 this module; :class:`~repro.runtime.runner.BatchRunner` is the layer
 above, partitioning whole sweeps into per-circuit sessions.
 """
+
+import collections
+import hashlib
+import json
+import pathlib
 
 import numpy as np
 
@@ -400,3 +424,77 @@ class ScenarioBatch:
                 fingerprint=fingerprint,
             ))
         return records
+
+
+class SessionPool:
+    """A bounded LRU of warm :class:`SolverSession`\\ s, keyed by circuit.
+
+    The amortization unit above the session: a session amortizes
+    per-circuit analysis across the scenarios of *one* work unit, the
+    pool amortizes the session itself across *consecutive* work units —
+    a queue worker draining twenty same-circuit shards (or a runner
+    re-running a sweep in-process) builds the circuit once, not twenty
+    times.  Keys are the SHA-256 of the
+    :class:`~repro.runtime.config.CircuitRef`'s canonical dict, so two
+    refs describing the same circuit source share one session no matter
+    which process serialized them.
+
+    Thread ownership: a pool (and every session it holds) belongs to
+    exactly one thread — see the module docstring.  Capacity bounds the
+    resident sessions (kernel workspaces scale with circuit size);
+    eviction is least-recently-used and simply drops the session for
+    garbage collection, losing nothing but warmth.
+    """
+
+    def __init__(self, capacity=4):
+        if int(capacity) < 1:
+            raise ValidationError("SessionPool capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._sessions = collections.OrderedDict()
+        #: Reuse accounting for the pool's lifetime.
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _key(ref):
+        canonical = json.dumps(ref.canonical_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode())
+        if ref.kind == "bench":
+            # A .bench ref's canonical dict pins the *path*, not the
+            # netlist bytes — and a long-lived pool can outlive an
+            # in-place edit of the file.  Fold the current content into
+            # the key so an edited netlist is a pool miss (fresh
+            # session), never a stale hit on the old circuit.
+            try:
+                digest.update(pathlib.Path(ref.path).read_bytes())
+            except OSError:
+                pass
+        return digest.hexdigest()
+
+    def session(self, ref):
+        """The warm session for ``ref``, building (and caching) on miss."""
+        key = self._key(ref)
+        session = self._sessions.get(key)
+        if session is not None:
+            self.hits += 1
+            self._sessions.move_to_end(key)
+            return session
+        self.misses += 1
+        session = SolverSession.for_ref(ref)
+        self._sessions[key] = session
+        while len(self._sessions) > self.capacity:
+            self._sessions.popitem(last=False)
+            self.evictions += 1
+        return session
+
+    def __len__(self):
+        return len(self._sessions)
+
+    def __contains__(self, ref):
+        return self._key(ref) in self._sessions
+
+    def clear(self):
+        """Drop every resident session (counters keep accumulating)."""
+        self._sessions.clear()

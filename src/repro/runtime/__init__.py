@@ -77,14 +77,25 @@ Quickstart (sharded queue service) — terminal 1 submits and watches::
 
     repro queue submit c432 c880 --orderings woss none \\
         --delay-modes own none propagated --patterns 128 \\
-        --queue-dir /shared/q --shard-size 4
+        --queue-dir /shared/q --shard-mode cost
     repro queue watch --queue-dir /shared/q      # live table as records land
+
+(``--shard-mode cost`` packs shards by estimated solve cost — see
+:class:`~repro.runtime.queue.CostModel` — so large circuits don't
+straggle behind piles of small ones; the default packs by count.)
 
 terminal 2 (and any number of others, on any host sharing the
 filesystem) drains the queue — kill one mid-shard and a survivor
 reclaims its lease and re-runs the shard::
 
     repro queue work --queue-dir /shared/q --jobs auto
+
+or serves *warm*: long-lived workers that adopt every sweep submitted
+under a directory, keeping their processes and per-circuit
+:class:`~repro.core.session.SessionPool` alive across sweeps (end them
+with ``touch /shared/STOP`` or ``--max-idle``)::
+
+    repro queue work --serve /shared --jobs auto --max-idle 600
 
 afterwards, anywhere::
 
@@ -105,7 +116,13 @@ The same service, as a library — a throwaway queue under an ordinary
 from repro.runtime.cache import ResultCache, scenario_key
 from repro.runtime.config import CircuitRef, FlowConfig, Scenario, SweepSpec
 from repro.runtime.events import EventLog, read_events, tail_events
-from repro.runtime.queue import QueueStatus, Shard, SweepQueue, make_shards
+from repro.runtime.queue import (
+    CostModel,
+    QueueStatus,
+    Shard,
+    SweepQueue,
+    make_shards,
+)
 from repro.runtime.records import RunRecord
 from repro.runtime.runner import (
     BatchRunner,
@@ -116,7 +133,13 @@ from repro.runtime.runner import (
     run_scenario,
     run_scenario_group,
 )
-from repro.runtime.worker import QueueExecutor, Worker, run_workers, work_queue
+from repro.runtime.worker import (
+    QueueExecutor,
+    Worker,
+    run_workers,
+    serve_queues,
+    work_queue,
+)
 
 __all__ = [
     "CircuitRef",
@@ -141,7 +164,9 @@ __all__ = [
     "Shard",
     "QueueStatus",
     "make_shards",
+    "CostModel",
     "Worker",
     "work_queue",
+    "serve_queues",
     "run_workers",
 ]

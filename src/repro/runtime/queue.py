@@ -7,10 +7,14 @@ can cooperatively drain:
 * **submit** expands the :class:`~repro.runtime.config.SweepSpec` (or an
   explicit scenario list) into *circuit-grouped shards*: scenarios
   sharing a :class:`~repro.runtime.config.CircuitRef` land in the same
-  shard (optionally chunked by ``shard_size``), so a worker claiming a
-  shard runs it through one compile-once
-  :class:`~repro.core.session.SolverSession`
-  (:func:`~repro.runtime.runner.run_scenario_group`).
+  shard (chunked by ``shard_size`` in count mode, or packed to an
+  estimated-cost budget in cost mode — see :func:`make_shards` and
+  :class:`CostModel`), so a worker claiming a shard runs it through one
+  compile-once :class:`~repro.core.session.SolverSession`
+  (:func:`~repro.runtime.runner.run_scenario_group`).  Each shard
+  carries its cost estimate; workers report actual solve seconds back
+  as ``shard_timing`` events, which calibrate future submissions
+  (:meth:`CostModel.from_events`).
 * **claim** is one atomic ``os.rename`` of the shard ticket from
   ``pending/`` to ``claimed/`` — exactly one contender wins, the losers
   see the source file gone and move on.  No locks, no daemon.
@@ -79,11 +83,16 @@ class Shard:
     ``indexes`` are positions into the sweep's scenario expansion order
     (the manifest's ``scenarios`` list), which is how ``gather`` and the
     event stream tie shard-local results back to the global sweep.
+    ``est_cost`` is the submitter's cost estimate for the shard (see
+    :class:`CostModel`) — informational: it drives cost-mode packing at
+    submit time and the estimated-vs-actual report afterwards, never
+    correctness.
     """
 
     shard_id: str
     indexes: tuple
     scenarios: tuple
+    est_cost: float = 0.0
 
     def __len__(self):
         return len(self.scenarios)
@@ -95,6 +104,7 @@ class Shard:
             "shard": self.shard_id,
             "indexes": [int(i) for i in self.indexes],
             "scenarios": [s.canonical_dict() for s in self.scenarios],
+            "est_cost": float(self.est_cost),
         }
 
     @classmethod
@@ -108,6 +118,7 @@ class Shard:
             shard_id=str(data["shard"]),
             indexes=tuple(int(i) for i in data["indexes"]),
             scenarios=tuple(Scenario.from_dict(d) for d in data["scenarios"]),
+            est_cost=float(data.get("est_cost", 0.0)),
         )
 
 
@@ -155,25 +166,209 @@ def _group_scenarios(scenarios):
     return groups
 
 
-def make_shards(scenarios, shard_size=None):
-    """Circuit-grouped shards over ``scenarios`` (optionally chunked).
+def _circuit_size_estimate(ref):
+    """A cheap component-count proxy for a circuit's per-scenario cost.
 
-    One shard per :class:`CircuitRef` group by default;  ``shard_size``
-    caps scenarios per shard, splitting large groups into consecutive
-    chunks so single-circuit sweeps still parallelize across workers.
-    Shard ids are ``<seq>-<circuit label>`` with the sequence number
-    zero-padded, so lexicographic claim order follows submission order.
+    Never builds the circuit: Table 1 entries read their spec totals,
+    generator refs read their parameters, and ``.bench`` refs count the
+    gate-definition lines of the netlist.  Units are "components"
+    (gates + wires) — only the *relative* magnitudes matter to packing.
+    """
+    if ref.kind == "iscas85":
+        from repro.circuit.iscas85 import ISCAS85_SPECS
+
+        spec = ISCAS85_SPECS.get(ref.name)
+        if spec is not None:
+            return float(spec.total)
+    if ref.kind == "random":
+        params = dict(ref.params)
+        # total components ~ gates + wires, and wires track gates.
+        return 2.0 * float(params.get("n_gates", 50))
+    if ref.kind == "bench":
+        try:
+            with open(ref.path) as handle:
+                gates = sum(1 for line in handle if "=" in line)
+            return 2.0 * max(1.0, float(gates))
+        except OSError:
+            pass
+    return 100.0
+
+
+class CostModel:
+    """Per-scenario solve-cost estimates for cost-adaptive sharding.
+
+    Uncalibrated (the default), a scenario's cost is its circuit's
+    component-count estimate — the paper's solver is near-linear per
+    pass, so gate count × scenario count is the right first-order
+    straggler model.  Calibration replaces estimates with *measured*
+    seconds where available:
+
+    * :meth:`from_bench_file` reads a ``BENCH_perf.json`` trajectory
+      (the repo's committed kernel benchmark) and uses each circuit's
+      measured end-to-end solve time,
+    * :meth:`from_events` reads ``shard_timing`` events from one or
+      more drained queues' streams — every completed shard reports its
+      actual seconds, so the next submission's estimates tighten.
+
+    Circuits without a measurement fall back to the size estimate
+    scaled by the fitted seconds-per-component ratio of the measured
+    ones, keeping all costs in one comparable unit.
+    """
+
+    def __init__(self, weights=None, scale=1.0):
+        self.weights = {str(k): float(v) for k, v in (weights or {}).items()}
+        self.scale = float(scale)
+
+    def scenario_cost(self, scenario):
+        """Estimated cost of one scenario (arbitrary but consistent units)."""
+        weight = self.weights.get(scenario.circuit.label)
+        if weight is not None:
+            return weight
+        return _circuit_size_estimate(scenario.circuit) * self.scale
+
+    @staticmethod
+    def _fit_scale(weights):
+        """Median measured-cost per size-estimate unit over known circuits."""
+        from repro.runtime.config import CircuitRef
+
+        ratios = []
+        for name, seconds in weights.items():
+            try:
+                estimate = _circuit_size_estimate(CircuitRef.iscas85(name))
+            except ValidationError:
+                continue
+            if estimate > 0 and seconds > 0:
+                ratios.append(seconds / estimate)
+        if not ratios:
+            return 1.0
+        ratios.sort()
+        return ratios[len(ratios) // 2]
+
+    @classmethod
+    def from_bench_file(cls, path):
+        """Calibrate from a ``BENCH_perf.json`` trajectory file.
+
+        Uses each circuit's most recent ``ogws_kernel_s`` (one full
+        solve ≈ one scenario).  Raises :class:`ReproError` when the file
+        is missing or not a trajectory.
+        """
+        try:
+            payload = json.loads(pathlib.Path(path).read_text())
+        except (OSError, ValueError) as error:
+            raise ReproError(f"cannot read cost trajectory {path}: "
+                             f"{error}") from None
+        if not isinstance(payload, dict) or \
+                payload.get("kind") != "perf_trajectory":
+            raise ReproError(f"{path} is not a perf trajectory file")
+        weights = {}
+        for entry in payload.get("entries", []):
+            for row in entry.get("circuits", []):
+                seconds = row.get("ogws_kernel_s")
+                if row.get("name") and seconds:
+                    weights[str(row["name"])] = float(seconds)
+        return cls(weights, scale=cls._fit_scale(weights))
+
+    @classmethod
+    def from_events(cls, events):
+        """Calibrate from ``shard_timing`` events (any queues' streams).
+
+        A shard's marginal cost per scenario is ``elapsed_s`` over the
+        scenarios it actually *computed* (cache hits are free); multiple
+        shards of one circuit average.  The events' ``size_est`` field
+        (the worker's component estimate for its circuit) fits the
+        seconds-per-component scale for *unmeasured* circuits, so
+        calibrated seconds and scaled size estimates stay in one
+        comparable unit for circuits of any kind — without it the fit
+        falls back to Table 1 names only.
+        """
+        totals = {}
+        ratios = []
+        for event in events:
+            if event.get("kind") != "shard_timing":
+                continue
+            computed = int(event.get("computed", 0) or 0)
+            elapsed = float(event.get("elapsed_s", 0.0) or 0.0)
+            size_est = float(event.get("size_est", 0.0) or 0.0)
+            label = event.get("circuit")
+            if label and computed > 0 and elapsed > 0:
+                seconds, count = totals.get(label, (0.0, 0))
+                totals[label] = (seconds + elapsed / computed, count + 1)
+                if size_est > 0:
+                    ratios.append(elapsed / computed / size_est)
+        weights = {label: seconds / count
+                   for label, (seconds, count) in totals.items()}
+        if ratios:
+            ratios.sort()
+            scale = ratios[len(ratios) // 2]
+        else:
+            scale = cls._fit_scale(weights)
+        return cls(weights, scale=scale)
+
+
+def make_shards(scenarios, shard_size=None, mode="count", cost_model=None,
+                cost_budget=None):
+    """Circuit-grouped shards over ``scenarios``, split by count or cost.
+
+    Scenarios sharing a :class:`CircuitRef` always land in consecutive
+    shards (so each shard solves through one compile-once session and
+    gather order is untouched); ``mode`` picks how a circuit's group is
+    chunked:
+
+    * ``"count"`` (default) — ``shard_size`` caps *scenarios* per shard,
+      splitting large groups into consecutive chunks so single-circuit
+      sweeps still parallelize across workers.
+    * ``"cost"`` — shards are packed so each one's **estimated solve
+      cost** (``cost_model``, default an uncalibrated :class:`CostModel`)
+      stays within ``cost_budget``.  The default budget is the cost of
+      the single most expensive scenario in the sweep: the largest
+      circuit's scenarios shard alone while cheap circuits pack many
+      scenarios per shard — so one c7552 shard no longer straggles
+      behind twenty c17 shards of equal *count* but trivial cost.
+      ``shard_size`` still optionally caps the count per shard.
+
+    Every shard carries its ``est_cost`` (in both modes), which the
+    worker echoes into the ``shard_timing`` event for the
+    estimated-vs-actual report (``repro queue status``).  Shard ids are
+    ``<seq>-<circuit label>`` with the sequence number zero-padded, so
+    lexicographic claim order follows submission order.
     """
     if shard_size is not None and int(shard_size) < 1:
         raise ValidationError("shard_size must be >= 1")
+    if mode not in ("count", "cost"):
+        raise ValidationError(
+            f"unknown shard mode {mode!r}; choose from count, cost")
+    if cost_budget is not None and float(cost_budget) <= 0:
+        raise ValidationError("cost_budget must be positive")
+    model = cost_model if cost_model is not None else CostModel()
+    scenarios = list(scenarios)
+    costs = [model.scenario_cost(s) for s in scenarios]
+
     chunks = []
-    for members in _group_scenarios(scenarios):
-        if shard_size is None:
-            chunks.append(members)
-        else:
-            size = int(shard_size)
-            chunks.extend(members[i:i + size]
-                          for i in range(0, len(members), size))
+    size = None if shard_size is None else int(shard_size)
+    if mode == "count":
+        for members in _group_scenarios(scenarios):
+            if size is None:
+                chunks.append(members)
+            else:
+                chunks.extend(members[i:i + size]
+                              for i in range(0, len(members), size))
+    else:
+        budget = float(cost_budget) if cost_budget is not None else \
+            max(costs, default=1.0)
+        for members in _group_scenarios(scenarios):
+            chunk, acc = [], 0.0
+            for index, scenario in members:
+                cost = costs[index]
+                full = (acc + cost > budget
+                        or (size is not None and len(chunk) >= size))
+                if chunk and full:
+                    chunks.append(chunk)
+                    chunk, acc = [], 0.0
+                chunk.append((index, scenario))
+                acc += cost
+            if chunk:
+                chunks.append(chunk)
+
     shards = []
     for seq, members in enumerate(chunks):
         label = _LABEL_RE.sub("-", members[0][1].circuit.label) or "circuit"
@@ -181,6 +376,7 @@ def make_shards(scenarios, shard_size=None):
             shard_id=f"{seq:04d}-{label}",
             indexes=tuple(index for index, _ in members),
             scenarios=tuple(scenario for _, scenario in members),
+            est_cost=float(sum(costs[index] for index, _ in members)),
         ))
     return shards
 
@@ -211,12 +407,16 @@ class SweepQueue:
         """True when this directory holds a submitted sweep."""
         return self.manifest_path.exists()
 
-    def submit(self, spec_or_scenarios, shard_size=None, label=""):
+    def submit(self, spec_or_scenarios, shard_size=None, label="",
+               shard_mode="count", cost_model=None, cost_budget=None):
         """Expand, shard, and persist one sweep; returns the shard list.
 
-        A queue holds exactly one sweep for its lifetime (re-submission
-        raises) — the manifest *is* the gather contract, so it must
-        never change under a draining worker.
+        ``shard_mode`` / ``cost_model`` / ``cost_budget`` pass through to
+        :func:`make_shards` (``"cost"`` packs shards by estimated solve
+        cost instead of scenario count).  A queue holds exactly one
+        sweep for its lifetime (re-submission raises) — the manifest
+        *is* the gather contract, so it must never change under a
+        draining worker.
         """
         if self.exists():
             raise ReproError(
@@ -227,8 +427,9 @@ class SweepQueue:
             scenarios = list(spec_or_scenarios)
         if not scenarios:
             raise ValidationError("cannot submit an empty sweep")
-        shards = make_shards(scenarios, shard_size)
-        return self._persist(scenarios, shards, label)
+        shards = make_shards(scenarios, shard_size, mode=shard_mode,
+                             cost_model=cost_model, cost_budget=cost_budget)
+        return self._persist(scenarios, shards, label, shard_mode)
 
     def submit_shards(self, groups, label=""):
         """Submit with an explicit shard per scenario group.
@@ -245,6 +446,7 @@ class SweepQueue:
         if not groups or not all(groups):
             raise ValidationError("submit_shards needs non-empty groups")
         scenarios = [s for group in groups for s in group]
+        model = CostModel()
         shards = []
         offset = 0
         for seq, group in enumerate(groups):
@@ -253,11 +455,12 @@ class SweepQueue:
                 shard_id=f"{seq:04d}-{name}",
                 indexes=tuple(range(offset, offset + len(group))),
                 scenarios=tuple(group),
+                est_cost=float(sum(model.scenario_cost(s) for s in group)),
             ))
             offset += len(group)
-        return self._persist(scenarios, shards, label)
+        return self._persist(scenarios, shards, label, "explicit")
 
-    def _persist(self, scenarios, shards, label):
+    def _persist(self, scenarios, shards, label, shard_mode="count"):
         for directory in (self.pending_dir, self.claimed_dir, self.done_dir,
                           self.results_dir):
             directory.mkdir(parents=True, exist_ok=True)
@@ -270,6 +473,10 @@ class SweepQueue:
             "label": str(label),
             "scenarios": [s.canonical_dict() for s in scenarios],
             "shards": [shard.shard_id for shard in shards],
+            "shard_mode": str(shard_mode),
+            "shard_sizes": {shard.shard_id: len(shard) for shard in shards},
+            "shard_costs": {shard.shard_id: float(shard.est_cost)
+                            for shard in shards},
         }
         self._write_atomic(self.manifest_path, json.dumps(manifest, indent=1))
         self._manifest = manifest
@@ -458,6 +665,48 @@ class SweepQueue:
             total_scenarios=len(scenarios),
             records_present=present,
         )
+
+    def shard_timings(self):
+        """Latest ``shard_timing`` event per shard id (actual solve cost)."""
+        timings = {}
+        for event in self.events():
+            if event.get("kind") == "shard_timing" and event.get("shard"):
+                timings[str(event["shard"])] = event
+        return timings
+
+    def shard_report(self):
+        """Per-shard drain view: state, scenarios, estimated vs actual cost.
+
+        One dict per shard in manifest order — ``shard``, ``state``
+        (``pending``/``claimed``/``done``), ``scenarios``, ``est_cost``
+        (the submitter's estimate) and ``actual_s`` (measured solve
+        seconds from the shard's latest ``shard_timing`` event; ``None``
+        until a worker reports).  ``repro queue status`` renders this;
+        :meth:`CostModel.from_events` closes the loop by calibrating the
+        next submission from the same events.
+        """
+        manifest = self.manifest()
+        sizes = manifest.get("shard_sizes", {})
+        costs = manifest.get("shard_costs", {})
+        timings = self.shard_timings()
+        states = {}
+        for state, directory in (("pending", self.pending_dir),
+                                 ("claimed", self.claimed_dir),
+                                 ("done", self.done_dir)):
+            for shard_id in self._ids_in(directory):
+                states[shard_id] = state
+        report = []
+        for shard_id in manifest["shards"]:
+            timing = timings.get(shard_id)
+            report.append({
+                "shard": shard_id,
+                "state": states.get(shard_id, "missing"),
+                "scenarios": int(sizes.get(shard_id, 0)),
+                "est_cost": float(costs.get(shard_id, 0.0)),
+                "actual_s": (None if timing is None
+                             else float(timing.get("elapsed_s", 0.0))),
+            })
+        return report
 
     def gather(self, partial=False):
         """Records in scenario order, straight from the results store.

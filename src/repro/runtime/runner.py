@@ -21,9 +21,21 @@ lockstep through the batched kernels.  Cache hits are peeled off per
 scenario *before* grouping, the record stream order and per-scenario
 seeds are unchanged, and records are byte-identical to the per-scenario
 path (pinned by the batch-equivalence tests).
+
+**Warm sessions.**  On the in-process path (``jobs=1``, no custom
+executor) the runner keeps a :class:`~repro.core.session.SessionPool`
+for its lifetime and passes it to :func:`run_scenario_group`, so
+repeated ``run`` calls — and repeated circuits within one sweep — reuse
+warm :class:`~repro.core.session.SolverSession` artifacts instead of
+rebuilding them per group.  Queue workers hold their own pool (see
+:mod:`repro.runtime.worker`); multiprocess executors do not share one
+(sessions are single-thread owned and not picklable), so each worker
+process builds sessions as groups reach it.  Warm-vs-cold records are
+byte-identical (pinned by test).
 """
 
 import dataclasses
+import functools
 import multiprocessing
 import os
 
@@ -75,7 +87,7 @@ def run_scenario(scenario):
     )
 
 
-def run_scenario_group(scenarios):
+def run_scenario_group(scenarios, pool=None):
     """Execute scenarios sharing one :class:`CircuitRef` through a session.
 
     The unit of work the grouping planner dispatches to executors: one
@@ -84,11 +96,20 @@ def run_scenario_group(scenarios):
     sharing an engine configuration are solved in lockstep.  Returns the
     group's records in the given scenario order, byte-identical to
     per-scenario :func:`run_scenario` results.
+
+    ``pool`` (an optional :class:`~repro.core.session.SessionPool`)
+    serves the session warm: a pool hit skips the circuit build,
+    compilation, similarity analysis, layout, and ordering entirely.
+    The records are byte-identical either way — session artifacts are
+    deterministic functions of their keys.
     """
     from repro.core.session import SolverSession
 
     scenarios = list(scenarios)
-    session = SolverSession.for_ref(scenarios[0].circuit)
+    if pool is not None:
+        session = pool.session(scenarios[0].circuit)
+    else:
+        session = SolverSession.for_ref(scenarios[0].circuit)
     return session.solve(scenarios, batch=True)
 
 
@@ -241,11 +262,26 @@ class BatchRunner:
         self.batch = bool(batch) and run is run_scenario
         self.executor_factory = executor_factory
         self.stats = SweepStats()
+        self._sessions = None
 
     def _new_executor(self):
         if self.executor_factory is not None:
             return self.executor_factory()
         return make_executor(self.jobs)
+
+    def session_pool(self):
+        """The runner's warm :class:`SessionPool` (in-process path only).
+
+        Lazily built and kept for the runner's lifetime, so repeated
+        ``run`` calls on one runner reuse circuit sessions.  Only the
+        serial grouped path uses it — sessions are single-thread owned
+        and not picklable, so it never crosses an executor boundary.
+        """
+        if self._sessions is None:
+            from repro.core.session import SessionPool
+
+            self._sessions = SessionPool()
+        return self._sessions
 
     def iter_records(self, spec_or_scenarios):
         """Yield one :class:`RunRecord` per scenario, in scenario order.
@@ -337,11 +373,17 @@ class BatchRunner:
             for offset, (index, _) in enumerate(members):
                 locate[index] = (gpos, offset)
 
+        work = run_scenario_group
+        if self.jobs == 1 and self.executor_factory is None:
+            # In-process execution: hand the groups the runner's warm
+            # session pool (never crosses a process boundary).
+            work = functools.partial(run_scenario_group,
+                                     pool=self.session_pool())
         executor = self._new_executor()
         completed = False
         try:
             fresh = iter(executor.map(
-                run_scenario_group,
+                work,
                 [tuple(s for _, s in members) for members in groups]))
             arrived = {}
             remaining = [len(members) for members in groups]

@@ -1,19 +1,53 @@
-"""Work-stealing queue workers and the queue-backed executor.
+"""Work-stealing queue workers: warm, multi-queue, optionally long-lived.
 
-:class:`Worker` is the drain loop over a
-:class:`~repro.runtime.queue.SweepQueue`: claim a shard, solve it
-through the existing compile-once
-:func:`~repro.runtime.runner.run_scenario_group` path (peeling
-per-scenario cache hits first), persist every record into the queue's
-shared :class:`~repro.runtime.cache.ResultCache`, append progress to the
-event stream, and mark the shard done.  While solving, a daemon
-heartbeat thread refreshes the shard's lease, so lease expiry measures
-*liveness*, not solve time; a worker that dies stops heartbeating and a
-survivor's :meth:`SweepQueue.reclaim_expired` puts its shard back up for
-grabs.
+:class:`Worker` is the drain loop over one or more
+:class:`~repro.runtime.queue.SweepQueue`\\ s: claim a shard, solve it
+through the compile-once :func:`~repro.runtime.runner.run_scenario_group`
+path (peeling per-scenario cache hits first), persist every record into
+the owning queue's shared :class:`~repro.runtime.cache.ResultCache`,
+append progress to that queue's event stream, and mark the shard done.
+Three amortizations make workers *warm* instead of per-sweep throwaways:
 
-:func:`work_queue` / :func:`run_workers` are the process entry points
-(`repro queue work --jobs N` spawns one process per worker), and
+* **One process, many queues.**  A worker drains every queue it knows
+  about — an explicit list, or (in *serve* mode) whatever submitted
+  queues appear under its watch directories, including sweeps submitted
+  after the worker started.  Process spawn and interpreter start are
+  paid once per worker lifetime, not once per sweep.
+* **Warm sessions.**  The worker owns a
+  :class:`~repro.core.session.SessionPool` (an LRU keyed by circuit
+  content hash), so consecutive same-circuit shards — within one queue
+  or across queues — skip the circuit build, compilation, similarity
+  analysis, layout, and ordering entirely.  Records stay byte-identical
+  to a cold rebuild (session artifacts are deterministic).
+* **Per-shard timing feedback.**  Every completed shard appends a
+  ``shard_timing`` event (estimated vs measured cost), which
+  :meth:`repro.runtime.queue.CostModel.from_events` feeds back into
+  cost-adaptive sharding of the next submission.
+
+Concurrency and atomicity contract
+----------------------------------
+All inter-worker coordination lives in the queue's rename-based claim
+protocol (see :mod:`repro.runtime.queue`): a claim is one atomic
+``os.rename``, so any number of worker processes — on any hosts sharing
+the filesystem — need no locks and no daemon.  While solving, a daemon
+heartbeat thread refreshes the claimed shard's lease, so lease expiry
+measures *liveness*, not solve time; a worker that dies stops
+heartbeating and a survivor's :meth:`SweepQueue.reclaim_expired` puts
+its shard back up for grabs.  The heartbeat thread is the **only**
+concurrent actor inside a worker, and it touches nothing but the lease
+sidecar and the event log; the solver state — including the
+:class:`SessionPool`, which is single-thread owned — belongs exclusively
+to the drain loop's thread.  A worker never shares sessions, caches, or
+pools with another worker: one pool per process, by construction.
+
+Serve-mode lifecycle: a serving worker polls its watch directories for
+newly submitted queues between claims and exits when a ``STOP`` file
+appears in any watch directory, when ``idle_timeout_s`` elapses without
+claimable work, or (with ``max_shards``) after enough completions.
+
+:func:`work_queue` / :func:`serve_queues` / :func:`run_workers` are the
+process entry points (``repro queue work --jobs N`` spawns one process
+per worker; ``--serve DIR...`` starts them long-lived), and
 :class:`QueueExecutor` adapts the whole service to the batch runner's
 ``map`` / ``close`` / ``abort`` executor protocol — so
 ``BatchRunner(executor_factory=...)`` runs an ordinary sweep on the
@@ -29,7 +63,7 @@ import tempfile
 import threading
 import time
 
-from repro.runtime.queue import SweepQueue
+from repro.runtime.queue import SweepQueue, _circuit_size_estimate
 from repro.runtime.runner import (
     resolve_jobs,
     run_scenario,
@@ -41,6 +75,12 @@ from repro.utils.errors import ReproError, ValidationError
 #: every :attr:`Worker.heartbeat_s` regardless of how long a shard
 #: solves, so expiry only ever means the claimant stopped running.
 DEFAULT_LEASE_S = 60.0
+
+#: Default capacity of a worker's warm :class:`SessionPool`.
+DEFAULT_SESSIONS = 4
+
+#: Sentinel file name that stops serving workers (``<serve_dir>/STOP``).
+STOP_FILE = "STOP"
 
 
 def _default_worker_id():
@@ -89,7 +129,8 @@ class Worker:
     Parameters
     ----------
     queue:
-        A :class:`SweepQueue` (or a path to one).
+        A :class:`SweepQueue` (or a path to one); optional when
+        ``queues`` or ``serve_dirs`` supplies the work.
     worker_id:
         Identity stamped into leases and events; defaults to a
         pid-unique token.
@@ -100,25 +141,60 @@ class Worker:
     heartbeat_s:
         Lease refresh interval; defaults to ``lease_s / 4``.
     max_shards:
-        Stop after completing this many shards (``None`` = drain).
+        Stop after completing this many shards across all queues
+        (``None`` = drain).
     wait:
         When true (default) an idle worker waits for shards still
         claimed by live peers to finish (reclaiming any that expire)
-        before exiting, so its exit means the queue is drained.  When
+        before exiting, so its exit means every queue is drained.  When
         false it exits as soon as nothing is claimable.
     poll_s:
         Idle-loop sleep between claim attempts.
+    queues:
+        Additional queues (or paths) to drain from the same process —
+        claims round-robin from the first queue with pending work, so
+        queues drain in list order.
+    serve_dirs:
+        Watch directories for *serve* mode: each may itself be a queue,
+        or a parent directory whose submitted subdirectories are
+        adopted as queues — including sweeps submitted after the worker
+        started.  A serving worker outlives individual sweeps; it exits
+        on ``<dir>/STOP``, ``idle_timeout_s``, or ``max_shards``.
+    idle_timeout_s:
+        Exit after this many consecutive seconds without claimable
+        work (``None`` = wait indefinitely in serve mode).
+    session_capacity:
+        Size of the worker's warm :class:`SessionPool`.
     """
 
-    def __init__(self, queue, worker_id=None, lease_s=DEFAULT_LEASE_S,
-                 heartbeat_s=None, max_shards=None, wait=True, poll_s=0.2):
-        if not isinstance(queue, SweepQueue):
-            queue = SweepQueue(queue)
+    def __init__(self, queue=None, worker_id=None, lease_s=DEFAULT_LEASE_S,
+                 heartbeat_s=None, max_shards=None, wait=True, poll_s=0.2,
+                 queues=None, serve_dirs=None, idle_timeout_s=None,
+                 session_capacity=DEFAULT_SESSIONS):
+        from repro.core.session import SessionPool
+
+        roots = []
+        if queue is not None:
+            roots.append(queue)
+        roots.extend(queues or ())
+        self.queues = [q if isinstance(q, SweepQueue) else SweepQueue(q)
+                       for q in roots]
+        self.serve_dirs = [pathlib.Path(d) for d in (serve_dirs or ())]
+        if not self.queues and not self.serve_dirs:
+            raise ValidationError(
+                "Worker needs a queue, a queue list, or serve directories")
+        for directory in self.serve_dirs:
+            # Fail fast on a typo'd watch dir: with no STOP file possible
+            # and nothing to adopt, the serve loop would hang silently.
+            if not directory.is_dir():
+                raise ValidationError(
+                    f"serve directory does not exist: {directory}")
         if lease_s <= 0:
             raise ValidationError("Worker lease_s must be positive")
         if max_shards is not None and int(max_shards) < 1:
             raise ValidationError("Worker max_shards must be >= 1")
-        self.queue = queue
+        if idle_timeout_s is not None and float(idle_timeout_s) < 0:
+            raise ValidationError("Worker idle_timeout_s must be >= 0")
         self.worker_id = worker_id or _default_worker_id()
         self.lease_s = float(lease_s)
         self.heartbeat_s = (float(heartbeat_s) if heartbeat_s is not None
@@ -126,75 +202,163 @@ class Worker:
         self.max_shards = None if max_shards is None else int(max_shards)
         self.wait = bool(wait)
         self.poll_s = float(poll_s)
-        # One cache handle for the worker's lifetime: each instance owns
-        # one stats.d/ counter shard, so per-shard instances would litter
-        # the store with one shard file per processed work unit.  Lazy —
-        # constructing it creates results/, which an unsubmitted queue
-        # should not grow.
-        self._cache = None
+        self.idle_timeout_s = (None if idle_timeout_s is None
+                               else float(idle_timeout_s))
+        #: Warm per-circuit sessions, shared across shards and queues.
+        self.sessions = SessionPool(session_capacity)
+        # One cache handle per queue for the worker's lifetime: each
+        # instance owns one stats.d/ counter shard, so per-shard
+        # instances would litter the store with one shard file per
+        # processed work unit.  Lazy — constructing a handle creates
+        # results/, which an unsubmitted queue should not grow.
+        self._caches = {}
+        self._known = {str(q.root) for q in self.queues}
+        self._announced = set()
+        self._retired = set()    # drained queues: skip their dir scans
+        self._tallies = {}       # queue root -> this worker's share of it
+        self._idle_since = None
         #: Tallies of the last :meth:`run` (shards, computed, cache hits).
         self.shards_done = 0
         self.computed = 0
         self.cache_hits = 0
 
-    def _result_cache(self):
-        if self._cache is None:
-            self._cache = self.queue.cache()
-        return self._cache
+    @property
+    def queue(self):
+        """The worker's first queue (``None`` for a pure serve worker)."""
+        return self.queues[0] if self.queues else None
+
+    def _result_cache(self, queue):
+        key = str(queue.root)
+        cache = self._caches.get(key)
+        if cache is None:
+            cache = self._caches[key] = queue.cache()
+        return cache
+
+    # -- serve-mode discovery ---------------------------------------------------
+
+    def _discover(self):
+        """Adopt submitted queues that appeared under the serve dirs."""
+        for directory in self.serve_dirs:
+            candidates = []
+            if (directory / "sweep.json").exists():
+                candidates.append(directory)
+            else:
+                try:
+                    children = sorted(p for p in directory.iterdir()
+                                      if p.is_dir())
+                except OSError:
+                    children = []
+                candidates.extend(c for c in children
+                                  if (c / "sweep.json").exists())
+            for root in candidates:
+                key = str(root)
+                if key not in self._known:
+                    self._known.add(key)
+                    self.queues.append(SweepQueue(root))
+
+    def _stop_requested(self):
+        return any((directory / STOP_FILE).exists()
+                   for directory in self.serve_dirs)
+
+    def _announce(self, queue):
+        key = str(queue.root)
+        if key not in self._announced:
+            self._announced.add(key)
+            queue.log(self.worker_id).append(
+                "worker_started", lease_s=self.lease_s,
+                max_shards=self.max_shards)
+
+    # -- the drain loop ---------------------------------------------------------
 
     def run(self):
         """Drain loop; returns the number of shards this worker completed."""
-        log = self.queue.log(self.worker_id)
-        log.append("worker_started", lease_s=self.lease_s,
-                   max_shards=self.max_shards)
         self.shards_done = self.computed = self.cache_hits = 0
+        self._idle_since = None
         while self.max_shards is None or self.shards_done < self.max_shards:
-            shard = self.queue.claim(self.worker_id)
-            if shard is None:
-                if not self._idle_continue():
-                    break
-                continue
-            if self.process(shard):
-                self.shards_done += 1
-            # else: the lease was lost to a reclaiming peer mid-solve —
-            # the peer's re-run owns the completion, don't count it here.
-        log.append("worker_done", shards=self.shards_done,
-                   computed=self.computed, cached=self.cache_hits)
+            self._discover()
+            if self._stop_requested():
+                break
+            claimed = False
+            for queue in self.queues:
+                if str(queue.root) in self._retired:
+                    continue
+                self._announce(queue)
+                shard = queue.claim(self.worker_id)
+                if shard is None:
+                    continue
+                claimed = True
+                self._idle_since = None
+                if self.process(shard, queue):
+                    self.shards_done += 1
+                # else: the lease was lost to a reclaiming peer mid-
+                # solve — the peer's re-run owns the completion, don't
+                # count it here.
+                break
+            if not claimed and not self._idle_continue():
+                break
+        for queue in self.queues:
+            key = str(queue.root)
+            if key in self._announced:
+                # Per-queue tallies: a multi-queue worker's totals would
+                # over-report every individual queue's stream.
+                tally = self._tallies.get(
+                    key, {"shards": 0, "computed": 0, "cached": 0})
+                queue.log(self.worker_id).append("worker_done", **tally)
         return self.shards_done
 
     def _idle_continue(self):
-        """Nothing claimable: steal expired leases, wait, or give up.
+        """Nothing claimable anywhere: steal, wait, serve, or give up.
 
-        "Drained" is judged from the ``done/`` count alone — the one
-        monotonic, terminal state — because pending/claimed scans are
-        two separate directory listings and a concurrent reclaim or
-        claim landing between them could make both read zero while an
-        unsolved shard is mid-rename.
+        Per queue, "drained" is judged from the ``done/`` count alone —
+        the one monotonic, terminal state — because pending/claimed
+        scans are two separate directory listings and a concurrent
+        reclaim or claim landing between them could make both read zero
+        while an unsolved shard is mid-rename.  Drained queues are
+        retired from future scans (a queue holds one sweep forever, so
+        drained is terminal too).
         """
-        if len(self.queue._ids_in(self.queue.done_dir)) >= \
-                len(self.queue.shard_ids()):
-            return False    # drained
-        if self.queue._ids_in(self.queue.claimed_dir) and \
-                self.queue.reclaim_expired(self.lease_s, self.worker_id):
-            return True     # stolen work is immediately claimable
-        if not self.wait and not self.queue._ids_in(self.queue.pending_dir):
+        undrained = False
+        for queue in self.queues:
+            key = str(queue.root)
+            if key in self._retired:
+                continue
+            if len(queue._ids_in(queue.done_dir)) >= len(queue.shard_ids()):
+                self._retired.add(key)
+                continue
+            undrained = True
+            if queue._ids_in(queue.claimed_dir) and \
+                    queue.reclaim_expired(self.lease_s, self.worker_id):
+                return True     # stolen work is immediately claimable
+        if not undrained and not self.serve_dirs:
+            return False    # every queue drained; nothing to wait for
+        if undrained and not self.wait and not any(
+                queue._ids_in(queue.pending_dir) for queue in self.queues
+                if str(queue.root) not in self._retired):
             return False    # live peers hold the rest; not our problem
+        now = time.monotonic()
+        if self._idle_since is None:
+            self._idle_since = now
+        if self.idle_timeout_s is not None and \
+                now - self._idle_since >= self.idle_timeout_s:
+            return False    # idle too long (serve mode's exit valve)
         time.sleep(self.poll_s)
         return True
 
-    def process(self, shard):
+    def process(self, shard, queue=None):
         """Solve one claimed shard end to end (hits peeled, records persisted).
 
         Returns whether the completion stuck (``False`` = lease lost to
         a reclaiming peer; the records written are still valid).
         """
-        cache = self._result_cache()
-        log = self.queue.log(self.worker_id)
+        queue = queue if queue is not None else self.queues[0]
+        cache = self._result_cache(queue)
+        log = queue.log(self.worker_id)
         records = {}
         missing = []
-        heartbeat = _LeaseHeartbeat(self.queue, shard.shard_id,
+        heartbeat = _LeaseHeartbeat(queue, shard.shard_id,
                                     self.worker_id, self.heartbeat_s)
         heartbeat.start()
+        started = time.perf_counter()
         try:
             for index, scenario in zip(shard.indexes, shard.scenarios):
                 hit = cache.get(scenario)
@@ -204,54 +368,116 @@ class Worker:
                     missing.append((index, scenario))
             if missing:
                 fresh = run_scenario_group(
-                    tuple(scenario for _, scenario in missing))
+                    tuple(scenario for _, scenario in missing),
+                    pool=self.sessions)
                 for (index, scenario), record in zip(missing, fresh):
                     cache.put(scenario, record)
                     records[index] = record
         finally:
             heartbeat.stop()
             cache.flush()
+        elapsed = time.perf_counter() - started
         for index, scenario in zip(shard.indexes, shard.scenarios):
             record = records[index]
             log.append("record_done", shard=shard.shard_id, index=index,
                        scenario=scenario.content_hash(),
                        label=scenario.label, cached=bool(record.cached),
                        record=_event_record(record))
+        log.append("shard_timing", shard=shard.shard_id,
+                   circuit=shard.scenarios[0].circuit.label,
+                   scenarios=len(shard), computed=len(missing),
+                   cached=len(shard) - len(missing),
+                   est_cost=float(shard.est_cost),
+                   # Per-scenario component estimate: lets CostModel.
+                   # from_events fit a seconds-per-component scale for
+                   # circuits of any kind, not just Table 1 names.
+                   size_est=float(_circuit_size_estimate(
+                       shard.scenarios[0].circuit)),
+                   elapsed_s=round(elapsed, 6))
         self.computed += len(missing)
         self.cache_hits += len(shard) - len(missing)
-        return self.queue.complete(shard, self.worker_id,
-                                   computed=len(missing),
-                                   cached=len(shard) - len(missing))
+        tally = self._tallies.setdefault(
+            str(queue.root), {"shards": 0, "computed": 0, "cached": 0})
+        tally["computed"] += len(missing)
+        tally["cached"] += len(shard) - len(missing)
+        stuck = queue.complete(shard, self.worker_id,
+                               computed=len(missing),
+                               cached=len(shard) - len(missing))
+        if stuck:
+            tally["shards"] += 1
+        return stuck
 
 
 def work_queue(root, worker_id=None, lease_s=DEFAULT_LEASE_S,
-               heartbeat_s=None, max_shards=None, wait=True, poll_s=0.2):
-    """Run one :class:`Worker` to completion over the queue at ``root``.
+               heartbeat_s=None, max_shards=None, wait=True, poll_s=0.2,
+               idle_timeout_s=None, session_capacity=DEFAULT_SESSIONS):
+    """Run one :class:`Worker` to completion over the queue(s) at ``root``.
 
-    Module-level so ``multiprocessing`` can target it; returns the
-    number of shards completed.
+    ``root`` is one queue directory or a list of them (one process pool
+    draining several sweeps back to back, sessions kept warm across
+    them).  Module-level so ``multiprocessing`` can target it; returns
+    the number of shards completed.
     """
-    worker = Worker(SweepQueue(root), worker_id=worker_id, lease_s=lease_s,
+    roots = list(root) if isinstance(root, (list, tuple)) else [root]
+    worker = Worker(queues=[SweepQueue(r) for r in roots],
+                    worker_id=worker_id, lease_s=lease_s,
                     heartbeat_s=heartbeat_s, max_shards=max_shards,
-                    wait=wait, poll_s=poll_s)
+                    wait=wait, poll_s=poll_s, idle_timeout_s=idle_timeout_s,
+                    session_capacity=session_capacity)
     return worker.run()
 
 
-def run_workers(root, jobs, **worker_kwargs):
-    """Drain the queue at ``root`` with ``jobs`` worker processes.
+def serve_queues(dirs, worker_id=None, lease_s=DEFAULT_LEASE_S,
+                 heartbeat_s=None, max_shards=None, poll_s=0.2,
+                 idle_timeout_s=None, session_capacity=DEFAULT_SESSIONS):
+    """Run one long-lived :class:`Worker` serving the watch directories.
 
-    ``jobs`` accepts ``"auto"`` (see
-    :func:`~repro.runtime.runner.resolve_jobs`); 1 runs in-process.
-    Raises :class:`ReproError` if any worker process dies abnormally.
-    Returns the number of workers run.
+    The warm entry point: the worker adopts every submitted queue under
+    ``dirs`` — including sweeps submitted while it runs — and keeps its
+    process and :class:`~repro.core.session.SessionPool` alive across
+    all of them.  Exits on ``<dir>/STOP``, ``idle_timeout_s``, or
+    ``max_shards``; returns the number of shards completed.  Module-
+    level so ``multiprocessing`` can target it.
+    """
+    worker = Worker(serve_dirs=list(dirs), worker_id=worker_id,
+                    lease_s=lease_s, heartbeat_s=heartbeat_s,
+                    max_shards=max_shards, poll_s=poll_s,
+                    idle_timeout_s=idle_timeout_s,
+                    session_capacity=session_capacity)
+    return worker.run()
+
+
+def run_workers(root, jobs, serve=False, **worker_kwargs):
+    """Drain or serve the queue(s) at ``root`` with ``jobs`` processes.
+
+    ``root`` is a queue directory or a list of them; with ``serve=True``
+    it names *watch* directories instead and the workers stay alive for
+    newly submitted sweeps (see :func:`serve_queues` — pass
+    ``idle_timeout_s`` or drop a ``STOP`` file to end them).  ``jobs``
+    accepts ``"auto"`` (see :func:`~repro.runtime.runner.resolve_jobs`);
+    1 runs in-process.  Raises :class:`ReproError` if any worker process
+    dies abnormally.  Returns the number of workers run.
     """
     jobs = resolve_jobs(jobs)
+    if isinstance(root, (list, tuple)):
+        roots = [str(r) for r in root]
+    else:
+        roots = [str(root)]
+    if serve:
+        # Validate before spawning so a typo'd watch dir is one clear
+        # error, not N dead worker processes.
+        for directory in roots:
+            if not pathlib.Path(directory).is_dir():
+                raise ValidationError(
+                    f"serve directory does not exist: {directory}")
+    target = serve_queues if serve else work_queue
+    payload = roots if serve else (roots if len(roots) > 1 else roots[0])
     if jobs == 1:
-        work_queue(str(root), **worker_kwargs)
+        target(payload, **worker_kwargs)
         return 1
     processes = [
         multiprocessing.Process(
-            target=work_queue, args=(str(root),),
+            target=target, args=(payload,),
             kwargs=dict(worker_kwargs, worker_id=worker_kwargs.get(
                 "worker_id") and f"{worker_kwargs['worker_id']}-{index}"),
             name=f"repro-queue-worker-{index}")

@@ -304,3 +304,87 @@ class TestFuzzSweepSmoke:
         scalar = BatchRunner(jobs=1, batch=False).run(spec)
         assert ([r.canonical_json() for r in records]
                 == [r.canonical_json() for r in scalar])
+
+
+class TestSessionPool:
+    """SessionPool: LRU reuse keyed by circuit identity, warm ≡ cold."""
+
+    def test_reuse_hit_and_identity(self):
+        from repro.core import SessionPool
+
+        pool = SessionPool(capacity=2)
+        first = pool.session(REF)
+        assert pool.session(REF) is first
+        # An equal-but-distinct ref (same content hash) shares the session.
+        clone = CircuitRef.from_dict(REF.canonical_dict())
+        assert pool.session(clone) is first
+        assert (pool.hits, pool.misses) == (2, 1)
+        assert REF in pool and len(pool) == 1
+
+    def test_lru_eviction_order(self):
+        from repro.core import SessionPool
+
+        refs = [CircuitRef.random(10 + 2 * i, 3, 2, seed=i, target_depth=4)
+                for i in range(3)]
+        pool = SessionPool(capacity=2)
+        s0 = pool.session(refs[0])
+        pool.session(refs[1])
+        pool.session(refs[0])       # refresh refs[0]; refs[1] is now LRU
+        pool.session(refs[2])       # evicts refs[1]
+        assert pool.evictions == 1
+        assert refs[1] not in pool
+        assert pool.session(refs[0]) is s0
+        pool.clear()
+        assert len(pool) == 0
+
+    def test_capacity_validated(self):
+        from repro.core import SessionPool
+
+        with pytest.raises(ValidationError):
+            SessionPool(capacity=0)
+
+    def test_bench_file_edit_is_a_pool_miss_not_a_stale_hit(self, tmp_path):
+        """A long-lived pool must not serve a session built from an old
+        version of a .bench file edited in place (the key folds in the
+        netlist bytes, not just the path)."""
+        import shutil
+
+        from repro.circuit.parser import builtin_bench_path
+        from repro.core import SessionPool
+
+        path = tmp_path / "c.bench"
+        shutil.copy(builtin_bench_path("c17"), path)
+        pool = SessionPool()
+        ref = CircuitRef.bench(path)
+        first = pool.session(ref)
+        assert pool.session(ref) is first           # unchanged file: warm
+        path.write_text(path.read_text() + "\n# edited\n")
+        assert pool.session(ref) is not first       # edited file: rebuild
+        assert pool.misses == 2
+
+    def test_warm_reuse_byte_identical_to_cold_rebuild(self):
+        """The reuse contract: records from a warm (pooled) session match
+        a cold per-group rebuild byte for byte, across repeated groups."""
+        from repro.core import SessionPool
+        from repro.runtime.runner import run_scenario_group
+
+        pool = SessionPool()
+        scenarios = _spec(noise_fractions=(0.1, 0.13)).scenarios()
+        cold = [r.canonical_json() for r in run_scenario_group(scenarios)]
+        first = [r.canonical_json()
+                 for r in run_scenario_group(scenarios, pool=pool)]
+        warm = [r.canonical_json()
+                for r in run_scenario_group(scenarios, pool=pool)]
+        assert first == cold
+        assert warm == cold
+        assert pool.hits == 1   # the second group reused the session
+
+    def test_batch_runner_serial_path_keeps_a_warm_pool(self):
+        from repro.runtime import BatchRunner
+
+        spec = _spec(noise_fractions=(0.1, 0.13))
+        runner = BatchRunner(jobs=1, batch=True)
+        first = [r.canonical_json() for r in runner.run(spec)]
+        second = [r.canonical_json() for r in runner.run(spec)]
+        assert first == second
+        assert runner.session_pool().hits >= 1

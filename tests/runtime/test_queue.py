@@ -155,3 +155,158 @@ def test_gather_incomplete_raises_and_partial_returns(tmp_path, sweep):
     with pytest.raises(ReproError, match="incomplete"):
         queue.gather()
     assert queue.gather(partial=True) == []
+
+
+class TestCostSharding:
+    """Cost-mode shards: budget respected, order unchanged, calibration."""
+
+    @staticmethod
+    def mixed_scenarios():
+        """One heavy circuit plus two cheap ones, several scenarios each."""
+        from repro.runtime.config import CircuitRef as Ref
+
+        spec = SweepSpec(
+            circuits=(Ref.random(60, 8, 4, seed=0, target_depth=9),
+                      Ref.random(10, 3, 2, seed=1, target_depth=4),
+                      Ref.random(12, 4, 2, seed=2, target_depth=4)),
+            noise_fractions=(0.1, 0.12, 0.14),
+            base=FlowConfig(n_patterns=32, max_iterations=50),
+        )
+        return spec.scenarios()
+
+    def test_no_shard_exceeds_budget(self):
+        from repro.runtime.queue import CostModel
+
+        scenarios = self.mixed_scenarios()
+        model = CostModel()
+        budget = max(model.scenario_cost(s) for s in scenarios)
+        shards = make_shards(scenarios, mode="cost")
+        for shard in shards:
+            assert shard.est_cost <= budget + 1e-9 or len(shard) == 1
+        # Cheap circuits pack several scenarios per shard; the heavy one
+        # shards alone (the anti-straggler property).
+        sizes = {shard.scenarios[0].circuit: len(shard) for shard in shards}
+        heavy = scenarios[0].circuit
+        assert sizes[heavy] == 1
+        assert any(circuit != heavy and size > 1
+                   for circuit, size in sizes.items())
+
+    def test_gather_order_and_coverage_unchanged(self):
+        scenarios = self.mixed_scenarios()
+        shards = make_shards(scenarios, mode="cost")
+        covered = [i for shard in shards for i in shard.indexes]
+        assert sorted(covered) == list(range(len(scenarios)))
+        # Within a shard, indexes stay consecutive and increasing, so a
+        # cost-mode queue gathers in the same scenario order as count mode.
+        for shard in shards:
+            assert list(shard.indexes) == \
+                list(range(shard.indexes[0], shard.indexes[-1] + 1))
+            assert len({s.circuit for s in shard.scenarios}) == 1
+
+    def test_explicit_budget_and_shard_size_cap(self):
+        scenarios = self.mixed_scenarios()
+        loose = make_shards(scenarios, mode="cost", cost_budget=1e12)
+        assert len(loose) == 3      # one shard per circuit group
+        capped = make_shards(scenarios, mode="cost", cost_budget=1e12,
+                             shard_size=1)
+        assert all(len(shard) == 1 for shard in capped)
+
+    def test_mode_and_budget_validation(self):
+        scenarios = self.mixed_scenarios()
+        with pytest.raises(ValidationError):
+            make_shards(scenarios, mode="weight")
+        with pytest.raises(ValidationError):
+            make_shards(scenarios, mode="cost", cost_budget=0)
+
+    def test_count_mode_still_annotates_cost(self, sweep):
+        shards = make_shards(sweep.scenarios(), shard_size=2)
+        assert all(shard.est_cost > 0 for shard in shards)
+        ticket = Shard.from_dict(json.loads(json.dumps(shards[0].to_dict())))
+        assert ticket.est_cost == shards[0].est_cost
+        # Old tickets without the field still load (est_cost defaults).
+        legacy = shards[0].to_dict()
+        del legacy["est_cost"]
+        assert Shard.from_dict(legacy).est_cost == 0.0
+
+    def test_cost_mode_submit_records_costs_in_manifest(self, tmp_path,
+                                                        sweep):
+        queue = SweepQueue(tmp_path / "q")
+        shards = queue.submit(sweep, shard_mode="cost")
+        manifest = queue.manifest()
+        assert manifest["shard_mode"] == "cost"
+        assert set(manifest["shard_costs"]) == {s.shard_id for s in shards}
+        report = queue.shard_report()
+        assert [row["shard"] for row in report] == queue.shard_ids()
+        assert all(row["state"] == "pending" and row["est_cost"] > 0
+                   and row["actual_s"] is None for row in report)
+
+
+class TestCostModelCalibration:
+    def test_from_bench_file(self, tmp_path, sweep):
+        from repro.runtime.config import CircuitRef as Ref
+        from repro.runtime.queue import CostModel
+
+        bench = tmp_path / "BENCH_perf.json"
+        bench.write_text(json.dumps({
+            "kind": "perf_trajectory",
+            "entries": [{"circuits": [
+                {"name": "c432", "ogws_kernel_s": 0.010},
+                {"name": "c880", "ogws_kernel_s": 0.025},
+            ]}],
+        }))
+        model = CostModel.from_bench_file(bench)
+        spec = SweepSpec(circuits=(Ref.iscas85("c432"), Ref.iscas85("c880")),
+                         base=FlowConfig(n_patterns=32))
+        costs = [model.scenario_cost(s) for s in spec.scenarios()]
+        assert costs == [0.010, 0.025]      # measured seconds verbatim
+        # Uncovered circuits scale their size estimate into seconds.
+        other = sweep.scenarios()[0]
+        assert 0 < model.scenario_cost(other) < 1.0
+        with pytest.raises(ReproError):
+            CostModel.from_bench_file(tmp_path / "missing.json")
+
+    def test_from_events_uses_shard_timings(self):
+        from repro.runtime.queue import CostModel
+
+        events = [
+            {"kind": "shard_timing", "circuit": "c432", "computed": 2,
+             "elapsed_s": 0.2},
+            {"kind": "shard_timing", "circuit": "c432", "computed": 1,
+             "elapsed_s": 0.3},
+            {"kind": "shard_timing", "circuit": "c880", "computed": 0,
+             "elapsed_s": 0.5},      # all cache hits: no signal
+            {"kind": "heartbeat"},
+        ]
+        model = CostModel.from_events(events)
+        assert model.weights["c432"] == pytest.approx(0.2)   # mean(0.1, 0.3)
+        assert "c880" not in model.weights
+
+    def test_from_events_fits_scale_for_non_iscas_circuits(self, sweep):
+        """size_est in the events fits seconds-per-component, so measured
+        seconds and scaled size estimates stay in one unit even when no
+        circuit is a Table 1 name (the straggler-regression guard)."""
+        from repro.runtime.queue import CostModel, _circuit_size_estimate
+
+        events = [
+            {"kind": "shard_timing", "circuit": "rand60", "computed": 2,
+             "elapsed_s": 0.4, "size_est": 100.0},     # 0.002 s/component
+            {"kind": "shard_timing", "circuit": "rand60", "computed": 1,
+             "elapsed_s": 0.2, "size_est": 100.0},
+        ]
+        model = CostModel.from_events(events)
+        assert model.scale == pytest.approx(0.002)
+        # An unmeasured circuit's estimate lands in *seconds* now:
+        # comparable to the measured weight, not 1000× larger.
+        scenario = sweep.scenarios()[0]
+        expected = _circuit_size_estimate(scenario.circuit) * 0.002
+        assert model.scenario_cost(scenario) == pytest.approx(expected)
+        assert model.scenario_cost(scenario) < 1.0
+
+    def test_worker_shard_timing_carries_size_est(self, tmp_path, sweep):
+        from repro.runtime import Worker
+
+        queue = SweepQueue(tmp_path / "q")
+        queue.submit(sweep)
+        Worker(queue, worker_id="w", lease_s=30.0).run()
+        timings = queue.shard_timings().values()
+        assert timings and all(t["size_est"] > 0 for t in timings)

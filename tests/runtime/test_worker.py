@@ -2,6 +2,7 @@
 
 import io
 import multiprocessing
+import time
 
 import pytest
 
@@ -176,3 +177,133 @@ def test_watch_queue_streams_and_renders_from_events(tmp_path, sweep,
     assert "Sweep progress (4/4)" in text
     assert "[4/4]" in text
     assert "shard_done" in text
+
+
+class TestWarmWorkers:
+    """Multi-queue drains, serve-mode adoption, warm session reuse."""
+
+    def test_multi_queue_worker_drains_in_order(self, tmp_path, sweep,
+                                                serial_json):
+        scenarios = sweep.scenarios()
+        q1 = SweepQueue(tmp_path / "q1")
+        q1.submit(scenarios[:2])
+        q2 = SweepQueue(tmp_path / "q2")
+        q2.submit(scenarios[2:])
+        worker = Worker(queues=[q1, q2], worker_id="multi", lease_s=30.0,
+                        poll_s=0.01)
+        assert worker.run() == 2            # one circuit-group shard each
+        assert q1.status().complete and q2.status().complete
+        assert [r.canonical_json() for r in q1.gather()] == serial_json[:2]
+        assert [r.canonical_json() for r in q2.gather()] == serial_json[2:]
+        # Lifecycle events land on both streams.
+        for queue in (q1, q2):
+            kinds = [e["kind"] for e in queue.events()]
+            assert "worker_started" in kinds and "worker_done" in kinds
+
+    def test_serve_worker_adopts_new_queue_and_stops_on_stop_file(
+            self, tmp_path, sweep, serial_json):
+        import threading
+
+        base = tmp_path / "srv"
+        base.mkdir()
+        scenarios = sweep.scenarios()
+        SweepQueue(base / "q1").submit(scenarios[:2])
+        worker = Worker(serve_dirs=[base], worker_id="server", lease_s=30.0,
+                        poll_s=0.01)
+        thread = threading.Thread(target=worker.run)
+        thread.start()
+        try:
+            deadline = time.time() + 30
+            while not SweepQueue(base / "q1").status().complete:
+                assert time.time() < deadline
+                time.sleep(0.01)
+            # Submit a *second* sweep while the worker is already serving.
+            q2 = SweepQueue(base / "q2")
+            q2.submit(scenarios[:2])
+            while not q2.status().complete:
+                assert time.time() < deadline
+                time.sleep(0.01)
+        finally:
+            (base / "STOP").touch()
+            thread.join(timeout=30)
+        assert not thread.is_alive()
+        assert worker.shards_done == 2
+        assert [r.canonical_json() for r in SweepQueue(base / "q1").gather()] \
+            == serial_json[:2]
+        assert [r.canonical_json() for r in q2.gather()] == serial_json[:2]
+        # The second queue's identical circuit reused the warm session.
+        assert worker.sessions.hits >= 1
+
+    def test_serve_worker_idle_timeout_and_prestop(self, tmp_path):
+        base = tmp_path / "srv"
+        base.mkdir()
+        worker = Worker(serve_dirs=[base], lease_s=30.0, poll_s=0.01,
+                        idle_timeout_s=0.05)
+        started = time.time()
+        assert worker.run() == 0            # nothing ever submitted
+        assert time.time() - started < 10
+        (base / "STOP").touch()
+        stopped = Worker(serve_dirs=[base], lease_s=30.0, poll_s=0.01)
+        assert stopped.run() == 0           # exits immediately on STOP
+
+    def test_cost_mode_queue_drains_steals_and_gathers_identical(
+            self, tmp_path, sweep, serial_json):
+        """Kill/steal still reclaims when shards were packed by cost."""
+        queue = SweepQueue(tmp_path / "q")
+        queue.submit(sweep, shard_mode="cost", cost_budget=1.0)  # 1 per shard
+        doomed = queue.claim("doomed")      # killed worker, no heartbeat
+        assert doomed is not None
+        survivor = Worker(queue, worker_id="survivor", lease_s=0.05,
+                          poll_s=0.01)
+        assert survivor.run() == 4
+        assert [r.canonical_json() for r in queue.gather()] == serial_json
+        kinds = [e["kind"] for e in queue.events()]
+        assert "lease_reclaimed" in kinds
+
+    def test_shard_timing_events_report_estimated_vs_actual(self, tmp_path,
+                                                            sweep):
+        queue = SweepQueue(tmp_path / "q")
+        queue.submit(sweep, shard_mode="cost")
+        Worker(queue, worker_id="w", lease_s=30.0).run()
+        timings = queue.shard_timings()
+        assert set(timings) == set(queue.shard_ids())
+        for event in timings.values():
+            assert event["elapsed_s"] > 0
+            assert event["est_cost"] > 0
+            assert event["computed"] + event["cached"] == event["scenarios"]
+        report = queue.shard_report()
+        assert all(row["state"] == "done" and row["actual_s"] > 0
+                   for row in report)
+        # The timing events calibrate a cost model for the next sweep.
+        from repro.runtime import CostModel
+
+        model = CostModel.from_events(queue.events())
+        assert model.weights    # at least one circuit measured
+
+    def test_worker_serve_validation(self, tmp_path):
+        with pytest.raises(ValidationError):
+            Worker()                        # no queue, no serve dirs
+        with pytest.raises(ValidationError):
+            Worker(serve_dirs=[tmp_path], idle_timeout_s=-1)
+        # A typo'd watch dir must fail fast, not hang silently forever.
+        with pytest.raises(ValidationError, match="serve directory"):
+            Worker(serve_dirs=[tmp_path / "nope"])
+        from repro.runtime import run_workers
+
+        with pytest.raises(ValidationError, match="serve directory"):
+            run_workers([str(tmp_path / "nope")], 2, serve=True)
+
+    def test_worker_done_tallies_are_per_queue(self, tmp_path, sweep):
+        scenarios = sweep.scenarios()
+        q1 = SweepQueue(tmp_path / "q1")
+        q1.submit(scenarios[:1])
+        q2 = SweepQueue(tmp_path / "q2")
+        q2.submit(scenarios[1:])            # 3 scenarios, 2 circuit groups
+        Worker(queues=[q1, q2], worker_id="t", lease_s=30.0,
+               poll_s=0.01).run()
+        done1 = [e for e in q1.events() if e["kind"] == "worker_done"]
+        done2 = [e for e in q2.events() if e["kind"] == "worker_done"]
+        assert [e["shards"] for e in done1] == [1]
+        assert [e["computed"] for e in done1] == [1]
+        assert [e["shards"] for e in done2] == [2]
+        assert [e["computed"] for e in done2] == [3]

@@ -200,6 +200,57 @@ class TestQueueCommands:
         assert code == 2
         assert "error" in text
 
+    def test_cost_mode_submit_and_status_report(self, tmp_path):
+        queue_dir = tmp_path / "q"
+        code, text = self.submit(queue_dir, "--shard-mode", "cost")
+        assert code == 0
+        assert "cost mode" in text and "est cost" in text
+
+        code, text = run_cli("queue", "status", "--queue-dir", str(queue_dir))
+        assert code == 0
+        assert "estimated vs actual cost" in text
+        assert "pending" in text
+
+        assert run_cli("queue", "work", "--queue-dir", str(queue_dir))[0] == 0
+        code, text = run_cli("queue", "status", "--queue-dir", str(queue_dir))
+        assert code == 0
+        # After the drain the actual seconds column is populated.
+        assert "estimated vs actual cost" in text and " - " not in text
+
+        code, text = run_cli("queue", "gather", "--queue-dir", str(queue_dir),
+                             "--verify-serial", "--quiet")
+        assert code == 0
+        assert "byte-identical" in text
+
+    def test_work_requires_exactly_one_of_queue_dir_and_serve(self, tmp_path):
+        code, text = run_cli("queue", "work")
+        assert code == 2
+        assert "exactly one" in text
+        code, text = run_cli("queue", "work", "--queue-dir", str(tmp_path),
+                             "--serve", str(tmp_path))
+        assert code == 2
+        assert "exactly one" in text
+        code, text = run_cli("queue", "work", "--serve", str(tmp_path),
+                             "--no-wait")
+        assert code == 2
+        assert "--max-idle" in text
+        code, text = run_cli("queue", "work", "--serve",
+                             str(tmp_path / "nope"))
+        assert code == 2
+        assert "serve directory" in text
+
+    def test_serve_drains_submitted_queue_with_max_idle(self, tmp_path):
+        base = tmp_path / "srv"
+        base.mkdir()
+        assert self.submit(base / "q1")[0] == 0
+        code, text = run_cli("queue", "work", "--serve", str(base),
+                             "--max-idle", "0.2")
+        assert code == 0
+        assert "serving worker" in text
+        code, text = run_cli("queue", "gather", "--queue-dir",
+                             str(base / "q1"), "--quiet")
+        assert code == 0
+
     def test_resubmission_is_an_error(self, tmp_path):
         queue_dir = tmp_path / "q"
         assert self.submit(queue_dir)[0] == 0

@@ -1,0 +1,144 @@
+"""Documentation checker: links resolve, documented commands actually run.
+
+Two checks over ``README.md``, ``docs/*.md``, ``ROADMAP.md``, and
+``CHANGES.md``:
+
+1. **Intra-repo links** — every relative Markdown link target
+   (``[text](path)``, anchors stripped) must exist on disk. External
+   (``http``/``https``/``mailto``) links are ignored.
+2. **Console blocks** — fenced code blocks tagged ``console`` contain
+   ``$ ``-prefixed commands (non-``$`` lines are illustrative output).
+   Each documented file's commands run *in order* in one fresh
+   temporary working directory (so a submit → work → gather sequence
+   spanning several blocks works), with ``PYTHONPATH`` pointing at the
+   checkout's ``src``. ``repro ...`` and ``python -m repro ...`` both
+   execute as ``<this interpreter> -m repro ...``; any other command
+   fails the check — documented commands must be runnable, or be placed
+   in a plain ``bash`` block (which is not executed).
+
+Run as a script (CI's docs job) or import the functions (the test
+suite checks links and block syntax without executing the commands).
+"""
+
+import os
+import pathlib
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\S*)\s*$")
+COMMAND_TIMEOUT_S = 600
+
+
+def doc_files(root=ROOT):
+    """The Markdown files under the documentation contract."""
+    files = [root / "README.md", root / "ROADMAP.md", root / "CHANGES.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def iter_links(path):
+    """Relative link targets in ``path`` (external links skipped)."""
+    text = path.read_text()
+    # Fenced code blocks may contain bracket/paren text that is not a link.
+    fenced = re.compile(r"```.*?```", re.DOTALL)
+    for target in LINK_RE.findall(fenced.sub("", text)):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target
+
+
+def check_links(files):
+    """Broken relative links as ``(file, target)`` pairs (empty = good)."""
+    broken = []
+    for path in files:
+        for target in iter_links(path):
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append((path, target))
+    return broken
+
+
+def iter_console_commands(path):
+    """The ``$ ``-prefixed commands of every ``console`` block, in order."""
+    commands = []
+    in_console = False
+    for line in path.read_text().splitlines():
+        fence = FENCE_RE.match(line)
+        if fence is not None:
+            in_console = not in_console and fence.group(1) == "console"
+            continue
+        if in_console and line.startswith("$ "):
+            commands.append(line[2:].strip())
+    return commands
+
+
+def command_argv(command):
+    """The argv a documented command runs as (None = not runnable)."""
+    parts = shlex.split(command)
+    if parts[:1] == ["repro"]:
+        return [sys.executable, "-m", "repro"] + parts[1:]
+    if parts[:3] == ["python", "-m", "repro"]:
+        return [sys.executable, "-m", "repro"] + parts[3:]
+    return None
+
+
+def run_console_blocks(files, root=ROOT, out=sys.stdout):
+    """Execute every documented command; returns failures as messages.
+
+    One fresh working directory per documentation file, shared by all
+    of that file's commands, so multi-step walkthroughs (submit a
+    queue, drain it, gather) behave as a reader's terminal would.
+    """
+    failures = []
+    for path in files:
+        commands = iter_console_commands(path)
+        if not commands:
+            continue
+        with tempfile.TemporaryDirectory(prefix="repro-docs-") as workdir:
+            for command in commands:
+                argv = command_argv(command)
+                if argv is None:
+                    failures.append(
+                        f"{path.name}: not a runnable documented command: "
+                        f"{command!r} (use a plain bash block for "
+                        f"illustrative shell)")
+                    continue
+                out.write(f"[{path.name}] $ {command}\n")
+                out.flush()
+                result = subprocess.run(
+                    argv, cwd=workdir, capture_output=True, text=True,
+                    timeout=COMMAND_TIMEOUT_S,
+                    env=dict(os.environ, PYTHONPATH=str(root / "src")),
+                )
+                if result.returncode != 0:
+                    failures.append(
+                        f"{path.name}: {command!r} exited "
+                        f"{result.returncode}:\n{result.stdout}"
+                        f"{result.stderr}")
+    return failures
+
+
+def main(argv=None):
+    files = doc_files()
+    print(f"checking {len(files)} documentation files")
+    problems = [f"broken link in {path.name}: {target}"
+                for path, target in check_links(files)]
+    skip_run = argv is not None and "--links-only" in argv
+    if not skip_run:
+        problems.extend(run_console_blocks(files))
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if problems:
+        return 1
+    print("docs OK: links resolve" +
+          ("" if skip_run else ", documented commands run"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
