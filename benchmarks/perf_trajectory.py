@@ -23,7 +23,11 @@ Measures, per circuit:
   every repeat (process spawn excluded, per-circuit
   :class:`~repro.core.session.SessionPool` sessions kept hot), which is
   the deployment shape ``repro queue work --serve`` runs; the recorded
-  time is still submit → drain → gather end to end.
+  time is still submit → drain → gather end to end,
+* with ``--cold-breakdown``: per-stage cold similarity-setup times
+  (analyzer construction through layout reordering) plus the end-to-end
+  cold total, the PR 6 cold-path quantity (``--check-cold-ms`` gates
+  on it).
 
 Results append to a trajectory file (default ``BENCH_perf.json`` at the
 repo root) so successive PRs accumulate a history.  CI runs this on the
@@ -236,6 +240,69 @@ def _serve_drain(spec, workers, repeats, shard_size, scalar_records):
     return queue_s, identical
 
 
+def bench_cold_breakdown(name, patterns, repeats):
+    """Per-stage cold setup times (the similarity → ordering cold path).
+
+    Rebuilds the circuit every repeat so all memoized artifacts
+    (``compile()``, ``sim_plan()``, analyzer Grams) start cold; netlist
+    parsing and layout construction stay outside the clock.  Stages:
+
+    * ``analyzer`` — SimPlan compilation + levelized simulation
+      (analyzer construction end to end),
+    * ``keys`` — batched ±1 Gram products + int16 sort keys for every
+      channel (one block gather, one f32 matmul per channel),
+    * ``ordering`` — WOSS over every channel via the keys fast path,
+    * ``cost`` — before/after path-dissimilarity totals from the cached
+      Grams,
+    * ``apply`` — layout reordering,
+
+    plus ``cold_total_ms``: one uninstrumented end-to-end
+    ``order_channel_wires`` run (fresh circuit again), the number the
+    PR 6 ≥3× acceptance gate checks.
+    """
+    from repro.core.flow import order_channel_wires, resolve_ordering
+    from repro.geometry.layout import ChannelLayout
+    from repro.noise.similarity import SimilarityAnalyzer
+
+    best = {}
+    for _ in range(repeats):
+        circuit = iscas85_circuit(name)
+        layout = ChannelLayout.from_levels(circuit)
+        ordering = resolve_ordering("woss")
+        t0 = time.perf_counter()
+        analyzer = SimilarityAnalyzer(circuit, n_patterns=patterns, seed=0)
+        t1 = time.perf_counter()
+        channels = [ch for ch in layout.channels if len(ch) >= 2]
+        keys_list = analyzer.sort_keys_many([ch.wires for ch in channels])
+        t2 = time.perf_counter()
+        orders = {ch.label: ordering(None, ch.label, keys)
+                  for ch, keys in zip(channels, keys_list)}
+        t3 = time.perf_counter()
+        for ch in channels:
+            analyzer.path_dissimilarity(ch.wires)
+            analyzer.path_dissimilarity(ch.wires, orders[ch.label])
+        t4 = time.perf_counter()
+        layout.apply_ordering(orders)
+        t5 = time.perf_counter()
+        for key, dt in (("analyzer", t1 - t0), ("keys", t2 - t1),
+                        ("ordering", t3 - t2), ("cost", t4 - t3),
+                        ("apply", t5 - t4)):
+            best[key] = min(best.get(key, np.inf), dt)
+    total = np.inf
+    for _ in range(repeats):
+        circuit = iscas85_circuit(name)
+        layout = ChannelLayout.from_levels(circuit)
+        start = time.perf_counter()
+        analyzer = SimilarityAnalyzer(circuit, n_patterns=patterns, seed=0)
+        order_channel_wires(analyzer, layout, resolve_ordering("woss"))
+        total = min(total, time.perf_counter() - start)
+    return {
+        "cold_patterns": patterns,
+        "cold_stages_ms": {k: round(v * 1e3, 2) for k, v in best.items()},
+        "cold_total_ms": round(total * 1e3, 2),
+    }
+
+
 def bench_circuit(name, patterns, repeats):
     flow = NoiseAwareSizingFlow(iscas85_circuit(name), n_patterns=patterns)
     outcome = flow.run()
@@ -295,6 +362,16 @@ def main(argv=None):
     parser.add_argument("--check-queue-speedup", type=float, default=None,
                         help="exit nonzero unless every circuit's queue "
                              "drain speedup reaches this factor")
+    parser.add_argument("--cold-breakdown", action="store_true",
+                        help="also record per-stage cold similarity-setup "
+                             "times (analyzer, keys, ordering, cost, apply) "
+                             "plus the end-to-end cold total per circuit")
+    parser.add_argument("--cold-patterns", type=int, default=256,
+                        help="pattern count for the --cold-breakdown arm "
+                             "(the acceptance gate uses 256)")
+    parser.add_argument("--check-cold-ms", type=float, default=None,
+                        help="exit nonzero if any circuit's cold_total_ms "
+                             "exceeds this bound (requires --cold-breakdown)")
     args = parser.parse_args(argv)
     if args.serve and not args.queue_workers:
         parser.error("--serve modifies --queue-workers; set both")
@@ -302,9 +379,15 @@ def main(argv=None):
         parser.error("--queue-workers needs --batch-scenarios for its "
                      "scalar baseline")
 
+    if args.check_cold_ms is not None and not args.cold_breakdown:
+        parser.error("--check-cold-ms needs --cold-breakdown")
+
     rows = []
     for name in args.circuits:
         row = bench_circuit(name, args.patterns, args.repeats)
+        if args.cold_breakdown:
+            row.update(bench_cold_breakdown(name, args.cold_patterns,
+                                            args.repeats))
         if args.batch_scenarios:
             batch_row, scalar_s, scalar_records = bench_batch_vs_scalar(
                 name, args.batch_scenarios, args.patterns, args.repeats)
@@ -324,6 +407,11 @@ def main(argv=None):
         if row["max_rel_diff"] > 1e-12:
             print(f"FAIL: {name} kernel/reference results diverge")
             return 1
+        if args.cold_breakdown:
+            stages = " ".join(f"{k}={v:.1f}" for k, v in
+                              row["cold_stages_ms"].items())
+            print(f"{name}: cold setup {row['cold_total_ms']:.1f} ms "
+                  f"@ {row['cold_patterns']} patterns ({stages})")
         if args.batch_scenarios:
             print(f"{name}: {row['batch_k']}-scenario sweep "
                   f"{row['sweep_scalar_s']*1e3:.0f} ms scalar -> "
@@ -379,6 +467,13 @@ def main(argv=None):
                 print(f"FAIL: {row['name']} queue speedup "
                       f"{row['queue_speedup']}x "
                       f"< required {args.check_queue_speedup}x")
+                return 1
+    if args.check_cold_ms is not None:
+        for row in rows:
+            if row["cold_total_ms"] > args.check_cold_ms:
+                print(f"FAIL: {row['name']} cold setup "
+                      f"{row['cold_total_ms']} ms "
+                      f"> allowed {args.check_cold_ms} ms")
                 return 1
     return 0
 

@@ -179,10 +179,47 @@ class Circuit:
         return x
 
     def compile(self):
-        """Return the :class:`~repro.circuit.compiled.CompiledCircuit` form."""
-        from repro.circuit.compiled import CompiledCircuit
+        """The memoized :class:`~repro.circuit.compiled.CompiledCircuit` form.
 
-        return CompiledCircuit.from_circuit(self)
+        Compiled once per circuit and shared by every caller (the object
+        is read-only): the layout builder, the simulation plan, and the
+        solver session all reuse one array form instead of re-walking
+        the node list.
+        """
+        compiled = self.__dict__.get("_compiled")
+        if compiled is None:
+            from repro.circuit.compiled import CompiledCircuit
+
+            compiled = self._compiled = CompiledCircuit.from_circuit(self)
+        return compiled
+
+    def wire_mask(self):
+        """Memoized read-only boolean mask: ``mask[i]`` ⇔ node ``i`` is a wire.
+
+        Lets geometry validation test channel membership as one fancy
+        index instead of a per-wire ``node(i).is_wire`` loop.
+        """
+        mask = self.__dict__.get("_wire_mask")
+        if mask is None:
+            mask = np.fromiter((n.is_wire for n in self._nodes), dtype=bool,
+                               count=len(self._nodes))
+            mask.setflags(write=False)
+            self._wire_mask = mask
+        return mask
+
+    def sim_plan(self):
+        """The memoized :class:`~repro.simulate.plan.SimPlan` for this circuit.
+
+        Compiled on first use and cached for the circuit's lifetime
+        (the graph is immutable), mirroring
+        ``CompiledCircuit.sweep_plan()``.
+        """
+        plan = self.__dict__.get("_sim_plan")
+        if plan is None:
+            from repro.simulate.plan import SimPlan
+
+            plan = self._sim_plan = SimPlan(self)
+        return plan
 
     # -- validation ---------------------------------------------------------------
 

@@ -25,8 +25,8 @@ import numpy as np
 
 from repro.noise.miller import MillerMode
 from repro.noise.ordering import (
+    _path_cost,
     greedy_both_ends,
-    ordering_cost,
     random_ordering,
     woss_ordering,
 )
@@ -47,7 +47,11 @@ def resolve_ordering(name, seed=0):
     cross-process.
     """
     if name == "woss":
-        return lambda weights, label: woss_ordering(weights)
+        def woss(weights, label, sort_keys=None):
+            return woss_ordering(weights, sort_keys=sort_keys)
+
+        woss.accepts_sort_keys = True
+        return woss
     if name == "greedy2":
         return lambda weights, label: greedy_both_ends(weights)
     if name == "random":
@@ -65,20 +69,45 @@ def order_channel_wires(analyzer, layout, ordering):
     ``ordering`` is a callable ``(weights, label) → permutation``.
     Returns ``(ordered_layout, cost_before, cost_after)`` where the
     costs are the summed ``1 − similarity`` over adjacent pairs.
+
+    All channel similarity data comes from one batched analyzer call (a
+    single block gather of every channel's rows), and the adjacent-pair
+    costs are one fancy-indexed sum per channel — no per-wire Python
+    work.  Ordering callables that declare ``accepts_sort_keys`` (WOSS)
+    receive the analyzer's integer distance keys via
+    :meth:`SimilarityAnalyzer.sort_keys_many`, trading the per-step
+    argmin loop for one sorted prefix walk per channel; on that path
+    neither the float weight matrix nor the float64 similarity matrix is
+    ever materialized (the keys determine the order, and
+    :meth:`SimilarityAnalyzer.path_dissimilarity` sums the costs from
+    gathered Gram entries — bitwise-identical, since the elementwise
+    ``1 − s`` commutes with the gather).  Channels without keys (other
+    orderings, or too many patterns for ``int16``) fall back to one
+    batched :meth:`SimilarityAnalyzer.matrices` call.
     """
+    channels = [ch for ch in layout.channels if len(ch) >= 2]
+    keyed = getattr(ordering, "accepts_sort_keys", False)
+    keys_list = (analyzer.sort_keys_many([ch.wires for ch in channels])
+                 if keyed else [None] * len(channels))
+    plain = [ch for ch, keys in zip(channels, keys_list) if keys is None]
+    sims = iter(analyzer.matrices([ch.wires for ch in plain]) if plain
+                else ())
     orders = {}
     cost_before = 0.0
     cost_after = 0.0
-    for channel in layout.channels:
-        if len(channel) < 2:
-            continue
-        sim = analyzer.matrix(list(channel.wires))
-        weights = 1.0 - sim
-        np.fill_diagonal(weights, 0.0)
-        order = ordering(weights, channel.label)
+    for channel, keys in zip(channels, keys_list):
+        if keys is not None:
+            order = ordering(None, channel.label, keys)
+            cost_before += analyzer.path_dissimilarity(channel.wires)
+            cost_after += analyzer.path_dissimilarity(channel.wires, order)
+        else:
+            weights = 1.0 - next(sims)
+            np.fill_diagonal(weights, 0.0)
+            order = (ordering(weights, channel.label, None) if keyed
+                     else ordering(weights, channel.label))
+            cost_before += _path_cost(list(range(len(channel))), weights)
+            cost_after += _path_cost(order, weights)
         orders[channel.label] = order
-        cost_before += ordering_cost(list(range(len(channel))), weights)
-        cost_after += ordering_cost(order, weights)
     return layout.apply_ordering(orders), cost_before, cost_after
 
 
@@ -163,8 +192,15 @@ class NoiseAwareSizingFlow:
             raise ValidationError(
                 f"unknown ordering {name!r}; "
                 f"choose from {sorted(ORDERING_NAMES)}")
-        return lambda weights, label: resolve_ordering(
-            name, seed=self.seed)(weights, label)
+
+        def ordering(weights, label, sort_keys=None):
+            resolved = resolve_ordering(name, seed=self.seed)
+            if getattr(resolved, "accepts_sort_keys", False):
+                return resolved(weights, label, sort_keys)
+            return resolved(weights, label)
+
+        ordering.accepts_sort_keys = name == "woss"
+        return ordering
 
     # -- stages ---------------------------------------------------------------------
 

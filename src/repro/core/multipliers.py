@@ -138,6 +138,32 @@ class MultiplierState:
                 lam[eids[dead]] = (outflow[dst] / cc.in_degree[dst])[dead]
         return self
 
+    # -- lockstep column stacking ---------------------------------------------------
+
+    @staticmethod
+    def stack_lam(states):
+        """``(E, K)`` column stack of ``lam_edge`` over ``states``.
+
+        The lockstep driver and the batched A4 updates move K scenarios'
+        edge multipliers through matrix kernels (batched projection,
+        broadcast ratio updates); this pairs with :meth:`unstack_lam`
+        for the writeback.
+        """
+        return np.column_stack([s.lam_edge for s in states])
+
+    @staticmethod
+    def unstack_lam(states, lam_cols):
+        """Write ``lam_cols`` columns back into ``states``' ``lam_edge``.
+
+        Each state receives a fresh contiguous copy of its column —
+        downstream consumers (kernels, the next LRS aggregate) assume
+        contiguous edge arrays, and a strided view would silently change
+        reduction bits (see :func:`repro.timing.kernels.column_sums`).
+        """
+        for j, state in enumerate(states):
+            state.lam_edge = np.ascontiguousarray(lam_cols[:, j])
+        return states
+
     def copy(self):
         gamma = self.gamma.copy() if isinstance(self.gamma, np.ndarray) \
             else self.gamma

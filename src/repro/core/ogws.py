@@ -50,7 +50,8 @@ class _RunState:
 
     __slots__ = ("mult", "initial_metrics", "history", "best_dual",
                  "best_feasible_x", "best_feasible_area", "x", "iteration",
-                 "converged", "done", "paper_gap", "started", "repair_evals")
+                 "converged", "done", "paper_gap", "started", "repair_evals",
+                 "evaluated")
 
     def __init__(self):
         self.mult = None
@@ -66,6 +67,9 @@ class _RunState:
         self.paper_gap = np.inf
         self.started = 0.0
         self.repair_evals = 0
+        #: ``(context, dual, feasible)`` handoff from step_eval to
+        #: step_record within one iteration; None between iterations.
+        self.evaluated = None
 
 
 class OGWSOptimizer:
@@ -162,27 +166,47 @@ class OGWSOptimizer:
         ``context`` optionally supplies a pre-seeded
         :class:`~repro.timing.metrics.EvalContext` at ``lrs_result.x``
         (the lockstep driver injects batched delay/arrival columns);
-        ``project=False`` defers the A5 projection to the caller (the
-        lockstep driver projects all columns in one batched sweep).
+        ``project=False`` defers the A5 projection to the caller.
+        Decomposed into :meth:`step_eval` (everything before A4), the
+        A4/A5 multiplier step here, and :meth:`step_record` — the
+        lockstep driver calls the two halves directly, with one batched
+        A4 and one batched projection for all columns in between.
         Returns ``True`` once the run is finished.
+        """
+        context = self.step_eval(state, lrs_result, context=context)
+        metrics = context.metrics
+        step = self.update.apply(                              # A4
+            state.mult, state.iteration, context.arrival, context.delays,
+            self.problem, power_cap=metrics.total_cap_ff,
+            noise=metrics.noise_pf * FF_PER_PF,
+            engine=self.engine, x=lrs_result.x,
+        )
+        if project:
+            state.mult.project(backend=self.engine.backend)    # A5
+        return self.step_record(state, lrs_result, step)
+
+    def step_eval(self, state, lrs_result, context=None):
+        """Fig. 9 iteration body between A3 and A4: evaluate the iterate.
+
+        Advances the iteration counter, evaluates the point (dual bound,
+        A7 gap quantity, feasibility with primal repair), and leaves the
+        ``(context, dual, feasible)`` handoff on ``state.evaluated`` for
+        :meth:`step_record`.  Returns the point's ``EvalContext`` so the
+        caller can run A4 from its arrival/delay columns.
         """
         engine = self.engine
         problem = self.problem
         state.iteration += 1
-        iteration = state.iteration
         x = lrs_result.x
         state.x = x
-        mult = state.mult
         # One evaluation context per iterate: the arrival sweep, the
         # Table 1 metrics, and the dual value below all share it, so
         # no full-circuit quantity is computed twice at this point.
         if context is None:
             context = EvalContext(engine, x)
-        delays = context.delays
-        arrival = context.arrival
-
         metrics = context.metrics
-        dual = self.lrs.lagrangian_value(x, mult, problem, context=context)
+        dual = self.lrs.lagrangian_value(x, state.mult, problem,
+                                         context=context)
         state.best_dual = max(state.best_dual, dual)
         area = metrics.area_um2
         state.paper_gap = abs(area - dual) / max(area, 1e-30)  # A7 quantity
@@ -204,31 +228,36 @@ class OGWSOptimizer:
                     repaired_metrics.area_um2 < state.best_feasible_area:
                 state.best_feasible_area = repaired_metrics.area_um2
                 state.best_feasible_x = repaired
+        state.evaluated = (context, dual, feasible)
+        return context
 
+    def step_record(self, state, lrs_result, step):
+        """Fig. 9 iteration tail after A4/A5: history and the A7 stop rule.
+
+        ``step`` is the step size μ the multiplier update returned.
+        Consumes the :meth:`step_eval` handoff; the duality gap is
+        recomputed here from the best-feasible/best-dual pair, which
+        A4/A5 do not touch.  Returns ``True`` once the run is finished.
+        """
+        context, dual, feasible = state.evaluated
+        state.evaluated = None
+        metrics = context.metrics
         gap = self._duality_gap(state.best_feasible_area, state.best_dual)
-        step = self.update.apply(                              # A4
-            mult, iteration, arrival, delays, problem,
-            power_cap=metrics.total_cap_ff,
-            noise=metrics.noise_pf * FF_PER_PF,
-            engine=engine, x=x,
-        )
-        if project:
-            mult.project(backend=engine.backend)               # A5
-
         if self.record_history:
             state.history.append(IterationRecord(
-                iteration=iteration, area_um2=area, delay_ps=metrics.delay_ps,
+                iteration=state.iteration, area_um2=metrics.area_um2,
+                delay_ps=metrics.delay_ps,
                 noise_pf=metrics.noise_pf, power_mw=metrics.power_mw,
                 dual_value=dual, paper_gap=state.paper_gap, duality_gap=gap,
                 feasible=feasible, lrs_passes=lrs_result.passes, step=step,
-                beta=mult.beta, gamma=mult.gamma,
+                beta=state.mult.beta, gamma=state.mult.gamma,
             ))
         # A7: stop once the certified duality gap (best feasible area
         # vs best dual bound) is inside the error bound.
         if gap <= self.tolerance:
             state.converged = True
             state.done = True
-        elif iteration >= self.max_iterations:
+        elif state.iteration >= self.max_iterations:
             state.done = True
         return state.done
 
@@ -418,9 +447,15 @@ def run_lockstep(optimizers, batch=None):
     still-running optimizer (CSR matvec → matmat over scenario columns,
     per-column convergence freezing — see
     :meth:`LagrangianSubproblemSolver.solve_batch`), one batched
-    delay/arrival sweep feeding per-column ``EvalContext``\\ s, the
-    per-column A4 multiplier updates, and one batched Theorem 3
-    projection.  Optimizers retire from the batch as their own stop
+    delay/arrival sweep plus one batched metrics-input sweep (coupling
+    totals, total capacitance, area) seeding per-column
+    ``EvalContext``\\ s, one **batched A4** per group of columns whose
+    update rules share a :meth:`~repro.core.subgradient.
+    MultiplicativeUpdate.batch_key` (single edge-terms pass and
+    broadcast multiplier arithmetic; unknown rules fall back to scalar
+    ``apply``), and one batched Theorem 3 projection.  No Python loop
+    over nodes, edges, or (on the batched paths) scenarios remains in
+    the iteration.  Optimizers retire from the batch as their own stop
     criteria fire.  Results are bit-identical to ``[opt.run() for opt
     in optimizers]`` — the batched kernels replay the scalar arithmetic
     per column exactly.
@@ -459,18 +494,58 @@ def run_lockstep(optimizers, batch=None):
         results = solver.solve_batch(mults, x0s, batch=bws)
         x_cols = np.column_stack([r.x for r in results])
         delays, arrival = _batched_delays_arrival(engine, x_cols, bws)
+        # Metrics tail, batched: every column's coupling total in one
+        # pair sweep; area and power-capacitance stay per-column dot
+        # products over the contiguous scenario vector — the exact
+        # spelling (and bits) of the lazy EvalContext properties.
+        totals = engine.coupling.totals_batch(x_cols)
+        contexts = []
         for j, k in enumerate(live):
-            context = EvalContext(engine, results[j].x)
-            # Seed the lazy caches with this scenario's columns (values
-            # identical to what the scalar sweeps would produce).
-            context.__dict__["delays"] = np.ascontiguousarray(delays[:, j])
-            context.__dict__["arrival"] = np.ascontiguousarray(arrival[:, j])
-            optimizers[k].step(states[k], results[j], context=context,
-                               project=False)
+            x = results[j].x
+            context = EvalContext(engine, x).seed(
+                delays=delays[:, j], arrival=arrival[:, j],
+                coupling_total_ff=float(totals[j]),
+                total_cap_ff=float(np.dot(plan.c_hat_sizable, x)
+                                   + plan.fringe_total),
+                area_um2=float(np.dot(plan.alpha_sizable, x)))
+            contexts.append(context)
+            optimizers[k].step_eval(states[k], results[j], context=context)
+        # A4: one batched update per group of columns running literally
+        # the same multiplier arithmetic; singletons and unknown rules
+        # take the scalar path.
+        steps = [None] * len(live)
+        groups = {}
+        for j, k in enumerate(live):
+            key = getattr(optimizers[k].update, "batch_key", lambda: None)()
+            groups.setdefault(key if key is not None else ("", j), []).append(j)
+        for key, js in groups.items():
+            if len(js) == 1:
+                j = js[0]
+                k = live[j]
+                opt = optimizers[k]
+                metrics = contexts[j].metrics
+                steps[j] = opt.update.apply(
+                    states[k].mult, states[k].iteration, contexts[j].arrival,
+                    contexts[j].delays, opt.problem,
+                    power_cap=metrics.total_cap_ff,
+                    noise=metrics.noise_pf * FF_PER_PF,
+                    engine=engine, x=results[j].x)
+                continue
+            mus = optimizers[live[js[0]]].update.apply_batch(
+                [states[live[j]].mult for j in js],
+                [states[live[j]].iteration for j in js],
+                arrival[:, js], delays[:, js],
+                [optimizers[live[j]].problem for j in js],
+                [contexts[j].metrics.total_cap_ff for j in js],
+                [contexts[j].metrics.noise_pf * FF_PER_PF for j in js])
+            for j, mu in zip(js, mus):
+                steps[j] = mu
         # A5 for every column stepped this iteration, one batched sweep.
-        lam_cols = np.column_stack([states[k].mult.lam_edge for k in live])
+        mults = [states[k].mult for k in live]
+        lam_cols = MultiplierState.stack_lam(mults)
         kernels.project_sweep(plan, lam_cols)
+        MultiplierState.unstack_lam(mults, lam_cols)
         for j, k in enumerate(live):
-            states[k].mult.lam_edge[:] = lam_cols[:, j]
+            optimizers[k].step_record(states[k], results[j], steps[j])
         live = [k for k in live if not states[k].done]
     return [opt.finish(state) for opt, state in zip(optimizers, states)]

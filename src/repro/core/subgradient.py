@@ -109,6 +109,38 @@ def edge_timing_terms(compiled, arrival, delays, delay_bound):
     return residual, reference
 
 
+def edge_timing_terms_batch(compiled, arrival, delays, delay_bounds):
+    """:func:`edge_timing_terms` over ``(n, K)`` column-stacked matrices.
+
+    ``delay_bounds`` is a ``(K,)`` vector of per-scenario bounds; column
+    ``j`` of the returned ``(E, K)`` ``(residual, reference)`` matrices
+    is bitwise-identical to the scalar function on that column — the
+    same elementwise operations, broadcast across columns.
+    """
+    src, dst = compiled.edge_src, compiled.edge_dst
+    delay_bounds = np.asarray(delay_bounds, dtype=float)
+    residual = arrival[src] + delays[dst] - arrival[dst]
+    reference = np.maximum(arrival[dst], 1e-30)
+    on_sink = dst == compiled.sink
+    residual[on_sink] = arrival[src[on_sink]] - delay_bounds[None, :]
+    reference[on_sink] = delay_bounds
+    return residual, reference
+
+
+def _schedule_key(schedule):
+    """Hashable identity of a builtin schedule, or ``None`` if unknown.
+
+    A subclassed or user-supplied schedule could close over anything, so
+    only the builtin types (compared by exact class — their state is all
+    constructor floats) participate in batched A4 grouping; everything
+    else falls back to scalar ``apply``.
+    """
+    cls = type(schedule)
+    if cls not in (HarmonicStep, PowerStep, SqrtStep, ConstantStep):
+        return None
+    return (cls.__name__,) + tuple(sorted(vars(schedule).items()))
+
+
 class SubgradientUpdate:
     """The paper's additive A4 step with bound-normalized violations.
 
@@ -148,6 +180,54 @@ class SubgradientUpdate:
             + mu * gamma_scale * (noise / problem.noise_bound_ff - 1.0))
         return mu
 
+    def batch_key(self):
+        """Grouping key for lockstep A4 batching (``None`` ⇒ scalar path).
+
+        Two updates may share one :meth:`apply_batch` call only when the
+        per-edge arithmetic they would run is literally identical:
+        exact class, same clip/floor constants, and a builtin schedule.
+        """
+        sched = _schedule_key(self.schedule)
+        if type(self) is not SubgradientUpdate or sched is None:
+            return None
+        return ("subgradient", self.scale_floor, sched)
+
+    def apply_batch(self, multipliers, ks, arrival, delays, problems,
+                    power_caps, noises):
+        """A4 over K lockstep columns whose updates share :meth:`batch_key`.
+
+        ``arrival``/``delays`` are ``(n, K)`` column stacks; the other
+        arguments are per-column sequences.  Column ``j`` is
+        bit-identical to :meth:`apply` on optimizer ``j`` alone: the
+        edge terms come from :func:`edge_timing_terms_batch`, the mean
+        multiplier scales from :func:`~repro.timing.kernels.column_means`
+        (both bitwise-equal per column), and the scalar β/γ lines keep
+        the scalar spelling.  Returns the per-column step sizes μ.
+        """
+        from repro.timing import kernels
+
+        cc = multipliers[0].compiled
+        mus = [self.schedule(k) for k in ks]
+        residual, reference = edge_timing_terms_batch(
+            cc, arrival, delays, [p.delay_bound_ps for p in problems])
+        lam_cols = type(multipliers[0]).stack_lam(multipliers)
+        lam_means = kernels.column_means(lam_cols)
+        coef = np.array([mu * max(float(mean), self.scale_floor)
+                         for mu, mean in zip(mus, lam_means)])
+        lam_new = np.maximum(0.0, lam_cols + coef[None, :] * residual
+                             / reference)
+        type(multipliers[0]).unstack_lam(multipliers, lam_new)
+        for j, (m, mu, problem) in enumerate(zip(multipliers, mus, problems)):
+            beta_scale = max(m.beta, self.scale_floor)
+            m.beta = max(
+                0.0, m.beta + mu * beta_scale
+                * (power_caps[j] / problem.power_cap_bound_ff - 1.0))
+            gamma_scale = max(m.gamma, self.scale_floor)
+            m.gamma = max(
+                0.0, m.gamma + mu * gamma_scale
+                * (noises[j] / problem.noise_bound_ff - 1.0))
+        return mus
+
 
 class MultiplicativeUpdate:
     """Scale-free ratio update (library default; see module docstring)."""
@@ -174,3 +254,43 @@ class MultiplicativeUpdate:
         multipliers.gamma *= min(self.ratio_clip, max(
             1.0 / self.ratio_clip, noise / problem.noise_bound_ff)) ** mu
         return mu
+
+    def batch_key(self):
+        """Grouping key for lockstep A4 batching (``None`` ⇒ scalar path).
+
+        See :meth:`SubgradientUpdate.batch_key` — exact class, same
+        clip constant, builtin schedule.
+        """
+        sched = _schedule_key(self.schedule)
+        if type(self) is not MultiplicativeUpdate or sched is None:
+            return None
+        return ("multiplicative", self.ratio_clip, sched)
+
+    def apply_batch(self, multipliers, ks, arrival, delays, problems,
+                    power_caps, noises):
+        """A4 over K lockstep columns whose updates share :meth:`batch_key`.
+
+        Same contract as :meth:`SubgradientUpdate.apply_batch`: one
+        :func:`edge_timing_terms_batch` call and one broadcast
+        clip/power/multiply replace K per-column edge passes, column
+        ``j`` bit-identical to :meth:`apply` (``ratio ** μ`` with a
+        broadcast per-column exponent runs the same elementwise ``pow``).
+        Returns the per-column step sizes μ.
+        """
+        cc = multipliers[0].compiled
+        mus = [self.schedule(k) for k in ks]
+        residual, reference = edge_timing_terms_batch(
+            cc, arrival, delays, [p.delay_bound_ps for p in problems])
+        ratio = np.clip(1.0 + residual / reference, 1.0 / self.ratio_clip,
+                        self.ratio_clip)
+        lam_cols = type(multipliers[0]).stack_lam(multipliers)
+        lam_new = lam_cols * ratio ** np.array(mus)[None, :]
+        type(multipliers[0]).unstack_lam(multipliers, lam_new)
+        for j, (m, mu, problem) in enumerate(zip(multipliers, mus, problems)):
+            m.beta *= min(self.ratio_clip, max(
+                1.0 / self.ratio_clip,
+                power_caps[j] / problem.power_cap_bound_ff)) ** mu
+            m.gamma *= min(self.ratio_clip, max(
+                1.0 / self.ratio_clip,
+                noises[j] / problem.noise_bound_ff)) ** mu
+        return mus

@@ -13,6 +13,8 @@ this channel model), ``d_ij`` the middle-to-middle track distance, and
 
 import dataclasses
 
+import numpy as np
+
 from repro.geometry.channels import Channel
 from repro.utils.errors import GeometryError
 
@@ -67,14 +69,26 @@ class ChannelLayout:
         self.pitch = circuit.tech.track_pitch if pitch is None else float(pitch)
         if self.pitch <= 0:
             raise GeometryError("track pitch must be positive")
-        seen = set()
-        for channel in self.channels:
-            for idx in channel.wires:
-                if idx in seen:
-                    raise GeometryError(f"wire {idx} appears in two channels")
-                seen.add(idx)
-                if not self.circuit.node(idx).is_wire:
-                    raise GeometryError(f"channel member {idx} is not a wire")
+        # Vectorized validation (layouts are rebuilt by apply_ordering on
+        # the cold path); the Python loop only reruns on failure to name
+        # the offending wire.
+        members = np.fromiter(
+            (idx for channel in self.channels for idx in channel.wires),
+            dtype=np.int64)
+        wire_mask = circuit.wire_mask()
+        ok = (members.size == 0
+              or (members.min() >= 0 and members.max() < wire_mask.size
+                  and bool(wire_mask[members].all())
+                  and np.unique(members).size == members.size))
+        if not ok:
+            seen = set()
+            for channel in self.channels:
+                for idx in channel.wires:
+                    if idx in seen:
+                        raise GeometryError(f"wire {idx} appears in two channels")
+                    seen.add(idx)
+                    if not (0 <= idx < wire_mask.size and wire_mask[idx]):
+                        raise GeometryError(f"channel member {idx} is not a wire")
 
     @classmethod
     def from_levels(cls, circuit, pitch=None):

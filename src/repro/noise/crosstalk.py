@@ -109,7 +109,9 @@ class CouplingSet:
         else:
             if analyzer is None:
                 raise GeometryError(f"MillerMode.{mode.name} needs a SimilarityAnalyzer")
-            signed = np.where(analyzer.values, 1.0, -1.0)
+            signed = getattr(analyzer, "signed_values", None)
+            if signed is None:
+                signed = np.where(analyzer.values, 1.0, -1.0)
             i_idx = np.array([p.i for p in pairs], dtype=np.int64)
             j_idx = np.array([p.j for p in pairs], dtype=np.int64)
             if len(pairs):
@@ -431,6 +433,33 @@ class CouplingSet:
         caps = self.pair_caps(x)
         return np.bincount(self._endpoints, weights=np.concatenate([caps, caps]),
                            minlength=self.num_nodes).astype(float)
+
+    def totals_batch(self, x):
+        """``X(x)`` for column-stacked ``(n, K)`` sizes, one value per column.
+
+        Column ``j`` is bitwise-equal to :meth:`total` at that column:
+        the per-pair capacitances replay :meth:`pair_caps`'s spelling
+        over the batch scratch, and each column is summed as a
+        contiguous vector (row of one transposed copy) — the exact
+        pairwise reduction ``np.sum`` runs on the scalar path.
+        """
+        k = x.shape[1]
+        if self.num_pairs == 0:
+            return np.zeros(k)
+        s = self._ensure_batch_scratch(k)
+        u, term, total = s["u"], s["term"], s["tmp"]
+        np.take(x, self.pair_i, axis=0, out=u)
+        np.take(x, self.pair_j, axis=0, out=total)
+        np.add(u, total, out=u)
+        np.divide(u, self._two_distance_col, out=u)
+        total.fill(0.0)
+        term.fill(1.0)
+        for _ in range(self.order):
+            np.add(total, term, out=total)
+            np.multiply(term, u, out=term)
+        np.multiply(total, self._ctilde_col, out=total)
+        cols = np.ascontiguousarray(total.T)
+        return np.array([np.sum(col) for col in cols])
 
     # -- per-net (distributed-bound) views ----------------------------------------
 

@@ -34,16 +34,22 @@ def _check_weights(weights):
     return weights
 
 
+def _path_cost(order, weights):
+    """Σ weight of adjacent pairs, without validation (one fancy-index)."""
+    idx = np.asarray(order, dtype=np.int64)
+    return float(np.sum(weights[idx[:-1], idx[1:]]))
+
+
 def ordering_cost(order, weights):
     """Total effective loading of ``order``: Σ weight of adjacent pairs."""
     weights = _check_weights(weights)
     order = list(order)
     if sorted(order) != list(range(weights.shape[0])):
         raise GeometryError("order must be a permutation of 0..n-1")
-    return float(sum(weights[a, b] for a, b in zip(order, order[1:])))
+    return _path_cost(order, weights)
 
 
-def woss_ordering(weights):
+def woss_ordering(weights, sort_keys=None):
     """The paper's WOSS heuristic (Fig. 7), verbatim.
 
     A1: start with the minimum-weight edge ``(w1, w2)``.
@@ -51,7 +57,109 @@ def woss_ordering(weights):
     minimum-weight edge to an unvisited node.
 
     O(n²) overall.  Returns a position permutation.
+
+    ``sort_keys`` optionally accelerates both steps without changing the
+    result: an integer matrix whose entries order (and tie) exactly as
+    ``weights`` does off the diagonal, globally as well as within each
+    row — e.g. the scaled Hamming-distance keys ``2d`` from
+    :meth:`SimilarityAnalyzer.sort_keys`, since the weight ``1 − s =
+    2d/P`` is strictly increasing in the integer distance ``d``.  With
+    keys the per-step A2 masked argmin (lowest index among unvisited
+    minima) becomes one stable argsort of the keys — stable sort breaks
+    ties by index, radix-fast for ``int16`` — plus a pointer walk that
+    skips visited entries; the A1 start edge falls out of the same
+    argsort (each row's first non-diagonal sorted entry).  The keys
+    fully determine the result, so ``weights`` may then be ``None`` —
+    the flow's fast path never materializes the float weight matrix at
+    all.  The caller asserts the keys' monotone-equivalence contract
+    *and* the weights' symmetry: the keys path checks shapes only,
+    skipping :func:`_check_weights`'s O(n²) symmetry test (the flow
+    builds both from one symmetric similarity matrix).  Equality with
+    the reference loop is pinned by ``tests/noise/test_ordering.py``.
     """
+    if sort_keys is not None:
+        sort_keys = np.asarray(sort_keys)
+        if sort_keys.ndim != 2 or sort_keys.shape[0] != sort_keys.shape[1] \
+                or sort_keys.shape[0] == 0:
+            raise GeometryError("sort_keys must be a non-empty square matrix")
+        if weights is not None:
+            weights = np.asarray(weights, dtype=float)
+            if sort_keys.shape != weights.shape:
+                raise GeometryError("sort_keys must match the weights shape")
+        n = sort_keys.shape[0]
+        if n == 1:
+            return [0]
+        if not np.issubdtype(sort_keys.dtype, np.integer):
+            raise GeometryError("sort_keys must be an integer matrix")
+        if n > 0xFFFF:
+            raise GeometryError("sort_keys path limited to 65535 wires")
+        unsigned = np.issubdtype(sort_keys.dtype, np.unsignedinteger)
+        bad = False
+        if sort_keys.itemsize > 2:
+            bad = sort_keys.max() > 0xFFFF or (
+                not unsigned and sort_keys.min() < 0)
+        elif not unsigned:
+            bad = sort_keys.min() < 0
+        if bad:
+            raise GeometryError(
+                "sort_keys entries must fit 16 unsigned bits")
+        # Combined key ``key·2¹⁶ | column`` makes the stable (key, index)
+        # order a plain value order with no ties, so a *partial* sort is
+        # exact: partition the 64 smallest per row, sort only those.
+        # The walk rarely looks past the first few unvisited entries; a
+        # row that does exhaust its prefix (ties run deep) falls back to
+        # sorting that one full row on demand.
+        comb = sort_keys.astype(np.uint32)
+        comb <<= 16
+        comb |= np.arange(n, dtype=np.uint32)[None, :]
+        m = min(n, 64)
+        pref = comb if m == n else np.partition(comb, m - 1, axis=1)[:, :m]
+        pref = np.sort(pref, axis=1)
+        # A1 from the same prefix: each row's best off-diagonal partner
+        # is its first sorted entry that is not the row itself (position
+        # 0 or 1), and the flat argmin's row-major tie-break — lowest
+        # row, then lowest column — is exactly "first row achieving the
+        # global minimum, stable-lowest column within it".
+        arange = np.arange(n)
+        c0 = (pref[:, 0] & np.uint32(0xFFFF)).astype(np.int64)
+        cand = np.where(c0 == arange, pref[:, 1], pref[:, 0])
+        w1 = int(np.argmin(cand >> np.uint32(16)))
+        w2 = int(cand[w1] & 0xFFFF)
+        order = [w1, w2]
+        # The walk only needs column indices, so strip the key half once
+        # over the narrow prefix (n×m, not n×n).  Rows are walked only
+        # when their node is the tail, so the diagonal entry (the
+        # already-visited node itself) never needs masking.  Chunks are
+        # converted to Python ints at once — per-element NumPy scalar
+        # indexing costs ~10× a list access, and tie-heavy similarity
+        # rows make tens of skips per step common.
+        prefj = (pref & np.uint32(0xFFFF)).astype(np.int32)
+        visited = bytearray(n)
+        visited[w1] = visited[w2] = 1
+        tail = w2
+        for _ in range(n - 2):
+            row = prefj[tail]
+            p = 0
+            nxt = -1
+            while nxt < 0:
+                chunk = row[p:p + 48].tolist()
+                if not chunk:
+                    # Prefix exhausted — its first m entries were all
+                    # visited.  Sort the full row once and resume just
+                    # past the already-scanned prefix.
+                    row = (np.sort(comb[tail]) & np.uint32(0xFFFF)) \
+                        .astype(np.int32)
+                    p = m
+                    chunk = row[p:p + 48].tolist()
+                for j in chunk:
+                    if not visited[j]:
+                        nxt = j
+                        break
+                p += 48
+            tail = nxt
+            visited[tail] = 1
+            order.append(tail)
+        return order
     weights = _check_weights(weights)
     n = weights.shape[0]
     if n == 1:

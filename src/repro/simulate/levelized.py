@@ -1,9 +1,17 @@
 """Zero-delay levelized logic simulation.
 
 Computes the steady-state value of every node for every pattern in one
-topological pass.  Because node indices are topological, a single loop
-over nodes suffices; each node's values for *all* patterns are computed as
-one vectorized operation, so the cost is O(#nodes · #patterns / simd).
+topological pass.  Two backends are provided (mirroring
+:class:`~repro.timing.elmore.ElmoreEngine`'s ``backend`` switch):
+
+* ``"plan"`` (default) — the precompiled :class:`~repro.simulate.plan.
+  SimPlan`: gates grouped by level × function × fan-in, one vectorized
+  gather + ``evaluate_function`` call per group, wires filled by a
+  single fancy-indexed copy.  Python-level work scales with the number
+  of *groups*, not nodes.
+* ``"reference"`` — the direct per-node loop, kept forever as the
+  executable specification; the plan backend's output is pinned to it
+  by exact boolean equality (``tests/simulate/test_plan.py``).
 
 The result feeds :func:`repro.noise.similarity.similarity_from_values`,
 the default (cycle-accurate) form of the paper's switching similarity.
@@ -13,10 +21,14 @@ import numpy as np
 
 from repro.circuit.components import NodeKind
 from repro.simulate.logic import evaluate_function
+from repro.simulate.plan import validate_patterns
 from repro.utils.errors import SimulationError
 
+#: Accepted ``backend`` values for :func:`simulate_levelized`.
+SIM_BACKENDS = ("plan", "reference")
 
-def simulate_levelized(circuit, patterns):
+
+def simulate_levelized(circuit, patterns, backend="plan"):
     """Simulate ``circuit`` under ``patterns``.
 
     Parameters
@@ -26,6 +38,9 @@ def simulate_levelized(circuit, patterns):
     patterns:
         Boolean array ``(n_patterns, n_drivers)``; column ``d`` drives the
         primary input with node index ``d + 1``.
+    backend:
+        ``"plan"`` (compiled, default) or ``"reference"`` (per-node
+        loop).  Both return identical values.
 
     Returns
     -------
@@ -33,14 +48,17 @@ def simulate_levelized(circuit, patterns):
         Boolean array ``(num_nodes, n_patterns)``.  Source and sink rows
         are ``False``; a wire's row equals its parent's row.
     """
-    patterns = np.asarray(patterns, dtype=bool)
-    if patterns.ndim != 2:
-        raise SimulationError("patterns must be a 2-D (n_patterns, n_inputs) array")
-    n_drivers = circuit.num_drivers
-    if patterns.shape[1] != n_drivers:
-        raise SimulationError(
-            f"patterns have {patterns.shape[1]} columns, circuit has {n_drivers} inputs"
-        )
+    patterns = validate_patterns(circuit, patterns)
+    if backend == "plan":
+        return circuit.sim_plan().simulate(patterns)
+    if backend == "reference":
+        return _simulate_reference(circuit, patterns)
+    raise SimulationError(
+        f"unknown simulation backend {backend!r}; choose from {SIM_BACKENDS}")
+
+
+def _simulate_reference(circuit, patterns):
+    """The per-node topological loop — the plan backend's specification."""
     n_patterns = patterns.shape[0]
     values = np.zeros((circuit.num_nodes, n_patterns), dtype=bool)
     for node in circuit.nodes:

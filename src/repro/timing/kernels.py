@@ -680,3 +680,24 @@ def project_sweep(plan, lam):
         lamb[lv.in_pos] = np.where(dead[lv.expand], share[lv.expand],
                                    values * scale[lv.expand])
     return csr_matvec(plan.proj_scatter, lamb, lam)
+
+
+def column_sums(matrix):
+    """Per-column sums of ``(rows, K)`` — each bitwise-equal to the scalar.
+
+    ``np.sum`` over a strided column uses a different accumulation
+    kernel than over a contiguous vector (single-accumulator loop vs
+    the unrolled pairwise reduction), so the results can differ in the
+    last bit.  Summing the rows of one transposed contiguous copy keeps
+    every column on the exact code path a scalar solve would take.
+    """
+    rows = np.ascontiguousarray(np.asarray(matrix).T)
+    return np.array([np.sum(row) for row in rows])
+
+
+def column_means(matrix):
+    """Per-column means of ``(rows, K)``, bitwise-equal per column to
+    ``np.mean`` of that column as a contiguous vector (same pairwise
+    sum, same division) — see :func:`column_sums`."""
+    rows = np.ascontiguousarray(np.asarray(matrix).T)
+    return np.array([np.mean(row) for row in rows])

@@ -17,6 +17,7 @@ import functools
 
 import numpy as np
 
+from repro.utils.errors import ValidationError
 from repro.utils.tables import improvement_percent
 from repro.utils.units import FF_PER_PF, mw_from_v2fc
 
@@ -82,6 +83,34 @@ class EvalContext:
     def __init__(self, engine, x):
         self.engine = engine
         self.x = np.asarray(x, dtype=float)
+
+    def seed(self, *, delays=None, arrival=None, coupling_total_ff=None,
+             total_cap_ff=None, area_um2=None):
+        """Pre-populate lazy caches with externally computed values.
+
+        The lockstep driver evaluates delays, arrivals, and the metrics
+        inputs for all scenario columns in batched sweeps, then hands
+        each column to its scalar consumers through here (the supported
+        keywords are exactly the batched quantities).  Seeded values
+        must equal what the lazy property would have computed — the
+        lockstep bit-identity contract; this method validates shapes and
+        trusts values.  Returns ``self`` for chaining.
+        """
+        n = self.x.shape[0]
+        for name, value in (("delays", delays), ("arrival", arrival)):
+            if value is None:
+                continue
+            value = np.ascontiguousarray(value, dtype=float)
+            if value.shape != (n,):
+                raise ValidationError(
+                    f"seeded {name} must have shape ({n},), got {value.shape}")
+            self.__dict__[name] = value
+        for name, value in (("coupling_total_ff", coupling_total_ff),
+                            ("total_cap_ff", total_cap_ff),
+                            ("area_um2", area_um2)):
+            if value is not None:
+                self.__dict__[name] = float(value)
+        return self
 
     @functools.cached_property
     def caps(self):

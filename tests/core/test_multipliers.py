@@ -107,3 +107,18 @@ def test_copy_is_independent(cc):
     assert state.lam_edge.sum() > 0
     assert state.beta == 0.5
     assert clone.gamma == 0.25
+
+
+def test_stack_unstack_lam_round_trip(cc, rng):
+    states = [MultiplierState.initial(cc) for _ in range(3)]
+    for s in states:
+        s.lam_edge = rng.uniform(0.0, 2.0, cc.num_edges)
+    originals = [s.lam_edge.copy() for s in states]
+    cols = MultiplierState.stack_lam(states)
+    assert cols.shape == (cc.num_edges, 3)
+    out = MultiplierState.unstack_lam(states, cols)
+    assert out is states
+    for s, orig in zip(states, originals):
+        assert s.lam_edge.tobytes() == orig.tobytes()
+        assert s.lam_edge.flags["C_CONTIGUOUS"]
+        assert s.lam_edge is not orig  # fresh copies, no column views

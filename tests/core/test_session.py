@@ -241,6 +241,84 @@ class TestLockstep:
             assert a.iterations == b.iterations
             assert (a.x == b.x).all()
 
+    @staticmethod
+    def _assert_bitwise(a, b):
+        assert a.x.tobytes() == b.x.tobytes()
+        assert a.multipliers.lam_edge.tobytes() == \
+            b.multipliers.lam_edge.tobytes()
+        assert a.multipliers.beta == b.multipliers.beta
+        assert a.multipliers.gamma == b.multipliers.gamma
+        assert len(a.history) == len(b.history)
+        for ra, rb in zip(a.history, b.history):
+            assert ra == rb
+
+    @pytest.mark.parametrize("rule", ["multiplicative", "subgradient"])
+    @pytest.mark.parametrize("K", [3, 8])
+    def test_batched_a4_columns_bitwise_equal_scalar(self, session, rule, K):
+        """The grouped apply_batch path (same rule across all live
+        columns) must reproduce scalar runs to the byte, including the
+        full per-iteration history records."""
+        engine = self._engine(session)
+        x_init = session.compiled.default_sizes(np.inf)
+        fractions = (0.08, 0.1, 0.12, 0.15, 0.2, 0.25, 0.3, 0.35)[:K]
+
+        def optimizers():
+            return [OGWSOptimizer(
+                engine,
+                SizingProblem.from_initial(engine, x_init, noise_fraction=nf),
+                update=rule, x_init=x_init) for nf in fractions]
+
+        for a, b in zip([opt.run() for opt in optimizers()],
+                        run_lockstep(optimizers())):
+            self._assert_bitwise(a, b)
+
+    def test_mixed_update_rules_group_independently(self, session):
+        """Columns with different rules split into separate A4 groups
+        (plus scalar singletons) yet still match their scalar runs."""
+        engine = self._engine(session)
+        x_init = session.compiled.default_sizes(np.inf)
+        rules = ("multiplicative", "subgradient", "multiplicative",
+                 "subgradient", "multiplicative")
+
+        def optimizers():
+            return [OGWSOptimizer(
+                engine,
+                SizingProblem.from_initial(engine, x_init, noise_fraction=nf),
+                update=rule, x_init=x_init)
+                for nf, rule in zip((0.08, 0.1, 0.12, 0.15, 0.2), rules)]
+
+        for a, b in zip([opt.run() for opt in optimizers()],
+                        run_lockstep(optimizers())):
+            self._assert_bitwise(a, b)
+
+    def test_nonbatchable_update_takes_scalar_fallback(self, session):
+        """A subclassed update (batch_key → None) must still run
+        correctly in lockstep via the scalar apply path."""
+        from repro.core.subgradient import MultiplicativeUpdate
+
+        class TracingUpdate(MultiplicativeUpdate):
+            applied = 0
+
+            def apply(self, *args, **kwargs):
+                TracingUpdate.applied += 1
+                return super().apply(*args, **kwargs)
+
+        engine = self._engine(session)
+        x_init = session.compiled.default_sizes(np.inf)
+
+        def optimizers(cls):
+            return [OGWSOptimizer(
+                engine,
+                SizingProblem.from_initial(engine, x_init, noise_fraction=nf),
+                update=cls(), x_init=x_init) for nf in (0.1, 0.15)]
+
+        assert TracingUpdate().batch_key() is None
+        scalar = [opt.run() for opt in optimizers(MultiplicativeUpdate)]
+        lockstep = run_lockstep(optimizers(TracingUpdate))
+        assert TracingUpdate.applied > 0  # fallback actually exercised
+        for a, b in zip(scalar, lockstep):
+            self._assert_bitwise(a, b)
+
 
 class TestRepairShortCircuit:
     def test_lazy_feasibility_matches_eager(self, session):

@@ -139,3 +139,92 @@ class TestUpdates:
                          power_cap=500.0, noise=50.0)
             changed = mult.lam_edge[slack_edges] <= before[slack_edges] + 1e-12
             assert np.all(changed)
+
+
+class TestBatchedA4:
+    """apply_batch column j must be bit-identical to apply on column j."""
+
+    def _columns(self, setting, K, seed=0):
+        """K perturbed (arrival, delays, mult, problem, caps) scenarios."""
+        cc, engine, arrival, delays, problem = setting
+        rng = np.random.default_rng(seed)
+        cols = []
+        for j in range(K):
+            f = 1.0 + 0.1 * rng.random()
+            cols.append(dict(
+                arrival=arrival * f, delays=delays * f,
+                mult=MultiplierState.initial(cc, beta=0.1 + 0.01 * j,
+                                             gamma=0.1 + 0.02 * j),
+                problem=SizingProblem(
+                    delay_bound_ps=problem.delay_bound_ps * (1.0 + 0.05 * j),
+                    noise_bound_ff=100.0 + j,
+                    power_cap_bound_ff=1000.0 + 10 * j),
+                power_cap=1500.0 + 100 * j, noise=40.0 + 5 * j, k=j + 1))
+        return cols
+
+    @pytest.mark.parametrize("make", [SubgradientUpdate, MultiplicativeUpdate])
+    @pytest.mark.parametrize("K", [1, 3, 8])
+    def test_bitwise_equals_scalar(self, setting, make, K):
+        cols = self._columns(setting, K)
+        scalar_update = make()
+        scalar_mults = [c["mult"].copy() for c in cols]
+        scalar_mus = [scalar_update.apply(
+            m, c["k"], c["arrival"], c["delays"], c["problem"],
+            power_cap=c["power_cap"], noise=c["noise"])
+            for m, c in zip(scalar_mults, cols)]
+
+        batch_update = make()
+        batch_mults = [c["mult"].copy() for c in cols]
+        mus = batch_update.apply_batch(
+            batch_mults, [c["k"] for c in cols],
+            np.column_stack([c["arrival"] for c in cols]),
+            np.column_stack([c["delays"] for c in cols]),
+            [c["problem"] for c in cols],
+            [c["power_cap"] for c in cols],
+            [c["noise"] for c in cols])
+
+        assert mus == scalar_mus
+        for s, b in zip(scalar_mults, batch_mults):
+            assert s.lam_edge.tobytes() == b.lam_edge.tobytes()
+            assert s.beta == b.beta and s.gamma == b.gamma
+            assert b.lam_edge.flags["C_CONTIGUOUS"]
+
+    def test_batch_key_groups_identical_rules_only(self):
+        a = MultiplicativeUpdate()
+        b = MultiplicativeUpdate()
+        assert a.batch_key() == b.batch_key() is not None
+        assert a.batch_key() != MultiplicativeUpdate(
+            ratio_clip=2.0).batch_key()
+        assert a.batch_key() != SubgradientUpdate().batch_key()
+        assert SubgradientUpdate().batch_key() == \
+            SubgradientUpdate().batch_key()
+        assert SubgradientUpdate(schedule=SqrtStep(2.0)).batch_key() != \
+            SubgradientUpdate(schedule=SqrtStep(1.0)).batch_key()
+
+    def test_unknown_schedule_or_subclass_opts_out(self):
+        class MySchedule(SqrtStep):
+            pass
+
+        class MyUpdate(MultiplicativeUpdate):
+            pass
+
+        assert MultiplicativeUpdate(schedule=MySchedule()).batch_key() is None
+        assert MyUpdate().batch_key() is None
+        assert SubgradientUpdate(schedule=MySchedule()).batch_key() is None
+
+    def test_edge_terms_batch_matches_scalar(self, setting):
+        cc, _, arrival, delays, problem = setting
+        from repro.core.subgradient import edge_timing_terms_batch
+
+        bounds = [problem.delay_bound_ps, problem.delay_bound_ps / 2]
+        arr = np.column_stack([arrival, arrival * 1.1])
+        del_ = np.column_stack([delays, delays * 1.1])
+        res_b, ref_b = edge_timing_terms_batch(cc, arr, del_, bounds)
+        for j, bound in enumerate(bounds):
+            res_s, ref_s = edge_timing_terms(
+                cc, np.ascontiguousarray(arr[:, j]),
+                np.ascontiguousarray(del_[:, j]), bound)
+            assert res_s.tobytes() == np.ascontiguousarray(
+                res_b[:, j]).tobytes()
+            assert ref_s.tobytes() == np.ascontiguousarray(
+                ref_b[:, j]).tobytes()

@@ -208,3 +208,32 @@ class TestNodeTerms:
         terms = cs.node_terms(np.ones(6), 0.5, node_caps=True)
         assert not terms.cap_sum.any() and not terms.dx_sum.any()
         assert not terms.gamma_slopes.any() and not terms.node_caps.any()
+
+
+class TestTotalsBatch:
+    """Batched column totals must be bitwise-equal to scalar total()."""
+
+    @pytest.mark.parametrize("order", [2, 3, 5])
+    def test_bitwise_equals_scalar_total(self, order):
+        cs = two_pair_set(order=order)
+        rng = np.random.default_rng(7)
+        x_cols = np.zeros((cs.num_nodes, 4))
+        x_cols[1:4] = rng.uniform(0.2, 1.5, (3, 4))
+        x_cols = np.ascontiguousarray(x_cols)
+        totals = cs.totals_batch(x_cols)
+        for j in range(4):
+            assert totals[j] == cs.total(np.ascontiguousarray(x_cols[:, j]))
+
+    def test_on_real_layout(self, small_circuit, small_coupling):
+        rng = np.random.default_rng(8)
+        n = small_coupling.num_nodes
+        x_cols = np.ascontiguousarray(rng.uniform(0.3, 2.0, (n, 3)))
+        totals = small_coupling.totals_batch(x_cols)
+        for j in range(3):
+            assert totals[j] == small_coupling.total(
+                np.ascontiguousarray(x_cols[:, j]))
+
+    def test_empty_set(self):
+        cs = CouplingSet.empty(6)
+        np.testing.assert_array_equal(
+            cs.totals_batch(np.ones((6, 5))), np.zeros(5))

@@ -144,3 +144,88 @@ def test_woss_quality_on_random_ensemble():
                 random_ordering(10, seed), w):
             woss_wins += 1
     assert woss_wins >= 15
+
+
+def random_keys(n, seed, max_key=None):
+    """Symmetric int16 key matrix mimicking ``2d`` Hamming-distance keys.
+
+    Small ``max_key`` relative to n² forces heavy ties — the regime the
+    keys fast path must break identically to the reference masked argmin
+    (stable lowest-index wins).
+    """
+    rng = np.random.default_rng(seed)
+    if max_key is None:
+        max_key = max(2, n // 2)
+    k = rng.integers(0, max_key + 1, size=(n, n))
+    k = np.minimum(k, k.T).astype(np.int16)
+    np.fill_diagonal(k, 0)
+    return k
+
+
+class TestWossKeysPath:
+    """The sort_keys fast path returns the reference result exactly."""
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 17, 64, 65, 130])
+    def test_matches_reference_across_sizes(self, n):
+        for seed in range(8):
+            keys = random_keys(n, seed * 101 + n)
+            weights = keys.astype(np.float64) / 64.0
+            assert woss_ordering(None, sort_keys=keys) == \
+                woss_ordering(weights)
+
+    def test_tie_heavy_ensemble(self):
+        for seed in range(60):
+            n = 3 + seed % 30
+            keys = random_keys(n, seed, max_key=2)  # almost all ties
+            weights = keys.astype(np.float64)
+            assert woss_ordering(None, sort_keys=keys) == \
+                woss_ordering(weights)
+
+    def test_all_equal_keys(self):
+        """Fully degenerate: every pair ties; index order must decide."""
+        n = 40
+        keys = np.ones((n, n), dtype=np.int16)
+        np.fill_diagonal(keys, 0)
+        assert woss_ordering(None, sort_keys=keys) == \
+            woss_ordering(keys.astype(np.float64))
+
+    def test_prefix_exhaustion_fallback(self):
+        """More than 64 tied entries per row forces the full-row re-sort
+        branch; the result must still match the reference."""
+        n = 150
+        keys = np.zeros((n, n), dtype=np.int16)
+        np.fill_diagonal(keys, 0)
+        keys += 1
+        np.fill_diagonal(keys, 0)
+        # One slightly-better edge so A1 is deterministic but the walk
+        # still chews through >64 tied candidates per step.
+        keys[0, 1] = keys[1, 0] = 0
+        assert woss_ordering(None, sort_keys=keys) == \
+            woss_ordering(keys.astype(np.float64))
+
+    def test_keys_with_weights_cross_checked(self):
+        keys = random_keys(12, 7)
+        weights = keys.astype(np.float64) / 32.0
+        assert woss_ordering(weights, sort_keys=keys) == \
+            woss_ordering(weights)
+
+    def test_single_wire(self):
+        assert woss_ordering(None,
+                             sort_keys=np.zeros((1, 1), np.int16)) == [0]
+
+    def test_shape_and_dtype_validated(self):
+        with pytest.raises(GeometryError):
+            woss_ordering(None, sort_keys=np.zeros((2, 3), np.int16))
+        with pytest.raises(GeometryError):
+            woss_ordering(None, sort_keys=np.zeros((0, 0), np.int16))
+        with pytest.raises(GeometryError):
+            woss_ordering(None, sort_keys=np.zeros((2, 2), float))
+        with pytest.raises(GeometryError):
+            woss_ordering(None,
+                          sort_keys=np.full((2, 2), -1, dtype=np.int16))
+        with pytest.raises(GeometryError):
+            woss_ordering(np.zeros((3, 3)),
+                          sort_keys=np.zeros((2, 2), np.int16))
+        with pytest.raises(GeometryError):
+            woss_ordering(None,
+                          sort_keys=np.full((2, 2), 70000, dtype=np.int64))

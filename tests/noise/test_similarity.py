@@ -89,3 +89,111 @@ class TestAnalyzer:
         assert 0.0 <= rate <= 1.0
         # Random patterns toggle drivers about half the time.
         assert 0.3 < rate < 0.7
+
+
+class TestAnalyzerCache:
+    """The memoization contract: hit ⇔ the channel's Gram is cached."""
+
+    def _channels(self, circuit, k=3, size=4):
+        wires = [w.index for w in circuit.wires()]
+        return [tuple(wires[i * size:(i + 1) * size]) for i in range(k)]
+
+    def test_matrix_repeat_is_a_hit(self, small_circuit):
+        ana = SimilarityAnalyzer(small_circuit, n_patterns=64, seed=0)
+        idx = self._channels(small_circuit, k=1)[0]
+        first = ana.matrix(idx)
+        assert (ana.cache_hits, ana.cache_misses) == (0, 1)
+        second = ana.matrix(idx)
+        assert (ana.cache_hits, ana.cache_misses) == (1, 1)
+        assert second is first  # memoized object, not a recomputation
+
+    def test_pair_reads_through_the_cache(self, small_circuit):
+        """Regression: ``pair`` previously recomputed a fresh 2×2 matrix
+        on every call while the docstring claimed caching."""
+        ana = SimilarityAnalyzer(small_circuit, n_patterns=64, seed=0)
+        i, j = [w.index for w in small_circuit.wires()[:2]]
+        ana.pair(i, j)
+        assert (ana.cache_hits, ana.cache_misses) == (0, 1)
+        ana.pair(i, j)
+        assert (ana.cache_hits, ana.cache_misses) == (1, 1)
+
+    def test_accessors_share_one_gram(self, small_circuit):
+        """sort_keys then matrix costs one Gram product, not two."""
+        ana = SimilarityAnalyzer(small_circuit, n_patterns=64, seed=0)
+        idx = self._channels(small_circuit, k=1)[0]
+        ana.sort_keys(idx)
+        assert (ana.cache_hits, ana.cache_misses) == (0, 1)
+        ana.matrix(idx)
+        ana.path_dissimilarity(idx)
+        assert (ana.cache_hits, ana.cache_misses) == (1, 1)
+
+    def test_batched_matrices_equal_single_calls(self, small_circuit):
+        groups = self._channels(small_circuit)
+        a = SimilarityAnalyzer(small_circuit, n_patterns=64, seed=0)
+        b = SimilarityAnalyzer(small_circuit, n_patterns=64, seed=0)
+        batched = a.matrices(groups)
+        single = [b.matrix(g) for g in groups]
+        for m_batch, m_single in zip(batched, single):
+            np.testing.assert_array_equal(m_batch, m_single)
+        assert a.cache_misses == len(groups)
+        # Second batched call: all hits, same objects.
+        again = a.matrices(groups)
+        assert a.cache_hits == len(groups)
+        assert all(x is y for x, y in zip(again, batched))
+
+    def test_returned_arrays_read_only(self, small_circuit):
+        ana = SimilarityAnalyzer(small_circuit, n_patterns=64, seed=0)
+        idx = self._channels(small_circuit, k=1)[0]
+        for arr in (ana.matrix(idx), ana.sort_keys(idx), ana.signed_values):
+            with pytest.raises(ValueError):
+                arr[0, 0] = 0
+
+    def test_sort_keys_are_twice_hamming_distance(self, small_circuit):
+        ana = SimilarityAnalyzer(small_circuit, n_patterns=64, seed=0)
+        idx = self._channels(small_circuit, k=1)[0]
+        keys = ana.sort_keys(idx)
+        assert keys.dtype == np.int16
+        rows = ana.values[np.asarray(idx)]
+        for a in range(len(idx)):
+            for b in range(len(idx)):
+                d = int(np.sum(rows[a] != rows[b]))
+                assert keys[a, b] == 2 * d
+        # Exact monotone image of the weights: 1 − s = 2d / P.
+        weights = 1.0 - ana.matrix(idx)
+        np.testing.assert_array_equal(
+            weights, keys.astype(np.float64) / ana.patterns.shape[0])
+
+    def test_sort_keys_unavailable_above_int16_range(self, small_circuit):
+        rng = np.random.default_rng(0)
+        pats = rng.random((16384, small_circuit.num_drivers)) < 0.5
+        ana = SimilarityAnalyzer(small_circuit, patterns=pats)
+        idx = self._channels(small_circuit, k=1)[0]
+        assert ana.sort_keys(idx) is None
+        # The similarity matrix itself is still served.
+        assert ana.matrix(idx).shape == (len(idx), len(idx))
+
+    def test_path_dissimilarity_matches_matrix_sum(self, small_circuit):
+        ana = SimilarityAnalyzer(small_circuit, n_patterns=64, seed=0)
+        idx = self._channels(small_circuit, k=1, size=5)[0]
+        weights = 1.0 - ana.matrix(idx)
+        order = [3, 0, 4, 1, 2]
+        expect = float(np.sum(weights[np.asarray(order[:-1]),
+                                      np.asarray(order[1:])]))
+        assert ana.path_dissimilarity(idx, order) == expect
+        track = float(np.sum(np.diagonal(weights, 1)))
+        assert ana.path_dissimilarity(idx) == track
+        assert ana.path_dissimilarity(idx[:1]) == 0.0
+
+    def test_f32_gram_bitwise_equals_f64(self, small_circuit):
+        """±1 Gram entries are exact integers ≤ P, so the f32 fast path
+        must give the same similarity bits as a float64 computation."""
+        ana = SimilarityAnalyzer(small_circuit, n_patterns=64, seed=0)
+        idx = self._channels(small_circuit, k=1)[0]
+        signed = np.where(ana.values[np.asarray(idx)], 1.0, -1.0)
+        exact = signed @ signed.T / signed.shape[1]
+        np.fill_diagonal(exact, 1.0)
+        np.testing.assert_array_equal(ana.matrix(idx), exact)
+
+    def test_empty_group_served_without_caching(self, small_circuit):
+        ana = SimilarityAnalyzer(small_circuit, n_patterns=64, seed=0)
+        assert ana.matrix(()).shape == (0, 0)

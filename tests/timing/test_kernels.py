@@ -452,6 +452,63 @@ class TestBatchedKernels:
         assert peak < per_solve + 5 * per_pass_budget, (
             f"steady-state batched LRS passes allocated {peak} bytes")
 
+    def test_metrics_tail_batch_allocation_bounded(self, setup):
+        """tracemalloc guard over the lockstep metrics tail: warm
+        ``totals_batch`` calls run in the pooled pair scratch, leaving
+        only the transposed column copy plus the (K,) result."""
+        compiled, coupling = setup
+        rng = np.random.default_rng(31)
+        x_cols = np.ascontiguousarray(
+            rng.uniform(0.5, 2.0, (compiled.num_nodes, 4)))
+        coupling.totals_batch(x_cols)  # warm the width-4 scratch
+
+        tracemalloc.start()
+        coupling.totals_batch(x_cols)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        budget = 2 * coupling.num_pairs * 4 * 8 + 16 * 1024
+        assert peak < budget, (
+            f"warm totals_batch allocated {peak} bytes (> {budget})")
+
+    def test_batched_a4_allocation_bounded(self, setup):
+        """tracemalloc guard over batched A4: one ``apply_batch`` call
+        allocates O(E·K) work matrices (edge terms, ratio/step, stacked
+        λ before/after) and nothing proportional to passes or nodes³ —
+        no per-edge Python objects, no K redundant scalar passes."""
+        from repro.core.problem import SizingProblem
+        from repro.core.subgradient import (
+            MultiplicativeUpdate,
+            SubgradientUpdate,
+        )
+
+        compiled, coupling = setup
+        engine = ElmoreEngine(compiled, coupling)
+        x = compiled.default_sizes(1.0)
+        delays = engine.delays(x)
+        arrival = engine.arrival_times(delays)
+        K = 4
+        arr = np.column_stack([arrival * (1 + 0.01 * j) for j in range(K)])
+        del_ = np.column_stack([delays * (1 + 0.01 * j) for j in range(K)])
+        problems = [SizingProblem(delay_bound_ps=float(arrival[compiled.sink]),
+                                  noise_bound_ff=100.0 + j,
+                                  power_cap_bound_ff=1000.0 + j)
+                    for j in range(K)]
+        for update in (MultiplicativeUpdate(), SubgradientUpdate()):
+            mults = [MultiplierState.initial(compiled, beta=0.1, gamma=0.1)
+                     for _ in range(K)]
+            update.apply_batch(mults, [1] * K, arr, del_, problems,
+                               [1500.0] * K, [40.0] * K)  # warm ufunc paths
+
+            tracemalloc.start()
+            update.apply_batch(mults, [2] * K, arr, del_, problems,
+                               [1500.0] * K, [40.0] * K)
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            budget = 14 * compiled.num_edges * K * 8 + 32 * 1024
+            assert peak < budget, (
+                f"{update.name} apply_batch allocated {peak} bytes "
+                f"(> {budget})")
+
 
 def test_evalcontext_totals_match_metric_functions(setup):
     """The dot-product fast totals pin exactly to the metric definitions."""
