@@ -18,6 +18,7 @@ from repro.utils.errors import ReproError
 
 #: Event kinds narrated as one-line notices (heartbeats stay silent).
 _NOTICE_KINDS = ("sweep_submitted", "shard_claimed", "shard_done",
+                 "shard_released", "shard_failed", "shard_retry",
                  "lease_reclaimed", "lease_lost", "worker_started",
                  "worker_done")
 
@@ -38,25 +39,38 @@ def watch_queue(queue, out, follow=True, timeout_s=None, poll_s=0.2,
     Replays the history first (a watcher that starts late misses
     nothing), then — with ``follow=True`` — keeps reading as workers
     append, printing one summary line per completed scenario plus
-    shard/worker lifecycle notices, until every scenario of the sweep
-    has reported or ``timeout_s`` passes with no new event.  Ends with
-    the rendered sweep table and a status line.  Monitoring is
-    non-invasive: only ``events.jsonl`` is read.
+    shard/worker lifecycle notices, until the sweep *settles* — every
+    scenario has reported, or every shard still unreported is
+    quarantined in ``failed/`` (a poisoned sweep must end the watch,
+    not hang it) — or ``timeout_s`` passes with no new event.  Ends
+    with the rendered sweep table and a status line.  Monitoring is
+    non-invasive: only ``events.jsonl`` is read (plus one final
+    ``status()`` for the closing line).
     """
     from repro.runtime.queue import SweepQueue
 
     if not isinstance(queue, SweepQueue):
         queue = SweepQueue(queue)
-    total = len(queue.manifest()["scenarios"])
+    manifest = queue.manifest()
+    total = len(manifest["scenarios"])
+    total_shards = len(manifest["shards"])
     records = {}
+    # Shards in a terminal state: done, or quarantined.  A retry
+    # (failed/ -> pending/) takes its shard out of the set again.
+    terminal = set()
 
     def complete():
-        return len(records) >= total
+        return (len(records) >= total
+                or (terminal and len(terminal) >= total_shards))
 
     for event in tail_events(queue.events_path, follow=follow,
                              poll_s=poll_s, timeout_s=timeout_s,
                              stop=complete):
         kind = event.get("kind")
+        if kind in ("shard_done", "shard_failed") and event.get("shard"):
+            terminal.add(event["shard"])
+        elif kind == "shard_retry" and event.get("shard"):
+            terminal.discard(event["shard"])
         if kind == "record_done":
             try:
                 record = RunRecord.from_dict(event["record"])

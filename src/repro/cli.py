@@ -5,13 +5,15 @@
 * ``info <circuit>``      — structure, depth, channels, initial metrics
 * ``size <circuit>``      — run the two-stage flow, print the result
 * ``sweep <circuits...>`` — run circuits × knob axes, parallel + cached
-* ``queue <submit|work|status|watch|gather|merge>`` — the sharded sweep
-  service: submit a sweep to a durable on-disk queue (sharded by count
-  or by estimated solve cost), drain it with any number of worker
-  processes (work-stealing via heartbeat leases) or serve queues
-  long-lived with warm per-circuit sessions (``work --serve DIR``),
-  watch live progress from the event stream, and gather records
-  byte-identical to a serial run
+* ``queue <submit|work|status|watch|gather|merge|retry-failed>`` — the
+  sharded sweep service: submit a sweep to a durable on-disk queue
+  (sharded by count or by estimated solve cost), drain it with any
+  number of worker processes (work-stealing via heartbeat leases,
+  retry with backoff, poison-shard quarantine, optional deterministic
+  fault injection via ``--faults``) or serve queues long-lived with
+  warm per-circuit sessions (``work --serve DIR``), watch live
+  progress from the event stream, gather records byte-identical to a
+  serial run, and re-arm quarantined shards
 * ``cache <stats|prune|clear>`` — inspect / LRU-evict a result cache
 * ``table1 [names...]``   — reproduce Table 1 rows next to the paper's
 * ``suite``               — list the embedded ISCAS85-like suite
@@ -168,6 +170,18 @@ def build_parser():
                                "estimates)")
     q_submit.add_argument("--label", default="",
                           help="free-form tag recorded in the manifest")
+    q_submit.add_argument("--lease-ttl", type=float, default=None,
+                          metavar="S",
+                          help="lease TTL recorded in the manifest: "
+                               "workers steal a peer's shard after S "
+                               "seconds without a heartbeat (default 60; "
+                               "per-worker --lease-ttl overrides)")
+    q_submit.add_argument("--lease-grace", type=float, default=None,
+                          metavar="S",
+                          help="extra seconds on top of the TTL before a "
+                               "lease counts as expired — a cushion for "
+                               "clock/mtime skew between hosts sharing "
+                               "the queue (default 0)")
     q_work = queue_sub.add_parser(
         "work", help="claim and solve shards until the queue is drained")
     q_work.add_argument("--serve", nargs="+", default=None, metavar="DIR",
@@ -181,9 +195,30 @@ def build_parser():
                         help="worker processes (auto = CPU count)")
     q_work.add_argument("--max-shards", type=int, default=None, metavar="N",
                         help="stop each worker after N shards")
-    q_work.add_argument("--lease", type=float, default=60.0, metavar="S",
+    q_work.add_argument("--lease-ttl", "--lease", type=float, default=None,
+                        metavar="S", dest="lease_ttl",
                         help="steal a peer's shard after S seconds without "
-                             "a heartbeat (default 60)")
+                             "a heartbeat (default: the queue manifest's "
+                             "policy from submit --lease-ttl, else 60)")
+    q_work.add_argument("--lease-grace", type=float, default=None,
+                        metavar="S",
+                        help="extra seconds past the TTL before stealing "
+                             "(default: the queue manifest's policy)")
+    q_work.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                        help="claims a shard may consume before a failure "
+                             "quarantines it to failed/ instead of "
+                             "releasing it for retry (default 3)")
+    q_work.add_argument("--faults", default=None, metavar="SPEC",
+                        help="deterministic fault injection for chaos "
+                             "testing, e.g. "
+                             "'seed=7,crash=0.2,io-persist=0.3,torn=0.3' "
+                             "(sites: crash, crash-post-persist, stall, "
+                             "torn, io-claim, io-persist, io-append, "
+                             "poison; also via REPRO_FAULTS)")
+    q_work.add_argument("--restart-budget", type=int, default=0, metavar="N",
+                        help="supervise worker processes: respawn up to N "
+                             "abnormal deaths (crashes) across the drain "
+                             "instead of failing it (default 0)")
     q_work.add_argument("--max-idle", type=float, default=None, metavar="S",
                         help="exit after S consecutive seconds without "
                              "claimable work (serve mode's exit valve; "
@@ -223,7 +258,12 @@ def build_parser():
     q_merge.add_argument("sources", nargs="+",
                          help="queue directories or bare result-cache "
                               "directories to copy records from")
-    for sub_parser in (q_submit, q_status, q_watch, q_gather, q_merge):
+    q_retry = queue_sub.add_parser(
+        "retry-failed",
+        help="re-arm quarantined shards (failed/ -> pending/, fresh "
+             "attempt budget)")
+    for sub_parser in (q_submit, q_status, q_watch, q_gather, q_merge,
+                       q_retry):
         sub_parser.add_argument("--queue-dir", required=True,
                                 help="queue directory")
     # `work` alone may take --serve instead of a queue directory.
@@ -372,7 +412,9 @@ def cmd_queue(args, out):
                               shard_size=args.shard_size, label=args.label,
                               shard_mode=args.shard_mode,
                               cost_model=cost_model,
-                              cost_budget=args.cost_budget)
+                              cost_budget=args.cost_budget,
+                              lease_ttl=args.lease_ttl,
+                              lease_grace=args.lease_grace)
         scenarios = sum(len(s) for s in shards)
         out.write(f"submitted {scenarios} scenarios as {len(shards)} "
                   f"shards ({args.shard_mode} mode) to {queue.root}\n")
@@ -390,8 +432,12 @@ def cmd_queue(args, out):
             workers = run_workers([str(d) for d in args.serve], args.jobs,
                                   serve=True,
                                   worker_id=args.worker_id,
-                                  lease_s=args.lease,
+                                  lease_s=args.lease_ttl,
+                                  lease_grace=args.lease_grace,
                                   max_shards=args.max_shards,
+                                  max_attempts=args.max_attempts,
+                                  faults=args.faults,
+                                  restart_budget=args.restart_budget,
                                   idle_timeout_s=args.max_idle,
                                   session_capacity=args.sessions)
             out.write(f"{workers} serving worker(s) finished in "
@@ -400,8 +446,12 @@ def cmd_queue(args, out):
         queue.manifest()    # fail fast on a typo'd --queue-dir
         workers = run_workers(args.queue_dir, args.jobs,
                               worker_id=args.worker_id,
-                              lease_s=args.lease,
+                              lease_s=args.lease_ttl,
+                              lease_grace=args.lease_grace,
                               max_shards=args.max_shards,
+                              max_attempts=args.max_attempts,
+                              faults=args.faults,
+                              restart_budget=args.restart_budget,
                               wait=not args.no_wait,
                               idle_timeout_s=args.max_idle,
                               session_capacity=args.sessions)
@@ -417,6 +467,7 @@ def cmd_queue(args, out):
             ["pending", status.pending],
             ["claimed", status.claimed],
             ["done", status.done],
+            ["failed (quarantined)", status.failed],
             ["scenarios", status.total_scenarios],
             ["records present", status.records_present],
             ["complete", "yes" if status.complete else "no"],
@@ -427,13 +478,17 @@ def cmd_queue(args, out):
         if report:
             shard_rows = [
                 [row["shard"], row["state"], row["scenarios"],
+                 row["attempts"],
                  f"{row['est_cost']:.4g}",
                  "-" if row["actual_s"] is None else f"{row['actual_s']:.3f}"]
                 for row in report
             ]
             out.write("\n" + format_table(
-                ["shard", "state", "scen", "est cost", "actual s"],
+                ["shard", "state", "scen", "att", "est cost", "actual s"],
                 shard_rows, title="shards (estimated vs actual cost)") + "\n")
+        if status.failed:
+            out.write("re-arm quarantined shards with: repro queue "
+                      f"retry-failed --queue-dir {args.queue_dir}\n")
         return 0
     if args.queue_command == "watch":
         records = watch_queue(queue, out, follow=not args.no_follow,
@@ -454,6 +509,17 @@ def cmd_queue(args, out):
             out.write(f"verify-serial: {len(records)} records "
                       "byte-identical to a serial run\n")
         return 0 if all(r.feasible for r in records) else 1
+    if args.queue_command == "retry-failed":
+        queue.manifest()    # fail fast on a typo'd --queue-dir
+        rearmed = queue.retry_failed()
+        if rearmed:
+            out.write(f"re-armed {len(rearmed)} quarantined shard(s): "
+                      + ", ".join(rearmed) + "\n")
+            out.write("drain with: repro queue work --queue-dir "
+                      f"{args.queue_dir} --jobs auto\n")
+        else:
+            out.write("no quarantined shards to retry\n")
+        return 0
     # merge
     queue.manifest()
     target = queue.cache()

@@ -116,8 +116,15 @@ The same service, as a library — a throwaway queue under an ordinary
 from repro.runtime.cache import ResultCache, scenario_key
 from repro.runtime.config import CircuitRef, FlowConfig, Scenario, SweepSpec
 from repro.runtime.events import EventLog, read_events, tail_events
+from repro.runtime.faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    PoisonError,
+)
 from repro.runtime.queue import (
     CostModel,
+    PartialSweepError,
     QueueStatus,
     Shard,
     SweepQueue,
@@ -165,6 +172,11 @@ __all__ = [
     "QueueStatus",
     "make_shards",
     "CostModel",
+    "PartialSweepError",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "PoisonError",
     "Worker",
     "work_queue",
     "serve_queues",

@@ -156,14 +156,22 @@ class ResultCache:
 
         Only the instance's own shard is ever rewritten, so concurrent
         processes flushing into one cache directory never clobber each
-        other's counts.
+        other's counts.  Best-effort on I/O error: counters are
+        observability, so a transient failure writing the shard must
+        never kill a worker mid-sweep — the folded totals stay in
+        memory and the next successful flush rewrites the shard with
+        the full lifetime counts, healing the gap.
         """
         if not any(self._pending.values()):
             return
         for name, delta in self._pending.items():
             self._lifetime[name] += delta
         self._pending = {name: 0 for name in _COUNTER_FIELDS}
-        self._write_json_atomic(self.shard_path, json.dumps(self._lifetime))
+        try:
+            self._write_json_atomic(self.shard_path,
+                                    json.dumps(self._lifetime))
+        except OSError:
+            pass
 
     @staticmethod
     def _read_counters(path):

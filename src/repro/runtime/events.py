@@ -2,7 +2,8 @@
 
 The queue subsystem's observability channel: every worker appends one
 JSON object per line to a shared ``events.jsonl`` — shard lifecycle
-(``shard_claimed`` / ``shard_done`` / ``lease_reclaimed``), per-record
+(``shard_claimed`` / ``shard_done`` / ``shard_released`` /
+``shard_failed`` / ``shard_retry`` / ``lease_reclaimed``), per-record
 completions (``record_done``, carrying a trimmed
 :class:`~repro.runtime.records.RunRecord` payload so a watcher can
 render live tables without touching the results store), per-shard solve
@@ -23,6 +24,19 @@ produced here (``record_done`` payloads omit the per-component size
 vector precisely to stay small).  The reader is defensive anyway: a
 line that does not parse as a JSON object is skipped, never fatal —
 monitoring must not take down a sweep.
+
+Crashed writers leave two distinct stains the readers absorb:
+
+* a **torn trailing line** (the writer died mid-``write``, or is about
+  to finish it) — held back until its newline arrives, then parsed
+  normally;
+* a **torn interior fragment** — a half-written line the *next*
+  writer's ``O_APPEND`` landed right after, merging fragment and a
+  complete event onto one physical line.  The parser salvages the
+  complete event from the merged line (scanning for an embedded JSON
+  object with a ``kind``) instead of silently losing it, and counts
+  one ``corrupt_lines`` for the fragment — pass a ``stats`` dict to
+  :func:`read_events` / :func:`tail_events` to observe the count.
 """
 
 import json
@@ -46,61 +60,107 @@ class EventLog:
         self.path = path
         self.worker = str(worker)
 
-    def append(self, kind, **fields):
-        """Write one event; returns the event dict as written."""
+    def _render(self, kind, **fields):
+        """Build one event and its encoded line: ``(event, line_bytes)``."""
         event = {"kind": str(kind), "ts": round(time.time(), 6)}
         if self.worker:
             event["worker"] = self.worker
         event.update(fields)
         line = json.dumps(event, sort_keys=True, separators=(",", ":"))
+        return event, (line + "\n").encode()
+
+    def _write(self, data):
+        """One ``O_APPEND`` write of ``data`` (bytes) to the log file."""
         fd = os.open(str(self.path),
                      os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         try:
-            os.write(fd, (line + "\n").encode())
+            os.write(fd, data)
         finally:
             os.close(fd)
+
+    def append(self, kind, **fields):
+        """Write one event; returns the event dict as written."""
+        event, line = self._render(kind, **fields)
+        self._write(line)
         return event
 
 
-def _parse_lines(chunk, buffer):
-    """Split ``buffer + chunk`` into complete lines; returns (events, rest).
+def _salvage(line):
+    """Recover the complete event from a torn-fragment + event merge.
 
-    The trailing partial line (a writer mid-append) stays in ``rest``
-    until its newline arrives; junk lines are dropped.
+    A writer that died mid-write leaves a partial line with no newline;
+    the next ``O_APPEND`` lands directly after it, so one physical line
+    reads ``<fragment>{"kind":...}``.  Scan for embedded JSON-object
+    starts and return the first suffix that parses to an event dict —
+    or ``None`` when the line is junk through and through.
+    """
+    pos = line.find(b'{"', 1)
+    while pos > 0:
+        try:
+            event = json.loads(line[pos:])
+        except ValueError:
+            pass
+        else:
+            if isinstance(event, dict) and "kind" in event:
+                return event
+        pos = line.find(b'{"', pos + 1)
+    return None
+
+
+def _parse_lines(chunk, buffer):
+    """Split ``buffer + chunk`` into complete lines.
+
+    Returns ``(events, rest, corrupt)``: the parsed events, the trailing
+    partial line (a writer mid-append) held back until its newline
+    arrives, and the number of corrupt line fragments encountered —
+    torn interior fragments whose trailing event was salvaged (see
+    :func:`_salvage`) and outright junk lines alike.
     """
     buffer += chunk
     events = []
+    corrupt = 0
     while True:
         newline = buffer.find(b"\n")
         if newline < 0:
-            return events, buffer
+            return events, buffer, corrupt
         line, buffer = buffer[:newline], buffer[newline + 1:]
         if not line.strip():
             continue
         try:
             event = json.loads(line)
         except ValueError:
-            continue
+            corrupt += 1
+            event = _salvage(line)
+            if event is None:
+                continue
         if isinstance(event, dict) and "kind" in event:
             events.append(event)
 
 
-def read_events(path):
+def read_events(path, stats=None):
     """Every complete, well-formed event currently in ``path`` (a list).
 
     A missing file reads as an empty log (the queue may not have seen
-    its first event yet); a torn trailing line is excluded.
+    its first event yet); a torn trailing line is excluded until its
+    writer (or a successor's append) completes it.  Pass a mutable
+    ``stats`` dict to receive a ``corrupt_lines`` count of torn/junk
+    fragments encountered (salvaged events still appear in the result).
     """
     try:
         with open(str(path), "rb") as handle:
             chunk = handle.read()
     except OSError:
+        if stats is not None:
+            stats["corrupt_lines"] = stats.get("corrupt_lines", 0)
         return []
-    events, _ = _parse_lines(chunk, b"")
+    events, _, corrupt = _parse_lines(chunk, b"")
+    if stats is not None:
+        stats["corrupt_lines"] = stats.get("corrupt_lines", 0) + corrupt
     return events
 
 
-def tail_events(path, follow=False, poll_s=0.1, timeout_s=None, stop=None):
+def tail_events(path, follow=False, poll_s=0.1, timeout_s=None, stop=None,
+                stats=None):
     """Yield events from ``path`` incrementally, oldest first.
 
     With ``follow=False`` (the default) yields what is currently on disk
@@ -114,11 +174,19 @@ def tail_events(path, follow=False, poll_s=0.1, timeout_s=None, stop=None):
 
     Reading is offset-based, not inotify-based: portable, and a reader
     that starts late replays the whole history first — exactly what a
-    progress dashboard wants.
+    progress dashboard wants.  A torn trailing line (a writer killed
+    mid-append) never wedges the tail: it is held in the line buffer
+    and resolves either when a successor's append completes the
+    physical line (the merged line's event is salvaged, the fragment
+    counted) or never — in which case it simply stays unparsed.  Pass a
+    mutable ``stats`` dict to accumulate ``corrupt_lines`` across the
+    tail's lifetime.
     """
     offset = 0
     buffer = b""
     waited = 0.0
+    if stats is not None:
+        stats.setdefault("corrupt_lines", 0)
     while True:
         try:
             with open(str(path), "rb") as handle:
@@ -127,7 +195,9 @@ def tail_events(path, follow=False, poll_s=0.1, timeout_s=None, stop=None):
         except OSError:
             chunk = b""
         offset += len(chunk)
-        events, buffer = _parse_lines(chunk, buffer)
+        events, buffer, corrupt = _parse_lines(chunk, buffer)
+        if stats is not None and corrupt:
+            stats["corrupt_lines"] += corrupt
         if events:
             waited = 0.0
             for event in events:

@@ -1,0 +1,293 @@
+"""Deterministic fault injection for the sweep service (chaos testing).
+
+The queue subsystem's durability claims — atomic-rename claims, lease
+stealing, crash-safe ticket mutation, byte-identical ``gather`` — are
+only worth trusting if they survive the failures they were designed
+for.  This module makes those failures *injectable, deterministic, and
+replayable*:
+
+* A :class:`FaultPlan` is a parsed ``--faults`` spec: one seed plus a
+  rate per named injection **site** (below).  Plans round-trip through
+  :meth:`FaultPlan.to_spec`, which is how a plan crosses process
+  boundaries (the ``REPRO_FAULTS`` environment variable a spawned
+  worker process reads).
+* A :class:`FaultInjector` turns the plan into yes/no decisions.  Every
+  decision is a **pure function** of ``(seed, site, *key)`` via
+  :func:`repro.utils.rng.stable_seed` — no clock, no RNG state, no
+  dependence on thread or process interleaving — so a chaos run is
+  replayable from its seed alone, and a test can *predict* exactly
+  which shards a given plan will poison before running any worker.
+
+Injection sites (the ``site=rate`` keys a spec accepts):
+
+``crash``
+    ``os._exit`` mid-shard, before any record persists — simulates
+    ``SIGKILL`` between claim and solve.  Keyed by (shard, attempt).
+``crash-post-persist``
+    ``os._exit`` after every record persisted but *before* the shard's
+    ``done/`` rename — the nastiest window: the work exists, the
+    ticket says it does not.  Keyed by (shard, attempt).
+``stall``
+    The lease heartbeat thread stops beating for ``stall-s`` seconds
+    (default: comfortably past the TTL), so a live worker *looks* dead
+    and gets its shard stolen — the self-fencing scenario.  Keyed by
+    (shard, attempt).
+``torn``
+    An event line is written half-finished with no newline — a crashed
+    writer's torn ``events.jsonl`` tail.  Keyed per append.
+``io-claim`` / ``io-persist`` / ``io-append``
+    Transient :class:`InjectedFault` (an ``OSError``) raised from the
+    claim path, the record-persist path, or the event-append path —
+    the flaky-NFS model the retry/backoff machinery exists for.
+``poison``
+    A deterministic :class:`PoisonError` raised *every* time a
+    matching scenario is solved.  Keyed by scenario content hash only
+    — deliberately not by attempt — so retries never help and the
+    shard must travel the quarantine path (``failed/``).
+
+Spec grammar: comma-separated ``key=value`` tokens, e.g. ::
+
+    seed=7,crash=0.25,io-claim=0.3,poison=0.4,stall=0.2,stall-s=1.5
+
+``seed`` (int) seeds every decision; ``stall-s`` (float seconds) sets
+the stall duration; every other key is a site name with a rate in
+``[0, 1]`` (a bare site name means rate 1.0).
+"""
+
+import collections
+import dataclasses
+import os
+import random
+
+from repro.runtime.events import EventLog
+from repro.utils.errors import ReproError, ValidationError
+from repro.utils.rng import stable_seed
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyEventLog",
+    "InjectedFault",
+    "PoisonError",
+    "backoff_s",
+    "make_injector",
+]
+
+#: Every named injection point a spec may set a rate for.
+FAULT_SITES = (
+    "crash",
+    "crash-post-persist",
+    "stall",
+    "torn",
+    "io-claim",
+    "io-persist",
+    "io-append",
+    "poison",
+)
+
+#: Exit status of an injected crash — distinct from error exits (1/2)
+#: so a supervisor or test can tell "injected kill" from "real bug".
+CRASH_EXIT_CODE = 75
+
+
+class InjectedFault(OSError):
+    """A transient injected I/O failure (retryable, like flaky NFS)."""
+
+
+class PoisonError(ReproError):
+    """A deterministic injected solve failure (retries never succeed)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """One parsed ``--faults`` spec: a seed plus per-site rates.
+
+    ``rates`` is a sorted tuple of ``(site, rate)`` pairs so plans are
+    hashable values with a canonical form; :meth:`to_spec` round-trips
+    through :meth:`parse` exactly.
+    """
+
+    seed: int = 0
+    rates: tuple = ()
+    stall_s: float = 0.0
+
+    @classmethod
+    def parse(cls, spec):
+        """Parse ``"seed=7,crash=0.25,..."``; raises on unknown sites."""
+        seed = 0
+        stall_s = 0.0
+        rates = {}
+        for token in str(spec).split(","):
+            token = token.strip()
+            if not token:
+                continue
+            key, _, value = token.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key == "seed":
+                try:
+                    seed = int(value)
+                except ValueError:
+                    raise ValidationError(
+                        f"fault spec: seed must be an integer, got {value!r}")
+                continue
+            if key == "stall-s":
+                try:
+                    stall_s = float(value)
+                except ValueError:
+                    raise ValidationError(
+                        f"fault spec: stall-s must be a number, got {value!r}")
+                if stall_s < 0:
+                    raise ValidationError("fault spec: stall-s must be >= 0")
+                continue
+            if key not in FAULT_SITES:
+                raise ValidationError(
+                    f"fault spec: unknown site {key!r}; choose from "
+                    f"{', '.join(FAULT_SITES)} (plus seed, stall-s)")
+            try:
+                rate = 1.0 if not value else float(value)
+            except ValueError:
+                raise ValidationError(
+                    f"fault spec: rate for {key!r} must be a number, "
+                    f"got {value!r}")
+            if not 0.0 <= rate <= 1.0:
+                raise ValidationError(
+                    f"fault spec: rate for {key!r} must be in [0, 1]")
+            rates[key] = rate
+        return cls(seed=seed,
+                   rates=tuple(sorted(rates.items())),
+                   stall_s=stall_s)
+
+    def to_spec(self):
+        """The canonical spec string (``parse(to_spec())`` is identity)."""
+        parts = [f"seed={self.seed}"]
+        parts.extend(f"{site}={rate!r}" for site, rate in self.rates)
+        if self.stall_s:
+            parts.append(f"stall-s={self.stall_s!r}")
+        return ",".join(parts)
+
+    def rate(self, site):
+        return dict(self.rates).get(site, 0.0)
+
+    def __bool__(self):
+        return any(rate > 0 for _, rate in self.rates)
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into deterministic per-site decisions.
+
+    Every decision hashes ``(seed, site, *key)`` through
+    :func:`stable_seed` and compares the resulting uniform value
+    against the site's rate — stateless, so the same key always decides
+    the same way, in any process, in any order.  ``fired`` counts the
+    decisions that came up true (observability for tests and logs).
+    """
+
+    def __init__(self, plan):
+        self.plan = plan
+        self.fired = collections.Counter()
+
+    def decide(self, site, *key):
+        """True when the fault at ``site`` fires for this key."""
+        rate = self.plan.rate(site)
+        if rate <= 0.0:
+            return False
+        draw = stable_seed(self.plan.seed, site, *key) / 2.0 ** 32
+        if draw >= rate:
+            return False
+        self.fired[site] += 1
+        return True
+
+    def check_io(self, site, *key):
+        """Raise a transient :class:`InjectedFault` when ``site`` fires."""
+        if self.decide(site, *key):
+            raise InjectedFault(
+                f"injected transient {site} fault ({'/'.join(map(str, key))})")
+
+    def maybe_crash(self, site, *key):
+        """``os._exit(CRASH_EXIT_CODE)`` when ``site`` fires.
+
+        ``os._exit`` skips every finally block, atexit hook, and
+        buffered flush — the closest a Python process gets to SIGKILL,
+        which is exactly what crash injection must simulate.
+        """
+        if self.decide(site, *key):
+            os._exit(CRASH_EXIT_CODE)
+
+    def check_poison(self, scenario):
+        """Raise :class:`PoisonError` for deterministically-poisoned work.
+
+        Keyed by scenario content hash alone — no attempt number — so a
+        poisoned scenario fails identically on every retry, forcing the
+        quarantine path.
+        """
+        if self.decide("poison", scenario.content_hash()):
+            raise PoisonError(
+                f"injected poison failure for scenario {scenario.label}")
+
+
+def make_injector(faults):
+    """Coerce ``faults`` to a :class:`FaultInjector` (or ``None``).
+
+    Accepts ``None`` / empty string (no injection), a spec string, a
+    :class:`FaultPlan`, or an existing injector (returned as-is — so a
+    test can hand a worker the injector it also inspects).
+    """
+    if faults is None or faults == "":
+        return None
+    if isinstance(faults, FaultInjector):
+        return faults
+    if isinstance(faults, FaultPlan):
+        plan = faults
+    else:
+        plan = FaultPlan.parse(faults)
+    return FaultInjector(plan)
+
+
+def backoff_s(attempt, base_s=0.05, cap_s=2.0, rng=None):
+    """Exponential backoff with **full jitter** for retry ``attempt`` (1-based).
+
+    ``uniform(0, min(cap, base * 2**(attempt-1)))`` — the AWS-style
+    schedule: the cap bounds the worst case, the full jitter decorrelates
+    retrying peers so they do not stampede the filesystem in lockstep.
+    """
+    if attempt < 1:
+        raise ValidationError("backoff attempt must be >= 1")
+    rng = rng if rng is not None else random
+    return rng.random() * min(float(cap_s),
+                              float(base_s) * 2.0 ** (attempt - 1))
+
+
+class FaultyEventLog(EventLog):
+    """An :class:`EventLog` whose appends can fail or tear on command.
+
+    Wraps the real writer with two injection sites: ``io-append``
+    raises a transient :class:`InjectedFault` before anything is
+    written, and ``torn`` writes only a prefix of the line with no
+    newline — exactly the on-disk state a writer killed mid-``write``
+    leaves behind, which the readers' torn-line salvage must absorb.
+    Decisions key on a per-instance append sequence number, so a given
+    plan tears the same appends of a worker's stream every run.
+    """
+
+    def __init__(self, path, worker="", injector=None):
+        super().__init__(path, worker=worker)
+        self.injector = injector
+        self._seq = 0
+
+    def append(self, kind, **fields):
+        if self.injector is None:
+            return super().append(kind, **fields)
+        self._seq += 1
+        self.injector.check_io("io-append", self.worker, kind, self._seq)
+        event, line = self._render(kind, **fields)
+        if self.injector.decide("torn", self.worker, kind, self._seq):
+            # Half a line, no newline: the torn tail a crashed writer
+            # leaves.  The event is "written" from this writer's view —
+            # a real crash would believe the same thing.
+            self._write(line[:max(1, len(line) // 2)])
+            return event
+        self._write(line)
+        return event

@@ -46,12 +46,41 @@ Directory layout::
       pending/       unclaimed shard tickets  <shard>.json
       claimed/       claimed tickets + <shard>.lease heartbeat sidecars
       done/          completed tickets (terminal)
+      failed/        quarantined tickets (``retry_failed`` re-arms them)
+      attempts/      per-shard claim counters  <shard>.json
       results/       shared ResultCache (scenario-hash keyed)
       events.jsonl   append-only event stream (see runtime.events)
 
 Every state transition is a rename of one ticket file, so a queue is
 never torn: crash at any point leaves each shard in exactly one of
-``pending``/``claimed``/``done``.
+``pending``/``claimed``/``done``/``failed``.
+
+Failure handling (see also :mod:`repro.runtime.faults`, which injects
+the failures these paths exist for):
+
+* **Attempts** count how many times a shard has been claimed
+  (``attempts/`` sidecars, bumped atomically on every successful
+  claim).  A shard that keeps failing — its worker crashes, or the
+  shard raises deterministically — is **quarantined**: renamed to
+  ``failed/`` with a ``shard_failed`` event once its attempts reach
+  the worker's ``max_attempts``, either by the failing worker
+  (:meth:`SweepQueue.fail`) or by a reclaimer finding an expired lease
+  on an exhausted shard (:meth:`SweepQueue.reclaim_expired`).
+  :meth:`SweepQueue.retry_failed` renames quarantined tickets back to
+  ``pending/`` and resets their counters (``repro queue retry-failed``).
+* **Lease expiry is mtime-based.**  ``lease_age`` reads the lease
+  sidecar's *mtime* on the filesystem holding the queue rather than a
+  wall-clock timestamp embedded by the writer, so hosts with skewed
+  clocks sharing one queue agree on staleness; ``reclaim_expired``
+  adds a configurable ``grace`` on top of the TTL before stealing.
+* **Completion is fenced.**  :meth:`SweepQueue.complete` verifies the
+  caller still owns the shard's lease before renaming to ``done/`` —
+  a late worker whose shard was stolen observes ``False``
+  (``lease_lost``) instead of double-completing the stealer's ticket.
+* **gather() never hangs and never lies.**  An incomplete queue raises
+  :class:`PartialSweepError` carrying the partial records, the missing
+  scenario labels, and the quarantined shard ids — callers decide
+  whether to retry, re-arm, or accept the partial result.
 """
 
 import dataclasses
@@ -69,11 +98,36 @@ from repro.utils.errors import ReproError, ValidationError
 #: Version of the on-disk manifest / ticket envelope.
 QUEUE_SCHEMA_VERSION = 1
 
+#: Default lease TTL (seconds) recorded in a submission's manifest.
+DEFAULT_LEASE_TTL_S = 60.0
+
+#: Default reclaim grace (seconds) on top of the TTL.  Zero by default —
+#: single-host drains want prompt stealing; cross-host deployments with
+#: skewed clocks opt in via ``submit --lease-grace``.
+DEFAULT_LEASE_GRACE_S = 0.0
+
 _LABEL_RE = re.compile(r"[^A-Za-z0-9_.-]+")
 
 
 def _utcnow():
     return time.time()
+
+
+class PartialSweepError(ReproError):
+    """An incomplete queue's structured gather failure.
+
+    Carries everything a caller needs to act instead of hanging or
+    guessing: the records that *do* exist (``records``, in scenario
+    order with gaps elided), the missing scenario labels (``missing``),
+    and the quarantined shard ids (``failed_shards``) — the shards
+    ``repro queue retry-failed`` would re-arm.
+    """
+
+    def __init__(self, message, records=(), missing=(), failed_shards=()):
+        super().__init__(message)
+        self.records = list(records)
+        self.missing = list(missing)
+        self.failed_shards = list(failed_shards)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -132,11 +186,22 @@ class QueueStatus:
     done: int
     total_scenarios: int
     records_present: int
+    failed: int = 0
 
     @property
     def drained(self):
         """Every shard reached ``done/``."""
         return self.done == self.total_shards
+
+    @property
+    def settled(self):
+        """Every shard reached a terminal state (``done/`` or ``failed/``).
+
+        The "never wedged" criterion: a settled queue has nothing left
+        for a worker to do — either it drained, or the remainder is
+        quarantined and waiting on ``retry_failed``.
+        """
+        return self.done + self.failed >= self.total_shards
 
     @property
     def complete(self):
@@ -148,8 +213,9 @@ class QueueStatus:
         return self.records_present == self.total_scenarios
 
     def summary(self):
+        failed = f", {self.failed} failed" if self.failed else ""
         return (f"{self.total_shards} shards: {self.pending} pending, "
-                f"{self.claimed} claimed, {self.done} done; "
+                f"{self.claimed} claimed, {self.done} done{failed}; "
                 f"records {self.records_present}/{self.total_scenarios}")
 
 
@@ -396,6 +462,8 @@ class SweepQueue:
         self.pending_dir = self.root / "pending"
         self.claimed_dir = self.root / "claimed"
         self.done_dir = self.root / "done"
+        self.failed_dir = self.root / "failed"
+        self.attempts_dir = self.root / "attempts"
         self.results_dir = self.root / "results"
         self.manifest_path = self.root / "sweep.json"
         self.events_path = self.root / "events.jsonl"
@@ -408,15 +476,19 @@ class SweepQueue:
         return self.manifest_path.exists()
 
     def submit(self, spec_or_scenarios, shard_size=None, label="",
-               shard_mode="count", cost_model=None, cost_budget=None):
+               shard_mode="count", cost_model=None, cost_budget=None,
+               lease_ttl=None, lease_grace=None):
         """Expand, shard, and persist one sweep; returns the shard list.
 
         ``shard_mode`` / ``cost_model`` / ``cost_budget`` pass through to
         :func:`make_shards` (``"cost"`` packs shards by estimated solve
-        cost instead of scenario count).  A queue holds exactly one
-        sweep for its lifetime (re-submission raises) — the manifest
-        *is* the gather contract, so it must never change under a
-        draining worker.
+        cost instead of scenario count).  ``lease_ttl`` / ``lease_grace``
+        record the sweep's lease policy in the manifest (seconds; see
+        :meth:`lease_policy`) so every worker draining it — on any host
+        — applies the same expiry math without per-worker flag plumbing.
+        A queue holds exactly one sweep for its lifetime (re-submission
+        raises) — the manifest *is* the gather contract, so it must
+        never change under a draining worker.
         """
         if self.exists():
             raise ReproError(
@@ -429,7 +501,8 @@ class SweepQueue:
             raise ValidationError("cannot submit an empty sweep")
         shards = make_shards(scenarios, shard_size, mode=shard_mode,
                              cost_model=cost_model, cost_budget=cost_budget)
-        return self._persist(scenarios, shards, label, shard_mode)
+        return self._persist(scenarios, shards, label, shard_mode,
+                             lease_ttl=lease_ttl, lease_grace=lease_grace)
 
     def submit_shards(self, groups, label=""):
         """Submit with an explicit shard per scenario group.
@@ -460,8 +533,17 @@ class SweepQueue:
             offset += len(group)
         return self._persist(scenarios, shards, label, "explicit")
 
-    def _persist(self, scenarios, shards, label, shard_mode="count"):
+    def _persist(self, scenarios, shards, label, shard_mode="count",
+                 lease_ttl=None, lease_grace=None):
+        ttl = DEFAULT_LEASE_TTL_S if lease_ttl is None else float(lease_ttl)
+        grace = (DEFAULT_LEASE_GRACE_S if lease_grace is None
+                 else float(lease_grace))
+        if ttl <= 0:
+            raise ValidationError("lease_ttl must be positive")
+        if grace < 0:
+            raise ValidationError("lease_grace must be non-negative")
         for directory in (self.pending_dir, self.claimed_dir, self.done_dir,
+                          self.failed_dir, self.attempts_dir,
                           self.results_dir):
             directory.mkdir(parents=True, exist_ok=True)
         for shard in shards:
@@ -477,6 +559,7 @@ class SweepQueue:
             "shard_sizes": {shard.shard_id: len(shard) for shard in shards},
             "shard_costs": {shard.shard_id: float(shard.est_cost)
                             for shard in shards},
+            "lease": {"ttl": ttl, "grace": grace},
         }
         self._write_atomic(self.manifest_path, json.dumps(manifest, indent=1))
         self._manifest = manifest
@@ -514,6 +597,22 @@ class SweepQueue:
     def shard_ids(self):
         return list(self.manifest()["shards"])
 
+    def lease_policy(self):
+        """The sweep's ``{"ttl": s, "grace": s}`` lease policy.
+
+        Read from the manifest; queues submitted by older versions (no
+        ``lease`` key) get the defaults — so every worker draining one
+        sweep agrees on expiry math regardless of its own flags.
+        """
+        lease = self.manifest().get("lease") or {}
+        try:
+            ttl = float(lease.get("ttl", DEFAULT_LEASE_TTL_S))
+            grace = float(lease.get("grace", DEFAULT_LEASE_GRACE_S))
+        except (TypeError, ValueError):
+            ttl, grace = DEFAULT_LEASE_TTL_S, DEFAULT_LEASE_GRACE_S
+        return {"ttl": ttl if ttl > 0 else DEFAULT_LEASE_TTL_S,
+                "grace": max(0.0, grace)}
+
     def cache(self):
         """A :class:`ResultCache` handle on this queue's results store."""
         return ResultCache(self.results_dir)
@@ -539,13 +638,42 @@ class SweepQueue:
                            json.dumps({"worker": str(worker_id),
                                        "ts": _utcnow()}))
 
+    def _attempts_path(self, shard_id):
+        return self.attempts_dir / f"{shard_id}.json"
+
+    def attempts(self, shard_id):
+        """How many times this shard has been claimed (0 = never)."""
+        try:
+            data = json.loads(self._attempts_path(shard_id).read_text())
+            return max(0, int(data["attempts"]))
+        except (OSError, TypeError, ValueError, KeyError):
+            return 0
+
+    def _bump_attempts(self, shard_id):
+        """Record one more claim of ``shard_id``; returns the new count.
+
+        Best-effort on I/O error (an unbumped counter only delays
+        quarantine by one attempt — it never loses work), and atomic via
+        tmp+rename so a crash mid-bump leaves the old count, not junk.
+        """
+        count = self.attempts(shard_id) + 1
+        try:
+            self.attempts_dir.mkdir(parents=True, exist_ok=True)
+            self._write_atomic(self._attempts_path(shard_id),
+                               json.dumps({"attempts": count}))
+        except OSError:
+            pass
+        return count
+
     def claim(self, worker_id):
         """Atomically claim the first pending shard; ``None`` when empty.
 
         The rename from ``pending/`` to ``claimed/`` is the entire
         mutual-exclusion protocol: concurrent claimants racing for one
         ticket see exactly one ``rename`` succeed, and every loser gets
-        ``FileNotFoundError`` and tries the next ticket.
+        ``FileNotFoundError`` and tries the next ticket.  Each win also
+        bumps the shard's attempt counter — the quarantine policy's
+        input — and stamps the attempt number into ``shard_claimed``.
         """
         self.manifest()
         for shard_id in self._ids_in(self.pending_dir):
@@ -564,6 +692,7 @@ class SweepQueue:
             except OSError:
                 pass
             self._write_lease(shard_id, worker_id)
+            attempt = self._bump_attempts(shard_id)
             try:
                 shard = Shard.from_dict(json.loads(target.read_text()))
             except (OSError, ValueError, ReproError):
@@ -572,7 +701,7 @@ class SweepQueue:
                 self.log(worker_id).append("lease_lost", shard=shard_id)
                 continue
             self.log(worker_id).append("shard_claimed", shard=shard_id,
-                                       scenarios=len(shard))
+                                       scenarios=len(shard), attempt=attempt)
             return shard
         return None
 
@@ -582,36 +711,73 @@ class SweepQueue:
         if event:
             self.log(worker_id).append("heartbeat", shard=shard_id)
 
+    def lease_owned(self, shard_id, worker_id):
+        """True while ``worker_id`` still holds the live claim on the shard.
+
+        The **fencing check**: the claimed ticket must exist and the
+        lease sidecar must name this worker.  A worker whose shard was
+        stolen (lease expired, a reclaimer renamed the ticket away, a
+        new claimant wrote its own lease) observes ``False`` and must
+        stop persisting results for the shard — the stealer owns it now.
+        """
+        if not (self.claimed_dir / f"{shard_id}.json").exists():
+            return False
+        try:
+            data = json.loads(self._lease_path(shard_id).read_text())
+            return str(data.get("worker", "")) == str(worker_id)
+        except (OSError, TypeError, ValueError):
+            return False
+
     def lease_age(self, shard_id):
         """Seconds since the shard's lease was last refreshed.
 
-        Falls back to the claimed ticket's mtime when the sidecar is
-        missing (a claimant that died between rename and lease write).
+        Measured from the lease sidecar's **mtime** — a timestamp the
+        filesystem holding the queue assigned — rather than the
+        wall-clock ``ts`` the writer embedded in the file, so hosts
+        with skewed clocks sharing one queue still agree on staleness
+        (the embedded ``ts`` remains for observability).  Falls back to
+        the claimed ticket's mtime when the sidecar is missing (a
+        claimant that died between rename and lease write).
         """
-        try:
-            data = json.loads(self._lease_path(shard_id).read_text())
-            return max(0.0, _utcnow() - float(data["ts"]))
-        except (OSError, TypeError, ValueError, KeyError):
-            pass
-        try:
-            stat = (self.claimed_dir / f"{shard_id}.json").stat()
-            return max(0.0, _utcnow() - stat.st_mtime)
-        except OSError:
-            return 0.0
+        for path in (self._lease_path(shard_id),
+                     self.claimed_dir / f"{shard_id}.json"):
+            try:
+                return max(0.0, _utcnow() - path.stat().st_mtime)
+            except OSError:
+                continue
+        return 0.0
 
-    def reclaim_expired(self, lease_s, worker_id=""):
+    def reclaim_expired(self, lease_s, worker_id="", grace=None,
+                        max_attempts=None):
         """Steal claimed shards whose lease went stale; returns shard ids.
 
-        Each reclaim is a rename back to ``pending/`` — atomic, so two
-        survivors policing the same corpse reclaim it exactly once.
+        A lease is stale once its age exceeds ``lease_s + grace``
+        (``grace`` defaults to the sweep's manifest policy — the skew
+        cushion for queues shared across hosts).  Each reclaim is a
+        rename back to ``pending/`` — atomic, so two survivors policing
+        the same corpse reclaim it exactly once.  With ``max_attempts``,
+        an expired shard that has already been claimed that many times
+        is **quarantined** to ``failed/`` instead of re-armed — the
+        crash-looping analogue of a worker-side failure, without which
+        a shard that kills every claimant would cycle forever.  Only
+        re-armed (pending-bound) ids are returned.
         """
         if lease_s < 0:
             raise ValidationError("lease_s must be non-negative")
+        if grace is None:
+            grace = self.lease_policy()["grace"]
+        if grace < 0:
+            raise ValidationError("grace must be non-negative")
         reclaimed = []
         for shard_id in self._ids_in(self.claimed_dir):
-            if self.lease_age(shard_id) <= lease_s:
+            if self.lease_age(shard_id) <= lease_s + grace:
                 continue
             source = self.claimed_dir / f"{shard_id}.json"
+            if max_attempts is not None and \
+                    self.attempts(shard_id) >= int(max_attempts):
+                self._quarantine(source, shard_id, worker_id,
+                                 "lease expired with attempts exhausted")
+                continue       # quarantined (or completed under us)
             target = self.pending_dir / f"{shard_id}.json"
             try:
                 os.rename(source, target)
@@ -625,15 +791,91 @@ class SweepQueue:
             reclaimed.append(shard_id)
         return reclaimed
 
+    def _quarantine(self, source, shard_id, worker_id, error):
+        """Rename a claimed ticket to ``failed/``; True when this call won."""
+        self.failed_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            os.rename(source, self.failed_dir / f"{shard_id}.json")
+        except OSError:
+            return False
+        try:
+            self._lease_path(shard_id).unlink()
+        except OSError:
+            pass
+        self.log(worker_id).append("shard_failed", shard=shard_id,
+                                   attempts=self.attempts(shard_id),
+                                   error=str(error)[:500])
+        return True
+
+    def release(self, shard, worker_id, error=""):
+        """Put a claimed shard back up for grabs after a failed attempt.
+
+        The retry path: renames ``claimed/ → pending/`` and logs
+        ``shard_released`` with the attempt count and the error that
+        caused it.  ``False`` when the lease was already lost (stolen
+        or completed elsewhere) — nothing to release.
+        """
+        source = self.claimed_dir / f"{shard.shard_id}.json"
+        target = self.pending_dir / f"{shard.shard_id}.json"
+        try:
+            os.rename(source, target)
+        except OSError:
+            return False
+        try:
+            self._lease_path(shard.shard_id).unlink()
+        except OSError:
+            pass
+        self.log(worker_id).append("shard_released", shard=shard.shard_id,
+                                   attempt=self.attempts(shard.shard_id),
+                                   error=str(error)[:500])
+        return True
+
+    def fail(self, shard, worker_id, error=""):
+        """Quarantine a claimed shard to ``failed/`` (attempts exhausted).
+
+        Terminal until :meth:`retry_failed` re-arms it; ``False`` when
+        the lease was already lost.
+        """
+        source = self.claimed_dir / f"{shard.shard_id}.json"
+        return self._quarantine(source, shard.shard_id, worker_id, error)
+
+    def retry_failed(self, worker_id=""):
+        """Re-arm every quarantined shard; returns the re-armed ids.
+
+        Renames ``failed/ → pending/`` and resets each shard's attempt
+        counter, so the re-run gets a full ``max_attempts`` budget
+        (``repro queue retry-failed``).
+        """
+        rearmed = []
+        for shard_id in self._ids_in(self.failed_dir):
+            source = self.failed_dir / f"{shard_id}.json"
+            target = self.pending_dir / f"{shard_id}.json"
+            try:
+                os.rename(source, target)
+            except OSError:
+                continue       # re-armed by someone else
+            try:
+                self._attempts_path(shard_id).unlink()
+            except OSError:
+                pass
+            self.log(worker_id).append("shard_retry", shard=shard_id)
+            rearmed.append(shard_id)
+        return rearmed
+
     def complete(self, shard, worker_id, computed=0, cached=0):
         """Move a claimed shard to ``done/``; False when the lease was lost.
 
-        A ``False`` return means another worker reclaimed (and will
-        re-run) the shard while this one was still solving.  That is not
-        an error: the records this worker already persisted are
-        byte-identical to what the re-run will produce, so the caller
-        just moves on.
+        Fenced: the rename only proceeds while ``worker_id`` still owns
+        the lease (:meth:`lease_owned`), so a late worker whose shard
+        was stolen — and possibly already re-claimed by a stealer —
+        cannot complete the *stealer's* ticket out from under it.  A
+        ``False`` return is not an error: the records this worker
+        already persisted are byte-identical to what the re-run will
+        produce, so the caller just moves on.
         """
+        if not self.lease_owned(shard.shard_id, worker_id):
+            self.log(worker_id).append("lease_lost", shard=shard.shard_id)
+            return False
         source = self.claimed_dir / f"{shard.shard_id}.json"
         target = self.done_dir / f"{shard.shard_id}.json"
         try:
@@ -664,6 +906,7 @@ class SweepQueue:
             done=len(self._ids_in(self.done_dir)),
             total_scenarios=len(scenarios),
             records_present=present,
+            failed=len(self._ids_in(self.failed_dir)),
         )
 
     def shard_timings(self):
@@ -678,10 +921,12 @@ class SweepQueue:
         """Per-shard drain view: state, scenarios, estimated vs actual cost.
 
         One dict per shard in manifest order — ``shard``, ``state``
-        (``pending``/``claimed``/``done``), ``scenarios``, ``est_cost``
-        (the submitter's estimate) and ``actual_s`` (measured solve
-        seconds from the shard's latest ``shard_timing`` event; ``None``
-        until a worker reports).  ``repro queue status`` renders this;
+        (``pending``/``claimed``/``done``/``failed``), ``scenarios``,
+        ``attempts`` (how many claims the shard has consumed — the
+        quarantine policy's counter), ``est_cost`` (the submitter's
+        estimate) and ``actual_s`` (measured solve seconds from the
+        shard's latest ``shard_timing`` event; ``None`` until a worker
+        reports).  ``repro queue status`` renders this;
         :meth:`CostModel.from_events` closes the loop by calibrating the
         next submission from the same events.
         """
@@ -692,7 +937,8 @@ class SweepQueue:
         states = {}
         for state, directory in (("pending", self.pending_dir),
                                  ("claimed", self.claimed_dir),
-                                 ("done", self.done_dir)):
+                                 ("done", self.done_dir),
+                                 ("failed", self.failed_dir)):
             for shard_id in self._ids_in(directory):
                 states[shard_id] = state
         report = []
@@ -702,6 +948,7 @@ class SweepQueue:
                 "shard": shard_id,
                 "state": states.get(shard_id, "missing"),
                 "scenarios": int(sizes.get(shard_id, 0)),
+                "attempts": self.attempts(shard_id),
                 "est_cost": float(costs.get(shard_id, 0.0)),
                 "actual_s": (None if timing is None
                              else float(timing.get("elapsed_s", 0.0))),
@@ -716,8 +963,10 @@ class SweepQueue:
         so the result is byte-identical (canonical JSON) to a serial
         :class:`~repro.runtime.runner.BatchRunner` run of the same spec,
         no matter how many workers drained the queue, in what order, or
-        on which hosts.  Raises unless every record is present
-        (``partial=True`` returns what exists).
+        on which hosts.  Raises :class:`PartialSweepError` — carrying
+        the partial records, the missing labels, and any quarantined
+        shard ids — unless every record is present (``partial=True``
+        returns what exists instead).
         """
         cache = self.cache()
         records = []
@@ -729,8 +978,12 @@ class SweepQueue:
             else:
                 records.append(record)
         if missing and not partial:
-            raise ReproError(
+            failed = self._ids_in(self.failed_dir)
+            detail = (f"; quarantined shards: {', '.join(failed)} "
+                      f"(repro queue retry-failed re-arms them)"
+                      if failed else f" (first: {missing[0]})")
+            raise PartialSweepError(
                 f"queue {self.root} is incomplete: {len(missing)} of "
-                f"{len(records) + len(missing)} records missing "
-                f"(first: {missing[0]})")
+                f"{len(records) + len(missing)} records missing" + detail,
+                records=records, missing=missing, failed_shards=failed)
         return records

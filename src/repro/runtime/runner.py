@@ -210,12 +210,18 @@ class SweepStats:
     #: Circuit groups dispatched by the grouping planner (0 ⇒ the
     #: per-scenario path ran, e.g. ``batch=False`` or a warm cache).
     groups: int = 0
+    #: Cache writes that failed with OSError and were skipped — the
+    #: record still streamed to the caller (the cache is an
+    #: optimization, never a correctness dependency).
+    put_errors: int = 0
 
     def summary(self):
         text = (f"{self.total} scenarios: {self.computed} computed, "
                 f"{self.cache_hits} cached")
         if self.groups:
             text += f", {self.groups} circuit groups"
+        if self.put_errors:
+            text += f", {self.put_errors} cache writes failed"
         return text
 
 
@@ -269,6 +275,20 @@ class BatchRunner:
             return self.executor_factory()
         return make_executor(self.jobs)
 
+    def _cache_put(self, scenario, record):
+        """Persist one record, tolerating cache-store I/O failure.
+
+        The record is already computed and already streaming to the
+        caller; a full disk or flaky mount under the cache directory
+        must cost a recomputation later, not this sweep.  Failures are
+        counted in :attr:`SweepStats.put_errors` and surfaced by the
+        stats summary.
+        """
+        try:
+            self.cache.put(scenario, record)
+        except OSError:
+            self.stats.put_errors += 1
+
     def session_pool(self):
         """The runner's warm :class:`SessionPool` (in-process path only).
 
@@ -321,7 +341,7 @@ class BatchRunner:
                 record = next(fresh)
                 self.stats.computed += 1
                 if self.cache is not None:
-                    self.cache.put(scenario, record)
+                    self._cache_put(scenario, record)
                 yield record
             completed = True
         finally:
@@ -403,7 +423,7 @@ class BatchRunner:
                     del arrived[gpos]   # keep streaming memory bounded
                 self.stats.computed += 1
                 if self.cache is not None:
-                    self.cache.put(scenario, record)
+                    self._cache_put(scenario, record)
                 yield record
             completed = True
         finally:

@@ -40,6 +40,34 @@ sidecar and the event log; the solver state — including the
 to the drain loop's thread.  A worker never shares sessions, caches, or
 pools with another worker: one pool per process, by construction.
 
+Failure model
+-------------
+Workers are built to drain *or* quarantine, never to wedge:
+
+* **Transient I/O errors** (claim, record persist, event append — the
+  flaky-NFS class) retry with exponential backoff and full jitter
+  (:func:`repro.runtime.faults.backoff_s`); event appends are
+  ultimately best-effort, since observability must never kill a sweep.
+* **Shard failures** — a solve raising, or record persistence failing
+  past its retries — release the shard back to ``pending/``
+  (``shard_released``) with a backoff, until the shard's claim counter
+  reaches ``max_attempts``; then it is quarantined to ``failed/``
+  (``shard_failed``), keeping a poison shard from starving the sweep.
+* **Self-fencing.**  The heartbeat thread watches its own lease
+  (:meth:`SweepQueue.lease_owned`); once the lease is lost — stolen
+  after an injected stall, say — it flags the drain loop, which stops
+  persisting results for that shard and abandons the completion.  The
+  records already written are byte-identical to the stealer's, so
+  nothing is corrupted either way; fencing just keeps the loser from
+  racing the new owner.
+* **Supervision.**  :func:`run_workers` can restart dead worker
+  processes under a ``restart_budget``, so an injected (or real) crash
+  costs one respawn instead of the whole drain.
+
+Deterministic fault injection (``faults=`` / ``--faults`` /
+``REPRO_FAULTS``) drives all of these paths on demand — see
+:mod:`repro.runtime.faults`.
+
 Serve-mode lifecycle: a serving worker polls its watch directories for
 newly submitted queues between claims and exits when a ``STOP`` file
 appears in any watch directory, when ``idle_timeout_s`` elapses without
@@ -57,12 +85,14 @@ durable queue transparently, records byte-identical to serial.
 import multiprocessing
 import os
 import pathlib
+import random
 import secrets
 import shutil
 import tempfile
 import threading
 import time
 
+from repro.runtime.faults import FaultyEventLog, backoff_s, make_injector
 from repro.runtime.queue import SweepQueue, _circuit_size_estimate
 from repro.runtime.runner import (
     resolve_jobs,
@@ -70,6 +100,7 @@ from repro.runtime.runner import (
     run_scenario_group,
 )
 from repro.utils.errors import ReproError, ValidationError
+from repro.utils.rng import stable_seed
 
 #: Default lease duration (seconds).  Generous: heartbeats refresh it
 #: every :attr:`Worker.heartbeat_s` regardless of how long a shard
@@ -78,6 +109,16 @@ DEFAULT_LEASE_S = 60.0
 
 #: Default capacity of a worker's warm :class:`SessionPool`.
 DEFAULT_SESSIONS = 4
+
+#: Claims a shard may consume before it is quarantined to ``failed/``.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Retries for one transient I/O operation (claim / persist / append).
+DEFAULT_IO_RETRIES = 3
+
+#: Backoff schedule defaults (seconds): ``uniform(0, min(cap, base*2^n))``.
+DEFAULT_BACKOFF_BASE_S = 0.05
+DEFAULT_BACKOFF_CAP_S = 2.0
 
 #: Sentinel file name that stops serving workers (``<serve_dir>/STOP``).
 STOP_FILE = "STOP"
@@ -101,19 +142,45 @@ def _event_record(record):
 
 
 class _LeaseHeartbeat(threading.Thread):
-    """Daemon thread refreshing one shard's lease while its solve runs."""
+    """Daemon thread refreshing one shard's lease while its solve runs.
 
-    def __init__(self, queue, shard_id, worker_id, interval_s):
+    Also the worker's **fence sensor**: before each beat it verifies the
+    lease is still this worker's (:meth:`SweepQueue.lease_owned`); once
+    it is not — the shard was stolen — it sets :attr:`lost` and exits,
+    and the drain loop stops persisting results for the shard.  With an
+    injector, the ``stall`` site can silence the beats for ``stall_s``
+    seconds (once per shard attempt), simulating a GC pause or NFS hang
+    long enough for a peer to steal the lease out from under a live
+    worker — exactly the scenario fencing exists for.
+    """
+
+    def __init__(self, queue, shard_id, worker_id, interval_s,
+                 injector=None, stall_s=0.0, attempt=0):
         super().__init__(daemon=True, name=f"heartbeat-{shard_id}")
         self.queue = queue
         self.shard_id = shard_id
         self.worker_id = worker_id
         self.interval_s = interval_s
+        self.injector = injector
+        self.stall_s = float(stall_s)
+        self.attempt = int(attempt)
+        #: Set once the lease is observed lost; never cleared.
+        self.lost = threading.Event()
         self._halt = threading.Event()
+        self._stalled = False
 
     def run(self):
         while not self._halt.wait(self.interval_s):
+            if self.injector is not None and not self._stalled and \
+                    self.injector.decide("stall", self.shard_id,
+                                         self.attempt):
+                self._stalled = True    # one stall per (shard, attempt)
+                if self._halt.wait(self.stall_s):
+                    return
             try:
+                if not self.queue.lease_owned(self.shard_id, self.worker_id):
+                    self.lost.set()
+                    return
                 self.queue.heartbeat(self.shard_id, self.worker_id)
             except OSError:
                 pass    # a missed beat is recoverable; a crash is not
@@ -137,16 +204,19 @@ class Worker:
     lease_s:
         How stale a *peer's* lease must be before this worker steals
         the shard.  Must comfortably exceed ``heartbeat_s`` (not the
-        solve time — heartbeats run in a thread).
+        solve time — heartbeats run in a thread).  Default ``None``:
+        each queue's manifest lease policy applies (``submit
+        --lease-ttl``), falling back to :data:`DEFAULT_LEASE_S`.
     heartbeat_s:
-        Lease refresh interval; defaults to ``lease_s / 4``.
+        Lease refresh interval; defaults to a quarter of the effective
+        lease TTL.
     max_shards:
         Stop after completing this many shards across all queues
         (``None`` = drain).
     wait:
         When true (default) an idle worker waits for shards still
         claimed by live peers to finish (reclaiming any that expire)
-        before exiting, so its exit means every queue is drained.  When
+        before exiting, so its exit means every queue is settled.  When
         false it exits as soon as nothing is claimable.
     poll_s:
         Idle-loop sleep between claim attempts.
@@ -165,12 +235,36 @@ class Worker:
         work (``None`` = wait indefinitely in serve mode).
     session_capacity:
         Size of the worker's warm :class:`SessionPool`.
+    max_attempts:
+        Claims a shard may consume (across all workers) before a
+        failure quarantines it to ``failed/`` instead of releasing it
+        for another retry.
+    lease_grace:
+        Extra seconds on top of the TTL before this worker steals a
+        peer's shard (clock-skew cushion).  Default ``None``: the
+        queue's manifest policy (``submit --lease-grace``).
+    faults:
+        Deterministic fault injection: a spec string
+        (``"seed=7,crash=0.25,..."``), a
+        :class:`~repro.runtime.faults.FaultPlan`, or a prebuilt
+        :class:`~repro.runtime.faults.FaultInjector`.  Default
+        ``None`` reads the ``REPRO_FAULTS`` environment variable (so
+        externally spawned worker processes join a chaos run), and
+        injects nothing when that is unset.
+    io_retries / backoff_base_s / backoff_cap_s:
+        Transient-I/O retry budget and its exponential-backoff
+        schedule (full jitter; see
+        :func:`repro.runtime.faults.backoff_s`).
     """
 
-    def __init__(self, queue=None, worker_id=None, lease_s=DEFAULT_LEASE_S,
+    def __init__(self, queue=None, worker_id=None, lease_s=None,
                  heartbeat_s=None, max_shards=None, wait=True, poll_s=0.2,
                  queues=None, serve_dirs=None, idle_timeout_s=None,
-                 session_capacity=DEFAULT_SESSIONS):
+                 session_capacity=DEFAULT_SESSIONS,
+                 max_attempts=DEFAULT_MAX_ATTEMPTS, lease_grace=None,
+                 faults=None, io_retries=DEFAULT_IO_RETRIES,
+                 backoff_base_s=DEFAULT_BACKOFF_BASE_S,
+                 backoff_cap_s=DEFAULT_BACKOFF_CAP_S):
         from repro.core.session import SessionPool
 
         roots = []
@@ -189,21 +283,40 @@ class Worker:
             if not directory.is_dir():
                 raise ValidationError(
                     f"serve directory does not exist: {directory}")
-        if lease_s <= 0:
+        if lease_s is not None and lease_s <= 0:
             raise ValidationError("Worker lease_s must be positive")
+        if lease_grace is not None and float(lease_grace) < 0:
+            raise ValidationError("Worker lease_grace must be non-negative")
+        if int(max_attempts) < 1:
+            raise ValidationError("Worker max_attempts must be >= 1")
         if max_shards is not None and int(max_shards) < 1:
             raise ValidationError("Worker max_shards must be >= 1")
         if idle_timeout_s is not None and float(idle_timeout_s) < 0:
             raise ValidationError("Worker idle_timeout_s must be >= 0")
+        if int(io_retries) < 0:
+            raise ValidationError("Worker io_retries must be >= 0")
         self.worker_id = worker_id or _default_worker_id()
-        self.lease_s = float(lease_s)
-        self.heartbeat_s = (float(heartbeat_s) if heartbeat_s is not None
-                            else max(self.lease_s / 4.0, 0.02))
+        self.lease_s = None if lease_s is None else float(lease_s)
+        self.heartbeat_s = (None if heartbeat_s is None
+                            else float(heartbeat_s))
         self.max_shards = None if max_shards is None else int(max_shards)
         self.wait = bool(wait)
         self.poll_s = float(poll_s)
         self.idle_timeout_s = (None if idle_timeout_s is None
                                else float(idle_timeout_s))
+        self.max_attempts = int(max_attempts)
+        self.lease_grace = (None if lease_grace is None
+                            else float(lease_grace))
+        if faults is None:
+            faults = os.environ.get("REPRO_FAULTS") or None
+        self.faults = make_injector(faults)
+        self.io_retries = int(io_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        # Deterministic per-worker jitter stream: replayable, and
+        # decorrelated across workers by id.
+        self._rng = random.Random(stable_seed("worker-backoff",
+                                              self.worker_id))
         #: Warm per-circuit sessions, shared across shards and queues.
         self.sessions = SessionPool(session_capacity)
         # One cache handle per queue for the worker's lifetime: each
@@ -212,15 +325,22 @@ class Worker:
         # processed work unit.  Lazy — constructing a handle creates
         # results/, which an unsubmitted queue should not grow.
         self._caches = {}
+        self._logs = {}          # queue root -> event log (fault-wrapped)
+        self._lease_policies = {}
         self._known = {str(q.root) for q in self.queues}
         self._announced = set()
-        self._retired = set()    # drained queues: skip their dir scans
+        self._retired = set()    # settled queues: skip their dir scans
         self._tallies = {}       # queue root -> this worker's share of it
         self._idle_since = None
+        self._claim_seq = 0
         #: Tallies of the last :meth:`run` (shards, computed, cache hits).
         self.shards_done = 0
         self.computed = 0
         self.cache_hits = 0
+        #: Transient I/O errors absorbed (injected or real) and shard
+        #: attempts that failed, across the worker's lifetime.
+        self.io_errors = 0
+        self.failures = 0
 
     @property
     def queue(self):
@@ -233,6 +353,82 @@ class Worker:
         if cache is None:
             cache = self._caches[key] = queue.cache()
         return cache
+
+    def _event_log(self, queue):
+        """This worker's event writer for ``queue`` (fault-wrapped)."""
+        key = str(queue.root)
+        log = self._logs.get(key)
+        if log is None:
+            if self.faults is not None:
+                log = FaultyEventLog(queue.events_path,
+                                     worker=self.worker_id,
+                                     injector=self.faults)
+            else:
+                log = queue.log(self.worker_id)
+            self._logs[key] = log
+        return log
+
+    # -- lease policy / retry plumbing ------------------------------------------
+
+    def _ttl(self, queue):
+        """Effective lease TTL for ``queue`` (flag > manifest > default)."""
+        if self.lease_s is not None:
+            return self.lease_s
+        return self._lease_policy(queue)["ttl"]
+
+    def _grace(self, queue):
+        """Effective reclaim grace for ``queue`` (flag > manifest > 0)."""
+        if self.lease_grace is not None:
+            return self.lease_grace
+        return self._lease_policy(queue)["grace"]
+
+    def _lease_policy(self, queue):
+        key = str(queue.root)
+        policy = self._lease_policies.get(key)
+        if policy is None:
+            policy = self._lease_policies[key] = queue.lease_policy()
+        return policy
+
+    def _sleep_backoff(self, attempt):
+        time.sleep(backoff_s(attempt, self.backoff_base_s,
+                             self.backoff_cap_s, self._rng))
+
+    def _safe_append(self, log, kind, **fields):
+        """Append one event, retrying transient failures, never raising.
+
+        Events are observability: after the retry budget the append is
+        dropped (and counted) rather than failing the shard — monitoring
+        must not take down a sweep, even when the log's filesystem is
+        misbehaving.
+        """
+        for attempt in range(1, self.io_retries + 2):
+            try:
+                return log.append(kind, **fields)
+            except OSError:
+                self.io_errors += 1
+                if attempt > self.io_retries:
+                    return None
+                self._sleep_backoff(attempt)
+
+    def _claim(self, queue):
+        """Claim with transient-error retries; ``None`` = nothing this round.
+
+        A claim lost to persistent I/O error is indistinguishable from
+        "nothing claimable" — the drain loop comes back next round, and
+        the shard is still in ``pending/`` for anyone to take.
+        """
+        for attempt in range(1, self.io_retries + 2):
+            try:
+                if self.faults is not None:
+                    self._claim_seq += 1
+                    self.faults.check_io("io-claim", self.worker_id,
+                                         self._claim_seq, attempt)
+                return queue.claim(self.worker_id)
+            except OSError:
+                self.io_errors += 1
+                if attempt > self.io_retries:
+                    return None
+                self._sleep_backoff(attempt)
 
     # -- serve-mode discovery ---------------------------------------------------
 
@@ -264,9 +460,9 @@ class Worker:
         key = str(queue.root)
         if key not in self._announced:
             self._announced.add(key)
-            queue.log(self.worker_id).append(
-                "worker_started", lease_s=self.lease_s,
-                max_shards=self.max_shards)
+            self._safe_append(self._event_log(queue), "worker_started",
+                              lease_s=self._ttl(queue),
+                              max_shards=self.max_shards)
 
     # -- the drain loop ---------------------------------------------------------
 
@@ -283,7 +479,7 @@ class Worker:
                 if str(queue.root) in self._retired:
                     continue
                 self._announce(queue)
-                shard = queue.claim(self.worker_id)
+                shard = self._claim(queue)
                 if shard is None:
                     continue
                 claimed = True
@@ -291,8 +487,9 @@ class Worker:
                 if self.process(shard, queue):
                     self.shards_done += 1
                 # else: the lease was lost to a reclaiming peer mid-
-                # solve — the peer's re-run owns the completion, don't
-                # count it here.
+                # solve, or the attempt failed (released or
+                # quarantined) — the eventual completion belongs to a
+                # later attempt, don't count it here.
                 break
             if not claimed and not self._idle_continue():
                 break
@@ -303,35 +500,44 @@ class Worker:
                 # over-report every individual queue's stream.
                 tally = self._tallies.get(
                     key, {"shards": 0, "computed": 0, "cached": 0})
-                queue.log(self.worker_id).append("worker_done", **tally)
+                self._safe_append(self._event_log(queue),
+                                  "worker_done", **tally)
         return self.shards_done
 
     def _idle_continue(self):
         """Nothing claimable anywhere: steal, wait, serve, or give up.
 
-        Per queue, "drained" is judged from the ``done/`` count alone —
-        the one monotonic, terminal state — because pending/claimed
-        scans are two separate directory listings and a concurrent
-        reclaim or claim landing between them could make both read zero
-        while an unsolved shard is mid-rename.  Drained queues are
-        retired from future scans (a queue holds one sweep forever, so
-        drained is terminal too).
+        Per queue, "settled" is judged from the terminal ``done/`` +
+        ``failed/`` counts alone — the monotonic, terminal states —
+        because pending/claimed scans are two separate directory
+        listings and a concurrent reclaim or claim landing between them
+        could make both read zero while an unsolved shard is
+        mid-rename.  Counting ``failed/`` is what keeps a worker from
+        wedging on a quarantined sweep: a queue whose remainder is
+        poison settles instead of being waited on forever.  Settled
+        queues are retired from future scans (a queue holds one sweep
+        forever, so settled is terminal too — until ``retry_failed``,
+        which is an operator action, not a drain-loop state).
         """
-        undrained = False
+        unsettled = False
         for queue in self.queues:
             key = str(queue.root)
             if key in self._retired:
                 continue
-            if len(queue._ids_in(queue.done_dir)) >= len(queue.shard_ids()):
+            terminal = (len(queue._ids_in(queue.done_dir))
+                        + len(queue._ids_in(queue.failed_dir)))
+            if terminal >= len(queue.shard_ids()):
                 self._retired.add(key)
                 continue
-            undrained = True
+            unsettled = True
             if queue._ids_in(queue.claimed_dir) and \
-                    queue.reclaim_expired(self.lease_s, self.worker_id):
+                    queue.reclaim_expired(self._ttl(queue), self.worker_id,
+                                          grace=self._grace(queue),
+                                          max_attempts=self.max_attempts):
                 return True     # stolen work is immediately claimable
-        if not undrained and not self.serve_dirs:
-            return False    # every queue drained; nothing to wait for
-        if undrained and not self.wait and not any(
+        if not unsettled and not self.serve_dirs:
+            return False    # every queue settled; nothing to wait for
+        if unsettled and not self.wait and not any(
                 queue._ids_in(queue.pending_dir) for queue in self.queues
                 if str(queue.root) not in self._retired):
             return False    # live peers hold the rest; not our problem
@@ -347,59 +553,105 @@ class Worker:
     def process(self, shard, queue=None):
         """Solve one claimed shard end to end (hits peeled, records persisted).
 
-        Returns whether the completion stuck (``False`` = lease lost to
-        a reclaiming peer; the records written are still valid).
+        Returns whether the completion stuck.  ``False`` covers three
+        benign-to-the-sweep outcomes: the lease was lost to a
+        reclaiming peer (records already written remain valid), the
+        attempt failed and the shard was released for retry, or the
+        attempt failed with the shard's claim budget exhausted and the
+        shard was quarantined to ``failed/``.
         """
         queue = queue if queue is not None else self.queues[0]
+        attempt = queue.attempts(shard.shard_id) or 1
+        try:
+            return self._process_attempt(shard, queue, attempt)
+        except Exception as error:  # noqa: BLE001 — retry/quarantine path
+            return self._handle_failure(shard, queue, attempt, error)
+
+    def _process_attempt(self, shard, queue, attempt):
         cache = self._result_cache(queue)
-        log = queue.log(self.worker_id)
+        log = self._event_log(queue)
+        ttl = self._ttl(queue)
+        interval = (self.heartbeat_s if self.heartbeat_s is not None
+                    else max(ttl / 4.0, 0.02))
+        stall_s = 0.0
+        if self.faults is not None:
+            # A stall must outlive TTL + grace + a beat, or the lease
+            # never actually expires and nothing is exercised.
+            stall_s = self.faults.plan.stall_s or \
+                (ttl + self._grace(queue)) * 1.5 + 4.0 * interval
         records = {}
         missing = []
-        heartbeat = _LeaseHeartbeat(queue, shard.shard_id,
-                                    self.worker_id, self.heartbeat_s)
+        heartbeat = _LeaseHeartbeat(queue, shard.shard_id, self.worker_id,
+                                    interval, injector=self.faults,
+                                    stall_s=stall_s, attempt=attempt)
         heartbeat.start()
         started = time.perf_counter()
         try:
+            if self.faults is not None:
+                self.faults.maybe_crash("crash", shard.shard_id, attempt)
             for index, scenario in zip(shard.indexes, shard.scenarios):
                 hit = cache.get(scenario)
                 if hit is not None:
                     records[index] = hit
                 else:
                     missing.append((index, scenario))
+            if self.faults is not None:
+                for _, scenario in missing:
+                    self.faults.check_poison(scenario)
             if missing:
                 fresh = run_scenario_group(
                     tuple(scenario for _, scenario in missing),
                     pool=self.sessions)
                 for (index, scenario), record in zip(missing, fresh):
-                    cache.put(scenario, record)
+                    if heartbeat.lost.is_set():
+                        break   # fenced: the stealer owns this shard now
+                    self._persist_record(cache, scenario, record,
+                                         shard, index, attempt)
                     records[index] = record
         finally:
             heartbeat.stop()
             cache.flush()
+        if heartbeat.lost.is_set() or \
+                not queue.lease_owned(shard.shard_id, self.worker_id):
+            # Self-fencing: the lease is gone, so neither the record_done
+            # accounting nor the completion is ours to write.  The direct
+            # ownership probe matters when the theft happened before the
+            # heartbeat thread's first beat could notice.  What was
+            # persisted is byte-identical to the new owner's output.
+            self._safe_append(log, "lease_lost", shard=shard.shard_id)
+            return False
         elapsed = time.perf_counter() - started
         for index, scenario in zip(shard.indexes, shard.scenarios):
             record = records[index]
-            log.append("record_done", shard=shard.shard_id, index=index,
-                       scenario=scenario.content_hash(),
-                       label=scenario.label, cached=bool(record.cached),
-                       record=_event_record(record))
-        log.append("shard_timing", shard=shard.shard_id,
-                   circuit=shard.scenarios[0].circuit.label,
-                   scenarios=len(shard), computed=len(missing),
-                   cached=len(shard) - len(missing),
-                   est_cost=float(shard.est_cost),
-                   # Per-scenario component estimate: lets CostModel.
-                   # from_events fit a seconds-per-component scale for
-                   # circuits of any kind, not just Table 1 names.
-                   size_est=float(_circuit_size_estimate(
-                       shard.scenarios[0].circuit)),
-                   elapsed_s=round(elapsed, 6))
+            self._safe_append(log, "record_done", shard=shard.shard_id,
+                              index=index,
+                              scenario=scenario.content_hash(),
+                              label=scenario.label,
+                              cached=bool(record.cached),
+                              record=_event_record(record))
+        self._safe_append(log, "shard_timing", shard=shard.shard_id,
+                          circuit=shard.scenarios[0].circuit.label,
+                          scenarios=len(shard), computed=len(missing),
+                          cached=len(shard) - len(missing),
+                          est_cost=float(shard.est_cost),
+                          # Per-scenario component estimate: lets
+                          # CostModel.from_events fit a seconds-per-
+                          # component scale for circuits of any kind,
+                          # not just Table 1 names.
+                          size_est=float(_circuit_size_estimate(
+                              shard.scenarios[0].circuit)),
+                          elapsed_s=round(elapsed, 6))
         self.computed += len(missing)
         self.cache_hits += len(shard) - len(missing)
         tally = self._tallies.setdefault(
             str(queue.root), {"shards": 0, "computed": 0, "cached": 0})
         tally["computed"] += len(missing)
         tally["cached"] += len(shard) - len(missing)
+        if self.faults is not None:
+            # The nastiest window: every record persisted, ticket not
+            # yet done/.  A crash here must re-run as pure cache hits.
+            self.faults.maybe_crash("crash-post-persist",
+                                    shard.shard_id, attempt)
         stuck = queue.complete(shard, self.worker_id,
                                computed=len(missing),
                                cached=len(shard) - len(missing))
@@ -407,47 +659,91 @@ class Worker:
             tally["shards"] += 1
         return stuck
 
+    def _persist_record(self, cache, scenario, record, shard, index, attempt):
+        """One record into the results store, with transient-error retries.
 
-def work_queue(root, worker_id=None, lease_s=DEFAULT_LEASE_S,
+        Unlike event appends this is **not** best-effort: a record that
+        never lands would silently hole the gather, so persistent
+        failure raises and fails the attempt (release or quarantine).
+        """
+        for retry in range(1, self.io_retries + 2):
+            try:
+                if self.faults is not None:
+                    self.faults.check_io("io-persist", shard.shard_id,
+                                         index, attempt, retry)
+                cache.put(scenario, record)
+                return
+            except OSError:
+                self.io_errors += 1
+                if retry > self.io_retries:
+                    raise
+                self._sleep_backoff(retry)
+
+    def _handle_failure(self, shard, queue, attempt, error):
+        """A shard attempt raised: release for retry, or quarantine.
+
+        ``attempt`` is the shard's claim count (this worker's claim
+        included), so quarantine lands after exactly ``max_attempts``
+        claims — deterministic failures (poison) spend their whole
+        budget and park in ``failed/`` instead of starving the sweep.
+        """
+        self.failures += 1
+        if attempt >= self.max_attempts:
+            queue.fail(shard, self.worker_id, error=repr(error))
+        else:
+            # Exponential backoff in the shard's attempt number (full
+            # jitter) before anyone retries — transient causes get time
+            # to clear, and peers don't stampede the same shard.
+            self._sleep_backoff(attempt)
+            queue.release(shard, self.worker_id, error=repr(error))
+        return False
+
+
+def work_queue(root, worker_id=None, lease_s=None,
                heartbeat_s=None, max_shards=None, wait=True, poll_s=0.2,
-               idle_timeout_s=None, session_capacity=DEFAULT_SESSIONS):
+               idle_timeout_s=None, session_capacity=DEFAULT_SESSIONS,
+               **worker_kwargs):
     """Run one :class:`Worker` to completion over the queue(s) at ``root``.
 
     ``root`` is one queue directory or a list of them (one process pool
     draining several sweeps back to back, sessions kept warm across
-    them).  Module-level so ``multiprocessing`` can target it; returns
-    the number of shards completed.
+    them).  Extra keyword arguments (``faults``, ``max_attempts``,
+    ``lease_grace``, ...) pass through to :class:`Worker`.  Module-level
+    so ``multiprocessing`` can target it; returns the number of shards
+    completed.
     """
     roots = list(root) if isinstance(root, (list, tuple)) else [root]
     worker = Worker(queues=[SweepQueue(r) for r in roots],
                     worker_id=worker_id, lease_s=lease_s,
                     heartbeat_s=heartbeat_s, max_shards=max_shards,
                     wait=wait, poll_s=poll_s, idle_timeout_s=idle_timeout_s,
-                    session_capacity=session_capacity)
+                    session_capacity=session_capacity, **worker_kwargs)
     return worker.run()
 
 
-def serve_queues(dirs, worker_id=None, lease_s=DEFAULT_LEASE_S,
+def serve_queues(dirs, worker_id=None, lease_s=None,
                  heartbeat_s=None, max_shards=None, poll_s=0.2,
-                 idle_timeout_s=None, session_capacity=DEFAULT_SESSIONS):
+                 idle_timeout_s=None, session_capacity=DEFAULT_SESSIONS,
+                 **worker_kwargs):
     """Run one long-lived :class:`Worker` serving the watch directories.
 
     The warm entry point: the worker adopts every submitted queue under
     ``dirs`` — including sweeps submitted while it runs — and keeps its
     process and :class:`~repro.core.session.SessionPool` alive across
     all of them.  Exits on ``<dir>/STOP``, ``idle_timeout_s``, or
-    ``max_shards``; returns the number of shards completed.  Module-
-    level so ``multiprocessing`` can target it.
+    ``max_shards``; returns the number of shards completed.  Extra
+    keyword arguments pass through to :class:`Worker`.  Module-level so
+    ``multiprocessing`` can target it.
     """
     worker = Worker(serve_dirs=list(dirs), worker_id=worker_id,
                     lease_s=lease_s, heartbeat_s=heartbeat_s,
                     max_shards=max_shards, poll_s=poll_s,
                     idle_timeout_s=idle_timeout_s,
-                    session_capacity=session_capacity)
+                    session_capacity=session_capacity, **worker_kwargs)
     return worker.run()
 
 
-def run_workers(root, jobs, serve=False, **worker_kwargs):
+def run_workers(root, jobs, serve=False, restart_budget=0, **worker_kwargs):
     """Drain or serve the queue(s) at ``root`` with ``jobs`` processes.
 
     ``root`` is a queue directory or a list of them; with ``serve=True``
@@ -455,10 +751,20 @@ def run_workers(root, jobs, serve=False, **worker_kwargs):
     newly submitted sweeps (see :func:`serve_queues` — pass
     ``idle_timeout_s`` or drop a ``STOP`` file to end them).  ``jobs``
     accepts ``"auto"`` (see :func:`~repro.runtime.runner.resolve_jobs`);
-    1 runs in-process.  Raises :class:`ReproError` if any worker process
-    dies abnormally.  Returns the number of workers run.
+    1 runs in-process (unless a restart budget demands a supervisable
+    child process).
+
+    ``restart_budget`` makes the call a **supervisor**: a worker process
+    that dies abnormally (a crash — injected or real — rather than a
+    clean exit) is respawned, up to ``restart_budget`` restarts total
+    across all slots, so one killed worker costs a respawn instead of
+    the whole drain.  With the budget exhausted (or at the default 0),
+    abnormal deaths are collected and raised as :class:`ReproError`
+    once every slot has finished.  Returns the number of worker slots.
     """
     jobs = resolve_jobs(jobs)
+    if int(restart_budget) < 0:
+        raise ValidationError("restart_budget must be non-negative")
     if isinstance(root, (list, tuple)):
         roots = [str(r) for r in root]
     else:
@@ -472,24 +778,44 @@ def run_workers(root, jobs, serve=False, **worker_kwargs):
                     f"serve directory does not exist: {directory}")
     target = serve_queues if serve else work_queue
     payload = roots if serve else (roots if len(roots) > 1 else roots[0])
-    if jobs == 1:
+    if jobs == 1 and not restart_budget:
         target(payload, **worker_kwargs)
         return 1
-    processes = [
-        multiprocessing.Process(
+
+    base_id = worker_kwargs.get("worker_id")
+
+    def spawn(index, generation):
+        worker_id = base_id and f"{base_id}-{index}"
+        if worker_id and generation:
+            worker_id = f"{worker_id}.r{generation}"
+        suffix = f"-r{generation}" if generation else ""
+        process = multiprocessing.Process(
             target=target, args=(payload,),
-            kwargs=dict(worker_kwargs, worker_id=worker_kwargs.get(
-                "worker_id") and f"{worker_kwargs['worker_id']}-{index}"),
-            name=f"repro-queue-worker-{index}")
-        for index in range(jobs)
-    ]
-    for process in processes:
+            kwargs=dict(worker_kwargs, worker_id=worker_id),
+            name=f"repro-queue-worker-{index}{suffix}")
         process.start()
-    for process in processes:
-        process.join()
-    failed = [p.name for p in processes if p.exitcode != 0]
-    if failed:
-        raise ReproError(f"queue worker processes failed: {failed}")
+        return process
+
+    alive = {index: spawn(index, 0) for index in range(jobs)}
+    generations = dict.fromkeys(alive, 0)
+    budget = int(restart_budget)
+    failures = []
+    while alive:
+        for index, process in list(alive.items()):
+            process.join(timeout=0.05)
+            if process.exitcode is None:
+                continue
+            del alive[index]
+            if process.exitcode == 0:
+                continue
+            if budget > 0:
+                budget -= 1
+                generations[index] += 1
+                alive[index] = spawn(index, generations[index])
+            else:
+                failures.append(f"{process.name} (exit {process.exitcode})")
+    if failures:
+        raise ReproError(f"queue worker processes failed: {failures}")
     return jobs
 
 

@@ -1,0 +1,159 @@
+"""Chaos soak: randomized fault schedules over multi-worker drains.
+
+The tentpole acceptance test of the fault-injection PR: under seeded
+random schedules of crashes, stalls, torn event tails, and transient
+I/O errors, a multi-worker drain must always *terminate* — every shard
+either drained or quarantined, never wedged — and whenever the queue
+fully drains, ``gather()`` must stay byte-identical to a serial run.
+Every schedule is a pure function of its seed
+(:mod:`repro.runtime.faults`), so a failing seed here replays exactly,
+and the poison test can *predict* which scenarios a plan will poison
+before any worker runs.
+"""
+
+import pytest
+
+from repro.runtime import (
+    BatchRunner,
+    CircuitRef,
+    FlowConfig,
+    PartialSweepError,
+    SweepQueue,
+    SweepSpec,
+    Worker,
+    run_workers,
+)
+from repro.runtime.faults import CRASH_EXIT_CODE, FaultPlan, make_injector
+from repro.utils.errors import ReproError
+
+#: Retry/backoff tuned for test speed; semantics identical to defaults.
+FAST = {"poll_s": 0.02, "backoff_base_s": 0.005, "backoff_cap_s": 0.05}
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """4 fast scenarios: 2 tiny circuits × 2 orderings."""
+    return SweepSpec(
+        circuits=(CircuitRef.random(12, 4, 2, seed=0, target_depth=5),
+                  CircuitRef.random(16, 5, 3, seed=1, target_depth=6)),
+        orderings=("woss", "random"),
+        base=FlowConfig(n_patterns=32, max_iterations=50),
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_json(sweep):
+    return [r.canonical_json() for r in BatchRunner(jobs=1).run(sweep)]
+
+
+@pytest.mark.parametrize("seed", [3, 11, 42])
+def test_soak_randomized_faults_always_terminate(tmp_path, sweep,
+                                                 serial_json, seed):
+    """Crashes + torn tails + transient I/O over a supervised 2-worker
+    drain: the sweep settles (never wedges); a full drain gathers
+    byte-identical; a quarantined remainder re-arms and then does."""
+    spec = (f"seed={seed},crash=0.25,crash-post-persist=0.2,"
+            f"io-claim=0.3,io-persist=0.3,io-append=0.3,torn=0.3")
+    queue = SweepQueue(tmp_path / "q")
+    queue.submit(sweep, shard_size=1, lease_ttl=1.0)
+    assert run_workers(str(queue.root), 2, restart_budget=64,
+                       faults=spec, max_attempts=5, heartbeat_s=0.1,
+                       **FAST) == 2
+    status = queue.status()
+    assert status.settled, "drain wedged: neither done nor quarantined"
+    if status.failed:
+        # An unlucky schedule exhausted some shard's budget; the
+        # quarantine must be re-armable and then drain clean.
+        assert queue.retry_failed()
+        Worker(queue, worker_id="mop-up", lease_s=30.0, **FAST).run()
+    assert queue.status().drained
+    assert [r.canonical_json() for r in queue.gather()] == serial_json
+
+
+def test_crash_between_persist_and_done_reruns_as_cache_hits(tmp_path, sweep,
+                                                             serial_json):
+    """The nastiest window at rate 1.0: every attempt persists all its
+    records, then dies before the ``done/`` rename.  Attempts exhaust
+    into quarantine — but every record exists, so ``gather`` is already
+    complete and byte-identical (the re-runs were pure cache hits)."""
+    scenarios = sweep.scenarios()[:2]
+    queue = SweepQueue(tmp_path / "q")
+    queue.submit(scenarios, shard_size=1, lease_ttl=0.5)
+    assert run_workers(str(queue.root), 2, restart_budget=12,
+                       faults="seed=0,crash-post-persist=1.0",
+                       max_attempts=2, heartbeat_s=0.05, **FAST) == 2
+    status = queue.status()
+    assert status.settled and status.failed == 2 and status.done == 0
+    assert status.records_present == 2          # the work itself survived
+    assert [r.canonical_json() for r in queue.gather()] == serial_json[:2]
+    for shard_id in queue.shard_ids():
+        assert queue.attempts(shard_id) == 2    # exactly max_attempts tries
+
+
+def test_predicted_poison_quarantines_exactly_and_rearms(tmp_path, sweep,
+                                                         serial_json):
+    """Poison decisions are pure functions of the seed, so the test
+    computes the poisoned scenario set up front and asserts the drain
+    lands *exactly* those shards in ``failed/``."""
+    scenarios = sweep.scenarios()
+    for seed in range(50):
+        plan = FaultPlan.parse(f"seed={seed},poison=0.5")
+        injector = make_injector(plan)
+        poisoned = {i for i, s in enumerate(scenarios)
+                    if injector.decide("poison", s.content_hash())}
+        if 0 < len(poisoned) < len(scenarios):
+            break
+    else:
+        pytest.fail("no seed splits the scenarios")
+
+    queue = SweepQueue(tmp_path / "q")
+    shards = queue.submit(sweep, shard_size=1)
+    poisoned_ids = sorted(s.shard_id for s in shards
+                          if s.indexes[0] in poisoned)
+    worker = Worker(queue, worker_id="w", lease_s=30.0, max_attempts=3,
+                    faults=plan.to_spec(), **FAST)
+    assert worker.run() == len(scenarios) - len(poisoned)
+
+    status = queue.status()
+    assert status.settled
+    assert status.failed == len(poisoned)
+    report = {row["shard"]: row for row in queue.shard_report()}
+    for shard in shards:
+        expect = ("failed", 3) if shard.indexes[0] in poisoned \
+            else ("done", 1)
+        assert (report[shard.shard_id]["state"],
+                report[shard.shard_id]["attempts"]) == expect
+
+    with pytest.raises(PartialSweepError) as excinfo:
+        queue.gather()
+    assert sorted(excinfo.value.failed_shards) == poisoned_ids
+    assert sorted(s.label for i, s in enumerate(scenarios)
+                  if i in poisoned) == sorted(excinfo.value.missing)
+    partial = queue.gather(partial=True)
+    expected_partial = [serial_json[i] for i in range(len(scenarios))
+                        if i not in poisoned]
+    assert [r.canonical_json() for r in partial] == expected_partial
+
+    # Re-arm and drain without faults: full byte-identity.
+    assert queue.retry_failed() == poisoned_ids
+    Worker(queue, worker_id="clean", lease_s=30.0, **FAST).run()
+    assert [r.canonical_json() for r in queue.gather()] == serial_json
+
+
+def test_supervisor_restart_budget(tmp_path, sweep):
+    """Budget 0: injected crashes fail the drain with the crash exit
+    code in the error.  With a budget, the same schedule respawns its
+    way to a settled queue."""
+    scenarios = sweep.scenarios()[:2]
+    queue = SweepQueue(tmp_path / "q")
+    queue.submit(scenarios, shard_size=1, lease_ttl=0.5)
+    with pytest.raises(ReproError, match=str(CRASH_EXIT_CODE)):
+        run_workers(str(queue.root), 2, faults="seed=0,crash=1.0",
+                    max_attempts=1, heartbeat_s=0.05, **FAST)
+    assert not queue.status().settled           # work remains...
+
+    assert run_workers(str(queue.root), 2, restart_budget=8,
+                       faults="seed=0,crash=1.0",
+                       max_attempts=1, heartbeat_s=0.05, **FAST) == 2
+    status = queue.status()
+    assert status.settled and status.failed == 2    # ...until supervised

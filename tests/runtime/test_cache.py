@@ -346,3 +346,90 @@ class TestConcurrentWorkers:
         final = ResultCache(tmp_path).stats()       # store still coherent
         assert final.puts == 200
         assert not list(pruner.root.glob("*/*.tmp*"))   # atomic writes only
+
+
+def _put_many(root, scenarios, record):
+    """Worker-process body: distinct entries through one instance."""
+    cache = ResultCache(root)
+    for scenario in scenarios:
+        cache.put(scenario, record)
+    cache.flush()
+
+
+def _merge_repeatedly(target_root, source_root, rounds):
+    """Worker-process body: keep unioning source into target."""
+    target = ResultCache(target_root)
+    for _ in range(rounds):
+        target.merge(source_root)
+
+
+class TestMergeUnderContention:
+    """PR 7 satellites: merge racing put and prune — no lost records,
+    no torn entries, counters exact."""
+
+    @staticmethod
+    def _distinct(scenario, base, count):
+        return [Scenario(scenario.circuit,
+                         scenario.config.replace(noise_fraction=base + i / 1e4))
+                for i in range(count)]
+
+    def test_merge_racing_puts_loses_no_records(self, tmp_path, scenario,
+                                                record):
+        import multiprocessing
+
+        source = ResultCache(tmp_path / "src")
+        merged_in = self._distinct(scenario, 0.2, 20)
+        for s in merged_in:
+            source.put(s, record)
+        put_directly = self._distinct(scenario, 0.5, 20)
+
+        target_root = tmp_path / "dst"
+        writer = multiprocessing.Process(
+            target=_put_many, args=(str(target_root), put_directly, record))
+        target = ResultCache(target_root)
+        writer.start()
+        try:
+            while writer.is_alive():
+                target.merge(source)
+        finally:
+            writer.join()
+        assert writer.exitcode == 0
+        target.merge(source)                    # quiesced: complete union
+        assert len(target) == 40
+        for s in merged_in + put_directly:      # every record intact
+            assert target.peek(s).canonical_json() == record.canonical_json()
+        # Counters stay exact: merge deliberately counts nothing, so the
+        # writer's 20 puts are the whole story.
+        assert ResultCache(target_root).stats().puts == 20
+
+    def test_merge_racing_prune_never_tears_and_heals(self, tmp_path,
+                                                      scenario, record):
+        import multiprocessing
+
+        source = ResultCache(tmp_path / "src")
+        entries = self._distinct(scenario, 0.2, 20)
+        for s in entries:
+            source.put(s, record)
+
+        target_root = tmp_path / "dst"
+        target = ResultCache(target_root)
+        merger = multiprocessing.Process(
+            target=_merge_repeatedly,
+            args=(str(target_root), str(tmp_path / "src"), 40))
+        merger.start()
+        try:
+            while merger.is_alive():
+                target.prune(0)                 # evict everything, repeatedly
+                for s in entries:               # absent or fully intact
+                    peeked = target.peek(s)
+                    if peeked is not None:
+                        assert peeked.canonical_json() == \
+                            record.canonical_json()
+        finally:
+            merger.join()
+        assert merger.exitcode == 0
+        # One quiesced merge heals whatever the pruner ate mid-race.
+        assert target.merge(source)[0] + len(target) >= 20
+        target.merge(source)
+        assert len(target) == 20
+        assert not list(target.root.glob("*/*.tmp*"))   # atomic writes only

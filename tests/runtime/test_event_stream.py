@@ -97,3 +97,72 @@ def test_concurrent_appends_from_processes_all_parse(tmp_path):
     for worker in workers:
         seqs = [e["seq"] for e in events if e["worker"] == worker]
         assert seqs == list(range(40))     # per-writer order preserved
+
+
+def test_torn_interior_fragment_is_salvaged_and_counted(tmp_path):
+    """A crashed writer's half line merged with the next O_APPEND event:
+    the complete event is recovered, the fragment counted."""
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path, worker="alive")
+    log.append("before")
+    with open(path, "a") as handle:
+        handle.write('{"kind":"half","ts"')   # died mid-write, no newline
+    log.append("after", seq=7)                # lands on the same line
+
+    stats = {}
+    events = read_events(path, stats=stats)
+    assert [e["kind"] for e in events] == ["before", "after"]
+    assert events[-1]["seq"] == 7
+    assert stats["corrupt_lines"] == 1
+
+
+def test_corrupt_line_stats_accumulate_and_count_junk(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with open(path, "w") as handle:
+        handle.write("junk with no json at all\n")
+        handle.write('<frag>{"kind":"rescued","ts":1.0}\n')
+        handle.write(json.dumps({"kind": "clean"}) + "\n")
+    stats = {"corrupt_lines": 3}              # caller's running total
+    events = read_events(path, stats=stats)
+    assert [e["kind"] for e in events] == ["rescued", "clean"]
+    assert stats["corrupt_lines"] == 5        # 3 prior + junk + fragment
+    # A missing file initializes the counter without incrementing it.
+    missing_stats = {}
+    assert read_events(tmp_path / "nope.jsonl", stats=missing_stats) == []
+    assert missing_stats == {"corrupt_lines": 0}
+
+
+def test_tail_resumes_cleanly_after_torn_tail(tmp_path):
+    """A follow-mode tail parked on a torn tail picks up the salvaged
+    event once a successor's append completes the physical line."""
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path, worker="w")
+    log.append("first")
+    with open(path, "a") as handle:
+        handle.write('{"kind":"torn-victim","ts')
+
+    stats = {}
+    got = []
+
+    def writer():
+        time.sleep(0.05)
+        log.append("second")
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    for event in tail_events(path, follow=True, poll_s=0.01,
+                             stop=lambda: len(got) >= 2, stats=stats):
+        got.append(event)
+    thread.join()
+    assert [e["kind"] for e in got] == ["first", "second"]
+    assert stats["corrupt_lines"] == 1
+
+
+def test_salvage_ignores_embedded_objects_without_kind(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with open(path, "w") as handle:
+        handle.write('<frag>{"no": "kind"}\n')         # junk through and
+        handle.write('<frag>{"also": {"not": 1}}\n')   # through
+    stats = {}
+    assert read_events(path, stats=stats) == []
+    assert stats["corrupt_lines"] == 2

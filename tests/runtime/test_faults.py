@@ -1,0 +1,187 @@
+"""Fault plans, deterministic decisions, backoff, and the faulty log."""
+
+import random
+
+import pytest
+
+from repro.runtime import CircuitRef, FlowConfig, SweepSpec, read_events
+from repro.runtime.faults import (
+    CRASH_EXIT_CODE,
+    FAULT_SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultyEventLog,
+    InjectedFault,
+    PoisonError,
+    backoff_s,
+    make_injector,
+)
+from repro.utils.errors import ValidationError
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return SweepSpec(
+        circuits=(CircuitRef.random(12, 4, 2, seed=0, target_depth=5),),
+        orderings=("woss", "random"),
+        base=FlowConfig(n_patterns=32, max_iterations=50),
+    ).scenarios()
+
+
+class TestFaultPlan:
+    def test_parse_and_roundtrip(self):
+        plan = FaultPlan.parse(
+            "seed=7, crash=0.25, io-claim=0.3, poison, stall=0.2, "
+            "stall-s=1.5")
+        assert plan.seed == 7
+        assert plan.rate("crash") == 0.25
+        assert plan.rate("poison") == 1.0       # bare site name = always
+        assert plan.rate("torn") == 0.0         # unset site = never
+        assert plan.stall_s == 1.5
+        assert bool(plan)
+        assert FaultPlan.parse(plan.to_spec()) == plan
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan.parse("seed=3")
+        assert not FaultPlan()
+        assert FaultPlan.parse("") == FaultPlan()
+
+    @pytest.mark.parametrize("spec", [
+        "bogus-site=0.5",
+        "seed=x",
+        "crash=maybe",
+        "crash=1.5",
+        "crash=-0.1",
+        "stall-s=-1",
+    ])
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(ValidationError):
+            FaultPlan.parse(spec)
+
+    def test_crash_exit_code_is_distinct_from_error_exits(self):
+        assert CRASH_EXIT_CODE not in (0, 1, 2)
+
+
+class TestFaultInjector:
+    def test_decisions_are_pure_functions_of_seed_site_key(self):
+        plan = FaultPlan.parse("seed=11,crash=0.5,io-persist=0.5")
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        keys = [("shard", attempt) for attempt in range(50)]
+        crashes = [a.decide("crash", *k) for k in keys]
+        assert crashes == [b.decide("crash", *k) for k in keys]
+        assert a.fired == b.fired and a.fired["crash"] > 0
+        # Replays agree with themselves, and different sites draw
+        # independently from the same key.
+        assert crashes == [a.decide("crash", *k) for k in keys]
+        assert crashes != [a.decide("io-persist", *k) for k in keys]
+
+    def test_rate_zero_never_fires_and_rate_one_always_fires(self):
+        injector = FaultInjector(FaultPlan.parse("seed=0,torn=1.0"))
+        assert all(injector.decide("torn", n) for n in range(20))
+        assert not any(injector.decide("crash", n) for n in range(20))
+        assert injector.fired["torn"] == 20
+        assert injector.fired["crash"] == 0
+
+    def test_check_io_raises_a_retryable_oserror(self):
+        injector = FaultInjector(FaultPlan.parse("seed=0,io-claim=1.0"))
+        with pytest.raises(InjectedFault) as excinfo:
+            injector.check_io("io-claim", "w0", 1)
+        assert isinstance(excinfo.value, OSError)
+        injector.check_io("io-persist", "w0", 1)    # unset site: no-op
+
+    def test_check_poison_keys_on_content_hash_not_attempt(self, scenarios):
+        # A seed that poisons some but not all of the scenarios exists
+        # within a handful of tries (decisions are uniform draws).
+        for seed in range(50):
+            plan = FaultPlan.parse(f"seed={seed},poison=0.5")
+            hits = [s for s in scenarios
+                    if FaultInjector(plan).decide("poison", s.content_hash())]
+            if 0 < len(hits) < len(scenarios):
+                break
+        else:
+            pytest.fail("no seed splits the scenarios")
+        injector = FaultInjector(plan)
+        for scenario in scenarios:
+            for _ in range(3):      # retries never change the verdict
+                if scenario in hits:
+                    with pytest.raises(PoisonError):
+                        injector.check_poison(scenario)
+                else:
+                    injector.check_poison(scenario)
+
+
+class TestMakeInjector:
+    def test_coercions(self):
+        assert make_injector(None) is None
+        assert make_injector("") is None
+        injector = make_injector("seed=3,crash=0.5")
+        assert isinstance(injector, FaultInjector)
+        assert injector.plan.seed == 3
+        assert make_injector(injector) is injector          # passthrough
+        from_plan = make_injector(FaultPlan.parse("seed=3,crash=0.5"))
+        assert from_plan.plan == injector.plan
+
+    def test_bad_spec_propagates(self):
+        with pytest.raises(ValidationError):
+            make_injector("nope=1")
+
+
+class TestBackoff:
+    def test_bounds_grow_exponentially_then_cap(self):
+        rng = random.Random(0)
+        for attempt in range(1, 12):
+            ceiling = min(2.0, 0.05 * 2 ** (attempt - 1))
+            for _ in range(20):
+                assert 0.0 <= backoff_s(attempt, rng=rng) <= ceiling
+
+    def test_full_jitter_decorrelates(self):
+        rng = random.Random(1)
+        draws = {backoff_s(4, rng=rng) for _ in range(10)}
+        assert len(draws) > 1
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            backoff_s(0)
+
+
+class TestFaultyEventLog:
+    def test_io_append_injection_raises(self, tmp_path):
+        log = FaultyEventLog(tmp_path / "events.jsonl", worker="w0",
+                             injector=make_injector("seed=0,io-append=1.0"))
+        with pytest.raises(InjectedFault):
+            log.append("shard_done", shard="s0")
+        assert not (tmp_path / "events.jsonl").exists()
+
+    def test_torn_append_is_salvaged_by_the_reader(self, tmp_path):
+        # Find a seed whose first append tears and second does not, so
+        # the torn fragment and the next complete line merge into one
+        # physical line — the exact state a crashed writer leaves.
+        for seed in range(50):
+            injector = make_injector(f"seed={seed},torn=0.5")
+            if injector.decide("torn", "w0", "record_done", 1) and \
+                    not injector.decide("torn", "w0", "record_done", 2):
+                break
+        else:
+            pytest.fail("no seed tears exactly the first append")
+        path = tmp_path / "events.jsonl"
+        log = FaultyEventLog(path, worker="w0",
+                             injector=make_injector(f"seed={seed},torn=0.5"))
+        log.append("record_done", shard="s0", index=0)
+        assert not path.read_bytes().endswith(b"\n")        # torn tail
+        log.append("record_done", shard="s0", index=1)
+
+        stats = {}
+        events = read_events(path, stats=stats)
+        assert [e["index"] for e in events] == [1]  # salvaged, not lost
+        assert stats["corrupt_lines"] == 1
+
+    def test_without_injector_behaves_like_plain_log(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        FaultyEventLog(path, worker="w0").append("shard_done", shard="s0")
+        assert [e["kind"] for e in read_events(path)] == ["shard_done"]
+
+    def test_every_site_name_is_documented_in_fault_sites(self):
+        # The sites the runtime actually consults must all be spec-able.
+        for site in ("crash", "crash-post-persist", "stall", "torn",
+                     "io-claim", "io-persist", "io-append", "poison"):
+            assert site in FAULT_SITES

@@ -310,3 +310,170 @@ class TestCostModelCalibration:
         Worker(queue, worker_id="w", lease_s=30.0).run()
         timings = queue.shard_timings().values()
         assert timings and all(t["size_est"] > 0 for t in timings)
+
+
+class TestRobustness:
+    """Attempts, quarantine, lease policy/skew/grace, structured gather."""
+
+    def test_claim_bumps_attempts_and_release_rearms(self, tmp_path, sweep):
+        queue = SweepQueue(tmp_path / "q")
+        queue.submit(sweep, shard_size=1)
+        shard = queue.claim("w1")
+        assert queue.attempts(shard.shard_id) == 1
+        assert queue.release(shard, "w1", error="transient")
+        assert not queue._lease_path(shard.shard_id).exists()
+        # Released work is claimable again and keeps its attempt history.
+        again = queue.claim("w2")
+        assert again.shard_id == shard.shard_id
+        assert queue.attempts(shard.shard_id) == 2
+        events = queue.events()
+        released = [e for e in events if e["kind"] == "shard_released"]
+        assert [e["error"] for e in released] == ["transient"]
+        claims = [e for e in events if e["kind"] == "shard_claimed"]
+        assert [e["attempt"] for e in claims] == [1, 2]
+
+    def test_fail_quarantines_and_retry_failed_rearms(self, tmp_path, sweep):
+        queue = SweepQueue(tmp_path / "q")
+        queue.submit(sweep, shard_size=1)
+        shard = queue.claim("w1")
+        assert queue.fail(shard, "w1", error="poison")
+        status = queue.status()
+        assert status.failed == 1 and status.claimed == 0
+        assert not status.drained and status.settled is False  # 3 pending
+        report = {row["shard"]: row for row in queue.shard_report()}
+        assert report[shard.shard_id]["state"] == "failed"
+        assert report[shard.shard_id]["attempts"] == 1
+        failed = [e for e in queue.events() if e["kind"] == "shard_failed"]
+        assert [e["error"] for e in failed] == ["poison"]
+
+        assert queue.retry_failed() == [shard.shard_id]
+        assert queue.status().failed == 0
+        assert queue.attempts(shard.shard_id) == 0      # fresh budget
+        assert queue.claim("w2").shard_id == shard.shard_id
+        assert "shard_retry" in [e["kind"] for e in queue.events()]
+
+    def test_settled_counts_failed_as_terminal(self, tmp_path, sweep):
+        queue = SweepQueue(tmp_path / "q")
+        queue.submit(sweep)             # 2 shards
+        queue.fail(queue.claim("w"), "w")
+        queue.fail(queue.claim("w"), "w")
+        status = queue.status()
+        assert status.settled and not status.drained and not status.complete
+        assert "2 failed" in status.summary()
+
+    def test_reclaim_quarantines_exhausted_shards(self, tmp_path, sweep):
+        import os
+
+        queue = SweepQueue(tmp_path / "q")
+        queue.submit(sweep)
+        shard = queue.claim("doomed")
+        past = time.time() - 60
+        os.utime(queue._lease_path(shard.shard_id), (past, past))
+        # Attempts (1) >= max_attempts (1): quarantine instead of re-arm.
+        assert queue.reclaim_expired(lease_s=0.01, worker_id="survivor",
+                                     max_attempts=1) == []
+        assert queue.status().failed == 1
+        report = {row["shard"]: row for row in queue.shard_report()}
+        assert report[shard.shard_id]["state"] == "failed"
+
+    def test_lease_age_is_mtime_based_for_clock_skew(self, tmp_path, sweep):
+        import os
+
+        queue = SweepQueue(tmp_path / "q")
+        queue.submit(sweep)
+        shard = queue.claim("w1")
+        lease = queue._lease_path(shard.shard_id)
+        # A skewed host's embedded wall-clock timestamp (hours off) must
+        # not matter: only the filesystem mtime drives expiry.
+        payload = json.loads(lease.read_text())
+        payload["ts"] = time.time() - 7200
+        lease.write_text(json.dumps(payload))
+        os.utime(lease, None)           # mtime: now
+        assert queue.lease_age(shard.shard_id) < 5
+        assert queue.reclaim_expired(lease_s=10) == []
+        # Conversely an old *mtime* expires it, whatever ts claims.
+        past = time.time() - 60
+        os.utime(lease, (past, past))
+        assert queue.lease_age(shard.shard_id) > 30
+        assert queue.reclaim_expired(lease_s=10) == [shard.shard_id]
+
+    def test_grace_delays_reclaim(self, tmp_path, sweep):
+        import os
+
+        queue = SweepQueue(tmp_path / "q")
+        queue.submit(sweep)
+        shard = queue.claim("w1")
+        past = time.time() - 1.0
+        os.utime(queue._lease_path(shard.shard_id), (past, past))
+        assert queue.reclaim_expired(lease_s=0.5, grace=60) == []
+        assert queue.reclaim_expired(lease_s=0.5, grace=0.1) == \
+            [shard.shard_id]
+
+    def test_lease_policy_from_manifest(self, tmp_path, sweep):
+        import os
+
+        queue = SweepQueue(tmp_path / "q")
+        queue.submit(sweep, lease_ttl=5.0, lease_grace=120.0)
+        assert queue.lease_policy() == {"ttl": 5.0, "grace": 120.0}
+        # grace=None resolves from the manifest: a 1s-stale lease with a
+        # 120s grace is not stealable even at a tiny TTL.
+        shard = queue.claim("w1")
+        past = time.time() - 1.0
+        os.utime(queue._lease_path(shard.shard_id), (past, past))
+        assert queue.reclaim_expired(lease_s=0.01) == []
+
+        plain = SweepQueue(tmp_path / "q2")
+        plain.submit(sweep)
+        assert plain.lease_policy() == {"ttl": 60.0, "grace": 0.0}
+        with pytest.raises(ValidationError):
+            SweepQueue(tmp_path / "q3").submit(sweep, lease_ttl=0)
+        with pytest.raises(ValidationError):
+            SweepQueue(tmp_path / "q4").submit(sweep, lease_grace=-1)
+
+    def test_double_completion_is_idempotent_single_done(self, tmp_path,
+                                                         sweep):
+        import os
+
+        queue = SweepQueue(tmp_path / "q")
+        queue.submit(sweep)
+        shard = queue.claim("original")
+        past = time.time() - 60
+        os.utime(queue._lease_path(shard.shard_id), (past, past))
+        assert queue.reclaim_expired(lease_s=0.01, worker_id="stealer") == \
+            [shard.shard_id]
+        stolen = queue.claim("stealer")
+        assert stolen.shard_id == shard.shard_id
+        # Stealer completes; the original's late completion is fenced.
+        assert queue.complete(stolen, "stealer")
+        assert not queue.complete(shard, "original")
+        events = queue.events()
+        done = [e for e in events if e["kind"] == "shard_done"]
+        assert len(done) == 1 and done[0]["worker"] == "stealer"
+        assert "lease_lost" in [e["kind"] for e in events]
+        assert queue.status().done == 1
+
+    def test_lease_owned_requires_claim_and_matching_worker(self, tmp_path,
+                                                            sweep):
+        queue = SweepQueue(tmp_path / "q")
+        queue.submit(sweep)
+        shard = queue.claim("w1")
+        assert queue.lease_owned(shard.shard_id, "w1")
+        assert not queue.lease_owned(shard.shard_id, "w2")
+        queue.complete(shard, "w1")
+        assert not queue.lease_owned(shard.shard_id, "w1")
+
+    def test_gather_error_is_structured(self, tmp_path, sweep):
+        from repro.runtime import PartialSweepError
+
+        queue = SweepQueue(tmp_path / "q")
+        queue.submit(sweep, shard_size=1)
+        queue.fail(queue.claim("w"), "w", error="boom")
+        with pytest.raises(PartialSweepError) as excinfo:
+            queue.gather()
+        error = excinfo.value
+        assert error.records == []
+        assert len(error.missing) == len(sweep)
+        assert len(error.failed_shards) == 1
+        assert "retry-failed" in str(error)
+        assert error.failed_shards[0] in str(error)
+        assert queue.gather(partial=True) == []

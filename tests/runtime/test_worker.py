@@ -307,3 +307,131 @@ class TestWarmWorkers:
         assert [e["computed"] for e in done1] == [1]
         assert [e["shards"] for e in done2] == [2]
         assert [e["computed"] for e in done2] == [3]
+
+
+class TestFailureHandling:
+    """PR 7: fencing, retry/quarantine, transient-fault absorption."""
+
+    def test_fenced_worker_abandons_stolen_shard(self, tmp_path, sweep,
+                                                 serial_json):
+        import os
+
+        queue = SweepQueue(tmp_path / "q")
+        queue.submit(sweep, shard_size=1)
+        shard = queue.claim("original")
+        past = time.time() - 60
+        os.utime(queue._lease_path(shard.shard_id), (past, past))
+        assert queue.reclaim_expired(0.01, "stealer") == [shard.shard_id]
+        stolen = queue.claim("stealer")
+
+        # The original worker comes back from its pause and finishes the
+        # attempt: it must observe the lost lease and abandon, writing
+        # neither a completion nor record_done accounting.
+        original = Worker(queue, worker_id="original", lease_s=30.0,
+                          heartbeat_s=0.01)
+        assert original.process(shard, queue) is False
+        events = queue.events()
+        assert "lease_lost" in [e["kind"] for e in events]
+        assert not any(e["kind"] == "shard_done" for e in events)
+        record_dones = [e for e in events if e["kind"] == "record_done"]
+        assert not any(e["worker"] == "original" for e in record_dones)
+
+        # The stealer's completion is the single one that lands.
+        stealer = Worker(queue, worker_id="stealer", lease_s=30.0)
+        assert stealer.process(stolen, queue) is True
+        events = queue.events()
+        done = [e for e in events if e["kind"] == "shard_done"]
+        assert len(done) == 1 and done[0]["worker"] == "stealer"
+        record_dones = [e for e in events if e["kind"] == "record_done"]
+        assert {e["worker"] for e in record_dones} == {"stealer"}
+        assert len(record_dones) == len(shard)
+
+        # The rest drains normally, byte-identical.
+        Worker(queue, worker_id="finisher", lease_s=30.0).run()
+        assert [r.canonical_json() for r in queue.gather()] == serial_json
+
+    def test_poisoned_shards_quarantine_after_exact_attempts(self, tmp_path,
+                                                             sweep):
+        from repro.runtime import PartialSweepError
+
+        queue = SweepQueue(tmp_path / "q")
+        queue.submit(sweep, shard_size=1)
+        worker = Worker(queue, worker_id="w", lease_s=30.0, poll_s=0.01,
+                        max_attempts=2, faults="seed=0,poison=1.0",
+                        backoff_base_s=0.001, backoff_cap_s=0.002)
+        assert worker.run() == 0
+        status = queue.status()
+        assert status.settled and status.failed == 4 and status.done == 0
+        assert worker.failures == 8             # 2 attempts x 4 shards
+        for shard_id in queue.shard_ids():
+            assert queue.attempts(shard_id) == 2    # exactly max_attempts
+        kinds = [e["kind"] for e in queue.events()]
+        assert kinds.count("shard_released") == 4   # attempt 1 of each
+        assert kinds.count("shard_failed") == 4     # attempt 2 of each
+        with pytest.raises(PartialSweepError) as excinfo:
+            queue.gather()
+        assert sorted(excinfo.value.failed_shards) == queue.shard_ids()
+
+        # retry-failed + a faultless worker drain the re-armed sweep.
+        assert queue.retry_failed() == queue.shard_ids()
+        assert Worker(queue, worker_id="clean", lease_s=30.0).run() == 4
+        assert queue.status().drained
+
+    def test_transient_io_faults_are_absorbed_and_counted(self, tmp_path,
+                                                          sweep, serial_json):
+        from repro.runtime.faults import make_injector
+
+        queue = SweepQueue(tmp_path / "q")
+        queue.submit(sweep, shard_size=1)
+        injector = make_injector(
+            "seed=1,io-claim=0.4,io-persist=0.4,io-append=0.4,torn=0.4")
+        worker = Worker(queue, worker_id="wio", lease_s=30.0, poll_s=0.01,
+                        faults=injector,
+                        backoff_base_s=0.001, backoff_cap_s=0.002)
+        assert worker.run() == 4
+        assert queue.status().drained
+        assert [r.canonical_json() for r in queue.gather()] == serial_json
+        # Every injected transient was absorbed by a retry and counted.
+        assert worker.io_errors > 0
+        assert worker.io_errors == sum(injector.fired[site] for site in
+                                       ("io-claim", "io-persist", "io-append"))
+        # Torn appends happened and the reader salvaged around them.
+        from repro.runtime import read_events
+
+        stats = {}
+        events = read_events(queue.events_path, stats=stats)
+        assert injector.fired["torn"] > 0
+        assert any(e["kind"] == "shard_done" for e in events)
+
+    def test_faults_default_from_environment(self, tmp_path, sweep,
+                                             monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=9,io-claim=0.2")
+        worker = Worker(tmp_path, lease_s=30.0)
+        assert worker.faults is not None
+        assert worker.faults.plan.rate("io-claim") == 0.2
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert Worker(tmp_path, lease_s=30.0).faults is None
+
+    def test_worker_lease_resolves_from_queue_manifest(self, tmp_path, sweep):
+        queue = SweepQueue(tmp_path / "q")
+        queue.submit(sweep, lease_ttl=7.0, lease_grace=3.0)
+        worker = Worker(queue, worker_id="w")       # no lease_s flag
+        assert worker._ttl(queue) == 7.0
+        assert worker._grace(queue) == 3.0
+        flagged = Worker(queue, worker_id="w2", lease_s=9.0, lease_grace=1.0)
+        assert flagged._ttl(queue) == 9.0           # flag wins
+        assert flagged._grace(queue) == 1.0
+
+    def test_failure_parameter_validation(self, tmp_path):
+        with pytest.raises(ValidationError):
+            Worker(tmp_path, lease_s=30.0, max_attempts=0)
+        with pytest.raises(ValidationError):
+            Worker(tmp_path, lease_s=30.0, lease_grace=-1)
+        with pytest.raises(ValidationError):
+            Worker(tmp_path, lease_s=30.0, io_retries=-1)
+        with pytest.raises(ValidationError):
+            Worker(tmp_path, lease_s=30.0, faults="not-a-site=1")
+        from repro.runtime import run_workers
+
+        with pytest.raises(ValidationError):
+            run_workers(str(tmp_path), 1, restart_budget=-1)
