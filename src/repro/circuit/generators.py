@@ -17,7 +17,8 @@ Construction invariants (all checked by ``Circuit.validate``):
 
 import numpy as np
 
-from repro.circuit.builder import CircuitBuilder
+from repro.circuit.circuit import Circuit
+from repro.circuit.components import Node, NodeKind
 from repro.tech import Technology
 from repro.utils.errors import CircuitError
 from repro.utils.rng import derive_rng, make_rng
@@ -151,20 +152,31 @@ def _fix_coverage(sources, fanins, n_gates, n_inputs, n_outputs, rng):
     when none exists, the displaced source joins the worklist.  A budget
     bounds pathological displacement chains (the caller retries on a
     derived seed).
+
+    The input slots live in one flat array (``(gate, position)``
+    lexicographic order, the same order the old per-item list
+    comprehensions enumerated), so each worklist item is a constant
+    number of vectorized passes over the tail instead of building
+    O(total-fan-in) Python tuples — the difference between quadratic
+    minutes and sub-second at 50k gates.  Candidate-pool sizes and
+    ordering match the list spelling exactly, so the ``rng`` draw
+    sequence (and therefore the emitted circuit) is unchanged.
     """
     n_sources = n_inputs + n_gates
-    use_count = np.zeros(n_sources, dtype=np.int64)
-    for chosen in sources:
-        for src in chosen:
-            use_count[src] += 1
+    offsets = np.zeros(n_gates + 1, dtype=np.int64)
+    np.cumsum(np.asarray(fanins, dtype=np.int64), out=offsets[1:])
+    total = int(offsets[-1])
+    src_flat = np.fromiter(
+        (src for chosen in sources for src in chosen),
+        dtype=np.int64, count=total)
+    use_count = np.bincount(src_flat, minlength=n_sources)
 
     po_gates = list(range(n_gates - n_outputs, n_gates))
-    po_sources = {n_inputs + g for g in po_gates}
+    is_po_source = np.zeros(n_sources, dtype=bool)
+    is_po_source[n_inputs + n_gates - n_outputs:] = True
 
-    def needs_fanout(s):
-        return use_count[s] == 0 and s not in po_sources
-
-    work = [s for s in range(n_sources) if needs_fanout(s)]
+    work = [s for s in range(n_sources)
+            if use_count[s] == 0 and not is_po_source[s]]
     budget = 20 * (n_sources + 1)
     while work:
         budget -= 1
@@ -174,39 +186,69 @@ def _fix_coverage(sources, fanins, n_gates, n_inputs, n_outputs, rng):
                 "(wire topology too tight for this seed)"
             )
         s = work.pop()
-        if not needs_fanout(s):
+        if use_count[s] != 0 or is_po_source[s]:
             continue
         first_gate = 0 if s < n_inputs else s - n_inputs + 1
-        slots = [
-            (k, pos)
-            for k in range(first_gate, n_gates)
-            for pos, cur in enumerate(sources[k])
-            if cur != s
-        ]
-        if not slots:
+        start = int(offsets[first_gate])
+        tail = src_flat[start:total]
+        valid = tail != s
+        n_slots = int(np.count_nonzero(valid))
+        if n_slots == 0:
             raise CircuitError(
                 "cannot rewire unused sources: no input slots after them"
             )
-        redundant = [sl for sl in slots if use_count[sources[sl[0]][sl[1]]] > 1]
-        pool = redundant if redundant else slots
-        k, pos = pool[int(rng.integers(0, len(pool)))]
-        displaced = sources[k][pos]
+        redundant = valid & (use_count[tail] > 1)
+        n_red = int(np.count_nonzero(redundant))
+        pool = redundant if n_red else valid
+        pick = int(rng.integers(0, n_red if n_red else n_slots))
+        j = start + int(np.flatnonzero(pool)[pick])
+        displaced = int(src_flat[j])
         use_count[displaced] -= 1
-        sources[k][pos] = s
+        src_flat[j] = s
         use_count[s] += 1
-        if needs_fanout(displaced):
+        if use_count[displaced] == 0 and not is_po_source[displaced]:
             work.append(displaced)
+    # Write the rewired slots back into the caller's per-gate lists.
+    flat = src_flat.tolist()
+    for k in range(n_gates):
+        lo, hi = int(offsets[k]), int(offsets[k + 1])
+        sources[k][:] = flat[lo:hi]
     return po_gates
 
 
 def _emit(sources, po_gates, n_inputs, tech, wire_length_range, geo_rng, fn_rng,
           name, seed):
+    """Assemble the :class:`Circuit` for a drawn topology.
+
+    Reproduces the :class:`CircuitBuilder` construction node-for-node
+    (same names, indices, parameters, and edge order) without the
+    builder's per-record bookkeeping: nodes and edges are emitted
+    directly into the lists :class:`Circuit` consumes, which is what
+    lets a 50k-gate netlist materialize in seconds.  The per-gate RNG
+    calls keep the builder path's exact order and arguments — the
+    byte-identity contract pinned by the generator equivalence tests.
+    """
     lo, hi = wire_length_range
     if not 0 < lo <= hi:
         raise CircuitError("wire_length_range must satisfy 0 < lo <= hi")
-    builder = CircuitBuilder(tech=tech or Technology.dac99(), name=name)
-    driver_refs = [builder.add_input(name=f"pi{d}") for d in range(n_inputs)]
-    gate_refs = []
+    tech = tech or Technology.dac99()
+    n_gates = len(sources)
+    min_size, max_size = tech.min_size, tech.max_size
+    wru, wcu, wfc = (tech.wire_unit_resistance, tech.wire_unit_capacitance,
+                     tech.wire_fringe_capacitance)
+
+    nodes = [Node(index=0, kind=NodeKind.SOURCE, name="@source")]
+    edges = []
+    for d in range(n_inputs):
+        nodes.append(Node(index=d + 1, kind=NodeKind.DRIVER, name=f"pi{d}",
+                          r_hat=tech.driver_resistance))
+        edges.append((0, d + 1))
+
+    # Gate k's input wires occupy indices base..base+fanin-1 and the gate
+    # itself base+fanin, exactly the builder's record order (wires are
+    # recorded by add_gate immediately before their gate).
+    gate_index = np.empty(n_gates, dtype=np.int64)
+    idx = n_inputs + 1
     for k, chosen in enumerate(sources):
         fanin = len(chosen)
         if fanin == 1:
@@ -215,10 +257,38 @@ def _emit(sources, po_gates, n_inputs, tech, wire_length_range, geo_rng, fn_rng,
             fn = _FUNCTIONS_2[int(fn_rng.integers(0, len(_FUNCTIONS_2)))]
         else:
             fn = _FUNCTIONS_N[int(fn_rng.integers(0, len(_FUNCTIONS_N)))]
-        refs = [driver_refs[s] if s < n_inputs else gate_refs[s - n_inputs]
-                for s in chosen]
         lengths = geo_rng.uniform(lo, hi, size=fanin).tolist()
-        gate_refs.append(builder.add_gate(fn, refs, name=f"g{k}", wire_lengths=lengths))
+        gname = f"g{k}"
+        gidx = idx + fanin
+        for pos, s in enumerate(chosen):
+            length = lengths[pos]
+            widx = idx + pos
+            nodes.append(Node(
+                index=widx, kind=NodeKind.WIRE, name=f"{gname}.in{pos}",
+                r_hat=wru * length, c_hat=wcu * length, fringe=wfc * length,
+                alpha=length, length=length, lower=min_size, upper=max_size))
+            parent = s + 1 if s < n_inputs else int(gate_index[s - n_inputs])
+            edges.append((parent, widx))
+            edges.append((widx, gidx))
+        nodes.append(Node(
+            index=gidx, kind=NodeKind.GATE, name=gname, function=fn,
+            r_hat=tech.gate_unit_resistance, c_hat=tech.gate_unit_capacitance,
+            alpha=tech.gate_area_per_size, lower=min_size, upper=max_size))
+        gate_index[k] = gidx
+        idx = gidx + 1
+
+    sink = idx + len(po_gates)
     for g in po_gates:
-        builder.set_output(gate_refs[g], wire_length=float(geo_rng.uniform(lo, hi)))
-    return builder.build()
+        length = float(geo_rng.uniform(lo, hi))
+        gidx = int(gate_index[g])
+        nodes.append(Node(
+            index=idx, kind=NodeKind.WIRE, name=f"g{g}.out",
+            r_hat=wru * length, c_hat=wcu * length, fringe=wfc * length,
+            alpha=length, length=length, lower=min_size, upper=max_size,
+            load_cap=tech.load_capacitance))
+        edges.append((gidx, idx))
+        edges.append((idx, sink))
+        idx += 1
+    nodes.append(Node(index=sink, kind=NodeKind.SINK, name="@sink"))
+    edges.sort()
+    return Circuit(nodes, edges, tech, name=name)

@@ -36,16 +36,46 @@ from repro.core import NoiseAwareSizingFlow, check_kkt
 from repro.core.flow import ORDERING_NAMES
 from repro.geometry import ChannelLayout
 from repro.noise import MillerMode
-from repro.runtime import BatchRunner, CircuitRef, FlowConfig, ResultCache, SweepSpec
+from repro.runtime import (
+    BatchRunner,
+    CircuitRef,
+    FlowConfig,
+    ResultCache,
+    Scenario,
+    SweepSpec,
+)
 from repro.timing import CouplingDelayMode, ElmoreEngine, evaluate_metrics
 from repro.utils.errors import ReproError
 from repro.utils.tables import format_table
 
 
+def _parse_partitions(value):
+    """``--partitions`` values: ``auto`` (size-based, the default) or an int."""
+    if value == "auto":
+        return 0
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto' or an integer, got {value!r}")
+
+
+def _add_partition_args(parser):
+    """The partitioned-solver routing knobs (``size``, ``sweep``, ``queue``)."""
+    parser.add_argument(
+        "--partitions", type=_parse_partitions, default=0, metavar="K",
+        help="region count for the partitioned solver: 'auto' (default, "
+             "size-based), 1 (always monolithic), or an explicit K >= 2")
+    parser.add_argument(
+        "--partition-threshold", type=int, default=20000, metavar="GATES",
+        help="minimum gate count before partitioning engages; "
+             "<= 0 disables it outright (default: 20000)")
+
+
 def _add_axis_args(parser):
     """The sweep-defining arguments shared by ``sweep`` and ``queue submit``."""
     parser.add_argument("circuits", nargs="+",
-                        help="Table 1 names and/or .bench paths")
+                        help="Table 1 names, .bench paths, and/or random:N")
     parser.add_argument("--orderings", nargs="+", default=["woss"],
                         choices=list(ORDERING_NAMES), metavar="ORD")
     parser.add_argument("--delay-modes", nargs="+", default=["own"],
@@ -62,6 +92,7 @@ def _add_axis_args(parser):
     parser.add_argument("--tolerance", type=float, default=0.01)
     parser.add_argument("--seed", type=int, default=0,
                         help="base seed; per-scenario seeds derive from it")
+    _add_partition_args(parser)
 
 
 def _spec_from_args(args):
@@ -76,7 +107,9 @@ def _spec_from_args(args):
         delay_slacks=tuple(args.delay_slacks),
         base=FlowConfig(n_patterns=args.patterns, seed=args.seed,
                         max_iterations=args.max_iterations,
-                        tolerance=args.tolerance),
+                        tolerance=args.tolerance,
+                        partitions=args.partitions,
+                        partition_threshold=args.partition_threshold),
     )
 
 
@@ -92,7 +125,8 @@ def build_parser():
     info.add_argument("circuit", help="Table 1 name (c432) or .bench path")
 
     size = sub.add_parser("size", help="run the two-stage sizing flow")
-    size.add_argument("circuit", help="Table 1 name (c432) or .bench path")
+    size.add_argument("circuit",
+                      help="Table 1 name (c432), .bench path, or random:N")
     size.add_argument("--patterns", type=int, default=256,
                       help="logic-simulation patterns for similarity")
     size.add_argument("--delay-slack", type=float, default=1.1,
@@ -107,6 +141,9 @@ def build_parser():
     size.add_argument("--ordering", default="woss", choices=list(ORDERING_NAMES))
     size.add_argument("--update", default="multiplicative",
                       choices=["multiplicative", "subgradient"])
+    size.add_argument("--seed", type=int, default=0,
+                      help="seed for similarity patterns / random circuits")
+    _add_partition_args(size)
     size.add_argument("--kkt", action="store_true",
                       help="print the Theorem 6 KKT certificate")
     size.add_argument("--sizes", action="store_true",
@@ -329,11 +366,42 @@ def cmd_info(args, out):
 
 
 def cmd_size(args, out):
-    circuit = _load_circuit(args.circuit)
+    from repro.core.partitioned import resolve_partitions
+    from repro.core.session import SolverSession
+
+    ref = CircuitRef.from_spec(args.circuit, seed=args.seed)
+    session = SolverSession.for_ref(ref)
+    circuit = session.circuit
+    k = 1
+    if args.partitions != 1 and args.partition_threshold > 0:
+        k = resolve_partitions(args.partitions, args.partition_threshold,
+                               session.num_gates)
+    if k >= 2:
+        config = FlowConfig(
+            ordering=args.ordering, n_patterns=args.patterns, seed=args.seed,
+            delay_slack=args.delay_slack, noise_fraction=args.noise_fraction,
+            power_fraction=args.power_fraction,
+            max_iterations=args.max_iterations, tolerance=args.tolerance,
+            update=args.update, partitions=args.partitions,
+            partition_threshold=args.partition_threshold)
+        record = session.solve([Scenario(circuit=ref, config=config)])[0]
+        out.write(f"partitioned solve: {record.diagnostics['partitions']} "
+                  f"regions, {record.diagnostics['cut_edges']} cut edges\n")
+        out.write(record.summary() + "\n")
+        if args.kkt:
+            out.write("KKT: not available on the partitioned path "
+                      "(per-region multipliers are not a global certificate)\n")
+        if args.sizes:
+            rows = [[n.name, n.kind.name.lower(), record.sizes[n.index]]
+                    for n in circuit.components()]
+            out.write(format_table(["component", "kind", "size (um)"], rows,
+                                   floatfmt="{:.3f}") + "\n")
+        return 0 if record.feasible else 1
     flow = NoiseAwareSizingFlow(
         circuit,
         ordering=args.ordering,
         n_patterns=args.patterns,
+        seed=args.seed,
         bound_factors=(args.delay_slack, args.noise_fraction,
                        args.power_fraction),
         optimizer_options={
@@ -342,7 +410,7 @@ def cmd_size(args, out):
             "update": args.update,
         },
     )
-    outcome = flow.run()
+    outcome = flow.run(session=session)
     sizing = outcome.sizing
     out.write(f"problem: {outcome.problem}\n")
     out.write(f"stage 1: effective loading {outcome.ordering_cost_before:.3f} "

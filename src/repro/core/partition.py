@@ -1,0 +1,358 @@
+"""Deterministic level-respecting circuit partitioning.
+
+Splits one large :class:`~repro.circuit.circuit.Circuit` into K region
+sub-circuits plus a boundary cut-set, the structural half of the
+partitioned OGWS path (:mod:`repro.core.partitioned`).  The design
+follows the ParaLarH decomposition (PAPERS.md, arXiv 2010.11893):
+regions are solved as independent Lagrangian subproblems coordinated
+through boundary arrival times, so the partition must be
+
+* **level-respecting** — every cut edge goes from a lower region to a
+  strictly higher one, so boundary information propagates in a single
+  forward pass per outer iteration.  Gates are split into K contiguous
+  chunks of the topological index order, which guarantees this by
+  construction (edges only point from lower to higher indices).
+* **deterministic and content-hash-stable** — the partition is a pure
+  function of the circuit structure, K, and the seed: chunk boundaries
+  sit near the balanced split, nudged inside a small window to the
+  position crossed by the fewest wires (ties broken by a seeded draw),
+  with no dependence on dict order, object identity, or the process.
+
+Region construction (single-segment netlists — every wire has one
+parent driver/gate and one child gate, or the sink):
+
+* a gate belongs to its chunk's region; a wire travels with its
+  *consumer* gate (primary-output wires stay with their producer), so
+  each sizable global node lives in exactly one region;
+* every external source feeding a region — a primary-input driver or a
+  cut producer gate from an earlier region — becomes a **pseudo-driver**
+  in that region (PI drivers keep their resistance, gate producers get
+  the technology driver resistance).  The partitioned solver injects the
+  producer's arrival time at the pseudo-driver as a delay offset
+  (:attr:`~repro.timing.elmore.ElmoreEngine.arrival_offsets`);
+* a cut producer left with no in-region fanout gets a **stub
+  primary-output wire** (same length as its first cut wire, default
+  load) so the region circuit satisfies every structural invariant.
+
+The cut wire and the stub both carry area/capacitance, so the union of
+region metrics slightly over-counts the monolithic circuit — part of
+the documented partitioned-vs-monolithic tolerance contract
+(docs/architecture.md).
+
+:class:`PartitionPlan` is compiled once per (circuit, K, seed) and
+carries precompiled index maps in the same spirit as
+:mod:`repro.timing.kernels`: per-region local↔global node maps for the
+size scatter/gather and per-(consumer, producer) boundary index arrays
+for the once-per-iteration arrival exchange.
+"""
+
+import copy
+import dataclasses
+import hashlib
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.components import Node, NodeKind
+from repro.utils.errors import ValidationError
+from repro.utils.rng import derive_rng, make_rng
+
+#: Regions below this many gates are pointless (kernel setup dominates).
+MIN_REGION_GATES = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class CutEdge:
+    """One boundary edge of the partition.
+
+    The producer gate lives in ``producer_region``; the cut wire (and
+    the gate it feeds) lives in ``consumer_region``, fed there by the
+    pseudo-driver at ``driver_local``.
+    """
+
+    wire_global: int
+    producer_global: int
+    producer_region: int
+    consumer_region: int
+    producer_local: int
+    driver_local: int
+
+
+@dataclasses.dataclass(frozen=True)
+class Region:
+    """One region sub-circuit plus its index maps."""
+
+    index: int
+    circuit: Circuit
+    #: Local node index → global node index; −1 for nodes with no global
+    #: counterpart (source, sink, pseudo-drivers, stub PO wires).
+    local_to_global: np.ndarray
+    #: Global indices of the member gates (ascending).
+    global_gates: np.ndarray
+    #: Local indices of the region's *true* primary-output wires (wires
+    #: that feed the global sink); stubs are excluded.
+    true_po_local: np.ndarray
+
+
+class PartitionPlan:
+    """K regions + cut-set + precompiled scatter/gather operators."""
+
+    def __init__(self, circuit, k, seed, boundaries, regions, cuts):
+        self.circuit = circuit
+        self.k = int(k)
+        self.seed = seed
+        self.boundaries = tuple(int(b) for b in boundaries)
+        self.regions = list(regions)
+        self.cuts = list(cuts)
+        # Boundary exchange operators: for each consumer region r, a map
+        # producer-region q → (driver_local[], producer_local[]) so the
+        # once-per-iteration consensus update is pure fancy indexing.
+        self.exchange = []
+        for r in range(self.k):
+            per_producer = {}
+            for cut in self.cuts:
+                if cut.consumer_region != r:
+                    continue
+                per_producer.setdefault(cut.producer_region, ([], []))
+                dst, src = per_producer[cut.producer_region]
+                dst.append(cut.driver_local)
+                src.append(cut.producer_local)
+            self.exchange.append({
+                q: (np.asarray(dst, dtype=np.int64),
+                    np.asarray(src, dtype=np.int64))
+                for q, (dst, src) in sorted(per_producer.items())
+            })
+
+    @property
+    def cut_count(self):
+        return len(self.cuts)
+
+    def gather(self, region_sizes):
+        """Assemble the global size vector from per-region size vectors.
+
+        Every sizable global node is owned by exactly one region; nodes
+        private to a region (pseudo-drivers, stubs) are dropped.
+        """
+        x = np.zeros(self.circuit.num_nodes)
+        for region, sizes in zip(self.regions, region_sizes):
+            mask = region.local_to_global >= 0
+            x[region.local_to_global[mask]] = np.asarray(sizes)[mask]
+        return x
+
+    def signature(self):
+        """SHA-256 of the full partition structure (determinism pin)."""
+        digest = hashlib.sha256()
+        digest.update(f"k={self.k};seed={self.seed};"
+                      f"b={self.boundaries}".encode())
+        for region in self.regions:
+            digest.update(region.local_to_global.tobytes())
+            digest.update(region.global_gates.tobytes())
+        for cut in self.cuts:
+            digest.update(repr(dataclasses.astuple(cut)).encode())
+        return digest.hexdigest()
+
+
+def _check_single_segment(circuit):
+    """Partitioning requires dedicated wires: one parent (driver/gate),
+    one child (gate or sink) — what the generators and the ISCAS85
+    parser emit.  Multi-segment routing trees are rejected."""
+    for node in circuit.nodes:
+        if not node.is_wire:
+            continue
+        parent = circuit.node(circuit.inputs(node.index)[0])
+        outs = circuit.outputs(node.index)
+        if not (parent.is_driver or parent.is_gate) or len(outs) != 1:
+            raise ValidationError(
+                f"partitioning requires single-segment wires; "
+                f"wire {node.name!r} violates this")
+
+
+def _choose_boundaries(circuit, gates, k, seed):
+    """Chunk boundaries in gate-ordinal space: near the balanced split,
+    nudged to the minimum-crossing position inside a small window."""
+    n = len(gates)
+    ordinal = {g: i for i, g in enumerate(gates)}
+    # crossings[p] = number of gate→gate dependencies (through a wire)
+    # crossing the split "first p gates | rest".
+    diff = np.zeros(n + 2, dtype=np.int64)
+    for node in circuit.nodes:
+        if not node.is_wire:
+            continue
+        parent = circuit.node(circuit.inputs(node.index)[0])
+        if not parent.is_gate:
+            continue
+        child = circuit.outputs(node.index)[0]
+        if child == circuit.sink_index:
+            continue
+        a, b = ordinal[parent.index], ordinal[child]
+        diff[a + 1] += 1
+        diff[b + 1] -= 1
+    crossings = np.cumsum(diff)[:n + 1]
+    rng = derive_rng(make_rng(seed), "partition-boundaries")
+    window = max(1, n // (8 * k))
+    boundaries = []
+    prev = 0
+    for i in range(1, k):
+        target = round(i * n / k)
+        lo = max(prev + 1, target - window)
+        hi = min(n - (k - i), target + window)
+        if lo > hi:
+            raise ValidationError(
+                f"cannot split {n} gates into {k} regions")
+        cand = crossings[lo:hi + 1]
+        best = np.flatnonzero(cand == cand.min())
+        pick = best[int(rng.integers(0, len(best)))] if len(best) > 1 \
+            else best[0]
+        prev = lo + int(pick)
+        boundaries.append(prev)
+    return boundaries
+
+
+def partition_circuit(circuit, k, seed=0):
+    """Split ``circuit`` into a :class:`PartitionPlan` with ``k`` regions.
+
+    Deterministic for a given ``(circuit, k, seed)``; raises
+    :class:`~repro.utils.errors.ValidationError` when the circuit is too
+    small for ``k`` regions or uses multi-segment routing trees.
+    """
+    k = int(k)
+    if k < 2:
+        raise ValidationError("partition_circuit needs k >= 2")
+    gates = [n.index for n in circuit.nodes if n.is_gate]
+    if len(gates) < k * MIN_REGION_GATES:
+        raise ValidationError(
+            f"{len(gates)} gates is too small for {k} regions "
+            f"(need >= {MIN_REGION_GATES} gates per region)")
+    _check_single_segment(circuit)
+    boundaries = _choose_boundaries(circuit, gates, k, seed)
+
+    # Region of every gate, then of every wire (consumer's region;
+    # primary-output wires follow their producer gate).
+    reg_of = np.full(circuit.num_nodes, -1, dtype=np.int64)
+    edges_at = [0] + boundaries + [len(gates)]
+    for r in range(k):
+        for ordinal in range(edges_at[r], edges_at[r + 1]):
+            reg_of[gates[ordinal]] = r
+    sink = circuit.sink_index
+    for node in circuit.nodes:
+        if not node.is_wire:
+            continue
+        child = circuit.outputs(node.index)[0]
+        if child == sink:
+            parent = circuit.inputs(node.index)[0]
+            reg_of[node.index] = reg_of[parent] if reg_of[parent] >= 0 else 0
+        else:
+            reg_of[node.index] = reg_of[child]
+
+    tech = circuit.tech
+    regions = []
+    cuts = []
+    for r in range(k):
+        members = [n for n in circuit.nodes
+                   if reg_of[n.index] == r and n.kind.is_sizable]
+        # External sources: global index of every PI driver or
+        # out-of-region gate that feeds a member wire.
+        ext = set()
+        cut_wires = []  # (wire node, producer gate node)
+        for node in members:
+            if not node.is_wire:
+                continue
+            parent = circuit.node(circuit.inputs(node.index)[0])
+            if parent.is_driver:
+                ext.add(parent.index)
+            elif reg_of[parent.index] != r:
+                ext.add(parent.index)
+                cut_wires.append((node, parent))
+        ext = sorted(ext)
+
+        local_of = {}
+        nodes = [Node(index=0, kind=NodeKind.SOURCE, name="@source")]
+        edges = []
+        for g in ext:
+            src = circuit.node(g)
+            idx = len(nodes)
+            local_of[g] = idx
+            r_hat = src.r_hat if src.is_driver else tech.driver_resistance
+            nodes.append(Node(index=idx, kind=NodeKind.DRIVER,
+                              name=src.name, r_hat=r_hat))
+            edges.append((0, idx))
+        for node in members:  # ascending global index = topological
+            idx = len(nodes)
+            local_of[node.index] = idx
+            # copy.copy + setattr instead of dataclasses.replace: replace
+            # re-runs __init__/__post_init__ validation per node, which
+            # dominates partitioning time on 10k+ gate circuits.
+            clone = copy.copy(node)
+            object.__setattr__(clone, "index", idx)
+            nodes.append(clone)
+        # Member gates whose every fanout wire moved to a later region
+        # (cut producers with no in-region fanout) need a stub PO wire.
+        gate_fanout = {n.index: 0 for n in members if n.is_gate}
+        true_po_local = []
+        for node in members:
+            idx = local_of[node.index]
+            if node.is_wire:
+                parent = circuit.inputs(node.index)[0]
+                edges.append((local_of[parent], idx))
+                if parent in gate_fanout:
+                    gate_fanout[parent] += 1
+                child = circuit.outputs(node.index)[0]
+                if child == sink:
+                    true_po_local.append(idx)
+                else:
+                    edges.append((idx, local_of[child]))
+        sink_feeders = list(true_po_local)
+        for g, fanout in sorted(gate_fanout.items()):
+            if fanout:
+                continue
+            src = circuit.node(g)
+            # Stub length mirrors the gate's first (lowest-index) real
+            # fanout wire, so the replaced load is the same order.
+            length = circuit.node(min(circuit.outputs(g))).length
+            idx = len(nodes)
+            nodes.append(Node(
+                index=idx, kind=NodeKind.WIRE, name=f"{src.name}.cut",
+                r_hat=tech.wire_unit_resistance * length,
+                c_hat=tech.wire_unit_capacitance * length,
+                fringe=tech.wire_fringe_capacitance * length,
+                alpha=length, length=length,
+                lower=tech.min_size, upper=tech.max_size,
+                load_cap=tech.load_capacitance))
+            edges.append((local_of[g], idx))
+            sink_feeders.append(idx)
+        local_sink = len(nodes)
+        nodes.append(Node(index=local_sink, kind=NodeKind.SINK, name="@sink"))
+        for idx in sink_feeders:
+            edges.append((idx, local_sink))
+        edges.sort()
+        region_circuit = Circuit(
+            nodes, edges, tech,
+            name=f"{circuit.name or 'circuit'}.r{r}of{k}")
+        local_to_global = np.full(len(nodes), -1, dtype=np.int64)
+        for g, idx in local_of.items():
+            if circuit.node(g).kind.is_sizable and reg_of[g] == r:
+                local_to_global[idx] = g
+        regions.append(Region(
+            index=r, circuit=region_circuit,
+            local_to_global=local_to_global,
+            global_gates=np.asarray(
+                [n.index for n in members if n.is_gate], dtype=np.int64),
+            true_po_local=np.asarray(sorted(true_po_local), dtype=np.int64)))
+        for wire, parent in cut_wires:
+            cuts.append(CutEdge(
+                wire_global=wire.index,
+                producer_global=parent.index,
+                producer_region=int(reg_of[parent.index]),
+                consumer_region=r,
+                producer_local=-1,  # filled below, after all regions exist
+                driver_local=local_of[parent.index]))
+
+    # Resolve producer-local indices now that every region is built.
+    local_index = [
+        {int(g): int(l) for l, g in enumerate(region.local_to_global) if g >= 0}
+        for region in regions
+    ]
+    cuts = [dataclasses.replace(
+        cut, producer_local=local_index[cut.producer_region][
+            cut.producer_global]) for cut in cuts]
+    return PartitionPlan(circuit, k, seed, boundaries, regions, cuts)

@@ -1,0 +1,371 @@
+"""Region-decomposed OGWS: the partitioned parallel Lagrangian path.
+
+Solves one large circuit as K region subproblems advanced in lockstep
+at the outer-iteration level, the ParaLarH-style decomposition
+(PAPERS.md, arXiv 2010.11893) over this library's Lagrangian machinery:
+
+* :func:`~repro.core.partition.partition_circuit` splits the circuit
+  into K level-respecting regions (cut edges only point forward);
+* every region gets the full per-circuit pipeline — similarity
+  analysis, channel layout, stage-1 ordering, Miller-weighted coupling,
+  kernel-backed Elmore engine — through its own
+  :class:`~repro.core.session.SolverSession`, so a region is an
+  ordinary OGWS problem, just smaller;
+* boundary timing crosses regions through **pseudo-driver arrival
+  offsets** (:attr:`~repro.timing.elmore.ElmoreEngine.arrival_offsets`):
+  a cut producer's arrival time becomes a fixed delay adder on the
+  consumer's pseudo-driver, so arrival sweeps, A4 residuals, and the
+  Lagrangian value in the consumer region are all expressed in *global*
+  time;
+* the outer iteration is an **ascending Gauss–Seidel consensus
+  sweep**: each region solves its full Fig. 9 loop against boundary
+  offsets frozen at the partners' latest actual arrivals (upstream
+  partners already reflect the current sweep, since cut edges only
+  point forward), then publishes its own final arrivals downstream.
+  Boundary times are exchanged once per region per sweep, and the
+  consensus is monotone in the bounds: a region whose original delay
+  budget became unreachable under the exchanged inputs re-budgets to
+  ``max(original, delay_slack × delay(x_init | inputs))`` — bounds
+  only ever relax, and the region's initial point stays feasible by
+  construction.  Sweeps repeat (warm-started; settled regions are
+  skipped) until the composed global delay meets the global bound or
+  ``MAX_SWEEPS`` is reached.
+
+Per-region bounds come from :meth:`SizingProblem.from_initial` at the
+region's *offset-including* initial metrics, which distributes the
+global delay slack proportionally along the critical path (each
+region's outputs get ``delay_slack ×`` their initial global arrival —
+self-consistent with the monolithic ``A0`` at the true primary
+outputs).  The reported record aggregates regions back to circuit
+level: summed noise/power/area, the true forward-propagated global
+delay at the final sizes, and feasibility against the monolithic-style
+global bounds (aggregate metrics vs aggregate bounds, exactly the
+monolithic contract).  Equivalence with the monolithic path is
+*approximate* by design — cut stubs add load, per-region layouts
+change coupling — and is pinned by property tests to the documented
+tolerance (``PARTITION_TOLERANCE``; see docs/architecture.md).
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.ogws import OGWSOptimizer
+from repro.core.partition import MIN_REGION_GATES
+from repro.core.problem import SizingProblem
+from repro.timing.metrics import CircuitMetrics, EvalContext
+from repro.utils.units import FF_PER_PF, mw_from_v2fc
+
+#: Upper bound on the region count the ``auto`` policy picks.
+MAX_AUTO_REGIONS = 16
+
+#: Documented partitioned-vs-monolithic tolerance: relative deviation of
+#: the final objective (area) between ``run_partitioned`` and the
+#: monolithic path on the same scenario, at threshold scale (auto
+#: partitioning, K <= 4 per 20k gates).  The gap comes from cut stubs
+#: (extra load), per-region channel layouts (different coupling pairs),
+#: and the boundary driver approximation, so it grows with the cut
+#: fraction: forcing a high K onto a sub-threshold circuit can double
+#: it.  The partition property tests pin both regimes.
+PARTITION_TOLERANCE = 0.15
+
+#: Cap on the Gauss–Seidel consensus sweeps (sweeps after the first are
+#: warm-started and skip settled regions, so they cost little).
+MAX_SWEEPS = 3
+
+#: Stop a region solve once the best feasible area has not improved for
+#: this many consecutive iterations.  Region subproblems carry constant
+#: boundary-offset terms in their Lagrangian, which leaves a structural
+#: duality gap the A7 stop rule can never close — without this, every
+#: region with upstream inputs burns its full iteration budget for no
+#: primal progress.
+STALL_ITERATIONS = 8
+
+#: Region-level feasibility tolerance.  Deliberately tighter than the
+#: monolithic 1e-3: regions sitting exactly at their own tolerance
+#: compose to a circuit-level violation just over it, so the partitioned
+#: path holds each region to a fraction of the global slop.
+REGION_FEASIBILITY_TOLERANCE = 2e-4
+
+#: Delay tolerance for the *global* partitioned feasibility verdict.
+#: Noise/power compose exactly (they are sums of region metrics), so
+#: they keep the monolithic 1e-3; the composed delay carries a
+#: consensus residual — cut outputs may use slack the scalar region
+#: bound grants them but the downstream budget did not anticipate — so
+#: the delay check allows this documented extra margin.
+PARTITION_DELAY_TOLERANCE = 5e-3
+
+
+def resolve_partitions(partitions, threshold, n_gates):
+    """Effective region count for a circuit of ``n_gates`` gates.
+
+    ``partitions`` semantics (the ``FlowConfig`` axis / ``--partitions``
+    flag): ``0`` = auto (one region per ``threshold`` gates, capped at
+    :data:`MAX_AUTO_REGIONS`), ``1`` = never partition, ``N >= 2`` =
+    use exactly N regions.  Circuits below ``threshold`` gates (or any
+    circuit when ``threshold <= 0``) always take the monolithic path,
+    and the count is clamped so every region keeps at least
+    :data:`~repro.core.partition.MIN_REGION_GATES` gates.  Returns 1
+    for "run monolithic".
+    """
+    partitions, threshold = int(partitions), int(threshold)
+    n_gates = int(n_gates)
+    if partitions == 1 or threshold <= 0 or n_gates < threshold:
+        return 1
+    if partitions >= 2:
+        k = partitions
+    else:
+        k = max(2, min(MAX_AUTO_REGIONS, -(-n_gates // threshold)))
+    k = min(k, n_gates // MIN_REGION_GATES)
+    return k if k >= 2 else 1
+
+
+def run_partitioned(session, scenario, k):
+    """Solve ``scenario`` over ``session``'s circuit as ``k`` regions.
+
+    Returns a :class:`~repro.runtime.records.RunRecord` of the same
+    shape the monolithic :class:`~repro.core.session.ScenarioBatch`
+    produces (aggregated metrics, gathered global sizes, ``partitions``
+    /``cut_edges`` diagnostics).  Fully deterministic: same ref +
+    config → byte-identical record, warm or cold, any executor.
+    """
+    from repro.runtime.records import RunRecord
+
+    config = scenario.config
+    started = time.perf_counter()
+    plan, region_sessions = session.partition_artifacts(k, config.seed)
+    seed = scenario.seed
+    n_regions = plan.k
+
+    engines = []
+    offsets = []
+    cost_before = cost_after = 0.0
+    for rs in region_sessions:
+        engine = rs.engine(config.ordering, config.n_patterns, seed,
+                           config.miller_mode, config.coupling_order,
+                           config.delay_mode)
+        off = np.zeros(rs.compiled.num_nodes)
+        engine.arrival_offsets = off
+        engines.append(engine)
+        offsets.append(off)
+        _, before, after = rs.stage1(config.ordering, config.n_patterns, seed)
+        cost_before += before
+        cost_after += after
+
+    # Initial propagation at x_init, ascending regions: a region's
+    # pseudo-driver offsets are final before its metrics are evaluated
+    # (cut edges only point forward), so per-region initial metrics are
+    # already in global time.
+    x_inits, initial_metrics = [], []
+    init_delay = 0.0
+    for r, (rs, engine) in enumerate(zip(region_sessions, engines)):
+        x_init = rs.compiled.default_sizes(np.inf)
+        context = EvalContext(engine, x_init)
+        arrival = context.arrival
+        for rr in range(r + 1, n_regions):
+            pair = plan.exchange[rr].get(r)
+            if pair is not None:
+                dst, src = pair
+                offsets[rr][dst] = arrival[src]
+        po = plan.regions[r].true_po_local
+        if len(po):
+            init_delay = max(init_delay, float(arrival[po].max()))
+        x_inits.append(x_init)
+        initial_metrics.append(context.metrics)
+    # The consensus floor: boundary times from the initial propagation.
+    # Each region's budget (below) is delay_slack × its initial global
+    # arrival, which presumes inputs near the floor; the exchange caps
+    # published boundary times at delay_slack × floor so that promise
+    # stays honest.
+    floors = [off.copy() for off in offsets]
+
+    # Per-region budgets: delay_slack × the region's initial global
+    # arrival (proportional slack along the critical path), noise/power
+    # as the usual fractions of the region's own initials.
+    optimizers = []
+    for engine, x_init, metrics in zip(engines, x_inits, initial_metrics):
+        problem = SizingProblem.from_initial(
+            engine, x_init, delay_slack=config.delay_slack,
+            noise_fraction=config.noise_fraction,
+            power_fraction=config.power_fraction, metrics=metrics)
+        optimizers.append(OGWSOptimizer(
+            engine, problem, x_init=x_init, initial_metrics=metrics,
+            max_iterations=config.max_iterations,
+            tolerance=config.tolerance,
+            feasibility_tolerance=REGION_FEASIBILITY_TOLERANCE,
+            update=config.update))
+
+    results = [None] * n_regions
+    mults = [None] * n_regions
+    iterations = [0] * n_regions
+    solved_inputs = [None] * n_regions
+    # Region subproblems get a reduced budget: boundary-offset terms
+    # keep the A7 gap from certifying convergence, so unlike the
+    # monolithic run the regions would otherwise always burn the full
+    # budget for a tail of sub-percent area gains.
+    cold_budget = max(16, config.max_iterations // 2)
+    resolve_budget = max(8, config.max_iterations // 5)
+
+    def solve_sweep(cap):
+        """One ascending Gauss–Seidel sweep.
+
+        Solves every region whose pseudo-driver offsets moved since its
+        last solve (warm-started with a reduced iteration budget on
+        re-solves), then publishes its actual output arrivals to the
+        downstream offsets — capped at ``delay_slack × floor`` when
+        ``cap`` is set.  The cap is what keeps every subproblem
+        *solvable*: a region's delay budget anticipates inputs no later
+        than ``delay_slack ×`` the initial propagation, so capped
+        inputs leave its initial point feasible by construction,
+        whereas publishing a raw upstream slip can render the fixed
+        budget unreachable and the slack relaxation that would repair
+        it compounds down the chain.  Returns whether any region's
+        sizing changed.
+        """
+        changed = False
+        for r, opt in enumerate(optimizers):
+            if solved_inputs[r] is None or \
+                    not np.array_equal(solved_inputs[r], offsets[r]):
+                budget = cold_budget if results[r] is None \
+                    else resolve_budget
+                solved_inputs[r] = offsets[r].copy()
+                state = opt.start(multipliers=mults[r])
+                state.x = results[r].x if results[r] is not None else None
+                stall, best_area = 0, np.inf
+                while not state.done and state.iteration < budget:
+                    x0 = state.x if (opt.warm_start_lrs and
+                                     state.x is not None) else None
+                    opt.step(state, opt.lrs.solve(state.mult, x0=x0))
+                    if state.best_feasible_x is None:
+                        continue
+                    if state.best_feasible_area < best_area * (1.0 - 1e-4):
+                        best_area = state.best_feasible_area
+                        stall = 0
+                    else:
+                        stall += 1
+                        if stall >= STALL_ITERATIONS:
+                            break
+                candidate = opt.finish(state)
+                # An infeasible warm re-solve may still beat the old
+                # sizing *under the current inputs*: the old x was
+                # optimized against different offsets and its stored
+                # metrics are stale.  Re-evaluate it at today's offsets
+                # and keep whichever sizing violates less.
+                if results[r] is None or candidate.feasible:
+                    accept = True
+                else:
+                    old = EvalContext(engines[r], results[r].x).metrics
+                    accept = max(opt.problem.violations(
+                        candidate.metrics).values()) < max(
+                        opt.problem.violations(old).values())
+                if accept:
+                    if results[r] is None or \
+                            not np.array_equal(results[r].x, candidate.x):
+                        changed = True
+                    results[r] = candidate
+                mults[r] = state.mult
+                iterations[r] += state.iteration
+            arrival = EvalContext(engines[r], results[r].x).arrival
+            for rr in range(r + 1, n_regions):
+                pair = plan.exchange[rr].get(r)
+                if pair is not None:
+                    dst, src = pair
+                    published = arrival[src]
+                    if cap:
+                        published = np.minimum(
+                            published,
+                            config.delay_slack * floors[rr][dst])
+                    offsets[rr][dst] = published
+        return changed
+
+    def honest_propagate():
+        """Forward-propagate actual arrivals; returns the global delay.
+
+        Overwrites the exchange offsets with the true (uncapped)
+        upstream arrivals region by region, so afterwards the offsets
+        are exactly the boundary times of the assembled circuit at the
+        current sizes.
+        """
+        delay = 0.0
+        for r in range(n_regions):
+            arrival = EvalContext(engines[r], results[r].x).arrival
+            for rr in range(r + 1, n_regions):
+                pair = plan.exchange[rr].get(r)
+                if pair is not None:
+                    dst, src = pair
+                    offsets[rr][dst] = arrival[src]
+            po = plan.regions[r].true_po_local
+            if len(po):
+                delay = max(delay, float(arrival[po].max()))
+        return delay
+
+    # Outer consensus: one capped sweep (all cold solves, each region's
+    # subproblem stationary and solvable), then the honest uncapped
+    # propagation.  Where the truth exceeds the cap the affected
+    # regions' offsets moved, so follow-up sweeps — warm-started,
+    # re-solving only those regions against the true arrivals — run
+    # until the composed delay meets the global bound or MAX_SWEEPS is
+    # exhausted.
+    delay_bound = config.delay_slack * init_delay
+    solve_sweep(cap=True)
+    final_delay = honest_propagate()
+    for _ in range(MAX_SWEEPS - 1):
+        if final_delay <= delay_bound * (1.0 + PARTITION_DELAY_TOLERANCE):
+            break
+        if not solve_sweep(cap=False):
+            break  # the re-sweep was a no-op; more cycles cannot help
+        final_delay = honest_propagate()
+
+    # Global feasibility is judged exactly like the monolithic path:
+    # aggregate metrics against aggregate bounds (delay from the honest
+    # forward propagation, noise/power as sums), not per-region flags —
+    # regions may trade slack across the cut as long as the circuit-level
+    # contract holds.
+    tech = session.circuit.tech
+    agg_initial = _aggregate(initial_metrics, init_delay, tech)
+    agg_final = _aggregate([res.metrics for res in results], final_delay,
+                           tech)
+    noise_init_ff = agg_initial.noise_pf * FF_PER_PF
+    global_problem = SizingProblem(
+        delay_bound_ps=delay_bound,
+        noise_bound_ff=config.noise_fraction * noise_init_ff
+        if noise_init_ff > 0 else float("inf"),
+        power_cap_bound_ff=config.power_fraction * agg_initial.total_cap_ff)
+    violations = global_problem.violations(agg_final)
+    feasible = violations["delay"] <= PARTITION_DELAY_TOLERANCE and all(
+        v <= 1e-3 for name, v in violations.items() if name != "delay")
+
+    x_global = plan.gather([res.x for res in results])
+    return RunRecord(
+        scenario=scenario,
+        feasible=bool(feasible),
+        converged=all(res.converged for res in results),
+        iterations=max(iterations),
+        duality_gap=max(res.duality_gap for res in results),
+        ordering_cost_before=float(cost_before),
+        ordering_cost_after=float(cost_after),
+        initial_metrics=agg_initial,
+        metrics=agg_final,
+        sizes=tuple(float(x) for x in x_global),
+        diagnostics={
+            "repair_evals": sum(int(res.repair_evals) for res in results),
+            "partitions": n_regions,
+            "cut_edges": plan.cut_count,
+        },
+        runtime_s=time.perf_counter() - started,
+        memory_bytes=sum(int(res.memory_bytes) for res in results),
+        fingerprint=session.fingerprint(),
+    )
+
+
+def _aggregate(metrics_list, delay_ps, tech):
+    """Circuit-level :class:`CircuitMetrics` from per-region rows."""
+    total_cap = sum(m.total_cap_ff for m in metrics_list)
+    return CircuitMetrics(
+        noise_pf=sum(m.noise_pf for m in metrics_list),
+        delay_ps=float(delay_ps),
+        power_mw=mw_from_v2fc(tech.supply_voltage, tech.clock_frequency,
+                              total_cap),
+        area_um2=sum(m.area_um2 for m in metrics_list),
+        total_cap_ff=total_cap,
+    )

@@ -95,6 +95,8 @@ class SolverSession:
         self._engines = {}
         self._initials = {}      # engine key -> (x_init, CircuitMetrics)
         self._batch_ws = None
+        self._num_gates = None
+        self._partitions = {}    # (k, seed) -> (PartitionPlan, region sessions)
 
     @classmethod
     def for_ref(cls, ref):
@@ -213,6 +215,34 @@ class SolverSession:
             self._initials[key] = value
         return value
 
+    @property
+    def num_gates(self):
+        """Gate count of the session's circuit (partition routing key)."""
+        if self._num_gates is None:
+            self._num_gates = sum(1 for n in self.circuit.nodes if n.is_gate)
+        return self._num_gates
+
+    def partition_artifacts(self, k, seed):
+        """Memoized ``(PartitionPlan, region sessions)`` for one split.
+
+        Region sessions are full :class:`SolverSession` objects over the
+        region sub-circuits, so the partitioned path reuses the same
+        memoization (stage 1, coupling, engines) across scenarios that
+        share a split.  Keyed by ``(k, seed)``; the plan itself is
+        deterministic in the circuit content (see
+        :meth:`~repro.core.partition.PartitionPlan.signature`).
+        """
+        from repro.core.partition import partition_circuit
+
+        key = (int(k), seed)
+        value = self._partitions.get(key)
+        if value is None:
+            plan = partition_circuit(self.circuit, k, seed=seed)
+            value = (plan, [SolverSession.for_circuit(region.circuit)
+                            for region in plan.regions])
+            self._partitions[key] = value
+        return value
+
     def batch_workspace(self):
         """The session's pooled batched kernel workspace (lazily built)."""
         if self._batch_ws is None:
@@ -317,11 +347,26 @@ class SolverSession:
                     raise ValidationError(
                         f"scenario {scenario.label!r} references a different "
                         "circuit than this session")
+        from repro.core.partitioned import resolve_partitions, run_partitioned
+
+        records = [None] * len(scenarios)
         groups = {}
         for index, scenario in enumerate(scenarios):
-            groups.setdefault(self._engine_key(scenario.config),
-                              []).append((index, scenario))
-        records = [None] * len(scenarios)
+            config = scenario.config
+            k = 1
+            if int(config.partitions) != 1 \
+                    and int(config.partition_threshold) > 0:
+                k = resolve_partitions(config.partitions,
+                                       config.partition_threshold,
+                                       self.num_gates)
+            if k >= 2:
+                # Oversized circuits take the region-decomposed path;
+                # partitioned scenarios never join a lockstep batch
+                # (each drives K region sessions of its own).
+                records[index] = run_partitioned(self, scenario, k)
+            else:
+                groups.setdefault(self._engine_key(config),
+                                  []).append((index, scenario))
         for members in groups.values():
             batch_records = ScenarioBatch(
                 self, [s for _, s in members]).run(batch=batch)

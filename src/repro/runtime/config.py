@@ -128,21 +128,41 @@ class CircuitRef:
 
     @classmethod
     def from_spec(cls, spec, seed=0):
-        """CLI convenience: a Table 1 name or a ``.bench`` path."""
+        """CLI convenience: a Table 1 name, a ``.bench`` path, or
+        ``random:N`` — an N-gate synthetic netlist (128 PIs/POs, sized
+        for the partitioned-path scale tests)."""
         from repro.circuit.iscas85 import ISCAS85_SPECS
 
         if spec in ISCAS85_SPECS:
             return cls.iscas85(spec, seed=seed)
+        if spec.startswith("random:"):
+            try:
+                n_gates = int(spec.split(":", 1)[1])
+            except ValueError:
+                raise ValidationError(
+                    f"bad random circuit spec {spec!r}: want random:<gates>")
+            if n_gates < 1:
+                raise ValidationError("random:<gates> needs gates >= 1")
+            return cls.random(n_gates, min(128, n_gates), min(128, n_gates),
+                              seed=seed)
         if pathlib.Path(spec).exists():
             return cls.bench(spec, seed=seed)
         raise ValidationError(
-            f"unknown circuit {spec!r}: not a Table 1 name and no such file")
+            f"unknown circuit {spec!r}: not a Table 1 name, not a "
+            "random:<gates> spec, and no such file")
 
     # -- realization ------------------------------------------------------------
 
     @property
     def label(self):
-        return self.name or pathlib.Path(self.path).stem
+        if self.name:
+            return self.name
+        if self.path:
+            return pathlib.Path(self.path).stem
+        # Directly-constructed random refs can carry no name at all;
+        # fall back to a params digest so sweep shards and reports
+        # never label rows with the empty string.
+        return f"{self.kind}-{_content_hash(self.canonical_dict())[:8]}"
 
     def build(self):
         """Construct the referenced :class:`~repro.circuit.circuit.Circuit`."""
@@ -204,6 +224,13 @@ class FlowConfig:
     max_iterations: int = 200
     tolerance: float = 0.01
     update: str = "multiplicative"
+    #: Region count for the partitioned path: 0 = auto (size-based),
+    #: 1 = always monolithic, N >= 2 = exactly N regions (still subject
+    #: to ``partition_threshold`` routing and the per-region gate floor).
+    partitions: int = 0
+    #: Minimum gate count before the partitioned path engages; <= 0
+    #: disables partitioning outright.
+    partition_threshold: int = 20000
 
     def __post_init__(self):
         if self.ordering not in ORDERING_NAMES:
@@ -218,6 +245,8 @@ class FlowConfig:
         for field in ("coupling_order", "n_patterns", "max_iterations"):
             if int(getattr(self, field)) < 1:
                 raise ValidationError(f"FlowConfig.{field} must be >= 1")
+        if int(self.partitions) < 0:
+            raise ValidationError("FlowConfig.partitions must be >= 0")
         for field in ("delay_slack", "noise_fraction", "power_fraction",
                       "tolerance"):
             if float(getattr(self, field)) <= 0:
@@ -241,6 +270,8 @@ class FlowConfig:
         data["n_patterns"] = int(data["n_patterns"])
         data["max_iterations"] = int(data["max_iterations"])
         data["seed"] = int(data["seed"])
+        data["partitions"] = int(data["partitions"])
+        data["partition_threshold"] = int(data["partition_threshold"])
         for field in ("delay_slack", "noise_fraction", "power_fraction",
                       "tolerance"):
             data[field] = float(data[field])

@@ -55,7 +55,19 @@ def run_scenario(scenario):
     from repro.runtime.config import circuit_fingerprint
 
     config = scenario.config
-    circuit = scenario.circuit.build()
+    if int(config.partitions) != 1 and int(config.partition_threshold) > 0:
+        # Mirror SolverSession.solve's routing so the scalar path and the
+        # session path stay byte-identical for partitioned scenarios too.
+        from repro.core.partitioned import resolve_partitions
+        from repro.core.session import SolverSession
+
+        session = SolverSession.for_ref(scenario.circuit)
+        if resolve_partitions(config.partitions, config.partition_threshold,
+                              session.num_gates) >= 2:
+            return session.solve([scenario])[0]
+        circuit = session.circuit
+    else:
+        circuit = scenario.circuit.build()
     flow = NoiseAwareSizingFlow(
         circuit,
         ordering=config.ordering,

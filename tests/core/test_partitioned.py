@@ -1,0 +1,246 @@
+"""Partitioned solver: determinism, routing, monolithic equivalence.
+
+The contracts under test:
+
+* :func:`partition_circuit` is a deterministic, seeded, structure-
+  covering decomposition — same ``(circuit, k, seed)`` → byte-identical
+  :meth:`PartitionPlan.signature`, every gate owned by exactly one
+  region, cut edges only pointing forward.
+* :func:`resolve_partitions` implements the documented routing table
+  (auto / never / explicit-K, threshold gate, per-region gate floor).
+* ``run_partitioned`` tracks the monolithic solve on the same scenario
+  within the documented tolerances: Table 1 improvement percentages
+  agree closely, and the area premium stays within
+  ``PARTITION_TOLERANCE`` at moderate K (double that when a high K is
+  forced onto a sub-threshold circuit — the premium grows with the cut
+  fraction; see the constant's docstring).
+* Partitioned records are **byte-identical** across entry points and
+  executors: ``SolverSession.solve``, scalar :func:`run_scenario`, and
+  a 2-process :class:`BatchRunner` all produce the same canonical JSON.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.partition import MIN_REGION_GATES, partition_circuit
+from repro.core.partitioned import (
+    MAX_AUTO_REGIONS,
+    PARTITION_TOLERANCE,
+    resolve_partitions,
+    run_partitioned,
+)
+from repro.core.session import SolverSession
+from repro.runtime import BatchRunner, CircuitRef, FlowConfig, Scenario, SweepSpec
+from repro.runtime.runner import run_scenario
+from repro.utils.errors import ValidationError
+
+#: Big enough that K=8 still clears the per-region gate floor, small
+#: enough that the whole module stays in unit-test time.
+REF = CircuitRef.random(1500, 64, 64, seed=3)
+
+CONFIG = FlowConfig(n_patterns=64, max_iterations=40)
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return REF.build()
+
+
+@pytest.fixture(scope="module")
+def mono_record():
+    return SolverSession.for_ref(REF).solve([Scenario(REF, CONFIG)])[0]
+
+
+@pytest.fixture(scope="module", params=[2, 4, 8])
+def part_record(request):
+    session = SolverSession.for_ref(REF)
+    record = run_partitioned(session, Scenario(REF, CONFIG), request.param)
+    return request.param, record
+
+
+class TestResolvePartitions:
+    def test_below_threshold_is_monolithic(self):
+        assert resolve_partitions(0, 20000, 600) == 1
+
+    def test_partitions_one_never_partitions(self):
+        assert resolve_partitions(1, 1, 10**6) == 1
+
+    def test_nonpositive_threshold_disables(self):
+        assert resolve_partitions(0, 0, 10**6) == 1
+        assert resolve_partitions(0, -5, 10**6) == 1
+
+    def test_auto_scales_with_size(self):
+        assert resolve_partitions(0, 20000, 20000) == 2
+        assert resolve_partitions(0, 20000, 100000) == 5
+
+    def test_auto_caps_at_max_regions(self):
+        assert resolve_partitions(0, 1000, 10**6) == MAX_AUTO_REGIONS
+
+    def test_explicit_k_wins_over_auto(self):
+        assert resolve_partitions(4, 100, 600) == 4
+
+    def test_region_gate_floor_clamps(self):
+        floor = MIN_REGION_GATES
+        assert resolve_partitions(8, 1, 2 * floor + 1) == 2
+        assert resolve_partitions(8, 1, floor + 1) == 1
+
+
+class TestPartitionCircuit:
+    def test_signature_deterministic_across_builds(self):
+        a = partition_circuit(REF.build(), 4, seed=7)
+        b = partition_circuit(REF.build(), 4, seed=7)
+        assert a.signature() == b.signature()
+        assert a.boundaries == b.boundaries
+
+    def test_seed_is_part_of_the_signature(self, circuit):
+        assert partition_circuit(circuit, 4, seed=0).signature() \
+            != partition_circuit(circuit, 4, seed=1).signature()
+
+    def test_every_gate_owned_by_exactly_one_region(self, circuit):
+        plan = partition_circuit(circuit, 4)
+        owned = np.concatenate([r.global_gates for r in plan.regions])
+        expected = np.array([n.index for n in circuit.nodes if n.is_gate])
+        assert sorted(owned.tolist()) == sorted(expected.tolist())
+        assert len(set(owned.tolist())) == len(owned)
+
+    def test_cut_edges_point_forward_only(self, circuit):
+        plan = partition_circuit(circuit, 4)
+        assert plan.cuts, "a 4-way split of a connected DAG must cut edges"
+        assert all(c.producer_region < c.consumer_region for c in plan.cuts)
+
+    def test_gather_round_trips_region_sizes(self, circuit):
+        plan = partition_circuit(circuit, 3)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0.5, 4.0, circuit.num_nodes)
+        regional = [
+            np.where(r.local_to_global >= 0, x[r.local_to_global], 0.0)
+            for r in plan.regions
+        ]
+        gathered = plan.gather(regional)
+        sizable = np.concatenate(
+            [r.local_to_global[r.local_to_global >= 0] for r in plan.regions])
+        assert np.array_equal(gathered[sizable], x[sizable])
+
+    def test_k_below_two_rejected(self, circuit):
+        with pytest.raises(ValidationError):
+            partition_circuit(circuit, 1)
+
+    def test_too_small_circuit_rejected(self):
+        tiny = CircuitRef.random(12, 4, 2, seed=0, target_depth=5).build()
+        with pytest.raises(ValidationError):
+            partition_circuit(tiny, 4)
+
+
+class TestMonolithicEquivalence:
+    """``run_partitioned`` vs the monolithic solve, same scenario."""
+
+    def test_table1_improvements_agree(self, mono_record, part_record):
+        _, record = part_record
+        mono = mono_record.improvements
+        part = record.improvements
+        # Noise and power hit their bounds on both paths; area improvement
+        # is dominated by the (identical) initial point.
+        assert part["noise"] == pytest.approx(mono["noise"], abs=0.5)
+        assert part["power"] == pytest.approx(mono["power"], abs=0.5)
+        assert part["area"] == pytest.approx(mono["area"], abs=0.5)
+        assert part["delay"] == pytest.approx(mono["delay"], abs=2.5)
+
+    def test_area_premium_within_documented_tolerance(self, mono_record,
+                                                      part_record):
+        k, record = part_record
+        premium = record.metrics.area_um2 / mono_record.metrics.area_um2 - 1.0
+        # Forcing K=8 onto a 1500-gate circuit is the sub-threshold
+        # regime: the cut fraction (and with it the stub/boundary
+        # premium) roughly doubles relative to threshold-scale K<=4.
+        limit = PARTITION_TOLERANCE if k <= 4 else 2 * PARTITION_TOLERANCE
+        assert 0.0 <= premium <= limit
+
+    def test_record_carries_partition_diagnostics(self, part_record):
+        k, record = part_record
+        assert record.diagnostics["partitions"] == k
+        assert record.diagnostics["cut_edges"] > 0
+        assert record.fingerprint == REF.fingerprint()
+
+    def test_partitioned_solve_is_deterministic(self, part_record):
+        k, record = part_record
+        again = run_partitioned(SolverSession.for_ref(REF),
+                                Scenario(REF, CONFIG), k)
+        assert again.canonical_json() == record.canonical_json()
+
+
+class TestRouting:
+    """Config-driven routing: session path and scalar path agree."""
+
+    SMALL = CircuitRef.random(300, 32, 32, seed=1)
+    FORCED = FlowConfig(n_patterns=32, max_iterations=30,
+                        partitions=2, partition_threshold=1)
+
+    def test_default_config_stays_monolithic(self):
+        record = SolverSession.for_ref(self.SMALL).solve(
+            [Scenario(self.SMALL, FlowConfig(n_patterns=32,
+                                             max_iterations=30))])[0]
+        assert "partitions" not in record.diagnostics
+
+    def test_forced_config_partitions(self):
+        record = SolverSession.for_ref(self.SMALL).solve(
+            [Scenario(self.SMALL, self.FORCED)])[0]
+        assert record.diagnostics["partitions"] == 2
+
+    def test_scalar_and_session_paths_byte_identical(self):
+        scenario = Scenario(self.SMALL, self.FORCED)
+        via_session = SolverSession.for_ref(self.SMALL).solve([scenario])[0]
+        via_scalar = run_scenario(scenario)
+        assert via_scalar.canonical_json() == via_session.canonical_json()
+
+    def test_mixed_batch_routes_per_scenario(self):
+        session = SolverSession.for_ref(self.SMALL)
+        records = session.solve([
+            Scenario(self.SMALL, self.FORCED),
+            Scenario(self.SMALL, self.FORCED.replace(partitions=1)),
+        ])
+        assert records[0].diagnostics["partitions"] == 2
+        assert "partitions" not in records[1].diagnostics
+
+
+class TestExecutorEquivalence:
+    def test_serial_and_multiprocess_records_byte_identical(self):
+        spec = SweepSpec(
+            circuits=(TestRouting.SMALL,),
+            noise_fractions=(0.10, 0.12),
+            base=TestRouting.FORCED,
+        )
+        serial = BatchRunner(jobs=1, cache=None).run(spec)
+        parallel = BatchRunner(jobs=2, cache=None).run(spec)
+        assert [r.canonical_json() for r in serial] \
+            == [r.canonical_json() for r in parallel]
+
+
+class TestCircuitRefSpecs:
+    def test_from_spec_random(self):
+        ref = CircuitRef.from_spec("random:500", seed=9)
+        assert ref.kind == "random"
+        assert dict(ref.params)["n_gates"] == 500
+        assert ref.seed == 9
+
+    def test_from_spec_random_rejects_junk(self):
+        with pytest.raises(ValidationError):
+            CircuitRef.from_spec("random:elephants")
+        with pytest.raises(ValidationError):
+            CircuitRef.from_spec("random:0")
+
+    def test_label_falls_back_to_params_digest(self):
+        ref = dataclasses.replace(CircuitRef.random(20, 4, 4), name="")
+        assert ref.label.startswith("random-")
+        assert ref.label == dataclasses.replace(ref).label  # stable
+
+    def test_cost_model_never_builds_random_refs(self, monkeypatch):
+        from repro.runtime.queue import CostModel
+
+        monkeypatch.setattr(
+            CircuitRef, "build",
+            lambda self: pytest.fail("CostModel built a circuit"))
+        cost = CostModel().scenario_cost(
+            Scenario(CircuitRef.random(5000, 64, 64, seed=1), FlowConfig()))
+        assert cost == pytest.approx(2.0 * 5000)
