@@ -6,30 +6,22 @@ stream per-scenario summary lines *while workers are still solving* and
 finish with the same :func:`~repro.analysis.report.format_sweep` table a
 completed sweep prints — all without touching the results store or the
 solver.  ``repro queue watch`` is the CLI face of
-:func:`watch_queue`; the function is equally usable as a library
-building block for dashboards (feed it any ``out`` with a ``write``
-method).
+:func:`watch_queue`; the event-folding itself lives in
+:class:`~repro.analysis.livetable.SweepEventState`, shared with the
+HTML dashboard (:mod:`repro.runtime.dashboard`) so the terminal and
+browser views can never disagree about what the stream said.
 """
 
-from repro.analysis.report import format_sweep
+from repro.analysis.livetable import (
+    NOTICE_KINDS,
+    SweepEventState,
+    format_notice,
+)
 from repro.runtime.events import tail_events
-from repro.runtime.records import RunRecord
-from repro.utils.errors import ReproError
 
-#: Event kinds narrated as one-line notices (heartbeats stay silent).
-_NOTICE_KINDS = ("sweep_submitted", "shard_claimed", "shard_done",
-                 "shard_released", "shard_failed", "shard_retry",
-                 "lease_reclaimed", "lease_lost", "worker_started",
-                 "worker_done")
-
-
-def _notice(event):
-    parts = [event["kind"]]
-    if event.get("shard"):
-        parts.append(str(event["shard"]))
-    if event.get("worker"):
-        parts.append(f"[{event['worker']}]")
-    return " ".join(parts)
+#: Back-compat aliases (pre-dashboard name for the shared notice list).
+_NOTICE_KINDS = NOTICE_KINDS
+_notice = format_notice
 
 
 def watch_queue(queue, out, follow=True, timeout_s=None, poll_s=0.2,
@@ -52,44 +44,24 @@ def watch_queue(queue, out, follow=True, timeout_s=None, poll_s=0.2,
     if not isinstance(queue, SweepQueue):
         queue = SweepQueue(queue)
     manifest = queue.manifest()
-    total = len(manifest["scenarios"])
-    total_shards = len(manifest["shards"])
-    records = {}
-    # Shards in a terminal state: done, or quarantined.  A retry
-    # (failed/ -> pending/) takes its shard out of the set again.
-    terminal = set()
-
-    def complete():
-        return (len(records) >= total
-                or (terminal and len(terminal) >= total_shards))
+    state = SweepEventState(total_scenarios=len(manifest["scenarios"]),
+                            total_shards=len(manifest["shards"]))
 
     for event in tail_events(queue.events_path, follow=follow,
                              poll_s=poll_s, timeout_s=timeout_s,
-                             stop=complete):
-        kind = event.get("kind")
-        if kind in ("shard_done", "shard_failed") and event.get("shard"):
-            terminal.add(event["shard"])
-        elif kind == "shard_retry" and event.get("shard"):
-            terminal.discard(event["shard"])
-        if kind == "record_done":
-            try:
-                record = RunRecord.from_dict(event["record"])
-                index = int(event["index"])
-            except (ReproError, KeyError, TypeError, ValueError):
-                continue    # a malformed event must not kill the watcher
-            if index in records:
-                continue    # re-run of a reclaimed shard; same record
-            records[index] = record
-            if not quiet:
-                out.write(f"[{len(records)}/{total}] {record.summary()}\n")
-        elif kind in _NOTICE_KINDS and not quiet:
-            out.write(f"-- {_notice(event)}\n")
-        if complete() and not follow:
+                             stop=state.complete):
+        record = state.apply(event)
+        if not quiet:
+            if record is not None:
+                out.write(f"[{len(state.records)}/{state.total_scenarios}] "
+                          f"{record.summary()}\n")
+            elif event.get("kind") in NOTICE_KINDS:
+                out.write(f"-- {format_notice(event)}\n")
+        if state.complete() and not follow:
             break
 
-    ordered = [records[index] for index in sorted(records)]
+    ordered = state.ordered_records()
     if ordered:
-        out.write("\n" + format_sweep(
-            ordered, title=f"Sweep progress ({len(ordered)}/{total})") + "\n")
+        out.write("\n" + state.table() + "\n")
     out.write(queue.status().summary() + "\n")
     return ordered

@@ -1,0 +1,236 @@
+"""Shared event-stream folding for live sweep views.
+
+:class:`SweepEventState` is the one reducer both live surfaces sit on:
+the terminal watcher (:func:`repro.analysis.live.watch_queue`) and the
+HTML dashboard (:mod:`repro.runtime.dashboard`).  It consumes the
+queue's JSONL events — and **only** events; it never reads ticket
+directories or the results store — and folds them into everything a
+progress view renders:
+
+* per-scenario :class:`~repro.runtime.records.RunRecord`\\ s
+  (``record_done`` payloads, deduplicated by sweep index so a reclaimed
+  shard's re-run does not double-report),
+* per-shard state (claimed / released / done / failed / retried) plus
+  the estimated-vs-actual solve cost from ``shard_timing``,
+* per-worker liveness (``worker_started`` / ``heartbeat`` /
+  ``worker_done``, with the last-seen timestamp),
+* sweep totals learned from the ``sweep_submitted`` event, so a
+  consumer needs nothing but the stream to know when it has seen
+  everything.
+
+Rendering from events alone is a deliberate contract: a dashboard built
+on this state can serve a queue on a remote filesystem, a half-drained
+queue, or a merely *replayed* ``events.jsonl`` with no live queue at
+all — and it can never perturb a drain, because it opens exactly one
+file read-only.
+"""
+
+from repro.analysis.report import format_sweep
+from repro.runtime.records import RunRecord
+from repro.utils.errors import ReproError
+
+__all__ = ["NOTICE_KINDS", "SweepEventState", "format_notice"]
+
+#: Event kinds a live view narrates as one-line notices (heartbeats and
+#: per-record events stay out — they have richer renderings).
+NOTICE_KINDS = ("sweep_submitted", "shard_claimed", "shard_done",
+                "shard_released", "shard_failed", "shard_retry",
+                "lease_reclaimed", "lease_lost", "worker_started",
+                "worker_done")
+
+#: Shard states a terminal watcher treats as finished.
+_TERMINAL_STATES = ("done", "failed")
+
+
+def format_notice(event):
+    """One-line rendering of a lifecycle event (``kind shard [worker]``)."""
+    parts = [event["kind"]]
+    if event.get("shard"):
+        parts.append(str(event["shard"]))
+    if event.get("worker"):
+        parts.append(f"[{event['worker']}]")
+    return " ".join(parts)
+
+
+class SweepEventState:
+    """Mutable fold of one queue's event stream (see module docstring).
+
+    ``total_scenarios`` / ``total_shards`` may be supplied up front (a
+    watcher that read the manifest) or left ``None`` to be learned from
+    the stream's ``sweep_submitted`` event.
+    """
+
+    def __init__(self, total_scenarios=None, total_shards=None):
+        self.total_scenarios = total_scenarios
+        self.total_shards = total_shards
+        self.label = ""
+        #: Sweep index -> RunRecord (trimmed payloads from record_done).
+        self.records = {}
+        #: Shard id -> latest lifecycle state string.
+        self.shard_states = {}
+        #: Shard id -> merged shard_claimed/shard_timing details.
+        self.shard_stats = {}
+        #: Worker id -> {"last_ts": float, "state": "active" | "done"}.
+        self.workers = {}
+        self.events_seen = 0
+        self.last_ts = None
+
+    # -- folding ----------------------------------------------------------------
+
+    def apply(self, event):
+        """Fold one event; returns the fresh :class:`RunRecord` when the
+        event completed a not-yet-seen scenario, else ``None``.
+
+        Malformed events are absorbed silently — a live view must not
+        die because one writer's line was garbled.
+        """
+        kind = event.get("kind")
+        self.events_seen += 1
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)):
+            self.last_ts = max(self.last_ts or 0.0, float(ts))
+        worker = event.get("worker")
+        if worker:
+            entry = self.workers.setdefault(
+                str(worker), {"last_ts": None, "state": "active"})
+            if isinstance(ts, (int, float)):
+                entry["last_ts"] = float(ts)
+            if kind == "worker_done":
+                entry["state"] = "done"
+            elif kind in ("worker_started", "shard_claimed", "heartbeat"):
+                entry["state"] = "active"
+        shard = event.get("shard")
+        if kind == "sweep_submitted":
+            if self.total_scenarios is None:
+                try:
+                    self.total_scenarios = int(event["scenarios"])
+                except (KeyError, TypeError, ValueError):
+                    pass
+            if self.total_shards is None:
+                try:
+                    self.total_shards = int(event["shards"])
+                except (KeyError, TypeError, ValueError):
+                    pass
+            self.label = str(event.get("label", "") or self.label)
+        elif shard and kind in ("shard_claimed", "shard_done",
+                                "shard_failed", "shard_retry",
+                                "shard_released", "lease_reclaimed"):
+            state = {"shard_claimed": "claimed", "shard_done": "done",
+                     "shard_failed": "failed", "shard_retry": "pending",
+                     "shard_released": "pending",
+                     "lease_reclaimed": "pending"}[kind]
+            self.shard_states[str(shard)] = state
+            if kind == "shard_claimed":
+                stats = self.shard_stats.setdefault(str(shard), {})
+                stats["attempts"] = event.get("attempt", 0)
+        elif shard and kind == "shard_timing":
+            stats = self.shard_stats.setdefault(str(shard), {})
+            for field in ("circuit", "scenarios", "computed", "cached",
+                          "est_cost", "elapsed_s"):
+                if field in event:
+                    stats[field] = event[field]
+        elif kind == "record_done":
+            try:
+                record = RunRecord.from_dict(event["record"])
+                index = int(event["index"])
+            except (ReproError, KeyError, TypeError, ValueError):
+                return None
+            if index in self.records:
+                return None     # re-run of a reclaimed shard; same record
+            self.records[index] = record
+            return record
+        return None
+
+    def apply_all(self, events):
+        """Fold an iterable of events; returns the fresh records."""
+        fresh = []
+        for event in events:
+            record = self.apply(event)
+            if record is not None:
+                fresh.append(record)
+        return fresh
+
+    # -- derived views ----------------------------------------------------------
+
+    @property
+    def terminal_shards(self):
+        """Shard ids currently in a terminal state (done or failed)."""
+        return {shard for shard, state in self.shard_states.items()
+                if state in _TERMINAL_STATES}
+
+    @property
+    def depth(self):
+        """Submitted shards not yet terminal (``None`` until the stream's
+        ``sweep_submitted`` event — or the constructor — fixed the total)."""
+        if self.total_shards is None:
+            return None
+        return max(0, self.total_shards - len(self.terminal_shards))
+
+    def complete(self):
+        """Every scenario reported, or every shard reached a terminal
+        state (the watch loop's stop condition: a poisoned sweep must
+        end the view, not hang it)."""
+        if self.total_scenarios is not None and \
+                len(self.records) >= self.total_scenarios:
+            return True
+        terminal = self.terminal_shards
+        return bool(terminal and self.total_shards is not None
+                    and len(terminal) >= self.total_shards)
+
+    def ordered_records(self):
+        """The records seen so far, in sweep (scenario) order."""
+        return [self.records[index] for index in sorted(self.records)]
+
+    def table(self, title=None):
+        """The shared sweep table over the records seen so far."""
+        total = ("?" if self.total_scenarios is None
+                 else self.total_scenarios)
+        if title is None:
+            title = f"Sweep progress ({len(self.records)}/{total})"
+        return format_sweep(self.ordered_records(), title=title)
+
+    def shard_rows(self):
+        """Per-shard ``(shard, state, est_cost, actual_s, attempts)`` rows,
+        shard-id order — the dashboard's estimated-vs-actual view."""
+        rows = []
+        for shard in sorted(set(self.shard_states) | set(self.shard_stats)):
+            stats = self.shard_stats.get(shard, {})
+            rows.append({
+                "shard": shard,
+                "state": self.shard_states.get(shard, "pending"),
+                "attempts": stats.get("attempts", 0),
+                "circuit": stats.get("circuit", ""),
+                "est_cost": stats.get("est_cost"),
+                "actual_s": stats.get("elapsed_s"),
+            })
+        return rows
+
+    def worker_rows(self):
+        """Per-worker ``(worker, state, last_ts, age_s)`` rows.
+
+        ``age_s`` is measured against the stream's own latest timestamp
+        — not the wall clock — so a replayed historical stream renders
+        sensible ages.
+        """
+        rows = []
+        for worker in sorted(self.workers):
+            entry = self.workers[worker]
+            age = None
+            if entry["last_ts"] is not None and self.last_ts is not None:
+                age = max(0.0, self.last_ts - entry["last_ts"])
+            rows.append({"worker": worker, "state": entry["state"],
+                         "last_ts": entry["last_ts"], "age_s": age})
+        return rows
+
+    def progress(self):
+        """One JSON-ready summary dict (records, shards, depth, workers)."""
+        return {
+            "label": self.label,
+            "records": len(self.records),
+            "total_scenarios": self.total_scenarios,
+            "total_shards": self.total_shards,
+            "terminal_shards": len(self.terminal_shards),
+            "depth": self.depth,
+            "workers": {w: e["state"] for w, e in self.workers.items()},
+            "complete": self.complete(),
+        }

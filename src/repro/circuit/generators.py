@@ -92,13 +92,16 @@ def random_circuit(n_gates, n_inputs, n_outputs, seed=0, tech=None,
 
 def _draw_fanins(n_gates, n_inputs, n_outputs, n_wires, avg_fanin, rng):
     """Per-gate fan-in counts summing to the exact wire budget."""
+    # Coverage feasibility: every driver and every non-PO gate output
+    # needs at least one input slot, so no seed can succeed below this.
+    floor = max(n_gates, n_inputs + n_gates - n_outputs)
     if n_wires is None:
-        total = int(round(avg_fanin * n_gates))
+        total = max(int(round(avg_fanin * n_gates)), floor)
     else:
         total = n_wires - n_outputs
-    if not n_gates <= total <= _MAX_FANIN * n_gates:
+    if not floor <= total <= _MAX_FANIN * n_gates:
         raise CircuitError(
-            f"wire budget needs total fan-in in [{n_gates}, {_MAX_FANIN * n_gates}], got {total}"
+            f"wire budget needs total fan-in in [{floor}, {_MAX_FANIN * n_gates}], got {total}"
         )
     fanins = np.ones(n_gates, dtype=np.int64)
     extra = total - n_gates

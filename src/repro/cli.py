@@ -14,6 +14,10 @@
   warm per-circuit sessions (``work --serve DIR``), watch live
   progress from the event stream, gather records byte-identical to a
   serial run, and re-arm quarantined shards
+* ``serve-api``           — the sweep service's HTTP front door: a
+  multi-tenant asyncio API (submit/status/SSE events/records/retry)
+  plus an HTML dashboard rendered from the event stream alone; pair
+  with ``queue work --serve`` workers draining the same root
 * ``cache <stats|prune|clear>`` — inspect / LRU-evict a result cache
 * ``table1 [names...]``   — reproduce Table 1 rows next to the paper's
 * ``suite``               — list the embedded ISCAS85-like suite
@@ -306,6 +310,25 @@ def build_parser():
     # `work` alone may take --serve instead of a queue directory.
     q_work.add_argument("--queue-dir", default=None, help="queue directory")
 
+    serve_api = sub.add_parser(
+        "serve-api",
+        help="serve the sweep HTTP API + dashboard over a service root")
+    serve_api.add_argument("--root", required=True,
+                           help="service root directory (one queue "
+                                "directory per accepted sweep)")
+    serve_api.add_argument("--host", default="127.0.0.1")
+    serve_api.add_argument("--port", type=int, default=8080,
+                           help="TCP port (0 picks an ephemeral one; "
+                                "default: 8080)")
+    serve_api.add_argument("--tenants", default=None, metavar="JSON",
+                           help="tenant config file: {name: {max_active, "
+                                "priority}}; a 'default' entry covers "
+                                "unknown tenants")
+    serve_api.add_argument("--max-idle", type=float, default=None,
+                           metavar="S",
+                           help="exit after S seconds with no request "
+                                "(default: serve forever)")
+
     cache = sub.add_parser("cache", help="inspect and maintain a result cache")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
     cache_stats = cache_sub.add_parser(
@@ -530,17 +553,7 @@ def cmd_queue(args, out):
         return 0 if status.drained or args.max_shards or args.no_wait else 1
     if args.queue_command == "status":
         status = queue.status()
-        rows = [
-            ["shards", status.total_shards],
-            ["pending", status.pending],
-            ["claimed", status.claimed],
-            ["done", status.done],
-            ["failed (quarantined)", status.failed],
-            ["scenarios", status.total_scenarios],
-            ["records present", status.records_present],
-            ["complete", "yes" if status.complete else "no"],
-        ]
-        out.write(format_table(["counter", "value"], rows,
+        out.write(format_table(["counter", "value"], status.counter_rows(),
                                title=f"queue {args.queue_dir}") + "\n")
         report = queue.shard_report()
         if report:
@@ -665,11 +678,20 @@ def cmd_suite(args, out):
     return 0
 
 
+def cmd_serve_api(args, out):
+    from repro.runtime.api import run_server
+
+    return run_server(args.root, host=args.host, port=args.port,
+                      tenants=args.tenants, max_idle_s=args.max_idle,
+                      out=out)
+
+
 _COMMANDS = {
     "info": cmd_info,
     "size": cmd_size,
     "sweep": cmd_sweep,
     "queue": cmd_queue,
+    "serve-api": cmd_serve_api,
     "cache": cmd_cache,
     "table1": cmd_table1,
     "suite": cmd_suite,

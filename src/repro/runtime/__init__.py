@@ -111,11 +111,33 @@ The same service, as a library — a throwaway queue under an ordinary
 
     runner = BatchRunner(executor_factory=lambda: QueueExecutor(workers=4))
     records = runner.run(spec)       # byte-identical to jobs=1
+
+Quickstart (HTTP service) — the same queue substrate behind a
+multi-tenant API (:mod:`~repro.runtime.api`): terminal 1 serves the
+front door, terminal 2 serves workers over the same root, and clients
+POST JSON sweep specs (idempotent by content hash, per-tenant quotas
+and drain priorities), follow Server-Sent Events, and GET records
+byte-identical to a serial run — see ``docs/api.md``::
+
+    repro serve-api --root /shared/svc --port 8080
+    repro queue work --serve /shared/svc --jobs auto --max-idle 600
+
+The dashboard at ``/dashboard`` and the SSE feed render from each
+sweep's event stream alone (:mod:`~repro.runtime.dashboard`), so
+monitoring never perturbs a drain.
 """
 
+from repro.runtime.api import (
+    ApiError,
+    ApiServer,
+    SweepService,
+    TenantConfig,
+    load_tenants,
+    serve_in_thread,
+)
 from repro.runtime.cache import ResultCache, scenario_key
 from repro.runtime.config import CircuitRef, FlowConfig, Scenario, SweepSpec
-from repro.runtime.events import EventLog, read_events, tail_events
+from repro.runtime.events import EventLog, EventTail, read_events, tail_events
 from repro.runtime.faults import (
     FaultInjector,
     FaultPlan,
@@ -165,8 +187,15 @@ __all__ = [
     "run_scenario",
     "run_scenario_group",
     "EventLog",
+    "EventTail",
     "read_events",
     "tail_events",
+    "ApiError",
+    "ApiServer",
+    "SweepService",
+    "TenantConfig",
+    "load_tenants",
+    "serve_in_thread",
     "SweepQueue",
     "Shard",
     "QueueStatus",

@@ -386,3 +386,98 @@ class SweepSpec:
                 * len(self.miller_modes) * len(self.delay_modes)
                 * len(self.coupling_orders) * len(self.delay_slacks)
                 * len(self.noise_fractions) * len(self.power_fractions))
+
+    # -- serialization ----------------------------------------------------------
+
+    def canonical_dict(self):
+        """JSON-ready canonical form — the HTTP submission wire schema.
+
+        The service tier hashes this to derive a sweep's idempotency
+        key, so two submissions describing the same sweep — however
+        they spelled their circuits — collapse onto one queue.
+        """
+        return {
+            "circuits": [c.canonical_dict() for c in self.circuits],
+            "orderings": [str(o) for o in self.orderings],
+            "miller_modes": [str(m) for m in self.miller_modes],
+            "delay_modes": [str(m) for m in self.delay_modes],
+            "coupling_orders": [int(k) for k in self.coupling_orders],
+            "delay_slacks": [float(s) for s in self.delay_slacks],
+            "noise_fractions": [float(f) for f in self.noise_fractions],
+            "power_fractions": [float(f) for f in self.power_fractions],
+            "base": self.base.canonical_dict(),
+        }
+
+    def canonical_json(self):
+        return _canonical_json(self.canonical_dict())
+
+    def content_hash(self):
+        """Hash of the full sweep spec (the service's idempotency key)."""
+        return _content_hash(self.canonical_dict())
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild from :meth:`canonical_dict` (validates every field).
+
+        Lenient where it is safe: axis keys may be omitted (defaults
+        apply), circuits may be canonical dicts *or* CLI-style spec
+        strings (``c432``, ``random:N``, a ``.bench`` path — see
+        :meth:`CircuitRef.from_spec`), and ``base`` may be a partial
+        :class:`FlowConfig` dict.  Junk raises
+        :class:`~repro.utils.errors.ValidationError`.
+        """
+        if not isinstance(data, dict):
+            raise ValidationError("SweepSpec document must be a JSON object")
+        known = {"circuits", "orderings", "miller_modes", "delay_modes",
+                 "coupling_orders", "delay_slacks", "noise_fractions",
+                 "power_fractions", "base"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValidationError(
+                f"unknown SweepSpec fields: {', '.join(unknown)} "
+                f"(accepted: {', '.join(sorted(known))})")
+        raw_circuits = data.get("circuits")
+        if not isinstance(raw_circuits, (list, tuple)) or not raw_circuits:
+            raise ValidationError(
+                "SweepSpec document needs a non-empty 'circuits' list")
+        circuits = []
+        for item in raw_circuits:
+            if isinstance(item, str):
+                circuits.append(CircuitRef.from_spec(item))
+            elif isinstance(item, dict):
+                try:
+                    circuits.append(CircuitRef.from_dict(item))
+                except (KeyError, TypeError) as error:
+                    raise ValidationError(
+                        f"bad circuit entry {item!r}: {error}") from None
+            else:
+                raise ValidationError(
+                    f"circuit entries must be spec strings or canonical "
+                    f"dicts, got {type(item).__name__}")
+        base = data.get("base", {})
+        if isinstance(base, dict):
+            try:
+                base = FlowConfig(**base)
+            except TypeError as error:
+                raise ValidationError(f"bad base config: {error}") from None
+        elif not isinstance(base, FlowConfig):
+            raise ValidationError("'base' must be a FlowConfig object/dict")
+        kwargs = {"circuits": tuple(circuits), "base": base}
+        for field, cast in (("orderings", str), ("miller_modes", str),
+                            ("delay_modes", str), ("coupling_orders", int),
+                            ("delay_slacks", float),
+                            ("noise_fractions", float),
+                            ("power_fractions", float)):
+            if field not in data:
+                continue
+            values = data[field]
+            if not isinstance(values, (list, tuple)):
+                raise ValidationError(f"SweepSpec.{field} must be a list")
+            try:
+                kwargs[field] = tuple(cast(v) for v in values)
+            except (TypeError, ValueError) as error:
+                raise ValidationError(
+                    f"bad SweepSpec.{field} value: {error}") from None
+        spec = cls(**kwargs)
+        spec.scenarios()    # validate every combination up front
+        return spec

@@ -1,0 +1,145 @@
+"""The HTML dashboard: every pixel rendered from the event stream.
+
+:func:`render_dashboard` takes the per-sweep entries built by
+:meth:`~repro.runtime.api.SweepService.dashboard_entries` — each one a
+:class:`~repro.analysis.livetable.SweepEventState` folded from that
+sweep's ``events.jsonl`` plus the reader's torn-line salvage count —
+and renders a single self-refreshing HTML page: queue depth and
+progress per sweep, per-shard estimated-vs-actual solve cost, worker
+heartbeat ages, and the live Table-1 snapshot
+(:meth:`~repro.analysis.livetable.SweepEventState.table`) in a
+``<pre>`` block.
+
+The hard rule, inherited from the watcher and enforced by the seam:
+**this module never touches a queue directory**.  It sees only what
+the event stream said.  That keeps a refreshing browser tab strictly
+read-only with respect to a live drain, and means the same page can
+render a finished sweep, a half-drained one, or a replayed historical
+stream — identically.
+
+Plain HTML with inline CSS and a ``<meta http-equiv="refresh">``: no
+JavaScript, no assets, nothing for the stdlib-only contract to drag in.
+Clients that want live push use the SSE endpoint instead.
+"""
+
+import html
+
+__all__ = ["render_dashboard"]
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-bottom: .2rem; }
+table { border-collapse: collapse; margin: .4rem 0 1rem; }
+th, td { border: 1px solid #cdd3de; padding: .15rem .6rem;
+         font-size: .85rem; text-align: left; }
+th { background: #eef1f6; }
+pre { background: #f6f7fa; border: 1px solid #cdd3de;
+      padding: .6rem; font-size: .8rem; overflow-x: auto; }
+.meta { color: #5a6172; font-size: .85rem; }
+.done { color: #1d7a36; } .failed { color: #b3261e; }
+.claimed { color: #8a5a00; } .pending { color: #5a6172; }
+.active { color: #1d7a36; }
+.warn { color: #b3261e; font-weight: 600; }
+""".strip()
+
+
+def _fmt(value, digits=2):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _shard_table(state):
+    rows = state.shard_rows()
+    if not rows:
+        return "<p class='meta'>no shard activity yet</p>"
+    cells = []
+    for row in rows:
+        cells.append(
+            "<tr><td>{shard}</td><td class='{state}'>{state}</td>"
+            "<td>{circuit}</td><td>{est}</td><td>{actual}</td>"
+            "<td>{attempts}</td></tr>".format(
+                shard=html.escape(str(row["shard"])),
+                state=html.escape(str(row["state"])),
+                circuit=html.escape(str(row["circuit"])),
+                est=_fmt(row["est_cost"]),
+                actual=_fmt(row["actual_s"]),
+                attempts=_fmt(row["attempts"], 0)))
+    return ("<table><tr><th>shard</th><th>state</th><th>circuit</th>"
+            "<th>est cost</th><th>actual s</th><th>attempts</th></tr>"
+            + "".join(cells) + "</table>")
+
+
+def _worker_table(state):
+    rows = state.worker_rows()
+    if not rows:
+        return "<p class='meta'>no workers seen</p>"
+    cells = []
+    for row in rows:
+        age = "-" if row["age_s"] is None else f"{row['age_s']:.1f}s ago"
+        cells.append(
+            "<tr><td>{worker}</td><td class='{state}'>{state}</td>"
+            "<td>{age}</td></tr>".format(
+                worker=html.escape(str(row["worker"])),
+                state=html.escape(str(row["state"])),
+                age=html.escape(age)))
+    return ("<table><tr><th>worker</th><th>state</th><th>last heartbeat"
+            "</th></tr>" + "".join(cells) + "</table>")
+
+
+def _sweep_section(entry):
+    state = entry["state"]
+    progress = state.progress()
+    total = ("?" if state.total_scenarios is None
+             else state.total_scenarios)
+    title = (f"{entry['tenant']} / {entry['label']}" if entry.get("label")
+             else entry["tenant"])
+    corrupt = ""
+    if entry.get("corrupt_lines"):
+        corrupt = (f" &middot; <span class='warn'>"
+                   f"{entry['corrupt_lines']} corrupt event line(s) "
+                   f"salvaged</span>")
+    parts = [
+        f"<h2>{html.escape(title)} "
+        f"<span class='meta'>{html.escape(entry['sweep'][:12])}</span></h2>",
+        f"<p class='meta'>priority {_fmt(entry.get('priority'))} &middot; "
+        f"records {len(state.records)}/{total} &middot; "
+        f"queue depth {_fmt(state.depth)} &middot; "
+        f"{'complete' if progress['complete'] else 'running'}"
+        f"{corrupt}</p>",
+        _shard_table(state),
+        _worker_table(state),
+    ]
+    if state.records:
+        parts.append(f"<pre>{html.escape(state.table())}</pre>")
+    return "\n".join(parts)
+
+
+def render_dashboard(entries, refresh_s=2, title="repro sweep service"):
+    """The full dashboard page for a list of sweep entries.
+
+    Each entry is a dict with ``sweep``/``tenant``/``priority``/
+    ``label``/``state`` (a folded
+    :class:`~repro.analysis.livetable.SweepEventState`) and
+    ``corrupt_lines`` — i.e. event-stream derivatives only.  Returns an
+    HTML string.
+    """
+    depth_total = sum(e["state"].depth or 0 for e in entries)
+    body = ("\n<hr>\n".join(_sweep_section(e) for e in entries)
+            if entries else "<p class='meta'>no sweeps submitted yet — "
+            "POST /v1/sweeps to get started</p>")
+    return (
+        "<!doctype html>\n<html><head>"
+        f"<meta charset='utf-8'>"
+        f"<meta http-equiv='refresh' content='{int(refresh_s)}'>"
+        f"<title>{html.escape(title)}</title>"
+        f"<style>{_STYLE}</style></head>\n<body>"
+        f"<h1>{html.escape(title)}</h1>"
+        f"<p class='meta'>{len(entries)} sweep(s) &middot; "
+        f"total queue depth {depth_total} &middot; rendered from the "
+        f"event stream only</p>\n"
+        f"{body}\n</body></html>\n"
+    )

@@ -43,7 +43,7 @@ import json
 import os
 import time
 
-__all__ = ["EventLog", "read_events", "tail_events"]
+__all__ = ["EventLog", "EventTail", "read_events", "tail_events"]
 
 
 class EventLog:
@@ -137,6 +137,52 @@ def _parse_lines(chunk, buffer):
             events.append(event)
 
 
+class EventTail:
+    """Incremental, resumable reader over one event file.
+
+    The stateful core both consumers of the stream share: the blocking
+    generator :func:`tail_events` (terminal watchers) and the asyncio
+    service tier (:mod:`repro.runtime.api`), which cannot block in
+    ``time.sleep`` and instead awaits between :meth:`poll` calls.  An
+    instance remembers its byte offset and the torn trailing line held
+    back from the previous poll, so each :meth:`poll` returns exactly
+    the events appended since the last one — including an event
+    salvaged from a torn interior fragment, which bumps
+    ``stats["corrupt_lines"]`` just like the module-level readers do.
+    """
+
+    def __init__(self, path, stats=None):
+        self.path = path
+        self.stats = stats if stats is not None else {}
+        self.stats.setdefault("corrupt_lines", 0)
+        self._offset = 0
+        self._buffer = b""
+
+    @property
+    def corrupt_lines(self):
+        """Torn/junk fragments seen so far (mirrors ``stats``)."""
+        return self.stats["corrupt_lines"]
+
+    def poll(self):
+        """Every complete event appended since the previous poll.
+
+        Never blocks and never raises on I/O problems: a missing file —
+        the log may not have seen its first event yet — reads as no new
+        events.
+        """
+        try:
+            with open(str(self.path), "rb") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read()
+        except OSError:
+            return []
+        self._offset += len(chunk)
+        events, self._buffer, corrupt = _parse_lines(chunk, self._buffer)
+        if corrupt:
+            self.stats["corrupt_lines"] += corrupt
+        return events
+
+
 def read_events(path, stats=None):
     """Every complete, well-formed event currently in ``path`` (a list).
 
@@ -182,22 +228,10 @@ def tail_events(path, follow=False, poll_s=0.1, timeout_s=None, stop=None,
     mutable ``stats`` dict to accumulate ``corrupt_lines`` across the
     tail's lifetime.
     """
-    offset = 0
-    buffer = b""
+    tail = EventTail(path, stats=stats)
     waited = 0.0
-    if stats is not None:
-        stats.setdefault("corrupt_lines", 0)
     while True:
-        try:
-            with open(str(path), "rb") as handle:
-                handle.seek(offset)
-                chunk = handle.read()
-        except OSError:
-            chunk = b""
-        offset += len(chunk)
-        events, buffer, corrupt = _parse_lines(chunk, buffer)
-        if stats is not None and corrupt:
-            stats["corrupt_lines"] += corrupt
+        events = tail.poll()
         if events:
             waited = 0.0
             for event in events:

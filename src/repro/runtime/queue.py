@@ -98,6 +98,10 @@ from repro.utils.errors import ReproError, ValidationError
 #: Version of the on-disk manifest / ticket envelope.
 QUEUE_SCHEMA_VERSION = 1
 
+#: Version of the :class:`PartialSweepError` wire document (the HTTP
+#: API's 409 body and ``to_dict``/``from_dict`` round-trip format).
+PARTIAL_ERROR_SCHEMA_VERSION = 1
+
 #: Default lease TTL (seconds) recorded in a submission's manifest.
 DEFAULT_LEASE_TTL_S = 60.0
 
@@ -128,6 +132,63 @@ class PartialSweepError(ReproError):
         self.records = list(records)
         self.missing = list(missing)
         self.failed_shards = list(failed_shards)
+
+    @property
+    def retry_hint(self):
+        """What a caller should do next, as a machine-readable token.
+
+        ``"retry_failed"`` — shards are quarantined; re-arm them
+        (``repro queue retry-failed`` or ``POST .../retry``) and drain
+        again.  ``"wait"`` — nothing is quarantined, the remainder is
+        simply still pending/claimed; retry the gather once workers
+        catch up.
+        """
+        return "retry_failed" if self.failed_shards else "wait"
+
+    # -- wire serialization -----------------------------------------------------
+
+    def to_dict(self):
+        """Canonical wire document (the API's 409 body; pinned by test).
+
+        Partial records travel in their canonical form — the same bytes
+        ``gather`` would have returned — so a caller accepting the
+        partial result loses nothing to the error path.
+        """
+        from repro.runtime.records import RunRecord  # noqa: F401  (doc link)
+
+        return {
+            "kind": "partial_sweep_error",
+            "schema": PARTIAL_ERROR_SCHEMA_VERSION,
+            "message": str(self),
+            "records": [r.canonical_dict() for r in self.records],
+            "missing": [str(label) for label in self.missing],
+            "failed_shards": [str(s) for s in self.failed_shards],
+            "retry_hint": self.retry_hint,
+        }
+
+    def canonical_json(self):
+        """Byte-stable serialization of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild from a :meth:`to_dict` document (wire round-trip)."""
+        from repro.runtime.records import RunRecord
+
+        if not isinstance(data, dict) or \
+                data.get("kind") != "partial_sweep_error":
+            raise ReproError("not a partial_sweep_error document")
+        if data.get("schema") != PARTIAL_ERROR_SCHEMA_VERSION:
+            raise ReproError(
+                f"unsupported partial_sweep_error schema "
+                f"{data.get('schema')!r}")
+        return cls(
+            str(data.get("message", "")),
+            records=[RunRecord.from_dict(d) for d in data.get("records", [])],
+            missing=data.get("missing", []),
+            failed_shards=data.get("failed_shards", []),
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -212,11 +273,48 @@ class QueueStatus:
         """
         return self.records_present == self.total_scenarios
 
+    @property
+    def depth(self):
+        """Shards still awaiting work (pending + claimed) — the queue-depth
+        signal dashboards and autoscalers watch."""
+        return self.pending + self.claimed
+
     def summary(self):
         failed = f", {self.failed} failed" if self.failed else ""
         return (f"{self.total_shards} shards: {self.pending} pending, "
                 f"{self.claimed} claimed, {self.done} done{failed}; "
                 f"records {self.records_present}/{self.total_scenarios}")
+
+    def to_dict(self):
+        """JSON-ready counters + derived flags (the API status payload)."""
+        return {
+            "total_shards": int(self.total_shards),
+            "pending": int(self.pending),
+            "claimed": int(self.claimed),
+            "done": int(self.done),
+            "failed": int(self.failed),
+            "depth": int(self.depth),
+            "total_scenarios": int(self.total_scenarios),
+            "records_present": int(self.records_present),
+            "drained": bool(self.drained),
+            "settled": bool(self.settled),
+            "complete": bool(self.complete),
+        }
+
+    def counter_rows(self):
+        """``[name, value]`` rows for table rendering — one source of
+        truth shared by ``repro queue status`` and anything else that
+        prints a queue's counters."""
+        return [
+            ["shards", self.total_shards],
+            ["pending", self.pending],
+            ["claimed", self.claimed],
+            ["done", self.done],
+            ["failed (quarantined)", self.failed],
+            ["scenarios", self.total_scenarios],
+            ["records present", self.records_present],
+            ["complete", "yes" if self.complete else "no"],
+        ]
 
 
 def _group_scenarios(scenarios):
@@ -892,6 +990,19 @@ class SweepQueue:
         return True
 
     # -- progress / assembly ----------------------------------------------------
+
+    def depth(self):
+        """Undrained shard count (pending + claimed), without touching the
+        results store.
+
+        The cheap progress probe: :meth:`status` scans the results
+        directory to count records (one stat per scenario), which a
+        high-frequency poller — the API status endpoint, an autoscaler —
+        does not need just to know whether work remains.
+        """
+        self.manifest()
+        return (len(self._ids_in(self.pending_dir))
+                + len(self._ids_in(self.claimed_dir)))
 
     def status(self):
         """Current :class:`QueueStatus` (scans tickets and the results store)."""

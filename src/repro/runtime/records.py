@@ -98,9 +98,27 @@ class RunRecord:
         }
 
     def canonical_json(self):
-        """Byte-stable serialization — the parallel-vs-serial equality test."""
+        """Byte-stable serialization — the parallel-vs-serial equality test.
+
+        Also the **wire form**: the HTTP records endpoint
+        (``GET /v1/sweeps/{id}/records``) embeds each record as exactly
+        these bytes, so a client diffing the response against a local
+        serial run compares byte-for-byte.  :meth:`from_json` is the
+        inverse; diagnostics (``repair_evals`` and friends) survive the
+        round-trip intact because they are part of the canonical form.
+        """
         return json.dumps(self.canonical_dict(), sort_keys=True,
                           separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text):
+        """Parse one serialized record (canonical or full form)."""
+        try:
+            data = json.loads(text)
+        except ValueError as error:
+            raise ReproError(f"unparseable run_record JSON: {error}") \
+                from None
+        return cls.from_dict(data)
 
     def to_dict(self):
         """Full payload including telemetry (what the cache persists)."""

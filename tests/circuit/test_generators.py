@@ -93,3 +93,14 @@ def test_infeasible_wire_budget_rejected():
 def test_target_depth_validation():
     with pytest.raises(CircuitError):
         random_circuit(10, 3, 2, seed=0, target_depth=0)
+
+def test_input_heavy_shapes_get_a_feasible_wire_budget():
+    """More drivers than the avg-fanin default can absorb: the budget
+    floors at one slot per must-be-used source, so every seed succeeds
+    (this shape used to fail for *all* seeds)."""
+    for seed in (0, 1, 7):
+        circuit = random_circuit(5, 8, 2, seed=seed, target_depth=2)
+        circuit.validate()
+    # An explicit budget below the coverage floor still fails fast.
+    with pytest.raises(CircuitError):
+        random_circuit(5, 8, 2, seed=0, n_wires=10)

@@ -181,3 +181,54 @@ class TestSweepSpec:
             SweepSpec(circuits=())
         with pytest.raises(ValidationError):
             SweepSpec(circuits=(CircuitRef.iscas85("c432"),), orderings=())
+
+
+class TestSweepSpecWire:
+    """The HTTP submission schema: canonical form, hash, from_dict."""
+
+    def _spec(self):
+        return SweepSpec(
+            circuits=(CircuitRef.random(12, 4, 2, seed=0, target_depth=5),),
+            orderings=("woss", "none"),
+            base=FlowConfig(n_patterns=32, max_iterations=50),
+        )
+
+    def test_canonical_round_trip(self):
+        spec = self._spec()
+        clone = SweepSpec.from_dict(json.loads(spec.canonical_json()))
+        assert clone == spec
+        assert clone.content_hash() == spec.content_hash()
+
+    def test_normalization_collapses_spellings(self):
+        spec = self._spec()
+        respelled = SweepSpec.from_dict({
+            "circuits": [c.canonical_dict() for c in spec.circuits],
+            "orderings": ["woss", "none"],
+            "base": {"n_patterns": 32, "max_iterations": 50},
+        })
+        assert respelled.content_hash() == spec.content_hash()
+        # Spec strings are accepted where canonical dicts are.
+        named = SweepSpec.from_dict({"circuits": ["c432"]})
+        assert named.circuits[0] == CircuitRef.iscas85("c432")
+
+    def test_junk_rejected(self):
+        good = self._spec().canonical_dict()
+        for mutate in (
+            lambda d: d.pop("circuits"),
+            lambda d: d.update(circuits=[]),
+            lambda d: d.update(circuits=[42]),
+            lambda d: d.update(surprise=1),
+            lambda d: d.update(orderings="woss"),
+            lambda d: d.update(orderings=["no-such-ordering"]),
+            lambda d: d.update(base={"bogus_knob": 3}),
+        ):
+            data = json.loads(json.dumps(good))
+            mutate(data)
+            with pytest.raises(ValidationError):
+                SweepSpec.from_dict(data)
+
+    def test_hash_differs_when_sweep_differs(self):
+        spec = self._spec()
+        other = SweepSpec.from_dict(dict(spec.canonical_dict(),
+                                         noise_fractions=[0.12]))
+        assert other.content_hash() != spec.content_hash()

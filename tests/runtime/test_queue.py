@@ -477,3 +477,42 @@ class TestRobustness:
         assert "retry-failed" in str(error)
         assert error.failed_shards[0] in str(error)
         assert queue.gather(partial=True) == []
+
+
+def test_depth_tracks_every_shard_state(tmp_path, sweep):
+    """depth() = pending + claimed across the whole lifecycle — the
+    probe the API status endpoint and autoscalers poll."""
+    queue = SweepQueue(tmp_path / "q")
+    queue.submit(sweep, shard_size=1)
+    assert queue.depth() == 4                      # all pending
+    first = queue.claim("w")
+    assert queue.depth() == 4                      # claimed still counts
+    assert queue.complete(first, "w")
+    assert queue.depth() == 3                      # done drops out
+    doomed = queue.claim("w")
+    queue.fail(doomed, "w", error="poison")
+    assert queue.depth() == 2                      # quarantined drops out
+    queue.retry_failed()
+    assert queue.depth() == 3                      # re-armed counts again
+    released = queue.claim("w")
+    queue.release(released, "w", error="transient")
+    assert queue.depth() == 3                      # released stays pending
+    status = queue.status()
+    assert status.depth == queue.depth()
+
+
+def test_status_wire_dict_and_counter_rows(tmp_path, sweep):
+    queue = SweepQueue(tmp_path / "q")
+    queue.submit(sweep, shard_size=1)
+    queue.complete(queue.claim("w"), "w")
+    queue.fail(queue.claim("w"), "w", error="boom")
+    status = queue.status()
+    doc = json.loads(json.dumps(status.to_dict()))
+    assert doc["total_shards"] == 4 and doc["depth"] == 2
+    assert doc["pending"] == 2 and doc["claimed"] == 0
+    assert doc["done"] == 1 and doc["failed"] == 1
+    assert doc["complete"] is False and doc["settled"] is False
+    rows = status.counter_rows()
+    assert rows[0] == ["shards", 4]
+    assert ["failed (quarantined)", 1] in rows
+    assert dict((name, value) for name, value in rows)["complete"] == "no"
